@@ -1,0 +1,328 @@
+(* Benchmark & reproduction harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   and prints paper-vs-measured verdicts: the four Section 4.2 tables
+   (numeric equality), the thirteen figures (series summaries + the
+   Section 4.3 shape claims), the Theorem 2 scaling experiment, and a
+   Monte-Carlo validation pass of the closed forms.
+
+   Part 2 times the computational kernels with Bechamel: one Test.make
+   per paper table and per paper figure (plus the solver, simulator and
+   Theorem 2 kernels), so regressions in the O(K^2) solve or the sweep
+   engine are visible. *)
+
+open Bechamel
+open Toolkit
+
+let hera_env =
+  lazy (Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale")))
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduction                                                *)
+
+let reproduce_tables () =
+  section "Section 4.2 tables (Hera/XScale) — paper vs measured";
+  let env = Lazy.force hera_env in
+  let all_entries =
+    List.concat_map
+      (fun (reference : Experiments.Tables42.table) ->
+        let measured = Experiments.Tables42.compute env ~rho:reference.rho in
+        print_string (Experiments.Tables42.render measured);
+        print_newline ();
+        Experiments.Tables42.compare env reference)
+      Experiments.Tables42.paper
+  in
+  let ok = Report.Compare.all_ok all_entries in
+  Printf.printf "table cells compared: %d; all match the paper: %b\n"
+    (List.length all_entries) ok;
+  ok
+
+let summarize_panel (figure : Experiments.Figures.t) (series : Sweep.Series.t)
+    =
+  let steps proj =
+    Sweep.Shape.step_values (Sweep.Shape.project series proj)
+    |> List.map (Printf.sprintf "%g")
+    |> String.concat ">"
+  in
+  Printf.printf
+    "  fig %2d %-19s %-6s feasible %3.0f%%  max saving %5.1f%%  sigma1 %-20s sigma2 %s\n"
+    figure.id figure.config
+    (Sweep.Parameter.name series.parameter)
+    (100. *. Sweep.Series.feasible_fraction series)
+    (100. *. Sweep.Series.max_saving series)
+    (steps Sweep.Shape.two_speed_sigma1)
+    (steps Sweep.Shape.two_speed_sigma2)
+
+let reproduce_figures ~points () =
+  section "Figures 2-14 — panel summaries (two-speed optimum per axis)";
+  List.iter
+    (fun figure ->
+      let panels = Experiments.Figures.run ~points figure in
+      List.iter (summarize_panel figure) panels)
+    Experiments.Figures.all
+
+let reproduce_claims ~points () =
+  section "Section 4.3 claims";
+  let entries = Experiments.Claims.all ~points () in
+  List.iter (fun e -> Format.printf "  %a@." Report.Compare.pp_entry e) entries;
+  let ok = Report.Compare.all_ok entries in
+  Printf.printf "claims checked: %d; all reproduce: %b\n" (List.length entries)
+    ok;
+  ok
+
+let reproduce_theorem2 () =
+  section "Theorem 2 — Theta(lambda^(-2/3)) scaling";
+  let r = Experiments.Theorem2.run () in
+  List.iter2
+    (fun (lambda, w2) (_, wa) ->
+      Printf.printf "  lambda=%9.3g  numeric Wopt=%12.1f  closed form=%12.1f\n"
+        lambda w2 wa)
+    r.w_twice r.w_analytic;
+  Printf.printf
+    "  fitted exponent (s2=2s1): %.4f (paper: -0.6667)\n\
+    \  fitted exponent (s2=s1):  %.4f (Young/Daly: -0.5000)\n\
+    \  max |numeric - closed form| / closed form: %.2e\n"
+    r.slope_twice r.slope_same r.max_analytic_gap;
+  Float.abs (r.slope_twice +. (2. /. 3.)) < 0.02
+
+let reproduce_ablations () =
+  section "Ablations (design-choice costs across the 8 configurations)";
+  let show title rows =
+    Printf.printf "%s: max gap %+.3f%%\n"
+      title
+      (100. *. Experiments.Ablations.summarize rows);
+    List.iter
+      (fun (r : Experiments.Ablations.row) ->
+        Printf.printf "  %-20s %8.2f -> %8.2f  (%+.3f%%)\n" r.config
+          r.baseline r.ablated (100. *. r.gap))
+      rows;
+    rows
+  in
+  let ladder = show "discrete ladder vs continuous DVFS"
+      (Experiments.Ablations.discrete_ladder ()) in
+  let first_order = show "first-order period vs exact optimum"
+      (Experiments.Ablations.first_order_optimizer ()) in
+  let verif = show "verification cost (V vs 0)"
+      (Experiments.Ablations.verification_cost ()) in
+  (* Sanity of the three stories: coarse ladders cost real energy on
+     XScale; the paper's first-order optimizer is essentially exact;
+     verification is a small add-on. *)
+  Experiments.Ablations.summarize ladder > 0.02
+  && Experiments.Ablations.summarize first_order < 1e-3
+  && Experiments.Ablations.summarize verif < 0.05
+
+let reproduce_validation () =
+  section "Monte-Carlo validation of Propositions 1-5";
+  let scenarios =
+    [
+      Experiments.Validation.of_config ~lambda_scale:50.
+        (Option.get (Platforms.Config.find "hera/xscale"));
+      Experiments.Validation.of_config ~lambda_scale:50.
+        (Option.get (Platforms.Config.find "atlas/crusoe"));
+      Experiments.Validation.synthetic ~name:"synthetic mixed"
+        ~fail_stop_fraction:0.5;
+    ]
+  in
+  let checks = Experiments.Validation.run ~replicas:2000 ~seed:2016 scenarios in
+  List.iter (fun c -> Format.printf "  %a@." Sim.Montecarlo.pp_check c) checks;
+  Experiments.Validation.all_ok checks
+
+let reproduce_extensions () =
+  section "Extensions (Section 7 future work, solved numerically)";
+  Printf.printf
+    "exact mixed-error BiCrit, Hera/XScale, rho = 3 (f = fail-stop \
+     fraction):\n";
+  List.iter
+    (fun (p : Experiments.Extensions.mixed_point) ->
+      match p.solution with
+      | Some s ->
+          Printf.printf "  f=%.1f -> (%g, %g)  Wopt=%6.0f  E/W=%7.2f\n"
+            p.fraction s.Core.Mixed_bicrit.sigma1 s.sigma2 s.w_opt
+            s.energy_overhead
+      | None -> Printf.printf "  f=%.1f -> infeasible\n" p.fraction)
+    (Experiments.Extensions.fraction_sweep ());
+  let anchor = Experiments.Extensions.silent_limit_matches_closed_form () in
+  let solved, outside =
+    Experiments.Extensions.coverage_beyond_validity ~fraction:0.5 ()
+  in
+  Printf.printf
+    "  f=0 anchor vs closed form: relative gap %.2e; pairs outside the \
+     first-order validity window solved: %d/%d\n"
+    anchor solved outside;
+  Printf.printf
+    "\nmulti-verification patterns, Hera/XScale at 100x rate (m = \
+     verifications per checkpoint):\n";
+  List.iter
+    (fun (p : Experiments.Extensions.verif_point) ->
+      match p.solution with
+      | Some s ->
+          Printf.printf "  m=%d -> (%g, %g)  Wopt=%5.0f  E/W=%8.2f\n"
+            p.verifications s.Core.Multi_verif.sigma1 s.sigma2 s.w_opt
+            s.energy_overhead
+      | None -> Printf.printf "  m=%d -> infeasible\n" p.verifications)
+    (Experiments.Extensions.verification_sweep ());
+  let best_m = Experiments.Extensions.best_verification_count () in
+  Printf.printf "  best verification count at 100x rate: %d\n" best_m;
+  anchor < 1e-2 && best_m > 1
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timing                                             *)
+
+let table_tests =
+  List.map
+    (fun (reference : Experiments.Tables42.table) ->
+      let rho = reference.rho in
+      Test.make
+        ~name:(Printf.sprintf "table/rho=%g" rho)
+        (Staged.stage (fun () ->
+             let env = Lazy.force hera_env in
+             ignore (Experiments.Tables42.compute env ~rho))))
+    Experiments.Tables42.paper
+
+let figure_tests =
+  List.map
+    (fun (figure : Experiments.Figures.t) ->
+      Test.make
+        ~name:(Printf.sprintf "figure/%d" figure.id)
+        (Staged.stage (fun () ->
+             ignore (Experiments.Figures.run ~points:11 figure))))
+    Experiments.Figures.all
+
+let kernel_tests =
+  [
+    Test.make ~name:"kernel/bicrit-solve"
+      (Staged.stage (fun () ->
+           ignore (Core.Bicrit.solve (Lazy.force hera_env) ~rho:3.)));
+    Test.make ~name:"kernel/exact-overheads"
+      (Staged.stage (fun () ->
+           let env = Lazy.force hera_env in
+           ignore
+             (Core.Exact.energy_overhead env.params env.power ~w:2764.
+                ~sigma1:0.4 ~sigma2:0.4)));
+    Test.make ~name:"kernel/mc-pattern-100"
+      (Staged.stage
+         (let model =
+            Core.Mixed.make ~c:300. ~r:300. ~v:15.4 ~lambda_f:0.
+              ~lambda_s:1.69e-4 ()
+          in
+          let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2 in
+          let rng = Prng.Rng.create ~seed:1 in
+          fun () ->
+            let machine = Sim.Machine.create power in
+            for _ = 1 to 100 do
+              ignore
+                (Sim.Executor.run_pattern ~model ~machine ~rng ~w:2764.
+                   ~sigma1:0.4 ~sigma2:0.4 ())
+            done));
+    Test.make ~name:"kernel/theorem2-minimize"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Second_order.w_opt_exact ~c:300. ~r:300. ~lambda:1e-7
+                ~sigma1:1. ~sigma2:2.)));
+    Test.make ~name:"extension/mixed-bicrit"
+      (Staged.stage (fun () ->
+           let env = Lazy.force hera_env in
+           ignore
+             (Core.Mixed_bicrit.of_env env ~fail_stop_fraction:0.5 ~rho:3.)));
+    Test.make ~name:"extension/multi-verif"
+      (Staged.stage (fun () ->
+           let env = Lazy.force hera_env in
+           let t =
+             Core.Multi_verif.make env.params ~verifications:3
+           in
+           ignore
+             (Core.Multi_verif.solve_pattern t env.power ~rho:3. ~sigma1:0.4
+                ~sigma2:0.4)));
+    Test.make ~name:"ablation/continuous-dvfs"
+      (Staged.stage (fun () ->
+           let env = Lazy.force hera_env in
+           ignore
+             (Core.Continuous.solve ~grid:24 ~refinement_rounds:2 env.params
+                env.power ~rho:3.)));
+    Test.make ~name:"sim/platform-1024-nodes"
+      (Staged.stage
+         (let platform =
+            Sim.Platform_sim.make ~nodes:1024 ~node_lambda_f:0.
+              ~node_lambda_s:(3.38e-6 /. 1024. *. 50.)
+              ~c:300. ~v:15.4 ()
+          in
+          let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2 in
+          let rng = Prng.Rng.create ~seed:3 in
+          fun () ->
+            let machine = Sim.Machine.create power in
+            ignore
+              (Sim.Platform_sim.run_pattern platform ~machine ~rng ~w:2764.
+                 ~sigma1:0.4 ~sigma2:0.4 ())));
+  ]
+
+let run_benchmarks () =
+  section "Bechamel micro-benchmarks (one per table, one per figure)";
+  let tests =
+    Test.make_grouped ~name:"rexspeed" ~fmt:"%s %s"
+      (table_tests @ figure_tests @ kernel_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-36s %15s %10s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 63 '-');
+  List.iter
+    (fun (name, ols) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+      in
+      let pretty t =
+        if Float.is_nan t then "-"
+        else if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+        else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+        else if t >= 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+        else Printf.sprintf "%.1f ns" t
+      in
+      Printf.printf "%-36s %15s %10.4f\n" name (pretty time_ns) r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let points = if quick then 21 else 41 in
+  Printf.printf
+    "rexspeed reproduction harness — 'A different re-execution speed can \
+     help' (Benoit et al., 2016)\n";
+  let tables_ok = reproduce_tables () in
+  reproduce_figures ~points ();
+  let claims_ok = reproduce_claims ~points () in
+  let theorem2_ok = reproduce_theorem2 () in
+  let extensions_ok = reproduce_extensions () in
+  let ablations_ok = reproduce_ablations () in
+  let validation_ok = reproduce_validation () in
+  if not quick then run_benchmarks ();
+  section "Verdict";
+  Printf.printf
+    "tables: %b | claims: %b | theorem2: %b | extensions: %b | ablations: %b \
+     | monte-carlo: %b\n"
+    tables_ok claims_ok theorem2_ok extensions_ok ablations_ok validation_ok;
+  if
+    tables_ok && claims_ok && theorem2_ok && extensions_ok && ablations_ok
+    && validation_ok
+  then
+    print_endline "REPRODUCTION: OK"
+  else begin
+    print_endline "REPRODUCTION: FAILED";
+    exit 1
+  end

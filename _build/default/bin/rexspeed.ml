@@ -1,0 +1,874 @@
+(* rexspeed: command-line front end for the re-execution-speed model.
+
+   Subcommands mirror the deliverables: [optimize] solves one BiCrit
+   instance, [tables] and [figure] regenerate the paper's evaluation,
+   [sweep] runs custom parameter sweeps, [simulate] cross-checks the
+   model against the Monte-Carlo executor, [theorem2] runs the
+   lambda^(-2/3) scaling experiment and [claims] the qualitative
+   battery. *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match Platforms.Config.find s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown configuration %S (expected platform/processor, e.g. \
+                 hera/xscale)"
+                s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Platforms.Config.name c) in
+  Arg.conv (parse, print)
+
+let config_arg =
+  let doc =
+    "Platform/processor configuration (hera, atlas, coastal, coastal_ssd x \
+     xscale, crusoe)."
+  in
+  Arg.(
+    value
+    & opt config_conv (Option.get (Platforms.Config.find "hera/xscale"))
+    & info [ "c"; "config" ] ~docv:"PLATFORM/PROCESSOR" ~doc)
+
+let rho_arg =
+  let doc = "Performance bound rho (admissible time-overhead factor)." in
+  Arg.(value & opt float 3. & info [ "rho" ] ~docv:"RHO" ~doc)
+
+let points_arg =
+  let doc = "Number of samples along the sweep axis." in
+  Arg.(value & opt (some int) None & info [ "points" ] ~docv:"N" ~doc)
+
+let print_solutions (result : Core.Bicrit.result) =
+  let table =
+    Report.Table.create
+      ~header:
+        [ "sigma1"; "sigma2"; "Wopt"; "We"; "window"; "E/W"; "T/W"; "bound" ]
+      ()
+  in
+  List.iter
+    (fun (s : Core.Optimum.solution) ->
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%g" s.sigma1;
+          Printf.sprintf "%g" s.sigma2;
+          Printf.sprintf "%.1f" s.w_opt;
+          Printf.sprintf "%.1f" s.w_energy;
+          Printf.sprintf "[%.0f, %.0f]" s.window.Core.Feasibility.w_min
+            s.window.Core.Feasibility.w_max;
+          Printf.sprintf "%.2f" s.energy_overhead;
+          Printf.sprintf "%.4f" s.time_overhead;
+          (if s.bound_active then "active" else "-");
+        ])
+    result.candidates;
+  Report.Table.print table;
+  let best = result.best in
+  Printf.printf
+    "\nbest pair: (%g, %g), Wopt = %.1f, energy overhead = %.2f mW, time \
+     overhead = %.4f s/unit\n"
+    best.sigma1 best.sigma2 best.w_opt best.energy_overhead
+    best.time_overhead
+
+let env_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "env-file" ] ~docv:"FILE"
+        ~doc:"Load a custom machine from a key = value file (keys: lambda, \
+              c, r, v, kappa, p_idle, p_io, speeds) instead of a built-in \
+              configuration.")
+
+let optimize_cmd =
+  let single =
+    Arg.(
+      value & flag
+      & info [ "single-speed" ]
+          ~doc:"Restrict the re-execution speed to the first speed.")
+  in
+  let run config rho single env_file =
+    let env, name =
+      match env_file with
+      | None -> (Core.Env.of_config config, Platforms.Config.name config)
+      | Some path -> begin
+          match Platforms.Config_file.load ~path with
+          | Ok file -> (Core.Env.of_config_file file, path)
+          | Error message ->
+              prerr_endline ("cannot load " ^ path ^ ": " ^ message);
+              exit 2
+        end
+    in
+    let mode =
+      if single then Core.Bicrit.Single_speed else Core.Bicrit.Two_speeds
+    in
+    Printf.printf "configuration: %s\n" name;
+    Format.printf "%a@.@." Core.Env.pp env;
+    match Core.Bicrit.solve ~mode env ~rho with
+    | None ->
+        Printf.printf
+          "no feasible speed pair for rho = %g (minimum feasible rho: %.4f)\n"
+          rho
+          (Core.Bicrit.min_feasible_rho env);
+        1
+    | Some result ->
+        print_solutions result;
+        (match Core.Bicrit.energy_saving_vs_single env ~rho with
+        | Some saving when not single ->
+            Printf.printf "saving vs best single speed: %.1f%%\n"
+              (100. *. saving)
+        | Some _ | None -> ());
+        0
+  in
+  let term = Term.(const run $ config_arg $ rho_arg $ single $ env_file_arg) in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Solve one BiCrit instance (Theorem 1 + O(K^2) search).")
+    term
+
+let tables_cmd =
+  let run () =
+    let env =
+      Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+    in
+    let ok = ref true in
+    List.iter
+      (fun reference ->
+        let measured =
+          Experiments.Tables42.compute env ~rho:reference.Experiments.Tables42.rho
+        in
+        print_string (Experiments.Tables42.render measured);
+        let entries = Experiments.Tables42.compare env reference in
+        if not (Report.Compare.all_ok entries) then begin
+          ok := false;
+          List.iter
+            (fun e -> Format.printf "  %a@." Report.Compare.pp_entry e)
+            (List.filter
+               (fun (e : Report.Compare.entry) ->
+                 match e.verdict with
+                 | Report.Compare.Deviates _ -> true
+                 | Report.Compare.Exact | Report.Compare.Shape _ -> false)
+               entries)
+        end;
+        print_newline ())
+      Experiments.Tables42.paper;
+    if !ok then begin
+      print_endline "all four Section 4.2 tables reproduce the paper exactly.";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the four Section 4.2 tables and diff against the paper.")
+    (Term.(const run $ const ()))
+
+let figure_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"FIGURE" ~doc:"Paper figure number (2-14).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write gnuplot .dat/.gp files into DIR instead of printing.")
+  in
+  let chart =
+    Arg.(
+      value & flag
+      & info [ "chart" ]
+          ~doc:"Render an ASCII chart of the energy overheads instead of the \
+                numeric table.")
+  in
+  let run id points output chart =
+    match Experiments.Figures.find id with
+    | None ->
+        prerr_endline "figure number must be between 2 and 14";
+        2
+    | Some figure ->
+        let panels = Experiments.Figures.run ?points figure in
+        List.iter
+          (fun (series : Sweep.Series.t) ->
+            let rows = Sweep.Series.to_rows series in
+            match output with
+            | None when chart ->
+                let project f = Sweep.Shape.project series f in
+                print_string
+                  (Report.Chart.render
+                     ~logx:(series.parameter = Sweep.Parameter.Lambda)
+                     ~title:
+                       (Printf.sprintf
+                          "Fig %d %s: energy overhead (mW) vs %s (rho=%g)" id
+                          series.label
+                          (Sweep.Parameter.name series.parameter)
+                          series.rho)
+                     [
+                       {
+                         Report.Chart.label = "two speeds";
+                         points = project Sweep.Shape.two_speed_energy;
+                         glyph = '*';
+                       };
+                       {
+                         Report.Chart.label = "single speed";
+                         points = project Sweep.Shape.single_speed_energy;
+                         glyph = '+';
+                       };
+                     ]);
+                print_newline ()
+            | None ->
+                Printf.printf "# Figure %d, %s vs %s (rho=%g)\n" id
+                  series.label
+                  (Sweep.Parameter.name series.parameter)
+                  series.rho;
+                let table =
+                  Report.Table.create ~header:Sweep.Series.column_names ()
+                in
+                List.iter
+                  (fun row ->
+                    Report.Table.add_float_row ~precision:5 table
+                      (Array.to_list row))
+                  rows;
+                Report.Table.print table;
+                Printf.printf "max saving along this panel: %.1f%%\n\n"
+                  (100. *. Sweep.Series.max_saving series)
+            | Some dir ->
+                let base =
+                  Printf.sprintf "%s/fig%02d_%s" dir id
+                    (Sweep.Parameter.name series.parameter)
+                in
+                let dat = base ^ ".dat" in
+                Report.Gnuplot.write_file ~path:dat
+                  (Report.Gnuplot.data_block
+                     ~comment:
+                       (Printf.sprintf "Figure %d: %s vs %s" id series.label
+                          (Sweep.Parameter.name series.parameter))
+                     ~columns:Sweep.Series.column_names ~rows ());
+                Report.Gnuplot.write_file ~path:(base ^ ".gp")
+                  (Report.Gnuplot.script ~output:(base ^ ".png")
+                     ~title:
+                       (Printf.sprintf "Fig %d %s: energy overhead vs %s" id
+                          series.label
+                          (Sweep.Parameter.name series.parameter))
+                     ~xlabel:(Sweep.Parameter.name series.parameter)
+                     ~ylabel:"energy overhead (mW)"
+                     ~logx:(series.parameter = Sweep.Parameter.Lambda)
+                     ~data_file:dat
+                     ~series:[ (5, "two speeds"); (9, "single speed") ]
+                     ());
+                Printf.printf "wrote %s and %s.gp\n" dat base)
+          panels;
+        0
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one paper figure (series dump or gnuplot files).")
+    Term.(const run $ id $ points_arg $ output $ chart)
+
+let sweep_cmd =
+  let param =
+    let choices =
+      List.map
+        (fun p -> (String.lowercase_ascii (Sweep.Parameter.name p), p))
+        Sweep.Parameter.all
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum choices)) None
+      & info [] ~docv:"PARAM" ~doc:"Swept parameter: C, V, lambda, rho, Pidle or Pio.")
+  in
+  let lo =
+    Arg.(value & opt (some float) None & info [ "lo" ] ~docv:"LO" ~doc:"Axis start.")
+  in
+  let hi =
+    Arg.(value & opt (some float) None & info [ "hi" ] ~docv:"HI" ~doc:"Axis end.")
+  in
+  let run config rho param points lo hi =
+    let env = Core.Env.of_config config in
+    let xs =
+      match (lo, hi) with
+      | Some lo, Some hi ->
+          let n = Option.value points ~default:51 in
+          if param = Sweep.Parameter.Lambda then
+            Numerics.Axis.logspace ~lo ~hi ~n
+          else Numerics.Axis.linspace ~lo ~hi ~n
+      | None, None | Some _, None | None, Some _ ->
+          Sweep.Parameter.paper_axis param ?points ()
+    in
+    let series =
+      Sweep.Series.run ~label:(Platforms.Config.name config) ~env ~rho
+        ~parameter:param ~xs ()
+    in
+    print_string
+      (Report.Csv.of_float_rows ~header:Sweep.Series.column_names
+         ~rows:(Sweep.Series.to_rows series));
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Custom one-parameter sweep, CSV on stdout.")
+    Term.(const run $ config_arg $ rho_arg $ param $ points_arg $ lo $ hi)
+
+let simulate_cmd =
+  let replicas =
+    Arg.(value & opt int 2000 & info [ "replicas" ] ~docv:"N" ~doc:"Monte-Carlo replicas.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let fraction =
+    Arg.(
+      value & opt float 0.
+      & info [ "fail-stop-fraction" ] ~docv:"F"
+          ~doc:"Fraction of errors that are fail-stop (Section 5).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 200.
+      & info [ "lambda-scale" ] ~docv:"X"
+          ~doc:"Error-rate inflation so errors occur within the replica budget.")
+  in
+  let run config rho replicas seed fraction scale =
+    ignore rho;
+    let scenario =
+      Experiments.Validation.of_config ~fail_stop_fraction:fraction
+        ~lambda_scale:scale config
+    in
+    Printf.printf
+      "simulating %s: W=%.1f, (s1, s2)=(%g, %g), %d replicas, seed %d\n"
+      scenario.name scenario.w scenario.sigma1 scenario.sigma2 replicas seed;
+    let checks = Experiments.Validation.run ~replicas ~seed [ scenario ] in
+    List.iter (fun c -> Format.printf "%a@." Sim.Montecarlo.pp_check c) checks;
+    if Experiments.Validation.all_ok checks then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo cross-check of the analytical expectations.")
+    Term.(const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale)
+
+let theorem2_cmd =
+  let run () =
+    let r = Experiments.Theorem2.run () in
+    let table =
+      Report.Table.create
+        ~header:[ "lambda"; "Wopt (s2=2s)"; "(12C/l^2)^(1/3) s"; "Wopt (s2=s)" ]
+        ()
+    in
+    List.iter2
+      (fun (l, w2) ((_, wa), (_, w1)) ->
+        Report.Table.add_row table
+          [
+            Printf.sprintf "%.3g" l;
+            Printf.sprintf "%.4g" w2;
+            Printf.sprintf "%.4g" wa;
+            Printf.sprintf "%.4g" w1;
+          ])
+      r.w_twice
+      (List.combine r.w_analytic r.w_same);
+    Report.Table.print table;
+    Printf.printf
+      "\nfitted exponents: sigma2=2sigma1 -> %.4f (Theorem 2 predicts %.4f); \
+       sigma2=sigma1 -> %.4f (Young/Daly predicts %.4f)\n\
+       max gap numeric vs closed form: %.2e\n"
+      r.slope_twice Experiments.Theorem2.expected_slope_twice r.slope_same
+      Experiments.Theorem2.expected_slope_same r.max_analytic_gap;
+    0
+  in
+  Cmd.v
+    (Cmd.info "theorem2" ~doc:"Theta(lambda^(-2/3)) scaling experiment (Theorem 2).")
+    Term.(const run $ const ())
+
+let claims_cmd =
+  let run points =
+    let entries = Experiments.Claims.all ?points () in
+    List.iter (fun e -> Format.printf "%a@." Report.Compare.pp_entry e) entries;
+    if Report.Compare.all_ok entries then begin
+      print_endline "\nall qualitative claims of Section 4.3 reproduce.";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "claims" ~doc:"Check every qualitative claim of Section 4.3.")
+    Term.(const run $ points_arg)
+
+let ablation_cmd =
+  let run rho =
+    print_string
+      (Experiments.Ablations.render
+         ~title:
+           (Printf.sprintf
+              "Ablation 1: discrete Table-2 ladder vs continuous DVFS (rho = %g)"
+              rho)
+         (Experiments.Ablations.discrete_ladder ~rho ()));
+    print_newline ();
+    print_string
+      (Experiments.Ablations.render
+         ~title:
+           "Ablation 2: paper's first-order period vs numerically exact optimum"
+         (Experiments.Ablations.first_order_optimizer ~rho ()));
+    print_newline ();
+    print_string
+      (Experiments.Ablations.render
+         ~title:"Ablation 3: verification cost (paper V vs free verification)"
+         (Experiments.Ablations.verification_cost ~rho ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Quantify the paper's design choices: speed discreteness, \
+             first-order optimization, verification cost.")
+    Term.(const run $ rho_arg)
+
+let sensitivity_cmd =
+  let run config rho =
+    let env = Core.Env.of_config config in
+    match Core.Bicrit.solve env ~rho with
+    | None ->
+        prerr_endline "infeasible bound";
+        1
+    | Some { best; _ } ->
+        let sigma1 = best.Core.Optimum.sigma1 in
+        let sigma2 = best.Core.Optimum.sigma2 in
+        Printf.printf
+          "elasticities at the %s optimum (pair (%g, %g), rho = %g):\n\
+           a +1%% change in each parameter moves We / the minimum energy \
+           overhead by:\n\n"
+          (Platforms.Config.name config)
+          sigma1 sigma2 rho;
+        let table =
+          Report.Table.create
+            ~header:[ "parameter"; "value"; "dWe (%)"; "dE/W (%)" ]
+            ()
+        in
+        List.iter
+          (fun (param, (g : Core.Sensitivity.gradient)) ->
+            Report.Table.add_row table
+              [
+                Core.Sensitivity.parameter_name param;
+                Printf.sprintf "%.4g"
+                  (Core.Sensitivity.parameter_value env.params env.power param);
+                Printf.sprintf "%+.4f" g.d_w_energy;
+                Printf.sprintf "%+.4f" g.d_min_energy;
+              ])
+          (Core.Sensitivity.all_elasticities env.params env.power ~sigma1
+             ~sigma2);
+        Report.Table.print table;
+        print_endline
+          "\n(We's lambda elasticity is exactly -1/2: the Young/Daly square \
+           root. R never moves We — it is absent from Eq. 5.)";
+        0
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Closed-form parameter elasticities of the optimal pattern.")
+    Term.(const run $ config_arg $ rho_arg)
+
+let evaluate_cmd =
+  let w_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "w" ] ~docv:"W" ~doc:"Pattern size, work units.")
+  in
+  let sigma1_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "s1" ] ~docv:"SIGMA1" ~doc:"First-execution speed.")
+  in
+  let sigma2_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "s2" ] ~docv:"SIGMA2" ~doc:"Re-execution speed.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Also Monte-Carlo the pattern with N replicas (0 = skip).")
+  in
+  let run config env_file w sigma1 sigma2 replicas =
+    let env =
+      match env_file with
+      | None -> Core.Env.of_config config
+      | Some path -> begin
+          match Platforms.Config_file.load ~path with
+          | Ok file -> Core.Env.of_config_file file
+          | Error message ->
+              prerr_endline ("cannot load " ^ path ^ ": " ^ message);
+              exit 2
+        end
+    in
+    let params = env.Core.Env.params and power = env.Core.Env.power in
+    Printf.printf "pattern: W = %g at (%g, %g)\n\n" w sigma1 sigma2;
+    let fo_time =
+      Core.First_order.eval (Core.First_order.time params ~sigma1 ~sigma2) ~w
+    in
+    let fo_energy =
+      Core.First_order.eval
+        (Core.First_order.energy params power ~sigma1 ~sigma2)
+        ~w
+    in
+    Printf.printf "first-order:  T/W = %.6f s/unit,  E/W = %.4f mW\n" fo_time
+      fo_energy;
+    Printf.printf "exact:        T/W = %.6f s/unit,  E/W = %.4f mW\n"
+      (Core.Exact.time_overhead params ~w ~sigma1 ~sigma2)
+      (Core.Exact.energy_overhead params power ~w ~sigma1 ~sigma2);
+    let d = Core.Distribution.make params ~w ~sigma1 ~sigma2 in
+    Printf.printf
+      "distribution: P(no re-execution) = %.4f, stddev(T) = %.2f s, p99(T) \
+       = %.1f s\n"
+      (Core.Distribution.pmf d 0)
+      (Core.Distribution.stddev_time d)
+      (Core.Distribution.quantile_time d 0.99);
+    if replicas > 0 then begin
+      let model = Core.Mixed.of_params params ~fail_stop_fraction:0. in
+      let est =
+        Sim.Montecarlo.pattern_estimate ~replicas ~seed:42 ~model ~power ~w
+          ~sigma1 ~sigma2
+      in
+      Printf.printf
+        "simulated:    mean T = %.2f +/- %.2f s over %d replicas (model \
+         says %.2f)\n"
+        est.Sim.Montecarlo.time.Numerics.Stats.mean
+        est.Sim.Montecarlo.time.Numerics.Stats.std_error replicas
+        (Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Evaluate one pattern (W, sigma1, sigma2) under the first-order, \
+             exact, distributional and simulated models.")
+    Term.(
+      const run $ config_arg $ env_file_arg $ w_arg $ sigma1_arg $ sigma2_arg
+      $ replicas_arg)
+
+let heatmap_cmd =
+  let param_pos k docv =
+    let choices =
+      List.map
+        (fun p -> (String.lowercase_ascii (Sweep.Parameter.name p), p))
+        Sweep.Parameter.all
+    in
+    Arg.(
+      required
+      & pos k (some (enum choices)) None
+      & info [] ~docv ~doc:"Axis parameter (C, V, lambda, rho, Pidle, Pio).")
+  in
+  let run config rho x_param y_param points =
+    if x_param = y_param then begin
+      prerr_endline "the two axes must differ";
+      2
+    end
+    else begin
+      let env = Core.Env.of_config config in
+      let n = Option.value points ~default:40 in
+      let axis p =
+        ( p,
+          match p with
+          | Sweep.Parameter.Lambda ->
+              Numerics.Axis.logspace ~lo:1e-6 ~hi:1e-3 ~n
+          | Sweep.Parameter.Rho -> Numerics.Axis.linspace ~lo:1.1 ~hi:3.5 ~n
+          | Sweep.Parameter.C | Sweep.Parameter.V ->
+              Numerics.Axis.linspace ~lo:50. ~hi:5000. ~n
+          | Sweep.Parameter.P_idle | Sweep.Parameter.P_io ->
+              Numerics.Axis.linspace ~lo:0. ~hi:5000. ~n )
+      in
+      let grid =
+        Sweep.Grid2d.run
+          ~label:
+            (Printf.sprintf "%s two-speed saving"
+               (Platforms.Config.name config))
+          ~env ~rho ~x:(axis x_param)
+          ~y:(axis y_param) ()
+      in
+      print_string (Sweep.Grid2d.render_heatmap ~value:Sweep.Grid2d.saving grid);
+      (match Sweep.Grid2d.max_saving grid with
+      | Some (x, y, s) ->
+          Printf.printf "max saving %.1f%% at %s=%.4g, %s=%.4g\n" (100. *. s)
+            (Sweep.Parameter.name x_param) x
+            (Sweep.Parameter.name y_param) y
+      | None -> print_endline "no cell feasible in both modes");
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "heatmap"
+       ~doc:"Two-parameter grid of the two-speed saving (ASCII heatmap).")
+    Term.(
+      const run $ config_arg $ rho_arg $ param_pos 0 "X" $ param_pos 1 "Y"
+      $ points_arg)
+
+let baselines_cmd =
+  let run rho =
+    Printf.printf
+      "Related-work baselines (Section 6) at rho = %g\n\n\
+       Meneses et al.: time-optimal vs energy-optimal single-speed periods\n"
+      rho;
+    print_string (Experiments.Baselines.render_meneses
+                    (Experiments.Baselines.meneses ~rho ()));
+    Printf.printf
+      "\nAupy et al.: 'success after the first re-execution' truncation\n";
+    print_string
+      (Experiments.Baselines.render_truncation
+         (Experiments.Baselines.single_reexecution ~rho ()));
+    print_endline
+      "\n(risk/30-day job = probability the truncated model's guarantee is \
+       violated at least once during a month-long run)";
+    0
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Compare against the Section 6 related-work models.")
+    Term.(const run $ rho_arg)
+
+let report_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the markdown report to FILE instead of stdout.")
+  in
+  let run points output =
+    let buffer = Buffer.create 8192 in
+    let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+    add "# rexspeed reproduction report";
+    add "";
+    add "Auto-generated by `rexspeed report`; every value recomputed from";
+    add "the model at report time.";
+    add "";
+    add "## Section 4.2 tables (Hera/XScale)";
+    add "";
+    let env =
+      Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+    in
+    let entries =
+      List.concat_map
+        (fun (reference : Experiments.Tables42.table) ->
+          Experiments.Tables42.compare env reference)
+        Experiments.Tables42.paper
+    in
+    Buffer.add_string buffer (Report.Compare.render_markdown entries);
+    add "";
+    add "## Section 4.3 claims";
+    add "";
+    Buffer.add_string buffer
+      (Report.Compare.render_markdown (Experiments.Claims.all ?points ()));
+    add "";
+    add "## Theorem 2 scaling";
+    add "";
+    let r = Experiments.Theorem2.run () in
+    let t2 =
+      Report.Table.create
+        ~header:[ "lambda"; "numeric Wopt"; "(12C/l^2)^(1/3) s"; "Wopt (s2=s1)" ]
+        ()
+    in
+    List.iter2
+      (fun (l, w2) ((_, wa), (_, w1)) ->
+        Report.Table.add_row t2
+          [
+            Printf.sprintf "%.3g" l; Printf.sprintf "%.5g" w2;
+            Printf.sprintf "%.5g" wa; Printf.sprintf "%.5g" w1;
+          ])
+      r.Experiments.Theorem2.w_twice
+      (List.combine r.Experiments.Theorem2.w_analytic
+         r.Experiments.Theorem2.w_same);
+    Buffer.add_string buffer (Report.Table.render_markdown t2);
+    add "";
+    add "Fitted exponents: %.4f with sigma2 = 2 sigma1 (Theorem 2: -2/3);"
+      r.Experiments.Theorem2.slope_twice;
+    add "%.4f with sigma2 = sigma1 (Young/Daly: -1/2)."
+      r.Experiments.Theorem2.slope_same;
+    add "";
+    add "## Extensions";
+    add "";
+    add "Exact mixed-error BiCrit across the error mix (Hera/XScale, rho = 3):";
+    add "";
+    let mixed_table =
+      Report.Table.create
+        ~header:[ "f"; "sigma1"; "sigma2"; "Wopt"; "E/W (mW)" ]
+        ()
+    in
+    List.iter
+      (fun (p : Experiments.Extensions.mixed_point) ->
+        match p.solution with
+        | Some s ->
+            Report.Table.add_row mixed_table
+              [
+                Printf.sprintf "%.1f" p.fraction;
+                Printf.sprintf "%g" s.Core.Mixed_bicrit.sigma1;
+                Printf.sprintf "%g" s.sigma2;
+                Printf.sprintf "%.0f" s.w_opt;
+                Printf.sprintf "%.1f" s.energy_overhead;
+              ]
+        | None ->
+            Report.Table.add_row mixed_table
+              [ Printf.sprintf "%.1f" p.fraction; "-"; "-"; "-"; "-" ])
+      (Experiments.Extensions.fraction_sweep ());
+    Buffer.add_string buffer (Report.Table.render_markdown mixed_table);
+    let document = Buffer.contents buffer in
+    (match output with
+    | None -> print_string document
+    | Some path ->
+        Report.Csv.write_file ~path document;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length document));
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate the full markdown reproduction report (EXPERIMENTS-style).")
+    Term.(const run $ points_arg $ output)
+
+let frontier_cmd =
+  let run config =
+    let env = Core.Env.of_config config in
+    let f =
+      Sweep.Frontier.compute ~label:(Platforms.Config.name config) env
+    in
+    Printf.printf
+      "time/energy Pareto frontier for %s (%d non-dominated points)\n\n"
+      (Platforms.Config.name config)
+      (List.length f.Sweep.Frontier.points);
+    let table =
+      Report.Table.create
+        ~header:[ "rho"; "T/W"; "E/W (mW)"; "sigma1"; "sigma2"; "Wopt" ]
+        ()
+    in
+    List.iter
+      (fun (p : Sweep.Frontier.point) ->
+        Report.Table.add_row table
+          [
+            Printf.sprintf "%.3f" p.rho;
+            Printf.sprintf "%.4f" p.time_overhead;
+            Printf.sprintf "%.1f" p.energy_overhead;
+            Printf.sprintf "%g" p.solution.Core.Optimum.sigma1;
+            Printf.sprintf "%g" p.solution.Core.Optimum.sigma2;
+            Printf.sprintf "%.0f" p.solution.Core.Optimum.w_opt;
+          ])
+      f.Sweep.Frontier.points;
+    Report.Table.print table;
+    (match Sweep.Frontier.knee f with
+    | Some k ->
+        Printf.printf
+          "\nknee (diminishing returns): rho = %.3f, T/W = %.4f, E/W = %.1f\n"
+          k.rho k.time_overhead k.energy_overhead
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Time/energy Pareto frontier across performance bounds.")
+    Term.(const run $ config_arg)
+
+let mixed_cmd =
+  let run config rho =
+    let name = Platforms.Config.name config in
+    Printf.printf
+      "exact mixed-error BiCrit on %s (rho = %g) — beyond the paper's \
+       first-order validity window\n\n"
+      name rho;
+    let table =
+      Report.Table.create
+        ~header:
+          [ "fail-stop fraction"; "sigma1"; "sigma2"; "Wopt"; "E/W (mW)";
+            "T/W" ]
+        ()
+    in
+    List.iter
+      (fun (p : Experiments.Extensions.mixed_point) ->
+        match p.solution with
+        | None ->
+            Report.Table.add_row table
+              [ Printf.sprintf "%.1f" p.fraction; "-"; "-"; "-"; "-"; "-" ]
+        | Some s ->
+            Report.Table.add_row table
+              [
+                Printf.sprintf "%.1f" p.fraction;
+                Printf.sprintf "%g" s.Core.Mixed_bicrit.sigma1;
+                Printf.sprintf "%g" s.sigma2;
+                Printf.sprintf "%.0f" s.w_opt;
+                Printf.sprintf "%.1f" s.energy_overhead;
+                Printf.sprintf "%.4f" s.time_overhead;
+              ])
+      (Experiments.Extensions.fraction_sweep
+         ~config:(String.lowercase_ascii name) ~rho ());
+    Report.Table.print table;
+    let solved, outside =
+      Experiments.Extensions.coverage_beyond_validity
+        ~config:(String.lowercase_ascii name) ~rho ~fraction:0.5 ()
+    in
+    Printf.printf
+      "\nspeed pairs outside the paper's first-order validity window (f = \
+       0.5): %d, of which the exact solver handles %d\n"
+      outside solved;
+    0
+  in
+  Cmd.v
+    (Cmd.info "mixed"
+       ~doc:"Exact BiCrit with both error sources across the error mix (extension).")
+    Term.(const run $ config_arg $ rho_arg)
+
+let verif_cmd =
+  let scale =
+    Arg.(
+      value & opt float 100.
+      & info [ "lambda-scale" ] ~docv:"X"
+          ~doc:"Error-rate inflation (intermediate verifications pay off at \
+                high rates).")
+  in
+  let run config rho scale =
+    let name = String.lowercase_ascii (Platforms.Config.name config) in
+    Printf.printf
+      "multi-verification patterns on %s (rho = %g, lambda x%g)\n\n"
+      (Platforms.Config.name config)
+      rho scale;
+    let table =
+      Report.Table.create
+        ~header:
+          [ "verifications"; "sigma1"; "sigma2"; "Wopt"; "E/W (mW)"; "T/W" ]
+        ()
+    in
+    List.iter
+      (fun (p : Experiments.Extensions.verif_point) ->
+        match p.solution with
+        | None ->
+            Report.Table.add_row table
+              [ string_of_int p.verifications; "-"; "-"; "-"; "-"; "-" ]
+        | Some s ->
+            Report.Table.add_row table
+              [
+                string_of_int p.verifications;
+                Printf.sprintf "%g" s.Core.Multi_verif.sigma1;
+                Printf.sprintf "%g" s.sigma2;
+                Printf.sprintf "%.0f" s.w_opt;
+                Printf.sprintf "%.2f" s.energy_overhead;
+                Printf.sprintf "%.4f" s.time_overhead;
+              ])
+      (Experiments.Extensions.verification_sweep ~config:name ~rho
+         ~lambda_scale:scale ());
+    Report.Table.print table;
+    Printf.printf "\nbest verification count: %d\n"
+      (Experiments.Extensions.best_verification_count ~config:name ~rho
+         ~lambda_scale:scale ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "verif"
+       ~doc:"Patterns with m intermediate verifications per checkpoint (extension).")
+    Term.(const run $ config_arg $ rho_arg $ scale)
+
+let main =
+  let doc =
+    "reproduction of 'A different re-execution speed can help' (Benoit et \
+     al., 2016)"
+  in
+  Cmd.group
+    (Cmd.info "rexspeed" ~version:"1.0.0" ~doc)
+    [
+      optimize_cmd; tables_cmd; figure_cmd; sweep_cmd; simulate_cmd;
+      theorem2_cmd; claims_cmd; mixed_cmd; verif_cmd; frontier_cmd; report_cmd;
+      ablation_cmd; baselines_cmd; heatmap_cmd; evaluate_cmd; sensitivity_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

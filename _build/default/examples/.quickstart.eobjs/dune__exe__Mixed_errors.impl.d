@@ -1,0 +1,1 @@
+examples/mixed_errors.ml: Array Core Experiments List Numerics Option Platforms Printf Sim

@@ -1,0 +1,1 @@
+examples/planner.ml: Core List Numerics Option Platforms Printf Report

@@ -1,0 +1,1 @@
+examples/scaling.ml: Array Core List Numerics Option Platforms Printf Prng Report Sim

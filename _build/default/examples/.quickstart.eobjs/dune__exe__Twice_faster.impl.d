@@ -1,0 +1,1 @@
+examples/twice_faster.ml: Core Experiments List Numerics Printf Report Sim

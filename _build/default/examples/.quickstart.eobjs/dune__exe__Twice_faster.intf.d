@@ -1,0 +1,1 @@
+examples/twice_faster.mli:

@@ -1,0 +1,1 @@
+examples/validate_model.ml: Core Experiments Format List Printf Prng Sim

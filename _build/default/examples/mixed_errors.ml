@@ -1,0 +1,82 @@
+(* Beyond the paper: the general mixed-error BiCrit.
+
+   Section 5 of the paper shows its first-order machinery breaks when
+   both fail-stop and silent errors strike and the re-execution ratio
+   leaves a narrow window; Section 7 leaves the general case open.
+   This example solves it numerically on the exact expectations:
+
+   1. sweep the error mix f (fail-stop fraction) and watch the optimal
+      pattern stretch — fail-stop errors waste only half a pattern on
+      average, so they tolerate longer periods than silent ones;
+   2. show a speed pair far outside the validity window (ratio 6.7)
+      being solved exactly where the paper's expansion is meaningless;
+   3. cross-check one solution against the Monte-Carlo executor. *)
+
+let () =
+  print_endline "General mixed-error BiCrit (paper Section 7 future work)\n";
+  let config = Option.get (Platforms.Config.find "hera/xscale") in
+  let env = Core.Env.of_config config in
+  let rho = 3. in
+
+  (* 1. The error-mix sweep. *)
+  Printf.printf "%-12s %-14s %10s %12s %10s\n" "f(fail-stop)" "pair" "Wopt"
+    "E/W (mW)" "T/W";
+  List.iter
+    (fun (p : Experiments.Extensions.mixed_point) ->
+      match p.solution with
+      | Some s ->
+          Printf.printf "%-12.1f (%g, %g)%6s %10.0f %12.2f %10.4f\n"
+            p.fraction s.Core.Mixed_bicrit.sigma1 s.sigma2 "" s.w_opt
+            s.energy_overhead s.time_overhead
+      | None -> Printf.printf "%-12.1f infeasible\n" p.fraction)
+    (Experiments.Extensions.fraction_sweep ~rho ());
+
+  (* 2. Outside the validity window. *)
+  let m = Core.Mixed.of_params env.params ~fail_stop_fraction:0.5 in
+  let lo, hi = Core.Mixed.validity_ratio_bounds m in
+  Printf.printf
+    "\nfirst-order validity window for f = 0.5: %.3f < sigma2/sigma1 < %.3f\n"
+    lo hi;
+  let sigma1 = 0.15 and sigma2 = 1.0 in
+  Printf.printf "pair (%.2f, %.2f) has ratio %.2f — outside the window; " sigma1
+    sigma2 (sigma2 /. sigma1);
+  (match Core.Mixed_bicrit.solve_pair m env.power ~rho:8. ~sigma1 ~sigma2 with
+  | Some s ->
+      Printf.printf
+        "the exact solver still answers: Wopt = %.0f, E/W = %.1f, T/W = %.3f\n"
+        s.w_opt s.energy_overhead s.time_overhead
+  | None -> print_endline "infeasible at rho = 8");
+
+  (* 3. Monte-Carlo cross-check of the f = 0.5 optimum. The paper-scale
+     rate would need millions of replicas to see errors, so inflate it;
+     the solver and the simulator both use the inflated rate. *)
+  let inflated =
+    Core.Env.with_lambda env (env.params.Core.Params.lambda *. 100.)
+  in
+  let m100 =
+    Core.Mixed.of_params inflated.params ~fail_stop_fraction:0.5
+  in
+  match
+    Core.Mixed_bicrit.solve m100 inflated.power
+      ~speeds:(Array.to_list inflated.speeds)
+      ~rho
+  with
+  | None -> print_endline "inflated problem infeasible"
+  | Some { best; _ } ->
+      Printf.printf
+        "\nMonte-Carlo check at 100x rate: pair (%g, %g), W = %.0f\n"
+        best.sigma1 best.sigma2 best.w_opt;
+      let expected =
+        Core.Mixed.expected_time m100 ~w:best.w_opt ~sigma1:best.sigma1
+          ~sigma2:best.sigma2
+      in
+      let est =
+        Sim.Montecarlo.pattern_estimate ~replicas:4000 ~seed:5 ~model:m100
+          ~power:inflated.power ~w:best.w_opt ~sigma1:best.sigma1
+          ~sigma2:best.sigma2
+      in
+      Printf.printf
+        "model expects %.1f s/pattern; simulator measured %.1f +/- %.1f \
+         (%d replicas)\n"
+        expected est.time.Numerics.Stats.mean est.time.Numerics.Stats.std_error
+        est.time.Numerics.Stats.n

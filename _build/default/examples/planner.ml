@@ -1,0 +1,69 @@
+(* Energy/performance frontier planner.
+
+   The scenario the paper's introduction motivates: an operator must
+   pick a slowdown budget rho for a divisible workload. This example
+   sweeps rho for every platform/processor configuration and prints the
+   frontier — which speed pair wins, the checkpointing period, the
+   energy bill, and what the second speed buys over the single-speed
+   policy — so the operator can see where relaxing the deadline stops
+   paying. *)
+
+let frontier config =
+  let env = Core.Env.of_config config in
+  let min_rho = Core.Bicrit.min_feasible_rho env in
+  Printf.printf "\n=== %s (min feasible rho: %.3f) ===\n"
+    (Platforms.Config.name config)
+    min_rho;
+  let table =
+    Report.Table.create
+      ~header:
+        [ "rho"; "sigma1"; "sigma2"; "Wopt"; "E/W (mW)"; "saving vs 1-speed" ]
+      ()
+  in
+  let rhos = [ 1.2; 1.4; 1.775; 2.; 2.5; 3.; 4.; 6.; 8. ] in
+  List.iter
+    (fun rho ->
+      match Core.Bicrit.solve env ~rho with
+      | None ->
+          Report.Table.add_row table
+            [ Printf.sprintf "%g" rho; "-"; "-"; "-"; "-"; "-" ]
+      | Some { best; _ } ->
+          let saving =
+            match Core.Bicrit.energy_saving_vs_single env ~rho with
+            | Some s -> Printf.sprintf "%.1f%%" (100. *. s)
+            | None -> "-"
+          in
+          Report.Table.add_row table
+            [
+              Printf.sprintf "%g" rho;
+              Printf.sprintf "%g" best.Core.Optimum.sigma1;
+              Printf.sprintf "%g" best.sigma2;
+              Printf.sprintf "%.0f" best.w_opt;
+              Printf.sprintf "%.1f" best.energy_overhead;
+              saving;
+            ])
+    rhos;
+  Report.Table.print table
+
+let () =
+  print_endline
+    "BiCrit frontier: energy-optimal pattern per slowdown budget rho";
+  List.iter frontier Platforms.Config.all;
+  print_newline ();
+  (* Where does the second speed help the most? Scan rho finely on one
+     configuration and report the peak. *)
+  let env =
+    Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+  in
+  let best_rho, best_saving =
+    List.fold_left
+      (fun (br, bs) rho ->
+        match Core.Bicrit.energy_saving_vs_single env ~rho with
+        | Some s when s > bs -> (rho, s)
+        | Some _ | None -> (br, bs))
+      (nan, 0.)
+      (Numerics.Axis.linspace ~lo:1.05 ~hi:8. ~n:140)
+  in
+  Printf.printf
+    "largest two-speed saving on Hera/XScale: %.1f%% at rho = %.2f\n"
+    (100. *. best_saving) best_rho

@@ -1,0 +1,69 @@
+(* Quickstart: size the checkpointing pattern of a 30-day divisible job
+   on Hera with XScale-style DVFS, under a 3x slowdown budget.
+
+   Shows the three steps every user of the library takes:
+   1. build an environment (platform x processor, or custom numbers);
+   2. solve BiCrit for the optimal speed pair and pattern size;
+   3. read off application-level predictions (makespan, energy). *)
+
+let () =
+  (* Step 1: the environment. [Platforms] ships the paper's data; a
+     custom machine would use Core.Params.make / Core.Power.make /
+     Core.Env.make directly. *)
+  let config = Option.get (Platforms.Config.find "hera/xscale") in
+  let env = Core.Env.of_config config in
+  Format.printf "environment:@.  %a@.@." Core.Env.pp env;
+
+  (* Step 2: solve for the energy-optimal pattern under rho = 3 (the
+     application may take at most 3 seconds per unit of work in
+     expectation). *)
+  let rho = 3. in
+  let { Core.Bicrit.best; candidates } =
+    Option.get (Core.Bicrit.solve env ~rho)
+  in
+  Format.printf "solved %d feasible speed pairs; optimum:@.  %a@.@."
+    (List.length candidates) Core.Optimum.pp_solution best;
+
+  (* Step 3: application-level predictions. Work units are
+     seconds-at-unit-speed; a 30-day compute job at full speed is
+     2,592,000 units. *)
+  let w_base = 30. *. 24. *. 3600. in
+  let makespan =
+    Core.Exact.total_makespan env.params ~w:best.w_opt ~sigma1:best.sigma1
+      ~sigma2:best.sigma2 ~w_base
+  in
+  let energy =
+    Core.Exact.total_energy env.params env.power ~w:best.w_opt
+      ~sigma1:best.sigma1 ~sigma2:best.sigma2 ~w_base
+  in
+  Printf.printf
+    "30-day job: expected makespan %.1f days, expected energy %.3g kJ\n"
+    (makespan /. 86400.)
+    (energy /. 1e6);
+
+  (* Beyond expectations: the full makespan law gives tail-risk
+     numbers for deadline planning. *)
+  let distribution =
+    Core.Distribution.make env.params ~w:best.w_opt ~sigma1:best.sigma1
+      ~sigma2:best.sigma2
+  in
+  let makespan = Core.Makespan.make distribution ~w_base in
+  Printf.printf
+    "makespan p50 %.2f / p99 %.2f days; P(missing an 82-day deadline) = %.2e\n"
+    (Core.Makespan.quantile makespan 0.5 /. 86400.)
+    (Core.Makespan.quantile makespan 0.99 /. 86400.)
+    (Core.Makespan.tail_probability makespan ~deadline:(82. *. 86400.));
+
+  (* The first-order pattern is near-optimal for the exact model: *)
+  let exact_time, exact_energy = Core.Optimum.exact_overheads env.params env.power best in
+  Printf.printf
+    "exact overheads at Wopt: time %.4f (bound %.1f), energy %.2f (first-order said %.2f)\n"
+    exact_time rho exact_energy best.energy_overhead;
+
+  (* And the headline of the paper: how much does the freedom to
+     re-execute at a different speed save here? *)
+  match Core.Bicrit.energy_saving_vs_single env ~rho with
+  | Some saving ->
+      Printf.printf "two-speed saving vs single speed at rho=%g: %.1f%%\n" rho
+        (100. *. saving)
+  | None -> print_endline "problem infeasible"

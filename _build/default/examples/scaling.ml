@@ -1,0 +1,93 @@
+(* Platform scaling: why exascale needs this model at all.
+
+   The paper's motivation is that error rates grow with machine size:
+   a platform of N nodes has N times the per-node error rate. This
+   example scales a platform from 64 to 16384 nodes, recomputing at
+   each size:
+
+   - the aggregate MTBF (shrinking linearly),
+   - the BiCrit-optimal pattern and speed pair (shorter patterns,
+     eventually faster speeds),
+   - the achievable energy overhead and the two-speed saving,
+
+   and cross-checks one size against the explicit multi-node simulator
+   (per-node Poisson errors, event-queue semantics) to show the
+   aggregate abstraction is exact in expectation. *)
+
+let () =
+  (* Per-node rate chosen so that 1024 nodes reproduce Hera's
+     platform-level rate of 3.38e-6 errors/s. *)
+  let node_lambda = 3.38e-6 /. 1024. in
+  let base =
+    Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+  in
+  let rho = 3. in
+  print_endline "weak scaling of the BiCrit optimum (Hera-like, rho = 3)\n";
+  let table =
+    Report.Table.create
+      ~header:
+        [ "nodes"; "MTBF (h)"; "sigma1"; "sigma2"; "Wopt"; "E/W (mW)";
+          "saving" ]
+      ()
+  in
+  List.iter
+    (fun nodes ->
+      let lambda = float_of_int nodes *. node_lambda in
+      let env = Core.Env.with_lambda base lambda in
+      let mtbf_hours = 1. /. lambda /. 3600. in
+      match Core.Bicrit.solve env ~rho with
+      | None ->
+          Report.Table.add_row table
+            [ string_of_int nodes; Printf.sprintf "%.1f" mtbf_hours;
+              "-"; "-"; "-"; "-"; "-" ]
+      | Some { best; _ } ->
+          let saving =
+            match Core.Bicrit.energy_saving_vs_single env ~rho with
+            | Some s -> Printf.sprintf "%.1f%%" (100. *. s)
+            | None -> "-"
+          in
+          Report.Table.add_row table
+            [
+              string_of_int nodes;
+              Printf.sprintf "%.1f" mtbf_hours;
+              Printf.sprintf "%g" best.Core.Optimum.sigma1;
+              Printf.sprintf "%g" best.sigma2;
+              Printf.sprintf "%.0f" best.w_opt;
+              Printf.sprintf "%.1f" best.energy_overhead;
+              saving;
+            ])
+    [ 64; 256; 1024; 4096; 16384; 65536 ];
+  Report.Table.print table;
+
+  (* Cross-check at 1024 nodes: explicit per-node simulation vs the
+     aggregate closed form. *)
+  print_endline
+    "\ncross-check at 1024 nodes (per-node Poisson errors, event queue):";
+  let nodes = 1024 in
+  let platform =
+    Sim.Platform_sim.make ~nodes ~node_lambda_f:0.
+      ~node_lambda_s:(node_lambda *. 50.) (* inflated so errors show up *)
+      ~c:300. ~v:15.4 ()
+  in
+  let model = Sim.Platform_sim.aggregate_model platform in
+  let w = 2764. and sigma1 = 0.4 and sigma2 = 0.4 in
+  let expected = Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 in
+  let replicas = 2000 in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:2016) replicas in
+  let samples =
+    Array.map
+      (fun rng ->
+        let machine = Sim.Machine.create base.power in
+        let o =
+          Sim.Platform_sim.run_pattern platform ~machine ~rng ~w ~sigma1
+            ~sigma2 ()
+        in
+        o.Sim.Platform_sim.time)
+      rngs
+  in
+  let s = Numerics.Stats.summarize samples in
+  Printf.printf
+    "aggregate model: %.1f s/pattern; 1024-node simulation: %.1f +/- %.1f \
+     s/pattern (%d replicas; model inside the 99%% CI: %b)\n"
+    expected s.Numerics.Stats.mean s.Numerics.Stats.std_error replicas
+    (Numerics.Stats.within_confidence ~expected samples)

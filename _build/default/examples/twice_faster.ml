@@ -1,0 +1,59 @@
+(* "Re-execute twice faster": the Theta(lambda^(-2/3)) period.
+
+   Section 5.3's striking result: with fail-stop errors only and
+   re-execution at sigma2 = 2 sigma1, the optimal checkpointing period
+   leaves the Young/Daly sqrt regime. This example measures it three
+   ways — exact numeric minimization, the second-order closed form of
+   Theorem 2, and a Monte-Carlo sanity check that the predicted period
+   really beats the Young/Daly period under the operational model. *)
+
+let () =
+  let c = 300. and r = 300. and sigma = 1. in
+  print_endline "Theorem 2: optimal period when re-executing twice faster\n";
+  let result = Experiments.Theorem2.run ~c ~r ~sigma () in
+  let table =
+    Report.Table.create
+      ~header:
+        [ "lambda"; "numeric Wopt"; "(12C/l^2)^(1/3)"; "Young/Daly sqrt(2C/l)" ]
+      ()
+  in
+  List.iter2
+    (fun (l, w) (_, wa) ->
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%.2e" l;
+          Printf.sprintf "%.4g" w;
+          Printf.sprintf "%.4g" wa;
+          Printf.sprintf "%.4g" (Core.Young_daly.failstop_period ~c ~lambda:l);
+        ])
+    result.w_twice result.w_analytic;
+  Report.Table.print table;
+  Printf.printf
+    "\nfitted exponent with sigma2 = 2 sigma1: %.4f  (Theorem 2: -2/3)\n"
+    result.slope_twice;
+  Printf.printf "fitted exponent with sigma2 = sigma1:   %.4f  (Young/Daly: -1/2)\n\n"
+    result.slope_same;
+
+  (* Does the lambda^(-2/3) period actually win? Simulate a fixed
+     amount of work at both periods under a high fail-stop rate. *)
+  let lambda = 1e-4 in
+  let model = Core.Mixed.make ~c ~r ~v:0. ~lambda_f:lambda ~lambda_s:0. () in
+  let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2 in
+  let w_base = 2e6 in
+  let run name pattern_w =
+    let est =
+      Sim.Montecarlo.application_estimate ~replicas:400 ~seed:99 ~model ~power
+        ~w_base ~pattern_w ~sigma1:sigma ~sigma2:(2. *. sigma)
+    in
+    Printf.printf "  %-28s W=%9.0f -> mean makespan %.4g s (+/- %.2g)\n" name
+      pattern_w est.time.Numerics.Stats.mean est.time.Numerics.Stats.std_error;
+    est.time.Numerics.Stats.mean
+  in
+  Printf.printf "Monte-Carlo, lambda=%.0e, %.0e units of work:\n" lambda w_base;
+  let w_thm2 = Core.Second_order.w_opt_twice_faster ~c ~lambda ~sigma in
+  let w_yd = Core.Young_daly.failstop_period ~c ~lambda *. sigma in
+  let t_thm2 = run "Theorem 2 period" w_thm2 in
+  let t_yd = run "Young/Daly period" w_yd in
+  Printf.printf
+    "\nTheorem 2's longer period is %.2f%% faster than Young/Daly's here.\n"
+    (100. *. (t_yd -. t_thm2) /. t_yd)

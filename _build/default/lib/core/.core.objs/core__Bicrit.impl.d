@@ -1,0 +1,1 @@
+lib/core/bicrit.ml: Array Env Feasibility Float List Numerics Optimum Option

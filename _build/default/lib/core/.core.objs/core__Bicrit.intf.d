@@ -1,0 +1,1 @@
+lib/core/bicrit.mli: Env Optimum

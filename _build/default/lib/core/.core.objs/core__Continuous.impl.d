@@ -1,0 +1,1 @@
+lib/core/continuous.ml: Array Bicrit Env Float List Numerics Optimum Option

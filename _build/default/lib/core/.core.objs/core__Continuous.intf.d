@@ -1,0 +1,1 @@
+lib/core/continuous.mli: Env Optimum Params Power

@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Float Params Power

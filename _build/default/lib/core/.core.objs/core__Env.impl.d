@@ -1,0 +1,1 @@
+lib/core/env.ml: Array Float Format List Params Platforms Power

@@ -1,0 +1,1 @@
+lib/core/env.mli: Format Params Platforms Power

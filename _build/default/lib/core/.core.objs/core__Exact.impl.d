@@ -1,0 +1,1 @@
+lib/core/exact.ml: Float Params Power

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: First_order Float Numerics Params

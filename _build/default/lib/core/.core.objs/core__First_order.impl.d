@@ -1,0 +1,1 @@
+lib/core/first_order.ml: Params Power

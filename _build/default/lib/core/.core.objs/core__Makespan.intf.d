@@ -1,0 +1,1 @@
+lib/core/makespan.mli: Distribution Power

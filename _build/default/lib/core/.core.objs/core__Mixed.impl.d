@@ -1,0 +1,1 @@
+lib/core/mixed.ml: First_order Float Numerics Option Params Power

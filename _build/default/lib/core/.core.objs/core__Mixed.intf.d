@@ -1,0 +1,1 @@
+lib/core/mixed.mli: First_order Params Power

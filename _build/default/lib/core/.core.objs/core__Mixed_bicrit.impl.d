@@ -1,0 +1,1 @@
+lib/core/mixed_bicrit.ml: Array Env Float List Mixed Numerics Power

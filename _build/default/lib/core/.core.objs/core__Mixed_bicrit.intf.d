@@ -1,0 +1,1 @@
+lib/core/mixed_bicrit.mli: Env Mixed Power

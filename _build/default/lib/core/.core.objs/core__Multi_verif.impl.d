@@ -1,0 +1,1 @@
+lib/core/multi_verif.ml: Array Env Float List Numerics Option Params Power

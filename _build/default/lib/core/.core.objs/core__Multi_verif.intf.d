@@ -1,0 +1,1 @@
+lib/core/multi_verif.mli: Env Params Power

@@ -1,0 +1,1 @@
+lib/core/optimum.ml: Exact Feasibility First_order Format

@@ -1,0 +1,1 @@
+lib/core/optimum.mli: Feasibility Format Params Power

@@ -1,0 +1,1 @@
+lib/core/related_work.ml: Exact First_order Float Params Power

@@ -1,0 +1,1 @@
+lib/core/related_work.mli: Params Power

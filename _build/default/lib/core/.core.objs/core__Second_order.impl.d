@@ -1,0 +1,1 @@
+lib/core/second_order.ml: Float Mixed Numerics

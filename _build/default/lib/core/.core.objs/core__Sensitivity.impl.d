@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: First_order List Params Power

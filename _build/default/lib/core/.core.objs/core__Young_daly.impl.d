@@ -1,0 +1,1 @@
+lib/core/young_daly.ml: First_order Float Params

@@ -1,0 +1,55 @@
+type mode = Two_speeds | Single_speed
+
+type result = {
+  best : Optimum.solution;
+  candidates : Optimum.solution list;
+}
+
+let pairs_of_mode mode env =
+  match mode with
+  | Two_speeds -> Env.speed_pairs env
+  | Single_speed ->
+      Array.to_list (Array.map (fun s -> (s, s)) env.Env.speeds)
+
+let solve ?(mode = Two_speeds) (env : Env.t) ~rho =
+  if rho <= 0. then invalid_arg "Bicrit.solve: rho must be positive";
+  let candidates =
+    List.filter_map
+      (fun (sigma1, sigma2) ->
+        Optimum.solve_pair env.params env.power ~rho ~sigma1 ~sigma2)
+      (pairs_of_mode mode env)
+  in
+  let best =
+    Numerics.Minimize.argmin_by
+      (fun (s : Optimum.solution) -> s.energy_overhead)
+      candidates
+  in
+  match best with
+  | None -> None
+  | Some (best, _) -> Some { best; candidates }
+
+let best_second_speed (env : Env.t) ~rho ~sigma1 =
+  if rho <= 0. then invalid_arg "Bicrit.best_second_speed: rho must be positive";
+  let candidates =
+    Array.to_list env.speeds
+    |> List.filter_map (fun sigma2 ->
+           Optimum.solve_pair env.params env.power ~rho ~sigma1 ~sigma2)
+  in
+  Option.map fst
+    (Numerics.Minimize.argmin_by
+       (fun (s : Optimum.solution) -> s.energy_overhead)
+       candidates)
+
+let min_feasible_rho (env : Env.t) =
+  Env.speed_pairs env
+  |> List.map (fun (sigma1, sigma2) ->
+         Feasibility.rho_min env.params ~sigma1 ~sigma2)
+  |> List.fold_left Float.min infinity
+
+let energy_saving_vs_single env ~rho =
+  match (solve ~mode:Two_speeds env ~rho, solve ~mode:Single_speed env ~rho) with
+  | Some two, Some one ->
+      let e2 = two.best.Optimum.energy_overhead in
+      let e1 = one.best.Optimum.energy_overhead in
+      Some ((e1 -. e2) /. e1)
+  | None, _ | _, None -> None

@@ -1,0 +1,44 @@
+(** The BiCrit bi-criteria solver (Section 3).
+
+    Minimize the expected energy overhead [E(W,s1,s2)/W] subject to the
+    time-overhead bound [T(W,s1,s2)/W <= rho], over the pattern size W
+    and the speed pair drawn from the environment's discrete speed set.
+    The paper's O(K^2) procedure: discard the pairs with
+    [rho < rho_(i,j)] (Eq. 6), solve Theorem 1 on the rest, keep the
+    pair with the smallest energy overhead. *)
+
+type mode =
+  | Two_speeds  (** Free re-execution speed — the paper's proposal. *)
+  | Single_speed
+      (** Baseline: constrain [sigma2 = sigma1] (the dotted
+          one-speed curves of the paper's figures). *)
+
+type result = {
+  best : Optimum.solution;  (** The winning speed pair and pattern. *)
+  candidates : Optimum.solution list;
+      (** Every feasible pair's solution, in speed-pair enumeration
+          order; the tables of Section 4.2 read per-[sigma1] rows out of
+          this list. *)
+}
+
+val solve : ?mode:mode -> Env.t -> rho:float -> result option
+(** [solve env ~rho] is [None] when no speed pair meets the bound.
+    Ties on energy overhead keep the pair enumerated first
+    (sigma1-major, then sigma2), making results deterministic.
+    Default mode: [Two_speeds].
+    @raise Invalid_argument if [rho <= 0.]. *)
+
+val best_second_speed :
+  Env.t -> rho:float -> sigma1:float -> Optimum.solution option
+(** For a fixed first speed, the best feasible re-execution speed — one
+    row of the Section 4.2 tables. [None] when no second speed is
+    feasible for this [sigma1]. *)
+
+val min_feasible_rho : Env.t -> float
+(** The smallest performance bound any speed pair can meet:
+    [min over (i,j) of rho_(i,j)]. Below this, {!solve} returns [None]. *)
+
+val energy_saving_vs_single : Env.t -> rho:float -> float option
+(** Relative energy saving of the two-speed optimum over the one-speed
+    optimum, [(E1 - E2) / E1]; [None] when either problem is
+    infeasible. This is the paper's headline "up to 35%" metric. *)

@@ -1,0 +1,80 @@
+type solution = {
+  sigma1 : float;
+  sigma2 : float;
+  inner : Optimum.solution;
+}
+
+let objective params power ~rho (sigma1, sigma2) =
+  match Optimum.solve_pair params power ~rho ~sigma1 ~sigma2 with
+  | Some s -> Some s.Optimum.energy_overhead
+  | None -> None
+
+(* Golden-section along one coordinate, treating infeasible speeds as
+   +infinity (the landscape is quasi-convex between feasibility
+   boundaries, and the incumbent is feasible, so the refinement never
+   escapes the feasible region). *)
+let refine_axis f ~lo ~hi x0 =
+  let value x = match f x with Some v -> v | None -> infinity in
+  (* Bracket around the incumbent: a short local search beats global
+     golden here because feasibility holes make the axis non-unimodal. *)
+  let width = (hi -. lo) /. 8. in
+  let a = Float.max lo (x0 -. width) and b = Float.min hi (x0 +. width) in
+  if b <= a then (x0, value x0)
+  else Numerics.Minimize.golden_section ~f:value ~lo:a ~hi:b ()
+
+let solve ?(bounds = (0.05, 1.)) ?(grid = 48) ?(refinement_rounds = 4) params
+    power ~rho =
+  let lo, hi = bounds in
+  if lo <= 0. || lo >= hi then
+    invalid_arg "Continuous.solve: invalid speed bounds";
+  if rho <= 0. then invalid_arg "Continuous.solve: rho must be positive";
+  if grid < 4 then invalid_arg "Continuous.solve: grid too coarse";
+  let axis = Numerics.Axis.linspace ~lo ~hi ~n:grid in
+  let best = ref None in
+  List.iter
+    (fun sigma1 ->
+      List.iter
+        (fun sigma2 ->
+          match objective params power ~rho (sigma1, sigma2) with
+          | None -> ()
+          | Some v -> begin
+              match !best with
+              | Some (_, _, incumbent) when incumbent <= v -> ()
+              | Some _ | None -> best := Some (sigma1, sigma2, v)
+            end)
+        axis)
+    axis;
+  match !best with
+  | None -> None
+  | Some (s1, s2, _) ->
+      let s1 = ref s1 and s2 = ref s2 in
+      for _ = 1 to refinement_rounds do
+        let x, _ =
+          refine_axis
+            (fun x -> objective params power ~rho (x, !s2))
+            ~lo ~hi !s1
+        in
+        if objective params power ~rho (x, !s2) <> None then s1 := x;
+        let y, _ =
+          refine_axis
+            (fun y -> objective params power ~rho (!s1, y))
+            ~lo ~hi !s2
+        in
+        if objective params power ~rho (!s1, y) <> None then s2 := y
+      done;
+      Option.map
+        (fun inner -> { sigma1 = !s1; sigma2 = !s2; inner })
+        (Optimum.solve_pair params power ~rho ~sigma1:!s1 ~sigma2:!s2)
+
+let energy_gap_vs_discrete (env : Env.t) ~rho =
+  let ladder_lo = env.speeds.(0) in
+  let ladder_hi = env.speeds.(Array.length env.speeds - 1) in
+  match
+    ( Bicrit.solve env ~rho,
+      solve ~bounds:(ladder_lo, ladder_hi) env.params env.power ~rho )
+  with
+  | Some discrete, Some continuous ->
+      let d = discrete.best.Optimum.energy_overhead in
+      let c = continuous.inner.Optimum.energy_overhead in
+      Some ((d -. c) /. c)
+  | None, _ | _, None -> None

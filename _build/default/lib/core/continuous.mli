@@ -1,0 +1,36 @@
+(** Continuous-DVFS relaxation of BiCrit.
+
+    The paper restricts speeds to a discrete ladder (Table 2); real
+    DVFS hardware quantizes a continuous frequency range. This module
+    solves BiCrit with [sigma1, sigma2] free in a closed interval —
+    the lower bound on what any ladder can achieve — so the cost of
+    discreteness can be measured (see {!Experiments.Ablations}).
+
+    Method: for fixed speeds the inner problem is Theorem 1 in closed
+    form; the outer 2-D speed search runs a dense grid pass followed by
+    rounds of coordinate-wise golden-section refinement (the landscape
+    is smooth between feasibility boundaries). *)
+
+type solution = {
+  sigma1 : float;
+  sigma2 : float;
+  inner : Optimum.solution;  (** Theorem 1 solution at the optimum. *)
+}
+
+val solve :
+  ?bounds:float * float -> ?grid:int -> ?refinement_rounds:int ->
+  Params.t -> Power.t -> rho:float -> solution option
+(** [solve params power ~rho] minimizes the first-order energy overhead
+    over speed pairs in [bounds] (default (0.05, 1.)) x same. [grid]
+    (default 48) sets the initial resolution; [refinement_rounds]
+    (default 4) the coordinate-descent polish. [None] when no pair in
+    the box meets the bound.
+    @raise Invalid_argument on an empty or non-positive speed box, or
+    [rho <= 0.]. *)
+
+val energy_gap_vs_discrete : Env.t -> rho:float -> float option
+(** Relative energy excess of the environment's discrete ladder over
+    the continuous relaxation on the ladder's own range:
+    [(E_discrete - E_continuous) / E_continuous]. [None] if either
+    problem is infeasible. Always >= -epsilon (the ladder is a subset
+    of the box). *)

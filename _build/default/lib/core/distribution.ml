@@ -1,0 +1,105 @@
+type t = { params : Params.t; w : float; sigma1 : float; sigma2 : float }
+
+let make params ~w ~sigma1 ~sigma2 =
+  if w <= 0. || not (Float.is_finite w) then
+    invalid_arg "Distribution.make: pattern size must be positive and finite";
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Distribution.make: speeds must be positive";
+  { params; w; sigma1; sigma2 }
+
+let failure_probability t =
+  -.Float.expm1 (-.t.params.Params.lambda *. t.w /. t.sigma1)
+
+let reexecution_success t =
+  exp (-.t.params.Params.lambda *. t.w /. t.sigma2)
+
+let pmf t k =
+  let p = failure_probability t in
+  let q = reexecution_success t in
+  if k < 0 then 0.
+  else if k = 0 then 1. -. p
+  else p *. ((1. -. q) ** float_of_int (k - 1)) *. q
+
+let cdf_count t k =
+  let p = failure_probability t in
+  let q = reexecution_success t in
+  if k < 0 then 0.
+  else
+    (* P(N <= k) = (1-p) + p (1 - (1-q)^k). *)
+    1. -. (p *. ((1. -. q) ** float_of_int k))
+
+let base_time t =
+  ((t.w +. t.params.Params.v) /. t.sigma1) +. t.params.Params.c
+
+let reexecution_cost t =
+  ((t.w +. t.params.Params.v) /. t.sigma2) +. t.params.Params.r
+
+let time_of_count t k =
+  if k < 0 then invalid_arg "Distribution.time_of_count: negative count";
+  base_time t +. (float_of_int k *. reexecution_cost t)
+
+let energy_of_count t pw k =
+  if k < 0 then invalid_arg "Distribution.energy_of_count: negative count";
+  let exec1 =
+    (t.w +. t.params.Params.v) /. t.sigma1 *. Power.compute_total pw t.sigma1
+  in
+  let per_reexec =
+    ((t.w +. t.params.Params.v) /. t.sigma2 *. Power.compute_total pw t.sigma2)
+    +. (t.params.Params.r *. Power.io_total pw)
+  in
+  exec1
+  +. (t.params.Params.c *. Power.io_total pw)
+  +. (float_of_int k *. per_reexec)
+
+(* E[N] = p/q; Var[N] = Var[B M] with B ~ Bernoulli(p), M ~ Geom(q):
+   E[(BM)^2] = p E[M^2] = p (2-q)/q^2, so
+   Var = p (2-q)/q^2 - (p/q)^2. *)
+let count_moments t =
+  let p = failure_probability t in
+  let q = reexecution_success t in
+  let mean = p /. q in
+  let variance = (p *. (2. -. q) /. (q *. q)) -. (mean *. mean) in
+  (mean, variance)
+
+let mean_time t =
+  let mean_n, _ = count_moments t in
+  base_time t +. (mean_n *. reexecution_cost t)
+
+let variance_time t =
+  let _, var_n = count_moments t in
+  let cost = reexecution_cost t in
+  var_n *. cost *. cost
+
+let stddev_time t = sqrt (Float.max 0. (variance_time t))
+
+let mean_energy t pw =
+  let mean_n, _ = count_moments t in
+  energy_of_count t pw 0 +. (mean_n *. (energy_of_count t pw 1 -. energy_of_count t pw 0))
+
+let variance_energy t pw =
+  let _, var_n = count_moments t in
+  let per = energy_of_count t pw 1 -. energy_of_count t pw 0 in
+  var_n *. per *. per
+
+let cdf_time t x =
+  if x < base_time t then 0.
+  else
+    let k =
+      int_of_float (Float.floor ((x -. base_time t) /. reexecution_cost t))
+    in
+    cdf_count t k
+
+let quantile_time t p =
+  if p < 0. || p >= 1. then
+    invalid_arg "Distribution.quantile_time: p must be in [0, 1)";
+  let rec search k =
+    if cdf_count t k >= p then time_of_count t k else search (k + 1)
+  in
+  search 0
+
+let tail_count t ~epsilon =
+  if epsilon <= 0. then invalid_arg "Distribution.tail_count: epsilon <= 0";
+  let rec search k =
+    if 1. -. cdf_count t k <= epsilon then k else search (k + 1)
+  in
+  search 0

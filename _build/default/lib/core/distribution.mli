@@ -1,0 +1,70 @@
+(** Full distribution of the pattern cost (silent errors).
+
+    The paper works in expectation; this module gives the whole law.
+    Under silent errors every attempt has a deterministic duration, so
+    the pattern time is a function of the re-execution count N alone:
+
+    - [P(N = 0) = e^(-l W / s1)];
+    - [P(N = k) = (1 - e^(-l W / s1)) (1-q)^(k-1) q] for [k >= 1],
+      with [q = e^(-l W / s2)] the per-re-execution success probability
+      (a Bernoulli first attempt followed by a geometric number of
+      re-executions);
+    - [T(N) = (W+V)/s1 + C + N ((W+V)/s2 + R)], and similarly for
+      energy with the matching powers.
+
+    Everything — pmf, cdf, variance, quantiles — follows in closed
+    form; the Monte-Carlo tests check the simulator's *distribution*
+    (not just its mean) against it. *)
+
+type t = private {
+  params : Params.t;
+  w : float;
+  sigma1 : float;
+  sigma2 : float;
+}
+
+val make : Params.t -> w:float -> sigma1:float -> sigma2:float -> t
+(** @raise Invalid_argument on non-positive [w] or speeds. *)
+
+val failure_probability : t -> float
+(** Probability the first attempt fails, [1 - e^(-l W / s1)]. *)
+
+val reexecution_success : t -> float
+(** Per-re-execution success probability [q = e^(-l W / s2)]. *)
+
+val pmf : t -> int -> float
+(** [pmf t k] is [P(N = k)], the probability of exactly [k]
+    re-executions; 0. for negative [k]. *)
+
+val cdf_count : t -> int -> float
+(** [P(N <= k)] in closed form (geometric tail). *)
+
+val time_of_count : t -> int -> float
+(** Pattern time when exactly [k] re-executions happen.
+    @raise Invalid_argument on negative [k]. *)
+
+val energy_of_count : t -> Power.t -> int -> float
+(** Pattern energy for [k] re-executions. *)
+
+val mean_time : t -> float
+(** Equals {!Exact.expected_time} (tested). *)
+
+val variance_time : t -> float
+(** Closed form: [cost^2 * Var(B M)] with [B] Bernoulli and [M]
+    geometric, [cost = (W+V)/s2 + R]. *)
+
+val stddev_time : t -> float
+
+val mean_energy : t -> Power.t -> float
+val variance_energy : t -> Power.t -> float
+
+val cdf_time : t -> float -> float
+(** [P(T <= x)] — a right-continuous step function. *)
+
+val quantile_time : t -> float -> float
+(** Smallest pattern time [x] with [cdf_time t x >= p].
+    @raise Invalid_argument if [p] is outside [0, 1). *)
+
+val tail_count : t -> epsilon:float -> int
+(** Smallest [k] with [P(N > k) <= epsilon] — where to truncate sums
+    over the distribution. @raise Invalid_argument if [epsilon <= 0.]. *)

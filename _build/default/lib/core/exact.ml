@@ -1,0 +1,42 @@
+let check_pattern ~w ~sigma1 ~sigma2 =
+  if w <= 0. || not (Float.is_finite w) then
+    invalid_arg "Exact: pattern size w must be positive and finite";
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Exact: speeds must be positive"
+
+let error_probability (p : Params.t) ~w ~sigma =
+  check_pattern ~w ~sigma1:sigma ~sigma2:sigma;
+  -.Float.expm1 (-.p.lambda *. w /. sigma)
+
+let expected_time_single (p : Params.t) ~w ~sigma =
+  check_pattern ~w ~sigma1:sigma ~sigma2:sigma;
+  let growth = exp (p.lambda *. w /. sigma) in
+  p.c +. (growth *. (w +. p.v) /. sigma) +. (Float.expm1 (p.lambda *. w /. sigma) *. p.r)
+
+let expected_reexecutions (p : Params.t) ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  -.Float.expm1 (-.p.lambda *. w /. sigma1) *. exp (p.lambda *. w /. sigma2)
+
+let expected_time (p : Params.t) ~w ~sigma1 ~sigma2 =
+  let reexec = expected_reexecutions p ~w ~sigma1 ~sigma2 in
+  p.c +. ((w +. p.v) /. sigma1) +. (reexec *. (p.r +. ((w +. p.v) /. sigma2)))
+
+let expected_energy (p : Params.t) (pw : Power.t) ~w ~sigma1 ~sigma2 =
+  let reexec = expected_reexecutions p ~w ~sigma1 ~sigma2 in
+  ((p.c +. (reexec *. p.r)) *. Power.io_total pw)
+  +. ((w +. p.v) /. sigma1 *. Power.compute_total pw sigma1)
+  +. ((w +. p.v) /. sigma2 *. reexec *. Power.compute_total pw sigma2)
+
+let time_overhead p ~w ~sigma1 ~sigma2 =
+  expected_time p ~w ~sigma1 ~sigma2 /. w
+
+let energy_overhead p pw ~w ~sigma1 ~sigma2 =
+  expected_energy p pw ~w ~sigma1 ~sigma2 /. w
+
+let total_makespan p ~w ~sigma1 ~sigma2 ~w_base =
+  if w_base < 0. then invalid_arg "Exact.total_makespan: negative w_base";
+  time_overhead p ~w ~sigma1 ~sigma2 *. w_base
+
+let total_energy p pw ~w ~sigma1 ~sigma2 ~w_base =
+  if w_base < 0. then invalid_arg "Exact.total_energy: negative w_base";
+  energy_overhead p pw ~w ~sigma1 ~sigma2 *. w_base

@@ -1,0 +1,54 @@
+(** Exact expected time and energy of one pattern under silent errors
+    (Propositions 1-3 of the paper).
+
+    A pattern executes [w] units of work at speed [sigma1], verifies,
+    and checkpoints on success; on a detected error it recovers and
+    re-executes — every re-execution at speed [sigma2] — until the
+    verification passes. Silent errors strike during the compute phase
+    with probability [p(w/sigma) = 1 - exp (-lambda * w / sigma)]. *)
+
+val error_probability : Params.t -> w:float -> sigma:float -> float
+(** [error_probability p ~w ~sigma] is [p(w/sigma)], computed with
+    [expm1] for accuracy at small rates. *)
+
+val expected_time_single : Params.t -> w:float -> sigma:float -> float
+(** Proposition 1:
+    [T(W,s,s) = C + e^(lW/s) (W+V)/s + (e^(lW/s) - 1) R]. *)
+
+val expected_time : Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Proposition 2:
+    [T(W,s1,s2) = C + (W+V)/s1
+                  + (1 - e^(-lW/s1)) e^(lW/s2) (R + (W+V)/s2)]. *)
+
+val expected_energy :
+  Params.t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Proposition 3: checkpoint/recovery charged at [Pio + Pidle],
+    compute and verification at speed [s] charged at
+    [kappa s^3 + Pidle]. *)
+
+val expected_reexecutions :
+  Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Expected number of re-executions,
+    [(1 - e^(-lW/s1)) e^(lW/s2)] — the factor multiplying the recovery
+    and re-execution costs in Proposition 2. *)
+
+val time_overhead :
+  Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** [expected_time / w] — the exact per-work-unit execution time whose
+    first-order expansion is the paper's Equation (2). *)
+
+val energy_overhead :
+  Params.t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** [expected_energy / w] — exact counterpart of Equation (3). *)
+
+val total_makespan :
+  Params.t -> w:float -> sigma1:float -> sigma2:float -> w_base:float -> float
+(** [total_makespan p ~w ~sigma1 ~sigma2 ~w_base] is the expected
+    makespan of a divisible application of [w_base] total work units
+    partitioned into patterns of size [w]:
+    [T(w,s1,s2)/w * w_base] (Section 2.3). *)
+
+val total_energy :
+  Params.t -> Power.t -> w:float -> sigma1:float -> sigma2:float ->
+  w_base:float -> float
+(** Expected total energy of the full application, per Section 2.3. *)

@@ -1,0 +1,49 @@
+type overhead = { const : float; linear : float; inverse : float }
+
+let eval o ~w =
+  if w <= 0. then invalid_arg "First_order.eval: w must be positive";
+  o.const +. (o.linear *. w) +. (o.inverse /. w)
+
+let unconstrained_minimizer o =
+  if o.linear <= 0. then
+    invalid_arg
+      "First_order.unconstrained_minimizer: non-positive linear coefficient";
+  sqrt (o.inverse /. o.linear)
+
+let minimum_value o =
+  if o.linear <= 0. then
+    invalid_arg "First_order.minimum_value: non-positive linear coefficient";
+  o.const +. (2. *. sqrt (o.linear *. o.inverse))
+
+let check_speeds sigma1 sigma2 =
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "First_order: speeds must be positive"
+
+let time (p : Params.t) ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  {
+    const =
+      (1. /. sigma1)
+      +. (p.lambda *. ((p.r /. sigma1) +. (p.v /. (sigma1 *. sigma2))));
+    linear = p.lambda /. (sigma1 *. sigma2);
+    inverse = p.c +. (p.v /. sigma1);
+  }
+
+let energy (p : Params.t) (pw : Power.t) ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  let compute1 = Power.compute_total pw sigma1 in
+  let compute2 = Power.compute_total pw sigma2 in
+  let io = Power.io_total pw in
+  (* The lambda V cross term charges the *re-executed* verification,
+     which runs at sigma2 — hence kappa sigma2^3, not the kappa
+     sigma1^3 the paper's Equation (3) prints (a typo: expanding its
+     own Proposition 3 yields sigma2^3; the difference is O(lambda V)
+     and invisible at the paper's printed precision). *)
+  {
+    const =
+      (compute1 /. sigma1)
+      +. (p.lambda *. p.r *. io /. sigma1)
+      +. (p.lambda *. p.v *. compute2 /. (sigma1 *. sigma2));
+    linear = p.lambda *. compute2 /. (sigma1 *. sigma2);
+    inverse = (p.c *. io) +. (p.v *. compute1 /. sigma1);
+  }

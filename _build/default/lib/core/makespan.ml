@@ -1,0 +1,142 @@
+type t = {
+  pattern : Distribution.t;
+  patterns : int;
+  remainder : float;
+}
+
+let make (pattern : Distribution.t) ~w_base =
+  if w_base <= 0. then invalid_arg "Makespan.make: non-positive w_base";
+  let w = pattern.Distribution.w in
+  let full = int_of_float (Float.floor (w_base /. w)) in
+  let remainder = w_base -. (float_of_int full *. w) in
+  { pattern; patterns = full; remainder }
+
+(* The remainder pattern has its own (smaller) distribution. *)
+let remainder_dist t =
+  if t.remainder <= 0. then None
+  else
+    Some
+      (Distribution.make t.pattern.Distribution.params ~w:t.remainder
+         ~sigma1:t.pattern.Distribution.sigma1
+         ~sigma2:t.pattern.Distribution.sigma2)
+
+let mean t =
+  let full = float_of_int t.patterns *. Distribution.mean_time t.pattern in
+  match remainder_dist t with
+  | None -> full
+  | Some d -> full +. Distribution.mean_time d
+
+let variance t =
+  let full =
+    float_of_int t.patterns *. Distribution.variance_time t.pattern
+  in
+  match remainder_dist t with
+  | None -> full
+  | Some d -> full +. Distribution.variance_time d
+
+let stddev t = sqrt (Float.max 0. (variance t))
+
+(* Acklam's inverse-normal-cdf rational approximation. *)
+let normal_quantile p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Makespan.normal_quantile: p must be in (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    let num =
+      ((((((c.(0) *. q) +. c.(1)) *. q) +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+      *. q
+      +. c.(5)
+    in
+    let den =
+      ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.
+    in
+    num /. den
+  else if p > 1. -. p_low then
+    let q = sqrt (-2. *. log (1. -. p)) in
+    let num =
+      ((((((c.(0) *. q) +. c.(1)) *. q) +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+      *. q
+      +. c.(5)
+    in
+    let den =
+      ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.
+    in
+    -.(num /. den)
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+       *. r
+      +. a.(5))
+      *. q
+    in
+    let den =
+      ((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+      *. r
+      +. 1.
+    in
+    num /. den
+
+let quantile t p = mean t +. (normal_quantile p *. stddev t)
+
+(* Standard-normal survival via erfc. *)
+let tail_probability t ~deadline =
+  let sd = stddev t in
+  if sd = 0. then if deadline >= mean t then 0. else 1.
+  else
+    let z = (deadline -. mean t) /. sd in
+    (* 1 - Phi(z) = erfc(z / sqrt 2) / 2; erfc via Abramowitz-Stegun
+       7.1.26 (|error| < 1.5e-7), adequate for planning. *)
+    let erfc x =
+      let sign = if x < 0. then -1. else 1. in
+      let x = Float.abs x in
+      let t = 1. /. (1. +. (0.3275911 *. x)) in
+      let y =
+        t
+        *. (0.254829592
+           +. (t
+              *. (-0.284496736
+                 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+      in
+      let e = y *. exp (-.x *. x) in
+      if sign > 0. then e else 2. -. e
+    in
+    erfc (z /. sqrt 2.) /. 2.
+
+let mean_energy t pw =
+  let full =
+    float_of_int t.patterns *. Distribution.mean_energy t.pattern pw
+  in
+  match remainder_dist t with
+  | None -> full
+  | Some d -> full +. Distribution.mean_energy d pw
+
+let energy_variance t pw =
+  let full =
+    float_of_int t.patterns *. Distribution.variance_energy t.pattern pw
+  in
+  match remainder_dist t with
+  | None -> full
+  | Some d -> full +. Distribution.variance_energy d pw
+
+let energy_quantile t pw p =
+  mean_energy t pw
+  +. (normal_quantile p *. sqrt (Float.max 0. (energy_variance t pw)))

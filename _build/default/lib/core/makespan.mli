@@ -1,0 +1,42 @@
+(** Application-level makespan distribution.
+
+    A divisible application of [w_base] work runs [n = ceil (w_base/w)]
+    independent patterns; its makespan is the sum of n iid pattern
+    times whose law {!Distribution} gives in closed form. For the
+    hundreds-to-thousands of patterns of a real run the central limit
+    theorem applies, so the makespan is Normal(n mu, n var) to
+    excellent accuracy — which turns the paper's expectation-only
+    analysis into tail-risk planning: "the p99 makespan under this
+    pattern is X hours". *)
+
+type t = private {
+  pattern : Distribution.t;
+  patterns : int;  (** Number of full patterns (the remainder pattern
+                       is folded in as a fractional contribution). *)
+  remainder : float;  (** Work units in the trailing short pattern. *)
+}
+
+val make : Distribution.t -> w_base:float -> t
+(** @raise Invalid_argument if [w_base <= 0.]. *)
+
+val mean : t -> float
+(** Expected makespan, seconds — consistent with
+    {!Exact.total_makespan} up to the remainder-pattern correction. *)
+
+val variance : t -> float
+val stddev : t -> float
+
+val quantile : t -> float -> float
+(** Normal-approximation makespan quantile, [0 < p < 1].
+    @raise Invalid_argument outside (0, 1). *)
+
+val tail_probability : t -> deadline:float -> float
+(** [P(makespan > deadline)] under the normal approximation. *)
+
+val mean_energy : t -> Power.t -> float
+val energy_quantile : t -> Power.t -> float -> float
+
+val normal_quantile : float -> float
+(** Standard-normal quantile (Acklam's rational approximation,
+    |error| < 1.2e-8) — exposed for testing.
+    @raise Invalid_argument outside (0, 1). *)

@@ -1,0 +1,191 @@
+type t = {
+  c : float;
+  r : float;
+  v : float;
+  lambda_f : float;
+  lambda_s : float;
+}
+
+let check_non_negative name x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg ("Mixed: " ^ name ^ " must be a non-negative finite float")
+
+let make ~c ?r ~v ~lambda_f ~lambda_s () =
+  let r = Option.value r ~default:c in
+  check_non_negative "c" c;
+  check_non_negative "r" r;
+  check_non_negative "v" v;
+  check_non_negative "lambda_f" lambda_f;
+  check_non_negative "lambda_s" lambda_s;
+  if lambda_f = 0. && lambda_s = 0. then
+    invalid_arg "Mixed: at least one error rate must be positive";
+  { c; r; v; lambda_f; lambda_s }
+
+let of_params (p : Params.t) ~fail_stop_fraction =
+  if fail_stop_fraction < 0. || fail_stop_fraction > 1. then
+    invalid_arg "Mixed.of_params: fraction outside [0, 1]";
+  make ~c:p.c ~r:p.r ~v:p.v
+    ~lambda_f:(fail_stop_fraction *. p.lambda)
+    ~lambda_s:((1. -. fail_stop_fraction) *. p.lambda)
+    ()
+
+let total_rate t = t.lambda_f +. t.lambda_s
+
+let t_lost t ~exposure =
+  if exposure < 0. then invalid_arg "Mixed.t_lost: negative exposure";
+  if exposure = 0. then 0.
+  else if t.lambda_f = 0. then exposure /. 2.
+  else (1. /. t.lambda_f) -. (exposure /. Float.expm1 (t.lambda_f *. exposure))
+
+let check_pattern ~w ~sigma1 ~sigma2 =
+  if w <= 0. || not (Float.is_finite w) then
+    invalid_arg "Mixed: pattern size w must be positive and finite";
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Mixed: speeds must be positive"
+
+(* One attempt at speed sigma: fail-stop exposure (w+v)/sigma, silent
+   exposure w/sigma. *)
+let fail_free t ~w ~sigma = exp (-.t.lambda_f *. (w +. t.v) /. sigma)
+let silent_free t ~w ~sigma = exp (-.t.lambda_s *. w /. sigma)
+
+let success_probability t ~w ~sigma =
+  check_pattern ~w ~sigma1:sigma ~sigma2:sigma;
+  fail_free t ~w ~sigma *. silent_free t ~w ~sigma
+
+(* Expected execution (compute + verify) time of one attempt at speed
+   sigma: integrates the truncated-exponential loss and the full
+   (w+v)/sigma on survival; collapses to (1 - F)/lambda_f, with the
+   lambda_f -> 0 limit (w+v)/sigma. *)
+let attempt_time t ~w ~sigma =
+  let exposure = (w +. t.v) /. sigma in
+  if t.lambda_f = 0. then exposure
+  else -.Float.expm1 (-.t.lambda_f *. exposure) /. t.lambda_f
+
+let expected_time t ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  let g1 = attempt_time t ~w ~sigma:sigma1 in
+  let g2 = attempt_time t ~w ~sigma:sigma2 in
+  let p1 = success_probability t ~w ~sigma:sigma1 in
+  let p2 = success_probability t ~w ~sigma:sigma2 in
+  t.c +. g1 +. ((1. -. p1) *. (g2 +. t.r) /. p2)
+
+let expected_time_single t ~w ~sigma =
+  expected_time t ~w ~sigma1:sigma ~sigma2:sigma
+
+let expected_energy t (pw : Power.t) ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  let g1 = attempt_time t ~w ~sigma:sigma1 in
+  let g2 = attempt_time t ~w ~sigma:sigma2 in
+  let p1 = success_probability t ~w ~sigma:sigma1 in
+  let p2 = success_probability t ~w ~sigma:sigma2 in
+  let io = Power.io_total pw in
+  (t.c *. io)
+  +. (g1 *. Power.compute_total pw sigma1)
+  +. ((1. -. p1) /. p2
+      *. ((g2 *. Power.compute_total pw sigma2) +. (t.r *. io)))
+
+let require_failstop name t =
+  if t.lambda_f = 0. then
+    invalid_arg ("Mixed." ^ name ^ ": printed form requires lambda_f > 0")
+
+(* Proposition 4 verbatim, extra V/sigma2 term included. *)
+let expected_time_printed t ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  require_failstop "expected_time_printed" t;
+  let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
+  let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
+  t.c
+  +. (fail1 *. exp (mixed_exposure sigma2) *. t.r)
+  +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2)
+  +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f)
+  +. (fail1 /. t.lambda_f
+      *. exp (t.lambda_s *. w /. sigma2)
+      *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2))
+
+(* Proposition 5 verbatim. *)
+let expected_energy_printed t (pw : Power.t) ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  require_failstop "expected_energy_printed" t;
+  let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
+  let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
+  let io = Power.io_total pw in
+  let p2 = Power.compute_total pw sigma2 in
+  (t.c *. io)
+  +. (fail1 *. exp (mixed_exposure sigma2) *. t.r *. io)
+  +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2 *. p2)
+  +. (fail1 /. t.lambda_f
+      *. exp (t.lambda_s *. w /. sigma2)
+      *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2)
+      *. p2)
+  +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f
+      *. Power.compute_total pw sigma1)
+
+let check_speeds sigma1 sigma2 =
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Mixed: speeds must be positive"
+
+let first_order_time t ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  let lf = t.lambda_f and ls = t.lambda_s in
+  let total = lf +. ls in
+  {
+    First_order.const =
+      (1. /. sigma1)
+      +. (total *. t.r /. sigma1)
+      +. (((2. *. lf) +. ls) *. t.v /. (sigma1 *. sigma2))
+      -. (lf *. t.v /. (sigma1 *. sigma1));
+    linear =
+      (total /. (sigma1 *. sigma2)) -. (lf /. (2. *. sigma1 *. sigma1));
+    inverse = t.c +. (t.v /. sigma1);
+  }
+
+let first_order_energy t (pw : Power.t) ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  let lf = t.lambda_f and ls = t.lambda_s in
+  let total = lf +. ls in
+  let p1 = Power.compute_total pw sigma1 in
+  let p2 = Power.compute_total pw sigma2 in
+  let io = Power.io_total pw in
+  {
+    First_order.const =
+      (p1 /. sigma1)
+      +. (total *. t.r *. io /. sigma1)
+      +. (((2. *. lf) +. ls) *. t.v *. p2 /. (sigma1 *. sigma2))
+      -. (lf *. t.v *. p1 /. (sigma1 *. sigma1));
+    linear =
+      (total *. p2 /. (sigma1 *. sigma2))
+      -. (lf *. p1 /. (2. *. sigma1 *. sigma1));
+    inverse = (t.c *. io) +. (t.v *. p1 /. sigma1);
+  }
+
+let validity_ratio_bounds t =
+  if t.lambda_f = 0. then
+    invalid_arg "Mixed.validity_ratio_bounds: requires lambda_f > 0"
+  else
+    let hi = 2. *. (1. +. (t.lambda_s /. t.lambda_f)) in
+    (1. /. sqrt hi, hi)
+
+let first_order_applicable t ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  (first_order_time t ~sigma1 ~sigma2).First_order.linear > 0.
+
+let optimal_w_numeric ?bracket t ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  let lo, hi =
+    match bracket with
+    | Some (lo, hi) -> (lo, hi)
+    | None ->
+        let scale = sigma1 *. sqrt ((t.c +. 1.) /. total_rate t) in
+        (1e-3 *. scale, 1e3 *. scale)
+  in
+  if lo <= 0. || lo >= hi then
+    invalid_arg "Mixed.optimal_w_numeric: invalid bracket";
+  let overhead u =
+    let w = exp u in
+    expected_time t ~w ~sigma1 ~sigma2 /. w
+  in
+  let u, value =
+    Numerics.Minimize.grid_then_golden ~points:512 ~f:overhead ~lo:(log lo)
+      ~hi:(log hi) ()
+  in
+  (exp u, value)

@@ -1,0 +1,108 @@
+(** Extension of Section 5: both fail-stop and silent errors.
+
+    Fail-stop errors (rate [lambda_f]) strike during computation and
+    verification and are detected instantly; silent errors (rate
+    [lambda_s]) strike during computation and are detected only by the
+    end-of-pattern verification. Neither strikes during checkpoint or
+    recovery.
+
+    The expectations here are the closed-form solution of the paper's
+    recursion (Equation 8). Note an erratum in the printed
+    Propositions 4-5: they carry an extra [V/sigma2] re-execution term
+    that does not follow from Equation (8); the recursion solution —
+    implemented as {!expected_time}/{!expected_energy} — is the one
+    whose expansion reproduces the paper's own Proposition 7 and
+    Equations (9)-(10) leading coefficients, and the one the
+    Monte-Carlo simulator confirms. The printed forms are provided as
+    [*_printed] for comparison; both coincide when [lambda_f = 0.]
+    (Propositions 1-3) and when [v = 0.]. *)
+
+type t = private {
+  c : float;  (** Checkpoint time, seconds. *)
+  r : float;  (** Recovery time, seconds. *)
+  v : float;  (** Verification time at unit speed, seconds. *)
+  lambda_f : float;  (** Fail-stop rate, per second; >= 0. *)
+  lambda_s : float;  (** Silent rate, per second; >= 0. *)
+}
+
+val make :
+  c:float -> ?r:float -> v:float -> lambda_f:float -> lambda_s:float ->
+  unit -> t
+(** [r] defaults to [c]. At least one rate must be positive.
+    @raise Invalid_argument on negative inputs or two zero rates. *)
+
+val of_params : Params.t -> fail_stop_fraction:float -> t
+(** Split the total rate of [params] as in Section 5.2:
+    [lambda_f = f * lambda], [lambda_s = (1 - f) * lambda].
+    @raise Invalid_argument if the fraction is outside [0, 1]. *)
+
+val total_rate : t -> float
+(** [lambda_f +. lambda_s]. *)
+
+val t_lost : t -> exposure:float -> float
+(** Expected time lost to a fail-stop error during a phase of duration
+    [exposure], conditioned on the error striking:
+    [1/lf - exposure / (e^(lf * exposure) - 1)], with the [lf -> 0]
+    limit [exposure /. 2.]. *)
+
+val success_probability : t -> w:float -> sigma:float -> float
+(** Probability one attempt at speed [sigma] completes with neither a
+    fail-stop error (exposure [(w+v)/sigma]) nor a silent error
+    (exposure [w/sigma]). *)
+
+val expected_time : t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Closed-form solution of Equation (8):
+    [T = C + G1 + (1 - F1 S1) (G2 + R) / (F2 S2)] where
+    [Gi = (1 - Fi)/lf] is the expected execution time of one attempt at
+    speed [sigma_i] and [Fi Si] its success probability. *)
+
+val expected_time_single : t -> w:float -> sigma:float -> float
+(** [expected_time] with [sigma1 = sigma2 = sigma]. *)
+
+val expected_energy :
+  t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Energy counterpart: execution charged at [kappa s^3 + Pidle],
+    checkpoint/recovery at [Pio + Pidle]. *)
+
+val expected_time_printed :
+  t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Proposition 4 exactly as printed in the paper (with the extra
+    [V/sigma2] term). @raise Invalid_argument when [lambda_f = 0.]
+    (the printed form divides by it). *)
+
+val expected_energy_printed :
+  t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Proposition 5 as printed. Same [lambda_f] restriction. *)
+
+val first_order_time : t -> sigma1:float -> sigma2:float -> First_order.overhead
+(** First-order expansion of {!expected_time}[/w] (the corrected
+    Equation (9)): [linear = (lf+ls)/(s1 s2) - lf/(2 s1^2)] — which can
+    be negative, in which case no interior optimum exists and
+    {!First_order.unconstrained_minimizer} raises. *)
+
+val first_order_energy :
+  t -> Power.t -> sigma1:float -> sigma2:float -> First_order.overhead
+(** First-order expansion of {!expected_energy}[/w] (Equation (10)
+    leading coefficients). *)
+
+val validity_ratio_bounds : t -> float * float
+(** Section 5.2: the [(lo, hi)] bounds on [sigma2 /. sigma1] within
+    which the first-order approach yields a solution (assuming
+    [Pidle = 0.] for the lower bound):
+    [((2 (1 + ls/lf))^(-1/2), 2 (1 + ls/lf))].
+    @raise Invalid_argument when [lambda_f = 0.] (no fail-stop errors:
+    the window is unbounded, as in Sections 3-4). *)
+
+val first_order_applicable : t -> sigma1:float -> sigma2:float -> bool
+(** Whether the time expansion has a positive [W] coefficient, i.e.
+    [sigma2/sigma1 < 2 (1 + ls/lf)]; always [true] when
+    [lambda_f = 0.]. *)
+
+val optimal_w_numeric :
+  ?bracket:float * float -> t -> sigma1:float -> sigma2:float ->
+  float * float
+(** Numerically minimize the exact time overhead [expected_time / w]
+    over [w] (log-space grid + golden section). Returns
+    [(w_opt, overhead)]. Default bracket spans 1e-3x to 1e3x the
+    Young/Daly scale — wide enough to catch the Theta(lambda^(-2/3))
+    regime of Theorem 2. *)

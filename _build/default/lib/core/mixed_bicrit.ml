@@ -1,0 +1,106 @@
+type solution = {
+  sigma1 : float;
+  sigma2 : float;
+  w_opt : float;
+  window : float * float;
+  energy_overhead : float;
+  time_overhead : float;
+}
+
+type result = { best : solution; candidates : solution list }
+
+let w_floor = 1e-6
+
+(* Keep the failure exponent of one attempt below ~50 so every
+   intermediate exponential stays finite: the overhead there is e^50x
+   the error-free one, unimaginably past any bound of interest. *)
+let default_w_max (m : Mixed.t) ~sigma1 ~sigma2 =
+  let rate = Mixed.total_rate m in
+  let sigma_min = Float.min sigma1 sigma2 in
+  Float.min (1e4 /. rate) (50. *. sigma_min /. rate)
+
+let check_speeds sigma1 sigma2 =
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Mixed_bicrit: speeds must be positive"
+
+let time_window ?w_max (m : Mixed.t) ~rho ~sigma1 ~sigma2 =
+  check_speeds sigma1 sigma2;
+  if rho <= 0. then invalid_arg "Mixed_bicrit.time_window: rho must be positive";
+  let w_max =
+    match w_max with Some w -> w | None -> default_w_max m ~sigma1 ~sigma2
+  in
+  if w_max <= w_floor then
+    invalid_arg "Mixed_bicrit.time_window: w_max too small";
+  let overhead w = Mixed.expected_time m ~w ~sigma1 ~sigma2 /. w in
+  (* The overhead is unimodal in w: locate its minimum on a log grid,
+     then bracket the rho-crossings on either side. *)
+  let log_lo = log w_floor and log_hi = log w_max in
+  let u_star, best =
+    Numerics.Minimize.grid_then_golden ~points:256
+      ~f:(fun u -> overhead (exp u))
+      ~lo:log_lo ~hi:log_hi ()
+  in
+  if best > rho then None
+  else
+    let gap w = overhead w -. rho in
+    let w_star = exp u_star in
+    let left =
+      if gap w_floor <= 0. then w_floor
+      else Numerics.Roots.brent ~f:gap ~lo:w_floor ~hi:w_star ()
+    in
+    let right =
+      if gap w_max <= 0. then w_max
+      else Numerics.Roots.brent ~f:gap ~lo:w_star ~hi:w_max ()
+    in
+    Some (left, right)
+
+let solve_pair ?w_max (m : Mixed.t) (pw : Power.t) ~rho ~sigma1 ~sigma2 =
+  match time_window ?w_max m ~rho ~sigma1 ~sigma2 with
+  | None -> None
+  | Some (w1, w2) ->
+      let energy w = Mixed.expected_energy m pw ~w ~sigma1 ~sigma2 /. w in
+      let w_opt, energy_overhead =
+        if w2 <= w1 *. (1. +. 1e-12) then (w1, energy w1)
+        else
+          let u, v =
+            Numerics.Minimize.golden_section
+              ~f:(fun u -> energy (exp u))
+              ~lo:(log w1) ~hi:(log w2) ()
+          in
+          (exp u, v)
+      in
+      Some
+        {
+          sigma1;
+          sigma2;
+          w_opt;
+          window = (w1, w2);
+          energy_overhead;
+          time_overhead = Mixed.expected_time m ~w:w_opt ~sigma1 ~sigma2 /. w_opt;
+        }
+
+let solve ?w_max ?(single_speed = false) m pw ~speeds ~rho =
+  if speeds = [] then invalid_arg "Mixed_bicrit.solve: empty speed set";
+  if List.exists (fun s -> s <= 0.) speeds then
+    invalid_arg "Mixed_bicrit.solve: speeds must be positive";
+  if rho <= 0. then invalid_arg "Mixed_bicrit.solve: rho must be positive";
+  let pairs =
+    if single_speed then List.map (fun s -> (s, s)) speeds
+    else List.concat_map (fun s1 -> List.map (fun s2 -> (s1, s2)) speeds) speeds
+  in
+  let candidates =
+    List.filter_map
+      (fun (sigma1, sigma2) -> solve_pair ?w_max m pw ~rho ~sigma1 ~sigma2)
+      pairs
+  in
+  match
+    Numerics.Minimize.argmin_by (fun s -> s.energy_overhead) candidates
+  with
+  | None -> None
+  | Some (best, _) -> Some { best; candidates }
+
+let of_env ?single_speed (env : Env.t) ~fail_stop_fraction ~rho =
+  let m = Mixed.of_params env.params ~fail_stop_fraction in
+  solve ?single_speed m env.power
+    ~speeds:(Array.to_list env.speeds)
+    ~rho

@@ -1,0 +1,55 @@
+(** Numeric BiCrit for both error sources — the paper's open problem.
+
+    Section 5 shows the first-order machinery only covers re-execution
+    ratios inside [(2(1+s/f))^(-1/2), 2(1+s/f)]; Section 7 leaves "the
+    general case with two error sources and arbitrary speed pairs" to
+    future work. This module solves that general case numerically on
+    the *exact* expectations of {!Mixed}: per speed pair, the feasible
+    pattern-size window of [T(W)/W <= rho] is found by bracketed root
+    finding around the minimizer of the (unimodal) exact time overhead,
+    and the exact energy overhead is then minimized on the window by
+    golden-section search. No Taylor expansion — valid at any ratio,
+    any error mix, any rate. *)
+
+type solution = {
+  sigma1 : float;
+  sigma2 : float;
+  w_opt : float;
+  window : float * float;  (** Feasible [w] interval under the bound. *)
+  energy_overhead : float;  (** Exact E(Wopt)/Wopt, mW. *)
+  time_overhead : float;  (** Exact T(Wopt)/Wopt; <= rho. *)
+}
+
+type result = {
+  best : solution;
+  candidates : solution list;  (** Every feasible pair, enumeration order. *)
+}
+
+val time_window :
+  ?w_max:float -> Mixed.t -> rho:float -> sigma1:float -> sigma2:float ->
+  (float * float) option
+(** Feasible pattern sizes: the (possibly empty) interval where the
+    exact [Mixed.expected_time / w <= rho]. The search is confined to
+    (0, w_max] ([w_max] defaults to 1e4 x the expected work between
+    errors — far beyond any useful pattern). [None] when the bound is
+    unattainable for this pair. *)
+
+val solve_pair :
+  ?w_max:float -> Mixed.t -> Power.t -> rho:float -> sigma1:float ->
+  sigma2:float -> solution option
+(** Exact Theorem-1 analogue for one pair. *)
+
+val solve :
+  ?w_max:float -> ?single_speed:bool -> Mixed.t -> Power.t ->
+  speeds:float list -> rho:float -> result option
+(** Enumerate the speed set (pairs, or the diagonal when
+    [single_speed]), keep the pair with the smallest exact energy
+    overhead. [None] when no pair meets the bound.
+    @raise Invalid_argument on an empty speed list, non-positive
+    speeds, or [rho <= 0.]. *)
+
+val of_env :
+  ?single_speed:bool -> Env.t -> fail_stop_fraction:float -> rho:float ->
+  result option
+(** Convenience: split the environment's rate per Section 5.2 and
+    solve over its speed set. *)

@@ -1,0 +1,144 @@
+type t = { params : Params.t; verifications : int }
+
+let make params ~verifications =
+  if verifications < 1 then
+    invalid_arg "Multi_verif.make: need at least one verification";
+  { params; verifications }
+
+let check_pattern ~w ~sigma1 ~sigma2 =
+  if w <= 0. || not (Float.is_finite w) then
+    invalid_arg "Multi_verif: pattern size w must be positive and finite";
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Multi_verif: speeds must be positive"
+
+(* Expected number of (segment + verification) units executed in one
+   attempt: sum_{i=1}^{m} x^(i-1) = (1 - x^m)/(1 - x), where x is the
+   per-segment survival probability. *)
+let expected_units (p : Params.t) ~m ~w ~sigma =
+  let exponent = p.lambda *. w /. (float_of_int m *. sigma) in
+  if exponent = 0. then float_of_int m
+  else
+    -.Float.expm1 (-.float_of_int m *. exponent) /. -.Float.expm1 (-.exponent)
+
+let attempt_time t ~w ~sigma =
+  check_pattern ~w ~sigma1:sigma ~sigma2:sigma;
+  let m = t.verifications in
+  let unit_cost = ((w /. float_of_int m) +. t.params.v) /. sigma in
+  unit_cost *. expected_units t.params ~m ~w ~sigma
+
+let failure_probability (p : Params.t) ~w ~sigma =
+  -.Float.expm1 (-.p.lambda *. w /. sigma)
+
+let expected_time t ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  let p = t.params in
+  let q1 = failure_probability p ~w ~sigma:sigma1 in
+  let q2 = failure_probability p ~w ~sigma:sigma2 in
+  (* Single-speed fixed point at sigma2, then one unrolling. *)
+  let t2 =
+    p.c +. ((attempt_time t ~w ~sigma:sigma2 +. (q2 *. p.r)) /. (1. -. q2))
+  in
+  attempt_time t ~w ~sigma:sigma1
+  +. (q1 *. (p.r +. t2))
+  +. ((1. -. q1) *. p.c)
+
+let expected_energy t (pw : Power.t) ~w ~sigma1 ~sigma2 =
+  check_pattern ~w ~sigma1 ~sigma2;
+  let p = t.params in
+  let io = Power.io_total pw in
+  let q1 = failure_probability p ~w ~sigma:sigma1 in
+  let q2 = failure_probability p ~w ~sigma:sigma2 in
+  let e2 =
+    (p.c *. io)
+    +. (((attempt_time t ~w ~sigma:sigma2 *. Power.compute_total pw sigma2)
+        +. (q2 *. p.r *. io))
+       /. (1. -. q2))
+  in
+  (attempt_time t ~w ~sigma:sigma1 *. Power.compute_total pw sigma1)
+  +. (q1 *. ((p.r *. io) +. e2))
+  +. ((1. -. q1) *. p.c *. io)
+
+let time_overhead t ~w ~sigma1 ~sigma2 =
+  expected_time t ~w ~sigma1 ~sigma2 /. w
+
+let energy_overhead t pw ~w ~sigma1 ~sigma2 =
+  expected_energy t pw ~w ~sigma1 ~sigma2 /. w
+
+type solution = {
+  verifications : int;
+  sigma1 : float;
+  sigma2 : float;
+  w_opt : float;
+  energy_overhead : float;
+  time_overhead : float;
+}
+
+let w_floor = 1e-6
+
+let solve_pattern t pw ~rho ~sigma1 ~sigma2 =
+  check_pattern ~w:1. ~sigma1 ~sigma2;
+  if rho <= 0. then
+    invalid_arg "Multi_verif.solve_pattern: rho must be positive";
+  let p = t.params in
+  let sigma_min = Float.min sigma1 sigma2 in
+  let w_max = 50. *. sigma_min /. p.lambda in
+  let time w = time_overhead t ~w ~sigma1 ~sigma2 in
+  let log_lo = log w_floor and log_hi = log w_max in
+  let u_star, best_time =
+    Numerics.Minimize.grid_then_golden ~points:256
+      ~f:(fun u -> time (exp u))
+      ~lo:log_lo ~hi:log_hi ()
+  in
+  if best_time > rho then None
+  else
+    let gap w = time w -. rho in
+    let w_star = exp u_star in
+    let w1 =
+      if gap w_floor <= 0. then w_floor
+      else Numerics.Roots.brent ~f:gap ~lo:w_floor ~hi:w_star ()
+    in
+    let w2 =
+      if gap w_max <= 0. then w_max
+      else Numerics.Roots.brent ~f:gap ~lo:w_star ~hi:w_max ()
+    in
+    let energy w = energy_overhead t pw ~w ~sigma1 ~sigma2 in
+    let w_opt, energy_value =
+      if w2 <= w1 *. (1. +. 1e-12) then (w1, energy w1)
+      else
+        let u, v =
+          Numerics.Minimize.golden_section
+            ~f:(fun u -> energy (exp u))
+            ~lo:(log w1) ~hi:(log w2) ()
+        in
+        (exp u, v)
+    in
+    Some
+      {
+        verifications = t.verifications;
+        sigma1;
+        sigma2;
+        w_opt;
+        energy_overhead = energy_value;
+        time_overhead = time w_opt;
+      }
+
+let solve ?(max_verifications = 8) (env : Env.t) ~rho =
+  if max_verifications < 1 then
+    invalid_arg "Multi_verif.solve: max_verifications < 1";
+  if rho <= 0. then invalid_arg "Multi_verif.solve: rho must be positive";
+  let speeds = Array.to_list env.speeds in
+  let candidates =
+    List.concat_map
+      (fun m ->
+        let t = make env.params ~verifications:m in
+        List.concat_map
+          (fun sigma1 ->
+            List.filter_map
+              (fun sigma2 ->
+                solve_pattern t env.power ~rho ~sigma1 ~sigma2)
+              speeds)
+          speeds)
+      (List.init max_verifications (fun i -> i + 1))
+  in
+  Option.map fst
+    (Numerics.Minimize.argmin_by (fun s -> s.energy_overhead) candidates)

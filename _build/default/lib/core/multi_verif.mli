@@ -1,0 +1,64 @@
+(** Extension: patterns with several intermediate verifications.
+
+    The paper's pattern verifies once, at the end — a silent error
+    striking early therefore wastes the whole pattern. Its foundation
+    [Benoit, Robert & Raina, IJHPCA 2015] interleaves verifications:
+    cut the pattern into [m] equal segments and verify after each, so
+    an error in segment [i] is caught after [i/m] of the work instead
+    of all of it, at the price of [m] verification costs per pattern.
+    This module generalizes Propositions 1-3 to [m] verifications while
+    keeping the paper's two-speed re-execution model; [m = 1] recovers
+    them exactly.
+
+    Derivation: with [x = exp (-lambda W / (m sigma))] the segment
+    survival, one attempt at speed [sigma] executes
+    [A = (W/m + V)/sigma * (1 - x^m)/(1 - x)] in expectation (it stops
+    at the first failed verification) and succeeds with probability
+    [x^m]; the pattern recursion of Proposition 2 then applies
+    unchanged. *)
+
+type t = private {
+  params : Params.t;
+  verifications : int;  (** m >= 1 verifications per pattern. *)
+}
+
+val make : Params.t -> verifications:int -> t
+(** @raise Invalid_argument if [verifications < 1]. *)
+
+val attempt_time : t -> w:float -> sigma:float -> float
+(** Expected compute + verification time of a single attempt (stopping
+    at the first detected error), [A] above. *)
+
+val expected_time : t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Expected pattern time; equals {!Exact.expected_time} at [m = 1]. *)
+
+val expected_energy :
+  t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+(** Expected pattern energy; equals {!Exact.expected_energy} at [m = 1]. *)
+
+val time_overhead : t -> w:float -> sigma1:float -> sigma2:float -> float
+val energy_overhead :
+  t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+
+type solution = {
+  verifications : int;
+  sigma1 : float;
+  sigma2 : float;
+  w_opt : float;
+  energy_overhead : float;
+  time_overhead : float;
+}
+
+val solve_pattern :
+  t -> Power.t -> rho:float -> sigma1:float -> sigma2:float ->
+  solution option
+(** Numerically minimize the exact energy overhead over [w] subject to
+    the exact time bound, for a fixed verification count and speed
+    pair (same method as {!Mixed_bicrit}). *)
+
+val solve :
+  ?max_verifications:int -> Env.t -> rho:float -> solution option
+(** Full extension solver: enumerate [m in 1 .. max_verifications]
+    (default 8) and every speed pair, return the energy-optimal
+    combination. [None] when the bound is unattainable even at m = 1.
+    @raise Invalid_argument if [max_verifications < 1] or [rho <= 0.]. *)

@@ -1,0 +1,37 @@
+(** Theorem 1: optimal pattern size for a fixed speed pair.
+
+    The energy overhead (Equation 3) is convex in W; its unconstrained
+    minimizer is [We] (Equation 5), and the performance bound restricts
+    W to the window [W1, W2] of {!Feasibility}. Hence
+    [Wopt = min (max (W1, We)) W2] (Equation 4). *)
+
+type solution = {
+  sigma1 : float;
+  sigma2 : float;
+  w_opt : float;  (** Optimal pattern size, Equation (4). *)
+  w_energy : float;  (** Unconstrained energy minimizer We, Equation (5). *)
+  window : Feasibility.window;  (** Admissible window [W1, W2]. *)
+  energy_overhead : float;  (** E(Wopt)/Wopt under Equation (3). *)
+  time_overhead : float;  (** T(Wopt)/Wopt under Equation (2); <= rho. *)
+  bound_active : bool;  (** true iff the performance bound displaced We. *)
+}
+
+val w_energy : Params.t -> Power.t -> sigma1:float -> sigma2:float -> float
+(** Equation (5):
+    [We = sqrt ((C (Pio+Pidle) + V (k s1^3 + Pidle)/s1)
+                / (l (k s2^3 + Pidle)/(s1 s2)))]. *)
+
+val solve_pair :
+  Params.t -> Power.t -> rho:float -> sigma1:float -> sigma2:float ->
+  solution option
+(** Theorem 1 for the pair [(sigma1, sigma2)]: [None] when the bound is
+    unattainable ([rho < rho_min]), otherwise the optimal pattern and
+    its first-order overheads. *)
+
+val exact_overheads :
+  Params.t -> Power.t -> solution -> float * float
+(** [(time, energy)] per-work-unit overheads of the solution under the
+    exact Propositions 2-3 — the accuracy check of the first-order
+    pattern. *)
+
+val pp_solution : Format.formatter -> solution -> unit

@@ -1,0 +1,30 @@
+type t = { lambda : float; c : float; r : float; v : float }
+
+let check name x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg ("Params: " ^ name ^ " must be a non-negative finite float")
+
+let make ~lambda ~c ?r ~v () =
+  let r = Option.value r ~default:c in
+  if not (Float.is_finite lambda) || lambda <= 0. then
+    invalid_arg "Params: lambda must be a positive finite float";
+  check "c" c;
+  check "r" r;
+  check "v" v;
+  { lambda; c; r; v }
+
+let of_platform ?r (p : Platforms.Platform.t) =
+  make ~lambda:p.lambda ~c:p.c ?r ~v:p.v ()
+
+let mtbf t = 1. /. t.lambda
+let with_lambda t lambda = make ~lambda ~c:t.c ~r:t.r ~v:t.v ()
+
+let with_c ?(keep_r = false) t c =
+  let r = if keep_r then Some t.r else Some c in
+  make ~lambda:t.lambda ~c ?r ~v:t.v ()
+
+let with_r t r = make ~lambda:t.lambda ~c:t.c ~r ~v:t.v ()
+let with_v t v = make ~lambda:t.lambda ~c:t.c ~r:t.r ~v ()
+
+let pp ppf t =
+  Format.fprintf ppf "{lambda=%.4g; C=%g; R=%g; V=%g}" t.lambda t.c t.r t.v

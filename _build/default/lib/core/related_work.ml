@@ -1,0 +1,56 @@
+let time_optimal_period (p : Params.t) ~sigma =
+  First_order.unconstrained_minimizer
+    (First_order.time p ~sigma1:sigma ~sigma2:sigma)
+
+let energy_optimal_period (p : Params.t) pw ~sigma =
+  First_order.unconstrained_minimizer
+    (First_order.energy p pw ~sigma1:sigma ~sigma2:sigma)
+
+let period_mismatch_penalty (p : Params.t) pw ~sigma =
+  let o = First_order.energy p pw ~sigma1:sigma ~sigma2:sigma in
+  let w_time = time_optimal_period p ~sigma in
+  let w_energy = energy_optimal_period p pw ~sigma in
+  let e_time = First_order.eval o ~w:w_time in
+  let e_energy = First_order.eval o ~w:w_energy in
+  (e_time -. e_energy) /. e_energy
+
+module Single_reexecution = struct
+  let check ~w ~sigma1 ~sigma2 =
+    if w <= 0. || not (Float.is_finite w) then
+      invalid_arg "Single_reexecution: w must be positive and finite";
+    if sigma1 <= 0. || sigma2 <= 0. then
+      invalid_arg "Single_reexecution: speeds must be positive"
+
+  let failure (p : Params.t) ~w ~sigma =
+    -.Float.expm1 (-.p.lambda *. w /. sigma)
+
+  let expected_time (p : Params.t) ~w ~sigma1 ~sigma2 =
+    check ~w ~sigma1 ~sigma2;
+    let p1 = failure p ~w ~sigma:sigma1 in
+    p.c +. ((w +. p.v) /. sigma1) +. (p1 *. (p.r +. ((w +. p.v) /. sigma2)))
+
+  let expected_energy (p : Params.t) pw ~w ~sigma1 ~sigma2 =
+    check ~w ~sigma1 ~sigma2;
+    let p1 = failure p ~w ~sigma:sigma1 in
+    let io = Power.io_total pw in
+    (p.c *. io)
+    +. ((w +. p.v) /. sigma1 *. Power.compute_total pw sigma1)
+    +. (p1
+       *. ((p.r *. io)
+          +. ((w +. p.v) /. sigma2 *. Power.compute_total pw sigma2)))
+
+  let risk (p : Params.t) ~w ~sigma1 ~sigma2 =
+    check ~w ~sigma1 ~sigma2;
+    failure p ~w ~sigma:sigma1 *. failure p ~w ~sigma:sigma2
+
+  let application_risk p ~w ~sigma1 ~sigma2 ~w_base =
+    if w_base <= 0. then
+      invalid_arg "Single_reexecution.application_risk: non-positive w_base";
+    let patterns = Float.ceil (w_base /. w) in
+    -.Float.expm1 (patterns *. Float.log1p (-.risk p ~w ~sigma1 ~sigma2))
+
+  let underestimate p ~w ~sigma1 ~sigma2 =
+    let truncated = expected_time p ~w ~sigma1 ~sigma2 in
+    let true_time = Exact.expected_time p ~w ~sigma1 ~sigma2 in
+    (true_time -. truncated) /. true_time
+end

@@ -1,0 +1,64 @@
+(** Baselines from the paper's related work (Section 6), implemented
+    for comparison.
+
+    Two contrasts the paper draws:
+
+    - Meneses, Sarood & Kale (SBAC-PAD'12) compute both time-optimal
+      and energy-optimal periods but without DVFS — a mono-criterion
+      choice between two fixed periods. Here both periods come from the
+      paper's own Equations (2)-(3) at a single speed, so the penalty
+      of running the time-optimal (Young/Daly) period when energy is
+      what matters is measurable.
+    - Aupy, Benoit, Renaud-Goud & Robert (IGCC'13) assume success after
+      the FIRST re-execution (a real-time model). The paper argues HPC
+      must account for arbitrarily many re-executions; this module
+      implements the truncated model and its *risk* — the probability
+      that one re-execution is not enough — so the argument becomes a
+      number. *)
+
+val time_optimal_period : Params.t -> sigma:float -> float
+(** Single-speed period minimizing the time overhead (Equation 2
+    diagonal) — the Young/Daly-style choice. *)
+
+val energy_optimal_period : Params.t -> Power.t -> sigma:float -> float
+(** Single-speed period minimizing the energy overhead (Equation 3
+    diagonal) — the Meneses-style energy period. *)
+
+val period_mismatch_penalty : Params.t -> Power.t -> sigma:float -> float
+(** Relative energy excess of running the time-optimal period when the
+    energy-optimal one was available:
+    [(E(W_T) - E(W_E)) / E(W_E) >= 0]. Zero iff the two periods
+    coincide (they do when checkpoint power equals compute power
+    in the right proportion; generally they differ). *)
+
+(** The truncated (at most one re-execution) model of [2]. *)
+module Single_reexecution : sig
+  val expected_time :
+    Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+  (** Expected pattern time pretending the first re-execution always
+      succeeds: [T = C + (W+V)/s1 + p1 (R + (W+V)/s2)]. Always
+      underestimates Proposition 2. *)
+
+  val expected_energy :
+    Params.t -> Power.t -> w:float -> sigma1:float -> sigma2:float -> float
+  (** Energy under the same truncation; underestimates Proposition 3. *)
+
+  val risk : Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+  (** Probability the truncation is wrong for a given pattern: both
+      the first execution AND its re-execution fail,
+      [p(W/s1) * p(W/s2)]. *)
+
+  val application_risk :
+    Params.t -> w:float -> sigma1:float -> sigma2:float -> w_base:float ->
+    float
+  (** Probability at least one of the [ceil (w_base/w)] patterns needs
+      a second re-execution during the whole application — the chance
+      the real-time schedulability analysis built on this model is
+      invalid for an HPC run. *)
+
+  val underestimate :
+    Params.t -> w:float -> sigma1:float -> sigma2:float -> float
+  (** Relative amount by which the truncated expected time
+      underestimates the true Proposition 2 time:
+      [(T_true - T_trunc) / T_true >= 0]. *)
+end

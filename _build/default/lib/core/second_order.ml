@@ -1,0 +1,85 @@
+let require_positive name x =
+  if x <= 0. || not (Float.is_finite x) then
+    invalid_arg ("Second_order: " ^ name ^ " must be positive and finite")
+
+let require_non_negative name x =
+  if x < 0. || not (Float.is_finite x) then
+    invalid_arg ("Second_order: " ^ name ^ " must be non-negative and finite")
+
+let linear_coefficient ~lambda ~sigma1 ~sigma2 =
+  require_positive "lambda" lambda;
+  require_positive "sigma1" sigma1;
+  require_positive "sigma2" sigma2;
+  lambda
+  *. ((1. /. (sigma1 *. sigma2)) -. (1. /. (2. *. sigma1 *. sigma1)))
+
+let quadratic_coefficient ~lambda ~sigma1 ~sigma2 =
+  require_positive "lambda" lambda;
+  require_positive "sigma1" sigma1;
+  require_positive "sigma2" sigma2;
+  lambda *. lambda
+  *. ((1. /. (6. *. sigma1 *. sigma1 *. sigma1))
+     -. (1. /. (2. *. sigma1 *. sigma1 *. sigma2))
+     +. (1. /. (2. *. sigma1 *. sigma2 *. sigma2)))
+
+let time_overhead_order2 ~c ~r ~lambda ~w ~sigma1 ~sigma2 =
+  require_non_negative "c" c;
+  require_non_negative "r" r;
+  require_positive "w" w;
+  let y = linear_coefficient ~lambda ~sigma1 ~sigma2 in
+  let q = quadratic_coefficient ~lambda ~sigma1 ~sigma2 in
+  (1. /. sigma1) +. (c /. w) +. (y *. w) +. (lambda *. r /. sigma1)
+  +. (q *. w *. w)
+
+let w_opt_twice_faster ~c ~lambda ~sigma =
+  require_positive "c" c;
+  require_positive "lambda" lambda;
+  require_positive "sigma" sigma;
+  Numerics.Float_utils.cbrt (12. *. c /. (lambda *. lambda)) *. sigma
+
+let w_opt_order2 ~c ~r ~lambda ~sigma1 ~sigma2 =
+  ignore r;
+  require_positive "c" c;
+  let y = linear_coefficient ~lambda ~sigma1 ~sigma2 in
+  let q = quadratic_coefficient ~lambda ~sigma1 ~sigma2 in
+  if y <= 0. && q <= 0. then
+    invalid_arg "Second_order.w_opt_order2: no interior minimum"
+  else if y > 0. && q = 0. then sqrt (c /. y)
+  else if y = 0. then
+    (* Theorem 2 shape: derivative -c/W^2 + 2qW = 0. *)
+    Numerics.Float_utils.cbrt (c /. (2. *. q))
+  else begin
+    (* General case: the derivative d(W) = -c/W^2 + y + 2qW is strictly
+       increasing in W > 0 wherever q >= 0, so it has a single root; when
+       q < 0 (ratio beyond 2 but y > 0) we still bracket the first sign
+       change starting from the first-order optimum. *)
+    let derivative w = (-.c /. (w *. w)) +. y +. (2. *. q *. w) in
+    let first_guess =
+      if y > 0. then sqrt (c /. y)
+      else Numerics.Float_utils.cbrt (c /. (2. *. q))
+    in
+    let lo = ref (first_guess /. 2.) in
+    while derivative !lo > 0. do
+      lo := !lo /. 2.
+    done;
+    let hi = ref (first_guess *. 2.) in
+    let attempts = ref 0 in
+    while derivative !hi < 0. && !attempts < 200 do
+      hi := !hi *. 2.;
+      incr attempts
+    done;
+    if derivative !hi < 0. then
+      invalid_arg "Second_order.w_opt_order2: no interior minimum"
+    else Numerics.Roots.brent ~f:derivative ~lo:!lo ~hi:!hi ()
+  end
+
+let w_opt_exact ~c ~r ~lambda ~sigma1 ~sigma2 =
+  require_positive "c" c;
+  let model = Mixed.make ~c ~r ~v:0. ~lambda_f:lambda ~lambda_s:0. () in
+  let scale =
+    Float.max
+      (w_opt_twice_faster ~c ~lambda ~sigma:sigma1)
+      (sigma1 *. sqrt (2. *. c /. lambda))
+  in
+  Mixed.optimal_w_numeric ~bracket:(1e-3 *. scale, 1e2 *. scale) model ~sigma1
+    ~sigma2

@@ -1,0 +1,48 @@
+(** Second-order analysis for fail-stop errors (Section 5.3).
+
+    With fail-stop errors only (no verification needed: [v = 0.]) and
+    re-execution at [sigma2 = 2 sigma1], the first-order [W]
+    coefficient of the time overhead vanishes and the next order takes
+    over: Proposition 7 gives
+    [T/W = 1/s1 + C/W + (1/(s1 s2) - 1/(2 s1^2)) l W + l R / s1
+           + (1/(6 s1^3) - 1/(2 s1^2 s2) + 1/(2 s1 s2^2)) l^2 W^2],
+    and Theorem 2 the striking optimum
+    [Wopt = (12 C / l^2)^(1/3) * s1 = Theta (l^(-2/3))]. *)
+
+val time_overhead_order2 :
+  c:float -> r:float -> lambda:float -> w:float -> sigma1:float ->
+  sigma2:float -> float
+(** Proposition 7 — second-order time overhead, fail-stop errors only.
+    @raise Invalid_argument on non-positive [lambda], [w] or speeds, or
+    negative [c]/[r]. *)
+
+val linear_coefficient : lambda:float -> sigma1:float -> sigma2:float -> float
+(** The [W] coefficient [(1/(s1 s2) - 1/(2 s1^2)) l]; zero exactly when
+    [sigma2 = 2 sigma1]. *)
+
+val quadratic_coefficient :
+  lambda:float -> sigma1:float -> sigma2:float -> float
+(** The [W^2] coefficient; at [sigma2 = 2 sigma1] it reduces to
+    [l^2 / (24 s1^3)]. *)
+
+val w_opt_twice_faster : c:float -> lambda:float -> sigma:float -> float
+(** Theorem 2: [(12 c / lambda^2)^(1/3) *. sigma] — optimal pattern
+    size when re-executing twice faster, in Theta(lambda^(-2/3)).
+    @raise Invalid_argument on non-positive arguments. *)
+
+val w_opt_order2 :
+  c:float -> r:float -> lambda:float -> sigma1:float -> sigma2:float -> float
+(** Minimizer of {!time_overhead_order2} in [w]: the positive root of
+    [-C/W^2 + y + 2 q W = 0] with [y] the linear and [q] the quadratic
+    coefficient — solved in closed form when [y = 0.] (Theorem 2) and
+    numerically (Brent on the derivative) otherwise.
+    @raise Invalid_argument when both [y <= 0.] and [q <= 0.] (no
+    interior minimum; happens for [sigma2 > 2 sigma1] far from the
+    validity window). *)
+
+val w_opt_exact :
+  c:float -> r:float -> lambda:float -> sigma1:float -> sigma2:float ->
+  float * float
+(** Numeric minimizer [(w, overhead)] of the exact fail-stop expected
+    time overhead ({!Mixed.expected_time} with [lambda_s = 0.],
+    [v = 0.]) — the referee for Theorem 2's scaling claim. *)

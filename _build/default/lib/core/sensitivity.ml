@@ -1,0 +1,82 @@
+type parameter = C | R | V | Lambda | P_idle | P_io
+
+type gradient = { d_w_energy : float; d_min_energy : float }
+
+let parameter_name = function
+  | C -> "C"
+  | R -> "R"
+  | V -> "V"
+  | Lambda -> "lambda"
+  | P_idle -> "Pidle"
+  | P_io -> "Pio"
+
+let parameter_value (p : Params.t) (pw : Power.t) = function
+  | C -> p.c
+  | R -> p.r
+  | V -> p.v
+  | Lambda -> p.lambda
+  | P_idle -> pw.p_idle
+  | P_io -> pw.p_io
+
+(* Partial derivatives of the Equation (3) coefficients
+   x = P1/s1 + l R Pio_t/s1 + l V P2/(s1 s2)
+   y = l P2/(s1 s2)
+   z = C Pio_t + V P1/s1
+   with P1 = k s1^3 + Pidle, P2 = k s2^3 + Pidle, Pio_t = Pio + Pidle. *)
+let coefficient_derivatives (p : Params.t) (pw : Power.t) ~sigma1 ~sigma2 =
+  let p1 = Power.compute_total pw sigma1 in
+  let p2 = Power.compute_total pw sigma2 in
+  let io = Power.io_total pw in
+  let s12 = sigma1 *. sigma2 in
+  function
+  | C -> (0., 0., io)
+  | R -> (p.lambda *. io /. sigma1, 0., 0.)
+  | V -> (p.lambda *. p2 /. s12, 0., p1 /. sigma1)
+  | Lambda -> ((p.r *. io /. sigma1) +. (p.v *. p2 /. s12), p2 /. s12, 0.)
+  | P_idle ->
+      ( (1. /. sigma1)
+        +. (p.lambda *. p.r /. sigma1)
+        +. (p.lambda *. p.v /. s12),
+        p.lambda /. s12,
+        p.c +. (p.v /. sigma1) )
+  | P_io -> (p.lambda *. p.r /. sigma1, 0., p.c)
+
+let derivative (p : Params.t) (pw : Power.t) ~sigma1 ~sigma2 parameter =
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Sensitivity.derivative: speeds must be positive";
+  let o = First_order.energy p pw ~sigma1 ~sigma2 in
+  let y = o.First_order.linear and z = o.First_order.inverse in
+  let dx, dy, dz = coefficient_derivatives p pw ~sigma1 ~sigma2 parameter in
+  (* We = sqrt (z/y):  dWe = We/2 (dz/z - dy/y).
+     M = x + 2 sqrt (y z): dM = dx + (dy z + y dz)/sqrt (y z). *)
+  let we = sqrt (z /. y) in
+  {
+    d_w_energy = we /. 2. *. ((dz /. z) -. (dy /. y));
+    d_min_energy = dx +. (((dy *. z) +. (y *. dz)) /. sqrt (y *. z));
+  }
+
+let elasticity p pw ~sigma1 ~sigma2 parameter =
+  let g = derivative p pw ~sigma1 ~sigma2 parameter in
+  let value = parameter_value p pw parameter in
+  if value = 0. then { d_w_energy = 0.; d_min_energy = 0. }
+  else
+    let o = First_order.energy p pw ~sigma1 ~sigma2 in
+    let we = First_order.unconstrained_minimizer o in
+    let m = First_order.minimum_value o in
+    {
+      d_w_energy = value *. g.d_w_energy /. we;
+      d_min_energy = value *. g.d_min_energy /. m;
+    }
+
+let c_with_r_sweep p pw ~sigma1 ~sigma2 =
+  let gc = derivative p pw ~sigma1 ~sigma2 C in
+  let gr = derivative p pw ~sigma1 ~sigma2 R in
+  {
+    d_w_energy = gc.d_w_energy +. gr.d_w_energy;
+    d_min_energy = gc.d_min_energy +. gr.d_min_energy;
+  }
+
+let all_elasticities p pw ~sigma1 ~sigma2 =
+  List.map
+    (fun parameter -> (parameter, elasticity p pw ~sigma1 ~sigma2 parameter))
+    [ C; R; V; Lambda; P_idle; P_io ]

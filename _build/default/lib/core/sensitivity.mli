@@ -1,0 +1,46 @@
+(** Closed-form sensitivities of the unconstrained optimum.
+
+    Section 4.3 of the paper studies how the optimal pattern reacts to
+    each parameter by plotting sweeps; this module gives the same
+    information analytically: partial derivatives of the energy-optimal
+    pattern size [We] (Equation 5) and of the minimum energy overhead
+    [x + 2 sqrt (y z)] (Equation 3 at [We]) with respect to every model
+    parameter, plus scale-free elasticities. Derivatives treat C and R
+    as independent; the paper's C-sweeps move both, so use
+    {!c_with_r_sweep} for that reading. *)
+
+type parameter = C | R | V | Lambda | P_idle | P_io
+
+type gradient = {
+  d_w_energy : float;  (** dWe / d parameter. *)
+  d_min_energy : float;
+      (** d(min energy overhead) / d parameter, at the unconstrained
+          optimum (envelope theorem: W re-optimizes). *)
+}
+
+val derivative :
+  Params.t -> Power.t -> sigma1:float -> sigma2:float -> parameter ->
+  gradient
+(** Exact first-order-model derivatives. *)
+
+val elasticity :
+  Params.t -> Power.t -> sigma1:float -> sigma2:float -> parameter ->
+  gradient
+(** Relative sensitivities: [(p / f) * df/dp] for both quantities —
+    "We grows 0.5% per 1% more C". Parameters whose current value is
+    zero yield zero elasticities. *)
+
+val c_with_r_sweep :
+  Params.t -> Power.t -> sigma1:float -> sigma2:float -> gradient
+(** Sensitivity to the paper's C-axis, which moves R together with C:
+    the sum of the C and R gradients. *)
+
+val parameter_value : Params.t -> Power.t -> parameter -> float
+(** Current value of a parameter in the environment. *)
+
+val all_elasticities :
+  Params.t -> Power.t -> sigma1:float -> sigma2:float ->
+  (parameter * gradient) list
+(** Elasticities for all six parameters, in declaration order. *)
+
+val parameter_name : parameter -> string

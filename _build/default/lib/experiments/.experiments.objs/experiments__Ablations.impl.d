@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Core Float List Option Platforms Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Core List Option Platforms Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Core Figures Float List Option Printf Report String Sweep

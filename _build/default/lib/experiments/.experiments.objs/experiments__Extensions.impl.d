@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Array Core List Numerics Option Platforms

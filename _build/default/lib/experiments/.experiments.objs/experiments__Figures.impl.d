@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Core List Platforms Printf Sweep

@@ -1,0 +1,1 @@
+lib/experiments/tables42.ml: Array Core List Option Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/tables42.mli: Core Report

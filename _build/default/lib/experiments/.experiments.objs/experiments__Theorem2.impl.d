@@ -1,0 +1,1 @@
+lib/experiments/theorem2.ml: Core Float List Numerics

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Array Core List Platforms Sim

@@ -1,0 +1,82 @@
+type row = {
+  config : string;
+  baseline : float;
+  ablated : float;
+  gap : float;
+}
+
+let row ~config ~baseline ~ablated =
+  { config; baseline; ablated; gap = (baseline -. ablated) /. ablated }
+
+let over_configs f =
+  List.filter_map
+    (fun config ->
+      let env = Core.Env.of_config config in
+      f (Platforms.Config.name config) env)
+    Platforms.Config.all
+
+let discrete_ladder ?(rho = 3.) () =
+  over_configs (fun name env ->
+      match
+        ( Core.Bicrit.solve env ~rho,
+          Core.Continuous.solve
+            ~bounds:(env.speeds.(0), env.speeds.(Array.length env.speeds - 1))
+            env.params env.power ~rho )
+      with
+      | Some discrete, Some continuous ->
+          Some
+            (row ~config:name
+               ~baseline:discrete.best.Core.Optimum.energy_overhead
+               ~ablated:continuous.inner.Core.Optimum.energy_overhead)
+      | None, _ | _, None -> None)
+
+let first_order_optimizer ?(rho = 3.) () =
+  over_configs (fun name env ->
+      match Core.Bicrit.solve env ~rho with
+      | None -> None
+      | Some { best; _ } ->
+          let sigma1 = best.Core.Optimum.sigma1 in
+          let sigma2 = best.Core.Optimum.sigma2 in
+          (* Exact energy of the first-order period... *)
+          let baseline =
+            Core.Exact.energy_overhead env.params env.power
+              ~w:best.Core.Optimum.w_opt ~sigma1 ~sigma2
+          in
+          (* ...vs the numerically exact optimum on the same pair,
+             constrained by the exact time bound. *)
+          let m = Core.Mixed.of_params env.params ~fail_stop_fraction:0. in
+          Option.map
+            (fun (s : Core.Mixed_bicrit.solution) ->
+              row ~config:name ~baseline ~ablated:s.energy_overhead)
+            (Core.Mixed_bicrit.solve_pair m env.power ~rho ~sigma1 ~sigma2))
+
+let verification_cost ?(rho = 3.) () =
+  over_configs (fun name env ->
+      let free = Core.Env.with_v env 0. in
+      match (Core.Bicrit.solve env ~rho, Core.Bicrit.solve free ~rho) with
+      | Some with_v, Some without_v ->
+          Some
+            (row ~config:name
+               ~baseline:with_v.best.Core.Optimum.energy_overhead
+               ~ablated:without_v.best.Core.Optimum.energy_overhead)
+      | None, _ | _, None -> None)
+
+let summarize rows = List.fold_left (fun acc r -> Float.max acc r.gap) 0. rows
+
+let render ~title rows =
+  let table =
+    Report.Table.create
+      ~header:[ "configuration"; "baseline E/W"; "ablated E/W"; "gap" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Report.Table.add_row table
+        [
+          r.config;
+          Printf.sprintf "%.2f" r.baseline;
+          Printf.sprintf "%.2f" r.ablated;
+          Printf.sprintf "%+.3f%%" (100. *. r.gap);
+        ])
+    rows;
+  title ^ "\n" ^ Report.Table.render table

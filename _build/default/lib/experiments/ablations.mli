@@ -1,0 +1,39 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Three questions the paper's design raises but does not quantify:
+
+    - how much energy does the *discrete* speed ladder leave on the
+      table versus continuous DVFS?
+    - how much does the *first-order* optimizer lose versus numerically
+      optimizing the exact model?
+    - how much of the overhead is the *verification* itself (V -> 0
+      counterfactual)?
+
+    Each ablation runs over the eight paper configurations and returns
+    rows suitable for tables plus a one-line summary. *)
+
+type row = {
+  config : string;
+  baseline : float;  (** Energy overhead of the paper's design, mW. *)
+  ablated : float;  (** Energy overhead with the choice ablated. *)
+  gap : float;  (** (baseline - ablated) / ablated — the price of the
+                    design choice; ~0 means the choice is free. *)
+}
+
+val discrete_ladder : ?rho:float -> unit -> row list
+(** Discrete Table-2 ladder vs continuous DVFS on the same range. *)
+
+val first_order_optimizer : ?rho:float -> unit -> row list
+(** First-order Wopt evaluated on the exact model vs the numerically
+    exact optimum (silent errors; same discrete best pair). Gap is the
+    exact-energy excess of using the paper's closed-form period. *)
+
+val verification_cost : ?rho:float -> unit -> row list
+(** Paper's V vs the free-verification counterfactual (V = 0):
+    how much of the energy overhead verification is responsible for. *)
+
+val summarize : row list -> float
+(** Largest gap across configurations. *)
+
+val render : title:string -> row list -> string
+(** ASCII table of an ablation. *)

@@ -1,0 +1,111 @@
+type meneses_row = {
+  config : string;
+  sigma : float;
+  w_time : float;
+  w_energy : float;
+  penalty : float;
+}
+
+let best_single_speed env ~rho =
+  Option.map
+    (fun (r : Core.Bicrit.result) -> r.best.Core.Optimum.sigma1)
+    (Core.Bicrit.solve ~mode:Core.Bicrit.Single_speed env ~rho)
+
+let meneses ?(rho = 3.) () =
+  List.filter_map
+    (fun config ->
+      let env = Core.Env.of_config config in
+      match best_single_speed env ~rho with
+      | None -> None
+      | Some sigma ->
+          Some
+            {
+              config = Platforms.Config.name config;
+              sigma;
+              w_time = Core.Related_work.time_optimal_period env.params ~sigma;
+              w_energy =
+                Core.Related_work.energy_optimal_period env.params env.power
+                  ~sigma;
+              penalty =
+                Core.Related_work.period_mismatch_penalty env.params env.power
+                  ~sigma;
+            })
+    Platforms.Config.all
+
+type truncation_row = {
+  config : string;
+  w : float;
+  pattern_risk : float;
+  month_risk : float;
+  underestimate : float;
+}
+
+let month_work = 30. *. 24. *. 3600.
+
+let single_reexecution ?(rho = 3.) () =
+  List.filter_map
+    (fun config ->
+      let env = Core.Env.of_config config in
+      match Core.Bicrit.solve env ~rho with
+      | None -> None
+      | Some { best; _ } ->
+          let w = best.Core.Optimum.w_opt in
+          let sigma1 = best.Core.Optimum.sigma1 in
+          let sigma2 = best.Core.Optimum.sigma2 in
+          Some
+            {
+              config = Platforms.Config.name config;
+              w;
+              pattern_risk =
+                Core.Related_work.Single_reexecution.risk env.params ~w ~sigma1
+                  ~sigma2;
+              month_risk =
+                Core.Related_work.Single_reexecution.application_risk
+                  env.params ~w ~sigma1 ~sigma2 ~w_base:month_work;
+              underestimate =
+                Core.Related_work.Single_reexecution.underestimate env.params
+                  ~w ~sigma1 ~sigma2;
+            })
+    Platforms.Config.all
+
+let render_meneses rows =
+  let table =
+    Report.Table.create
+      ~header:
+        [ "configuration"; "sigma"; "W (time-opt)"; "W (energy-opt)";
+          "energy penalty of time period" ]
+      ()
+  in
+  List.iter
+    (fun (r : meneses_row) ->
+      Report.Table.add_row table
+        [
+          r.config;
+          Printf.sprintf "%g" r.sigma;
+          Printf.sprintf "%.0f" r.w_time;
+          Printf.sprintf "%.0f" r.w_energy;
+          Printf.sprintf "%.3f%%" (100. *. r.penalty);
+        ])
+    rows;
+  Report.Table.render table
+
+let render_truncation rows =
+  let table =
+    Report.Table.create
+      ~header:
+        [ "configuration"; "Wopt"; "risk/pattern"; "risk/30-day job";
+          "E[T] underestimate" ]
+      ()
+  in
+  List.iter
+    (fun (r : truncation_row) ->
+      Report.Table.add_row table
+        [
+          r.config;
+          Printf.sprintf "%.0f" r.w;
+          Printf.sprintf "%.2e" r.pattern_risk;
+          Printf.sprintf "%.1f%%" (100. *. r.month_risk);
+          Printf.sprintf "%.2e" r.underestimate;
+        ])
+    rows;
+  Report.Table.render table

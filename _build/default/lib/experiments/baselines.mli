@@ -1,0 +1,31 @@
+(** Comparisons against the Section 6 related-work baselines, run over
+    the eight paper configurations. *)
+
+type meneses_row = {
+  config : string;
+  sigma : float;  (** Single speed used (the best single speed at rho=3). *)
+  w_time : float;  (** Time-optimal (Young/Daly) period. *)
+  w_energy : float;  (** Energy-optimal period. *)
+  penalty : float;  (** Energy excess of running the time period. *)
+}
+
+val meneses : ?rho:float -> unit -> meneses_row list
+(** Time-vs-energy period mismatch per configuration. *)
+
+type truncation_row = {
+  config : string;
+  w : float;  (** BiCrit-optimal pattern at rho. *)
+  pattern_risk : float;  (** P(one re-execution is not enough) per pattern. *)
+  month_risk : float;
+      (** Same risk compounded over a 30-day job
+          (w_base = 2,592,000 work units). *)
+  underestimate : float;
+      (** Relative expected-time underestimate of the truncated model. *)
+}
+
+val single_reexecution : ?rho:float -> unit -> truncation_row list
+(** How wrong the "success after the first re-execution" assumption is
+    at each configuration's own optimum. *)
+
+val render_meneses : meneses_row list -> string
+val render_truncation : truncation_row list -> string

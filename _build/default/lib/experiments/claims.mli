@@ -1,0 +1,40 @@
+(** The paper's qualitative claims (Section 4.3), checked mechanically.
+
+    Each claim function recomputes the relevant sweep and returns
+    paper-vs-measured entries. [all ()] is the full battery used by the
+    bench harness and EXPERIMENTS.md. *)
+
+val headline_saving : ?points:int -> unit -> Report.Compare.entry list
+(** "Up to 35% improvement in energy overhead" — largest two-speed
+    saving across the Fig 2 (C) and Fig 3 (V) Atlas/Crusoe sweeps. *)
+
+val fig2_pair_motion : ?points:int -> unit -> Report.Compare.entry list
+(** Fig 2: the optimal pair starts at (0.45, 0.45) for small C and
+    reaches (0.45, 0.8) at C = 5000; sigma1 never moves. *)
+
+val fig3_stabilizes : ?points:int -> unit -> Report.Compare.entry list
+(** Fig 3: the pair stabilizes at (0.6, 0.45) when V reaches 5000. *)
+
+val fig4_lambda_shape : ?points:int -> unit -> Report.Compare.entry list
+(** Fig 4: Wopt decreases with lambda while both speeds ramp up to the
+    maximum. *)
+
+val fig5_rho_shape : ?points:int -> unit -> Report.Compare.entry list
+(** Fig 5: stricter bounds force higher first speeds; the two-speed
+    energy never exceeds the one-speed energy. *)
+
+val fig7_pio_invariance : ?points:int -> unit -> Report.Compare.entry list
+(** Fig 7: the optimal speeds do not move with Pio (Atlas/Crusoe);
+    the energy overhead and pattern size grow. *)
+
+val fig11_pio_sensitivity : ?points:int -> unit -> Report.Compare.entry list
+(** Section 4.3.4: on Coastal SSD/XScale — large C, small kappa — Pio
+    *does* move the optimal pair, unlike Fig 7. *)
+
+val crusoe_c_insensitivity : ?points:int -> unit -> Report.Compare.entry list
+(** Section 4.3.4: with Crusoe on the platforms with smaller error
+    rates than Atlas (Hera, Coastal, Coastal SSD), the pair stays
+    (0.45, 0.45) across the whole C sweep. *)
+
+val all : ?points:int -> unit -> Report.Compare.entry list
+(** Every claim above, concatenated. *)

@@ -1,0 +1,122 @@
+let env_of config =
+  match Platforms.Config.find config with
+  | Some c -> Core.Env.of_config c
+  | None -> invalid_arg ("Extensions: unknown configuration " ^ config)
+
+type mixed_point = {
+  fraction : float;
+  solution : Core.Mixed_bicrit.solution option;
+  single_speed : Core.Mixed_bicrit.solution option;
+}
+
+let fraction_sweep ?(config = "hera/xscale") ?(rho = 3.) ?fractions () =
+  let fractions =
+    match fractions with
+    | Some fs -> fs
+    | None -> Numerics.Axis.linspace ~lo:0. ~hi:1. ~n:11
+  in
+  let env = env_of config in
+  List.map
+    (fun fraction ->
+      let best single_speed =
+        Option.map
+          (fun (r : Core.Mixed_bicrit.result) -> r.best)
+          (Core.Mixed_bicrit.of_env ~single_speed env
+             ~fail_stop_fraction:fraction ~rho)
+      in
+      {
+        fraction;
+        solution = best false;
+        single_speed = best true;
+      })
+    fractions
+
+let silent_limit_matches_closed_form ?(config = "hera/xscale") ?(rho = 3.) ()
+    =
+  let env = env_of config in
+  let numeric =
+    Core.Mixed_bicrit.of_env env ~fail_stop_fraction:0. ~rho
+  in
+  let closed = Core.Bicrit.solve env ~rho in
+  match (numeric, closed) with
+  | Some n, Some c ->
+      Numerics.Float_utils.relative_error
+        ~expected:c.best.Core.Optimum.energy_overhead
+        n.best.Core.Mixed_bicrit.energy_overhead
+  | None, _ | _, None -> infinity
+
+let coverage_beyond_validity ?(config = "hera/xscale") ?(rho = 3.) ~fraction
+    () =
+  if fraction <= 0. then
+    invalid_arg "Extensions.coverage_beyond_validity: needs fail-stop errors";
+  let env = env_of config in
+  let m = Core.Mixed.of_params env.params ~fail_stop_fraction:fraction in
+  let lo, hi = Core.Mixed.validity_ratio_bounds m in
+  let outside =
+    List.filter
+      (fun (sigma1, sigma2) ->
+        let ratio = sigma2 /. sigma1 in
+        ratio <= lo || ratio >= hi)
+      (Core.Env.speed_pairs env)
+  in
+  let solved =
+    List.filter
+      (fun (sigma1, sigma2) ->
+        Option.is_some
+          (Core.Mixed_bicrit.solve_pair m env.power ~rho ~sigma1 ~sigma2))
+      outside
+  in
+  (List.length solved, List.length outside)
+
+type verif_point = {
+  verifications : int;
+  solution : Core.Multi_verif.solution option;
+}
+
+let scaled_env ?(config = "hera/xscale") ~lambda_scale () =
+  let env = env_of config in
+  Core.Env.with_lambda env
+    (env.params.Core.Params.lambda *. lambda_scale)
+
+let verification_sweep ?config ?(rho = 3.) ?(lambda_scale = 100.)
+    ?(max_verifications = 8) () =
+  let env = scaled_env ?config ~lambda_scale () in
+  List.init max_verifications (fun i ->
+      let m = i + 1 in
+      let model = Core.Multi_verif.make env.params ~verifications:m in
+      let candidates =
+        List.concat_map
+          (fun sigma1 ->
+            List.filter_map
+              (fun sigma2 ->
+                Core.Multi_verif.solve_pattern model env.power ~rho ~sigma1
+                  ~sigma2)
+              (Array.to_list env.speeds))
+          (Array.to_list env.speeds)
+      in
+      {
+        verifications = m;
+        solution =
+          Option.map fst
+            (Numerics.Minimize.argmin_by
+               (fun (s : Core.Multi_verif.solution) -> s.energy_overhead)
+               candidates);
+      })
+
+let best_verification_count ?config ?rho ?lambda_scale ?max_verifications ()
+    =
+  let points =
+    verification_sweep ?config ?rho ?lambda_scale ?max_verifications ()
+  in
+  let feasible =
+    List.filter_map
+      (fun p -> Option.map (fun s -> (p.verifications, s)) p.solution)
+      points
+  in
+  match
+    Numerics.Minimize.argmin_by
+      (fun (_, (s : Core.Multi_verif.solution)) -> s.energy_overhead)
+      feasible
+  with
+  | Some ((m, _), _) -> m
+  | None -> invalid_arg "Extensions.best_verification_count: infeasible"

@@ -1,0 +1,49 @@
+(** Experiments for the beyond-the-paper extensions (Section 7 future
+    work): the general mixed-error BiCrit and multi-verification
+    patterns. *)
+
+type mixed_point = {
+  fraction : float;  (** Fail-stop fraction f of the total rate. *)
+  solution : Core.Mixed_bicrit.solution option;
+  single_speed : Core.Mixed_bicrit.solution option;
+}
+
+val fraction_sweep :
+  ?config:string -> ?rho:float -> ?fractions:float list -> unit ->
+  mixed_point list
+(** Solve the exact mixed-error BiCrit along the error-mix axis
+    f in [0, 1] (default 11 points) for a configuration (default
+    Hera/XScale at rho = 3): how the optimal pair and period move as
+    errors shift from all-silent to all-fail-stop. *)
+
+val silent_limit_matches_closed_form :
+  ?config:string -> ?rho:float -> unit -> float
+(** Consistency anchor: at f = 0 the numeric exact solver must agree
+    with the paper's first-order closed form. Returns the relative gap
+    of the two energy overheads (expected < 1e-2). *)
+
+val coverage_beyond_validity :
+  ?config:string -> ?rho:float -> fraction:float -> unit -> int * int
+(** [(solved, invalid)] — among the speed pairs whose ratio
+    [sigma2/sigma1] falls OUTSIDE the paper's first-order validity
+    window for this error mix, how many the exact numeric solver still
+    solves. Demonstrates the extension covers the regime the paper
+    could not. *)
+
+type verif_point = {
+  verifications : int;
+  solution : Core.Multi_verif.solution option;
+}
+
+val verification_sweep :
+  ?config:string -> ?rho:float -> ?lambda_scale:float ->
+  ?max_verifications:int -> unit -> verif_point list
+(** Energy-optimal pattern per verification count m = 1 ..
+    max_verifications (default 8), with the configuration's error rate
+    optionally inflated ([lambda_scale], default 100 — intermediate
+    verifications only pay off when errors are frequent relative to V). *)
+
+val best_verification_count :
+  ?config:string -> ?rho:float -> ?lambda_scale:float ->
+  ?max_verifications:int -> unit -> int
+(** The m minimizing the energy overhead in {!verification_sweep}. *)

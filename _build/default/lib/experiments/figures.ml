@@ -1,0 +1,49 @@
+type t = {
+  id : int;
+  config : string;
+  parameters : Sweep.Parameter.t list;
+  lambda_hi : float;
+}
+
+let atlas_crusoe_panel id parameter =
+  { id; config = "Atlas/Crusoe"; parameters = [ parameter ]; lambda_hi = 1e-2 }
+
+let full id config lambda_hi =
+  { id; config; parameters = Sweep.Parameter.all; lambda_hi }
+
+let all =
+  [
+    atlas_crusoe_panel 2 Sweep.Parameter.C;
+    atlas_crusoe_panel 3 Sweep.Parameter.V;
+    atlas_crusoe_panel 4 Sweep.Parameter.Lambda;
+    atlas_crusoe_panel 5 Sweep.Parameter.Rho;
+    atlas_crusoe_panel 6 Sweep.Parameter.P_idle;
+    atlas_crusoe_panel 7 Sweep.Parameter.P_io;
+    full 8 "Hera/XScale" 1e-2;
+    full 9 "Atlas/XScale" 1e-2;
+    full 10 "Coastal/XScale" 1e-3;
+    full 11 "Coastal SSD/XScale" 1e-3;
+    full 12 "Hera/Crusoe" 1e-2;
+    full 13 "Coastal/Crusoe" 1e-3;
+    full 14 "Coastal SSD/Crusoe" 1e-3;
+  ]
+
+let find id = List.find_opt (fun f -> f.id = id) all
+
+let env_of t =
+  match Platforms.Config.find t.config with
+  | Some config -> Core.Env.of_config config
+  | None -> invalid_arg ("Figures.env_of: unknown configuration " ^ t.config)
+
+let run_panel ?points t parameter =
+  if not (List.mem parameter t.parameters) then
+    invalid_arg
+      (Printf.sprintf "Figures.run_panel: figure %d has no %s panel" t.id
+         (Sweep.Parameter.name parameter));
+  let xs =
+    Sweep.Parameter.paper_axis parameter ~lambda_hi:t.lambda_hi ?points ()
+  in
+  Sweep.Series.run ~label:t.config ~env:(env_of t)
+    ~rho:Platforms.Config.default_rho ~parameter ~xs ()
+
+let run ?points t = List.map (run_panel ?points t) t.parameters

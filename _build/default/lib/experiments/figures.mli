@@ -1,0 +1,36 @@
+(** Definitions of the paper's Figures 2-14.
+
+    Figures 2-7 each sweep one parameter for Atlas/Crusoe; Figures 8-14
+    sweep all six parameters for the remaining seven configurations.
+    Each panel is a {!Sweep.Series.t} carrying both the two-speed and
+    single-speed optima per sample — the paper's three sub-plots
+    (speeds, Wopt, energy overhead) are projections of it. *)
+
+type t = {
+  id : int;  (** Paper figure number, 2-14. *)
+  config : string;  (** "Platform/Processor" name. *)
+  parameters : Sweep.Parameter.t list;  (** Swept axes, paper order. *)
+  lambda_hi : float;
+      (** Upper end of the lambda axis: 1e-2 for Hera/Atlas figures,
+          1e-3 for the Coastal ones (whose feasible range is narrower). *)
+}
+
+val all : t list
+(** Figures 2 through 14 as laid out in the paper. *)
+
+val find : int -> t option
+(** Look a figure up by paper number. *)
+
+val env_of : t -> Core.Env.t
+(** Environment of the figure's configuration (paper defaults). *)
+
+val run : ?points:int -> t -> Sweep.Series.t list
+(** Compute every panel of the figure (one series per parameter), at
+    the paper's default bound rho = 3. [points] trades resolution for
+    speed (default: the paper grids of
+    {!Sweep.Parameter.paper_axis}). *)
+
+val run_panel : ?points:int -> t -> Sweep.Parameter.t -> Sweep.Series.t
+(** One panel only.
+    @raise Invalid_argument if the figure does not sweep that
+    parameter. *)

@@ -1,0 +1,167 @@
+type row = { sigma1 : float; best : (float * float * float) option }
+
+type table = {
+  rho : float;
+  rows : row list;
+  best_pair : (float * float) option;
+}
+
+(* Section 4.2, Hera/XScale, verbatim. *)
+let paper =
+  [
+    {
+      rho = 8.;
+      rows =
+        [
+          { sigma1 = 0.15; best = Some (0.4, 1711., 466.) };
+          { sigma1 = 0.4; best = Some (0.4, 2764., 416.) };
+          { sigma1 = 0.6; best = Some (0.4, 3639., 674.) };
+          { sigma1 = 0.8; best = Some (0.4, 4627., 1082.) };
+          { sigma1 = 1.; best = Some (0.4, 5742., 1625.) };
+        ];
+      best_pair = Some (0.4, 0.4);
+    };
+    {
+      rho = 3.;
+      rows =
+        [
+          { sigma1 = 0.15; best = None };
+          { sigma1 = 0.4; best = Some (0.4, 2764., 416.) };
+          { sigma1 = 0.6; best = Some (0.4, 3639., 674.) };
+          { sigma1 = 0.8; best = Some (0.4, 4627., 1082.) };
+          { sigma1 = 1.; best = Some (0.4, 5742., 1625.) };
+        ];
+      best_pair = Some (0.4, 0.4);
+    };
+    {
+      rho = 1.775;
+      rows =
+        [
+          { sigma1 = 0.15; best = None };
+          { sigma1 = 0.4; best = None };
+          { sigma1 = 0.6; best = Some (0.8, 4251., 690.) };
+          { sigma1 = 0.8; best = Some (0.4, 4627., 1082.) };
+          { sigma1 = 1.; best = Some (0.4, 5742., 1625.) };
+        ];
+      best_pair = Some (0.6, 0.8);
+    };
+    {
+      rho = 1.4;
+      rows =
+        [
+          { sigma1 = 0.15; best = None };
+          { sigma1 = 0.4; best = None };
+          { sigma1 = 0.6; best = None };
+          { sigma1 = 0.8; best = Some (0.4, 4627., 1082.) };
+          { sigma1 = 1.; best = Some (0.4, 5742., 1625.) };
+        ];
+      best_pair = Some (0.8, 0.4);
+    };
+  ]
+
+let compute (env : Core.Env.t) ~rho =
+  let rows =
+    Array.to_list env.speeds
+    |> List.map (fun sigma1 ->
+           match Core.Bicrit.best_second_speed env ~rho ~sigma1 with
+           | None -> { sigma1; best = None }
+           | Some (s : Core.Optimum.solution) ->
+               {
+                 sigma1;
+                 best = Some (s.sigma2, s.w_opt, s.energy_overhead);
+               })
+  in
+  let best_pair =
+    Option.map
+      (fun (r : Core.Bicrit.result) ->
+        (r.best.Core.Optimum.sigma1, r.best.Core.Optimum.sigma2))
+      (Core.Bicrit.solve env ~rho)
+  in
+  { rho; rows; best_pair }
+
+let compare env (reference : table) =
+  let measured = compute env ~rho:reference.rho in
+  let experiment = Printf.sprintf "Table rho=%g" reference.rho in
+  let row_entries (expected : row) (got : row) =
+    let metric fmt = Printf.sprintf fmt expected.sigma1 in
+    match (expected.best, got.best) with
+    | None, None ->
+        [
+          Report.Compare.entry ~experiment
+            ~metric:(metric "feasible(s1=%g)")
+            ~paper:"infeasible" ~measured:"infeasible"
+            ~verdict:Report.Compare.Exact;
+        ]
+    | Some (s2, w, e), Some (s2', w', e') ->
+        [
+          Report.Compare.entry ~experiment
+            ~metric:(metric "best s2(s1=%g)")
+            ~paper:(Printf.sprintf "%g" s2)
+            ~measured:(Printf.sprintf "%g" s2')
+            ~verdict:
+              (if s2 = s2' then Report.Compare.Exact
+               else Report.Compare.Deviates "different speed");
+          Report.Compare.numeric ~experiment
+            ~metric:(metric "Wopt(s1=%g)")
+            ~paper:w ~measured:w' ();
+          Report.Compare.numeric ~experiment
+            ~metric:(metric "E/W(s1=%g)")
+            ~paper:e ~measured:e' ();
+        ]
+    | None, Some _ ->
+        [
+          Report.Compare.entry ~experiment
+            ~metric:(metric "feasible(s1=%g)")
+            ~paper:"infeasible" ~measured:"feasible"
+            ~verdict:(Report.Compare.Deviates "feasibility flipped");
+        ]
+    | Some _, None ->
+        [
+          Report.Compare.entry ~experiment
+            ~metric:(metric "feasible(s1=%g)")
+            ~paper:"feasible" ~measured:"infeasible"
+            ~verdict:(Report.Compare.Deviates "feasibility flipped");
+        ]
+  in
+  let pair_entry =
+    let show = function
+      | Some (a, b) -> Printf.sprintf "(%g, %g)" a b
+      | None -> "none"
+    in
+    Report.Compare.entry ~experiment ~metric:"best pair"
+      ~paper:(show reference.best_pair)
+      ~measured:(show measured.best_pair)
+      ~verdict:
+        (if reference.best_pair = measured.best_pair then Report.Compare.Exact
+         else Report.Compare.Deviates "different winning pair")
+  in
+  pair_entry
+  :: List.concat (List.map2 row_entries reference.rows measured.rows)
+
+let render t =
+  let table =
+    Report.Table.create
+      ~header:[ "sigma1"; "best sigma2"; "Wopt"; "E(Wopt)/Wopt" ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      match row.best with
+      | None ->
+          Report.Table.add_row table
+            [ Printf.sprintf "%g" row.sigma1; "-"; "-"; "-" ]
+      | Some (s2, w, e) ->
+          Report.Table.add_row table
+            [
+              Printf.sprintf "%g" row.sigma1;
+              Printf.sprintf "%g" s2;
+              Printf.sprintf "%.0f" w;
+              Printf.sprintf "%.0f" e;
+            ])
+    t.rows;
+  let pair =
+    match t.best_pair with
+    | Some (a, b) -> Printf.sprintf "best pair: (%g, %g)" a b
+    | None -> "no feasible pair"
+  in
+  Printf.sprintf "rho = %g\n%s%s\n" t.rho (Report.Table.render table) pair

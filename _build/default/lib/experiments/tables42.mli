@@ -1,0 +1,36 @@
+(** The four tables of Section 4.2 (Hera/XScale).
+
+    For each performance bound rho in {8, 3, 1.775, 1.4} and each first
+    speed sigma1, the paper prints the best re-execution speed sigma2,
+    the optimal pattern size Wopt and the energy overhead E/W — or "-"
+    when the bound is unattainable. These are closed-form, so the
+    reproduction target is numeric equality (to the paper's printed
+    rounding). *)
+
+type row = {
+  sigma1 : float;
+  best : (float * float * float) option;
+      (** [(sigma2, w_opt, energy_overhead)], [None] = infeasible. *)
+}
+
+type table = {
+  rho : float;
+  rows : row list;  (** One row per speed, ascending sigma1. *)
+  best_pair : (float * float) option;
+      (** The bold overall optimum of the table. *)
+}
+
+val paper : table list
+(** The four tables exactly as printed in the paper. *)
+
+val compute : Core.Env.t -> rho:float -> table
+(** Recompute a table from the model. The intended environment is
+    [Core.Env.of_config (Platforms.Config.find "hera/xscale")], but the
+    function works for any environment. *)
+
+val compare : Core.Env.t -> table -> Report.Compare.entry list
+(** Paper-vs-measured entries for every printed cell of [table]
+    (which should be one of {!paper}). *)
+
+val render : table -> string
+(** ASCII rendering in the paper's column layout. *)

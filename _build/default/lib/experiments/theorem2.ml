@@ -1,0 +1,54 @@
+type result = {
+  c : float;
+  sigma : float;
+  lambdas : float list;
+  w_twice : (float * float) list;
+  w_same : (float * float) list;
+  w_analytic : (float * float) list;
+  slope_twice : float;
+  slope_same : float;
+  max_analytic_gap : float;
+}
+
+let expected_slope_twice = -2. /. 3.
+let expected_slope_same = -0.5
+
+let run ?(c = 300.) ?(r = 300.) ?(sigma = 1.) ?lambdas () =
+  let lambdas =
+    match lambdas with
+    | Some ls -> ls
+    | None -> Numerics.Axis.logspace ~lo:1e-9 ~hi:1e-6 ~n:13
+  in
+  if lambdas = [] then invalid_arg "Theorem2.run: empty lambda grid";
+  let minimize lambda sigma2 =
+    let w, _ =
+      Core.Second_order.w_opt_exact ~c ~r ~lambda ~sigma1:sigma ~sigma2
+    in
+    (lambda, w)
+  in
+  let w_twice = List.map (fun l -> minimize l (2. *. sigma)) lambdas in
+  let w_same = List.map (fun l -> minimize l sigma) lambdas in
+  let w_analytic =
+    List.map
+      (fun l ->
+        (l, Core.Second_order.w_opt_twice_faster ~c ~lambda:l ~sigma))
+      lambdas
+  in
+  let slope pts = (Numerics.Regression.log_log_fit pts).Numerics.Regression.slope in
+  let max_analytic_gap =
+    List.fold_left2
+      (fun acc (_, numeric) (_, analytic) ->
+        Float.max acc (Float.abs (numeric -. analytic) /. analytic))
+      0. w_twice w_analytic
+  in
+  {
+    c;
+    sigma;
+    lambdas;
+    w_twice;
+    w_same;
+    w_analytic;
+    slope_twice = slope w_twice;
+    slope_same = slope w_same;
+    max_analytic_gap;
+  }

@@ -1,0 +1,39 @@
+(** Theorem 2 scaling experiment.
+
+    With fail-stop errors only and re-execution twice faster, the
+    optimal pattern size scales as Theta(lambda^(-2/3)) instead of the
+    Young/Daly Theta(lambda^(-1/2)). The experiment minimizes the
+    *exact* expected time overhead numerically over a grid of lambdas
+    and fits log-log slopes — for [sigma2 = 2 sigma1] the fitted
+    exponent approaches -2/3, for [sigma2 = sigma1] it approaches -1/2,
+    and the [sigma2 = 2 sigma1] minimizer matches the closed form
+    [(12 C / lambda^2)^(1/3) sigma]. *)
+
+type result = {
+  c : float;
+  sigma : float;
+  lambdas : float list;
+  w_twice : (float * float) list;
+      (** (lambda, exact numeric Wopt) with sigma2 = 2 sigma. *)
+  w_same : (float * float) list;  (** Same with sigma2 = sigma. *)
+  w_analytic : (float * float) list;
+      (** (lambda, Theorem 2 closed form (12C/l^2)^(1/3) sigma). *)
+  slope_twice : float;  (** Fitted exponent, expected ~ -2/3. *)
+  slope_same : float;  (** Fitted exponent, expected ~ -1/2. *)
+  max_analytic_gap : float;
+      (** max relative |numeric - closed form| / closed form over the
+          grid, with sigma2 = 2 sigma. *)
+}
+
+val run :
+  ?c:float -> ?r:float -> ?sigma:float -> ?lambdas:float list -> unit ->
+  result
+(** Defaults: [c = r = 300.] (Hera's checkpoint), [sigma = 1.],
+    lambdas logarithmic on [1e-9, 1e-6] (small enough for the
+    second-order expansion to be the dominant regime). *)
+
+val expected_slope_twice : float
+(** -2/3. *)
+
+val expected_slope_same : float
+(** -1/2. *)

@@ -1,0 +1,79 @@
+type scenario = {
+  name : string;
+  model : Core.Mixed.t;
+  power : Core.Power.t;
+  w : float;
+  sigma1 : float;
+  sigma2 : float;
+}
+
+let of_config ?(fail_stop_fraction = 0.) ?(lambda_scale = 1.)
+    (config : Platforms.Config.t) =
+  let env = Core.Env.of_config config in
+  let rho = Platforms.Config.default_rho in
+  let w, sigma1, sigma2 =
+    match Core.Bicrit.solve env ~rho with
+    | Some { best; _ } -> (best.w_opt, best.sigma1, best.sigma2)
+    | None ->
+        (* rho = 3 is feasible for all eight paper configurations; for
+           exotic user configs fall back to full speed and Young/Daly. *)
+        let sigma = env.speeds.(Array.length env.speeds - 1) in
+        (Core.Young_daly.silent_period_at_speed env.params ~sigma, sigma, sigma)
+  in
+  let params =
+    Core.Params.with_lambda env.params
+      (env.params.Core.Params.lambda *. lambda_scale)
+  in
+  {
+    name = Platforms.Config.name config;
+    model = Core.Mixed.of_params params ~fail_stop_fraction;
+    power = env.power;
+    w;
+    sigma1;
+    sigma2;
+  }
+
+let synthetic ~name ~fail_stop_fraction =
+  let params = Core.Params.make ~lambda:2e-4 ~c:120. ~v:30. () in
+  {
+    name;
+    model = Core.Mixed.of_params params ~fail_stop_fraction;
+    power = Core.Power.make ~kappa:1000. ~p_idle:50. ~p_io:20.;
+    w = 4000.;
+    sigma1 = 0.5;
+    sigma2 = 1.;
+  }
+
+let default_suite () =
+  let configs =
+    List.map (fun c -> of_config ~lambda_scale:50. c) Platforms.Config.all
+  in
+  configs
+  @ [
+      synthetic ~name:"synthetic silent-only" ~fail_stop_fraction:0.;
+      synthetic ~name:"synthetic mixed 50/50" ~fail_stop_fraction:0.5;
+      synthetic ~name:"synthetic fail-stop-heavy" ~fail_stop_fraction:0.9;
+    ]
+
+let run ?(replicas = 4000) ?(seed = 42) scenarios =
+  List.concat_map
+    (fun s ->
+      let tag (c : Sim.Montecarlo.check) =
+        { c with Sim.Montecarlo.label = s.name ^ " " ^ c.Sim.Montecarlo.label }
+      in
+      [
+        tag
+          (Sim.Montecarlo.check_pattern_time ~replicas ~seed ~model:s.model
+             ~power:s.power ~w:s.w ~sigma1:s.sigma1 ~sigma2:s.sigma2 ());
+        tag
+          (Sim.Montecarlo.check_pattern_energy ~replicas ~seed:(seed + 1)
+             ~model:s.model ~power:s.power ~w:s.w ~sigma1:s.sigma1
+             ~sigma2:s.sigma2 ());
+        tag
+          (Sim.Montecarlo.check_reexecutions ~replicas ~seed:(seed + 2)
+             ~model:s.model ~power:s.power ~w:s.w ~sigma1:s.sigma1
+             ~sigma2:s.sigma2 ());
+      ])
+    scenarios
+
+let all_ok checks = List.for_all (fun (c : Sim.Montecarlo.check) -> c.ok) checks

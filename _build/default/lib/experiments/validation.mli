@@ -1,0 +1,39 @@
+(** Monte-Carlo validation of the analytical expectations.
+
+    The simulator implements the operational model of Figure 1; the
+    closed forms (Propositions 1-5 via {!Core.Exact} / {!Core.Mixed})
+    predict its sample means. Each scenario pins one configuration and
+    pattern; running it produces the three checks (time, energy,
+    re-execution count). *)
+
+type scenario = {
+  name : string;
+  model : Core.Mixed.t;
+  power : Core.Power.t;
+  w : float;
+  sigma1 : float;
+  sigma2 : float;
+}
+
+val of_config :
+  ?fail_stop_fraction:float -> ?lambda_scale:float -> Platforms.Config.t ->
+  scenario
+(** Scenario at a configuration's BiCrit optimum (rho = 3), with the
+    error rate optionally inflated by [lambda_scale] (default 1. — but
+    validation runs often use 100-1000x so that errors actually occur
+    within affordable replica counts; the formulas hold at any rate).
+    [fail_stop_fraction] (default 0.) splits the rate per Section 5. *)
+
+val synthetic : name:string -> fail_stop_fraction:float -> scenario
+(** A deliberately error-heavy synthetic scenario (high rate, small
+    pattern) exercising frequent re-executions at two speeds. *)
+
+val default_suite : unit -> scenario list
+(** Eight config-derived scenarios (silent-only, scaled rate) plus
+    synthetic silent/mixed/fail-stop-heavy ones. *)
+
+val run :
+  ?replicas:int -> ?seed:int -> scenario list -> Sim.Montecarlo.check list
+(** All three checks per scenario, default 4000 replicas, seed 42. *)
+
+val all_ok : Sim.Montecarlo.check list -> bool

@@ -1,0 +1,1 @@
+lib/numerics/axis.ml: Float List

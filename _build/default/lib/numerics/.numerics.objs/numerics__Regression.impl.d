@@ -1,0 +1,1 @@
+lib/numerics/regression.ml: Float_utils List Summation

@@ -1,0 +1,1 @@
+lib/numerics/summation.ml: Array Float List

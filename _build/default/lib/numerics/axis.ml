@@ -1,0 +1,22 @@
+let linspace ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Axis.linspace: n < 1";
+  if lo > hi then invalid_arg "Axis.linspace: lo > hi";
+  if n = 1 then [ lo ]
+  else
+    let step = (hi -. lo) /. float_of_int (n - 1) in
+    List.init n (fun i ->
+        if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let logspace ~lo ~hi ~n =
+  if lo <= 0. then invalid_arg "Axis.logspace: lo <= 0";
+  if lo > hi then invalid_arg "Axis.logspace: lo > hi";
+  List.map exp (linspace ~lo:(log lo) ~hi:(log hi) ~n)
+
+let arange ~lo ~hi ~step =
+  if step <= 0. then invalid_arg "Axis.arange: step <= 0";
+  if lo > hi then invalid_arg "Axis.arange: lo > hi";
+  let n = 1 + int_of_float (Float.round ((hi -. lo) /. step)) in
+  let points =
+    List.init n (fun i -> lo +. (float_of_int i *. step))
+  in
+  List.filter (fun x -> x <= hi +. (0.5 *. step)) points

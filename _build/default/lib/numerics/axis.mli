@@ -1,0 +1,20 @@
+(** Sample-point generators for parameter sweeps.
+
+    The paper's figures sample C, V, Pidle and Pio on linear axes
+    (0..5000 s or mW) and the error rate lambda on a logarithmic axis
+    (1e-6..1e-2); these generators produce exactly those grids. *)
+
+val linspace : lo:float -> hi:float -> n:int -> float list
+(** [linspace ~lo ~hi ~n] is [n] evenly spaced points from [lo] to [hi]
+    inclusive. [n = 1] yields [[lo]].
+    @raise Invalid_argument if [n < 1] or [lo > hi]. *)
+
+val logspace : lo:float -> hi:float -> n:int -> float list
+(** [logspace ~lo ~hi ~n] is [n] points geometrically spaced from [lo]
+    to [hi] inclusive.
+    @raise Invalid_argument if [n < 1], [lo <= 0.] or [lo > hi]. *)
+
+val arange : lo:float -> hi:float -> step:float -> float list
+(** [arange ~lo ~hi ~step] is [lo, lo+step, ...] up to and including any
+    point within half a step of [hi].
+    @raise Invalid_argument if [step <= 0.] or [lo > hi]. *)

@@ -1,0 +1,28 @@
+let is_finite x = Float.is_finite x
+
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true
+  else
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    Float.abs (a -. b) <= atol +. (rtol *. scale)
+
+let clamp ~lo ~hi x =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg "Float_utils.clamp: invalid bounds"
+  else Float.min hi (Float.max lo x)
+
+let relative_error ~expected x =
+  let denom = Float.max (Float.abs expected) 1e-300 in
+  Float.abs (x -. expected) /. denom
+
+let square x = x *. x
+let cube x = x *. x *. x
+
+let cbrt x =
+  if x >= 0. then Float.pow x (1. /. 3.) else -.Float.pow (-.x) (1. /. 3.)
+
+let log_space_midpoint a b =
+  if a <= 0. || b <= 0. then
+    invalid_arg "Float_utils.log_space_midpoint: non-positive input"
+  else sqrt (a *. b)

@@ -1,0 +1,36 @@
+(** Floating-point helpers shared across the numeric substrate.
+
+    Work quantities, times and powers in the model are all non-negative
+    finite floats; these helpers centralize the comparisons and guards
+    used to keep the rest of the code free of ad-hoc epsilon logic. *)
+
+val is_finite : float -> bool
+(** [is_finite x] is [true] iff [x] is neither NaN nor infinite. *)
+
+val approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_equal ~rtol ~atol a b] tests |a - b| <= atol + rtol * max(|a|,|b|).
+    Defaults: [rtol = 1e-9], [atol = 1e-12]. NaN is never approximately
+    equal to anything, including itself. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] restricted to the closed interval [lo, hi].
+    @raise Invalid_argument if [lo > hi] or any bound is NaN. *)
+
+val relative_error : expected:float -> float -> float
+(** [relative_error ~expected x] is |x - expected| / max(|expected|, tiny),
+    a symmetric-denominator-free measure suited to comparing model
+    predictions against references. *)
+
+val square : float -> float
+(** [square x] is [x *. x]. *)
+
+val cube : float -> float
+(** [cube x] is [x *. x *. x]. *)
+
+val cbrt : float -> float
+(** [cbrt x] is the real cube root of [x], defined for negative inputs. *)
+
+val log_space_midpoint : float -> float -> float
+(** [log_space_midpoint a b] is the geometric mean sqrt(a*b) of two
+    positive values, the natural midpoint on a logarithmic axis.
+    @raise Invalid_argument if [a <= 0.] or [b <= 0.]. *)

@@ -1,0 +1,84 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  if not (Float.is_finite lo && Float.is_finite hi) || lo >= hi then
+    invalid_arg "Histogram.create: invalid bounds";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let bin_index t x =
+  if Float.is_nan x then invalid_arg "Histogram.bin_index: NaN sample";
+  if x < t.lo then `Underflow
+  else if x >= t.hi then `Overflow
+  else
+    let bins = Array.length t.counts in
+    let i =
+      int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins)
+    in
+    `Bin (Int.min (bins - 1) i)
+
+let add t x =
+  match bin_index t x with
+  | `Underflow -> { t with underflow = t.underflow + 1 }
+  | `Overflow -> { t with overflow = t.overflow + 1 }
+  | `Bin i ->
+      let counts = Array.copy t.counts in
+      counts.(i) <- counts.(i) + 1;
+      { t with counts }
+
+let of_samples ~lo ~hi ~bins samples =
+  (* One mutable pass; the result is still an immutable value. *)
+  let counts = Array.make bins 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  let shell = create ~lo ~hi ~bins in
+  Array.iter
+    (fun x ->
+      match bin_index shell x with
+      | `Underflow -> incr underflow
+      | `Overflow -> incr overflow
+      | `Bin i -> counts.(i) <- counts.(i) + 1)
+    samples;
+  { lo; hi; counts; underflow = !underflow; overflow = !overflow }
+
+let total t =
+  Array.fold_left ( + ) (t.underflow + t.overflow) t.counts
+
+let bin_edges t i =
+  let bins = Array.length t.counts in
+  if i < 0 || i >= bins then invalid_arg "Histogram.bin_edges: out of range";
+  let width = (t.hi -. t.lo) /. float_of_int bins in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let chi_square ~observed ~expected =
+  let n = Array.length observed in
+  if n = 0 || n <> Array.length expected then
+    invalid_arg "Histogram.chi_square: cell arrays empty or mismatched";
+  let acc = Summation.create () in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      if e < 1e-12 then begin
+        if o <> 0 then
+          invalid_arg
+            "Histogram.chi_square: observation in a zero-expectation cell"
+      end
+      else
+        let d = float_of_int o -. e in
+        Summation.add acc (d *. d /. e))
+    observed;
+  Summation.total acc
+
+(* Wilson-Hilferty: chi2_p(df) ~ df (1 - 2/(9 df) + z_p sqrt(2/(9 df)))^3
+   with z_0.999 = 3.0902. *)
+let chi_square_critical ~df =
+  if df < 1 then invalid_arg "Histogram.chi_square_critical: df < 1";
+  let d = float_of_int df in
+  let z = 3.0902 in
+  let term = 1. -. (2. /. (9. *. d)) +. (z *. sqrt (2. /. (9. *. d))) in
+  d *. term *. term *. term

@@ -1,0 +1,46 @@
+(** Fixed-bin histograms and a chi-square goodness-of-fit statistic.
+
+    Used to compare the simulator's empirical distributions against the
+    closed-form laws — a sharper check than matching means. *)
+
+type t = private {
+  lo : float;  (** Left edge of the first bin. *)
+  hi : float;  (** Right edge of the last bin. *)
+  counts : int array;  (** Per-bin counts. *)
+  underflow : int;  (** Samples below [lo]. *)
+  overflow : int;  (** Samples at or above [hi]. *)
+}
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** An empty histogram.
+    @raise Invalid_argument if [bins < 1], bounds are non-finite or
+    [lo >= hi]. *)
+
+val add : t -> float -> t
+(** Functional insert (histograms are small; copying keeps the API
+    pure). NaN samples raise. *)
+
+val of_samples : lo:float -> hi:float -> bins:int -> float array -> t
+(** Build in one pass. *)
+
+val total : t -> int
+(** All samples seen, including under/overflow. *)
+
+val bin_index : t -> float -> [ `Bin of int | `Underflow | `Overflow ]
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] is the half-open interval of bin [i].
+    @raise Invalid_argument on an out-of-range index. *)
+
+val chi_square :
+  observed:int array -> expected:float array -> float
+(** Pearson's statistic [sum (O - E)^2 / E] over the given cells.
+    Cells with [expected < 1e-12] must have zero observations (raises
+    otherwise — merge sparse cells before calling).
+    @raise Invalid_argument on length mismatch or empty input. *)
+
+val chi_square_critical : df:int -> float
+(** Upper 0.1% critical value of the chi-square distribution with [df]
+    degrees of freedom (Wilson-Hilferty approximation, adequate for
+    df >= 1; within ~1% of tables). A GOF test "passes" when the
+    statistic is below this.
+    @raise Invalid_argument if [df < 1]. *)

@@ -1,0 +1,73 @@
+let inv_phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tol = 1e-10) ?(max_iter = 400) ~f ~lo ~hi () =
+  if lo >= hi then invalid_arg "Minimize.golden_section: empty interval";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (inv_phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (inv_phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  let width () = !b -. !a in
+  let scale () = Float.max 1. (Float.abs (0.5 *. (!a +. !b))) in
+  while width () > tol *. scale () && !iter < max_iter do
+    incr iter;
+    if !f1 <= !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (inv_phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (inv_phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let ternary ?(tol = 1e-10) ?(max_iter = 400) ~f ~lo ~hi () =
+  if lo >= hi then invalid_arg "Minimize.ternary: empty interval";
+  let a = ref lo and b = ref hi in
+  let iter = ref 0 in
+  while
+    !b -. !a > tol *. Float.max 1. (Float.abs (0.5 *. (!a +. !b)))
+    && !iter < max_iter
+  do
+    incr iter;
+    let m1 = !a +. ((!b -. !a) /. 3.) in
+    let m2 = !b -. ((!b -. !a) /. 3.) in
+    if f m1 <= f m2 then b := m2 else a := m1
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let grid_then_golden ?(points = 256) ~f ~lo ~hi () =
+  if lo >= hi then invalid_arg "Minimize.grid_then_golden: empty interval";
+  let n = Int.max points 3 in
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  let best_i = ref 0 and best_v = ref (f lo) in
+  for i = 1 to n - 1 do
+    let x = lo +. (float_of_int i *. step) in
+    let v = f x in
+    if v < !best_v then begin
+      best_i := i;
+      best_v := v
+    end
+  done;
+  let sub_lo = Float.max lo (lo +. (float_of_int (!best_i - 1) *. step)) in
+  let sub_hi = Float.min hi (lo +. (float_of_int (!best_i + 1) *. step)) in
+  if sub_hi > sub_lo then golden_section ~f ~lo:sub_lo ~hi:sub_hi ()
+  else (sub_lo, f sub_lo)
+
+let argmin_by f l =
+  let better acc x =
+    let v = f x in
+    match acc with
+    | Some (_, best) when best <= v -> acc
+    | Some _ | None -> Some (x, v)
+  in
+  List.fold_left better None l

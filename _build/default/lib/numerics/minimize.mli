@@ -1,0 +1,34 @@
+(** One-dimensional minimization of unimodal objectives.
+
+    The exact energy overhead [E(W)/W] of the paper is convex in the
+    pattern size on the feasibility window, so golden-section search
+    on a bracket is exact up to tolerance; grid refinement handles the
+    non-smooth clamped objectives used in cross-checks. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float * float
+(** [golden_section ~f ~lo ~hi ()] minimizes unimodal [f] on [lo, hi];
+    returns [(x_min, f x_min)]. [tol] (default 1e-10) is relative to the
+    bracket midpoint magnitude.
+    @raise Invalid_argument if [lo >= hi]. *)
+
+val ternary :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float * float
+(** Ternary search — simpler, slightly slower convergence; used as an
+    independent witness for golden-section results in property tests. *)
+
+val grid_then_golden :
+  ?points:int -> f:(float -> float) -> lo:float -> hi:float -> unit ->
+  float * float
+(** [grid_then_golden ~f ~lo ~hi ()] evaluates [f] on a uniform grid
+    ([points], default 256), then refines around the best grid cell with
+    golden-section search. Robust to mild non-unimodality such as the
+    clamped objective W -> E(clamp W)/clamp W. *)
+
+val argmin_by : ('a -> float) -> 'a list -> ('a * float) option
+(** [argmin_by f l] is the element of [l] minimizing [f] together with
+    its value, or [None] on the empty list. Ties keep the earliest
+    element, which callers rely on for deterministic speed-pair
+    selection. *)

@@ -1,0 +1,33 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Regression.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = Summation.sum_by fst pts /. nf in
+  let sy = Summation.sum_by snd pts /. nf in
+  let sxx =
+    Summation.sum_by (fun (x, _) -> Float_utils.square (x -. sx)) pts
+  in
+  let sxy = Summation.sum_by (fun (x, y) -> (x -. sx) *. (y -. sy)) pts in
+  if sxx = 0. then invalid_arg "Regression.linear_fit: all xs coincide";
+  let slope = sxy /. sxx in
+  let intercept = sy -. (slope *. sx) in
+  let ss_tot =
+    Summation.sum_by (fun (_, y) -> Float_utils.square (y -. sy)) pts
+  in
+  let ss_res =
+    Summation.sum_by
+      (fun (x, y) -> Float_utils.square (y -. ((slope *. x) +. intercept)))
+      pts
+  in
+  let r_squared = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r_squared }
+
+let log_log_fit pts =
+  let to_log (x, y) =
+    if x <= 0. || y <= 0. then
+      invalid_arg "Regression.log_log_fit: non-positive coordinate"
+    else (log x, log y)
+  in
+  linear_fit (List.map to_log pts)

@@ -1,0 +1,24 @@
+(** Least-squares line fitting.
+
+    Theorem 2 of the paper predicts [Wopt = Theta(lambda^(-2/3))] when
+    re-executing twice faster; the reproduction measures the exponent as
+    the slope of a log-log fit of Wopt against lambda. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination; 1. for a perfect fit.
+                          Defined as 1. when the ys are constant and the fit
+                          is exact. *)
+}
+
+val linear_fit : (float * float) list -> fit
+(** [linear_fit pts] is the ordinary least-squares line through [pts].
+    @raise Invalid_argument with fewer than two points or when all xs
+    coincide. *)
+
+val log_log_fit : (float * float) list -> fit
+(** [log_log_fit pts] fits [log y = slope * log x + intercept]; the
+    slope estimates the power-law exponent of y in x.
+    @raise Invalid_argument if any coordinate is non-positive, or per
+    {!linear_fit}. *)

@@ -1,0 +1,117 @@
+type quadratic_roots =
+  | No_real_root
+  | Double_root of float
+  | Two_roots of float * float
+
+let quadratic ~a ~b ~c =
+  if a = 0. then
+    if b = 0. then
+      if c = 0. then invalid_arg "Roots.quadratic: 0 = 0 is degenerate"
+      else No_real_root
+    else Double_root (-.c /. b)
+  else
+    let disc = (b *. b) -. (4. *. a *. c) in
+    let scale = Float.max (b *. b) (Float.abs (4. *. a *. c)) in
+    if disc < -1e-14 *. scale then No_real_root
+    else if disc <= 1e-14 *. scale then Double_root (-.b /. (2. *. a))
+    else
+      (* Citardauq: compute the well-conditioned root first, derive the
+         other from the product of roots c/a to avoid cancellation. *)
+      let sqrt_disc = sqrt disc in
+      let q =
+        if b >= 0. then -0.5 *. (b +. sqrt_disc) else -0.5 *. (b -. sqrt_disc)
+      in
+      let x1 = q /. a in
+      let x2 = c /. q in
+      if x1 <= x2 then Two_roots (x1, x2) else Two_roots (x2, x1)
+
+let check_bracket name flo fhi =
+  if flo *. fhi > 0. then
+    invalid_arg (name ^ ": interval does not bracket a sign change")
+
+let bisection ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    check_bracket "Roots.bisection" flo fhi;
+    let rec go lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if iter = 0 || hi -. lo <= tol *. Float.max 1. (Float.abs mid) then mid
+      else
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then go lo mid flo (iter - 1)
+        else go mid hi fmid (iter - 1)
+    in
+    go lo hi flo max_iter
+  end
+
+(* Brent (1973), as in Numerical Recipes zbrent: keeps a bracketing pair
+   (a,b) with f(b) the smaller magnitude, attempts inverse quadratic or
+   secant steps, falls back to bisection when the step is not trusted. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let fa = f lo and fb = f hi in
+  if fa = 0. then lo
+  else if fb = 0. then hi
+  else begin
+    check_bracket "Roots.brent" fa fb;
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b; b := !c; c := !a;
+        fa := !fb; fb := !fc; fc := !fa
+      end;
+      let tol1 =
+        (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol)
+      in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0. then result := Some !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              (* secant *)
+              (2. *. xm *. s, 1. -. s)
+            else
+              let q = !fa /. !fc and r = !fb /. !fc in
+              ( s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))),
+                (q -. 1.) *. (r -. 1.) *. (s -. 1.) )
+          in
+          let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+          let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2. *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := xm
+          end
+        end
+        else begin
+          d := xm;
+          e := xm
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+        fb := f !b;
+        if (!fb > 0. && !fc > 0.) || (!fb < 0. && !fc < 0.) then begin
+          c := !a;
+          fc := !fa;
+          d := !b -. !a;
+          e := !d
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> !b
+  end

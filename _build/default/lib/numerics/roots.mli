@@ -1,0 +1,33 @@
+(** Root finding: numerically stable quadratics and bracketing methods.
+
+    Theorem 1 of the paper reduces the time-bound constraint to the sign
+    of [a*W^2 + b*W + c]; with [a = lambda/(sigma1*sigma2)] of order
+    1e-6 and [b], [c] of order 1, the textbook quadratic formula loses
+    the small root to cancellation, so we use the Citardauq variant. *)
+
+type quadratic_roots =
+  | No_real_root  (** Negative discriminant. *)
+  | Double_root of float  (** Discriminant is zero (within a relative tolerance). *)
+  | Two_roots of float * float  (** Roots in increasing order. *)
+
+val quadratic : a:float -> b:float -> c:float -> quadratic_roots
+(** [quadratic ~a ~b ~c] solves [a*x^2 + b*x + c = 0] with the stable
+    formulation [q = -(b + sign b * sqrt disc) / 2; x1 = q/a; x2 = c/q].
+    A degenerate [a = 0.] falls back to the linear equation, reported as
+    a double root (or [No_real_root] when [b = 0.] and [c <> 0.]).
+    @raise Invalid_argument if all of [a], [b], [c] are zero. *)
+
+val bisection :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float
+(** [bisection ~f ~lo ~hi ()] finds a root of [f] in [lo, hi], which
+    must bracket a sign change. [tol] (default 1e-12 relative to the
+    bracket) bounds the final interval width.
+    @raise Invalid_argument if [f lo] and [f hi] have the same strict sign. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float
+(** [brent ~f ~lo ~hi ()] is Brent's method: inverse-quadratic
+    interpolation guarded by bisection. Same bracketing contract as
+    {!bisection}, superlinear convergence on smooth functions. *)

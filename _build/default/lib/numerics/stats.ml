@@ -1,0 +1,76 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  std_error : float;
+  min : float;
+  max : float;
+}
+
+let require_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  require_nonempty "Stats.mean" a;
+  Summation.sum a /. float_of_int (Array.length a)
+
+let variance a =
+  require_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.
+  else
+    let m = mean a in
+    let acc = Summation.create () in
+    Array.iter (fun x -> Summation.add acc (Float_utils.square (x -. m))) a;
+    Summation.total acc /. float_of_int (n - 1)
+
+let summarize a =
+  require_nonempty "Stats.summarize" a;
+  let n = Array.length a in
+  let m = mean a in
+  let var = variance a in
+  let sd = sqrt (Float.max 0. var) in
+  {
+    n;
+    mean = m;
+    variance = var;
+    stddev = sd;
+    std_error = sd /. sqrt (float_of_int n);
+    min = Array.fold_left Float.min a.(0) a;
+    max = Array.fold_left Float.max a.(0) a;
+  }
+
+let confidence_interval ?(z = 2.5758) s =
+  (s.mean -. (z *. s.std_error), s.mean +. (z *. s.std_error))
+
+let within_confidence ?(z = 3.2905) ~expected samples =
+  let s = summarize samples in
+  if s.std_error = 0. then Float_utils.approx_equal s.mean expected
+  else
+    let lo, hi = confidence_interval ~z s in
+    expected >= lo && expected <= hi
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let median a =
+  require_nonempty "Stats.median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2)
+  else 0.5 *. (b.((n / 2) - 1) +. b.(n / 2))
+
+let quantile a p =
+  require_nonempty "Stats.quantile" a;
+  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p outside [0, 1]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let pos = p *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  if i >= n - 1 then b.(n - 1)
+  else
+    let frac = pos -. float_of_int i in
+    ((1. -. frac) *. b.(i)) +. (frac *. b.(i + 1))

@@ -1,0 +1,44 @@
+(** Descriptive statistics and confidence intervals.
+
+    Used by the Monte-Carlo harness to compare empirical means of
+    simulated pattern time/energy against the paper's closed-form
+    expectations (Props 1-5). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** Unbiased sample variance (n-1 denominator). *)
+  stddev : float;
+  std_error : float;  (** stddev / sqrt n. *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize a] computes all fields in one compensated pass.
+    @raise Invalid_argument on the empty array. *)
+
+val mean : float array -> float
+(** Compensated arithmetic mean. @raise Invalid_argument on empty. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0. for singleton arrays.
+    @raise Invalid_argument on empty. *)
+
+val confidence_interval : ?z:float -> summary -> float * float
+(** [confidence_interval ~z s] is the normal-approximation interval
+    [mean -/+ z * std_error]. Default [z = 2.5758] (99%). *)
+
+val within_confidence : ?z:float -> expected:float -> float array -> bool
+(** [within_confidence ~expected samples] tests whether [expected] lies
+    inside the (wide, default 99.9%: z=3.2905) confidence interval of
+    the sample mean — the acceptance criterion of the model-vs-simulator
+    tests. Degenerate all-equal samples compare exactly. *)
+
+val median : float array -> float
+(** Median (average of middle pair for even sizes). Does not mutate the
+    input. @raise Invalid_argument on empty. *)
+
+val quantile : float array -> float -> float
+(** [quantile a p] is the linearly interpolated p-quantile, [0 <= p <= 1].
+    @raise Invalid_argument on empty input or p outside [0, 1]. *)

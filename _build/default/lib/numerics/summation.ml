@@ -1,0 +1,50 @@
+type t = { mutable total : float; mutable compensation : float }
+
+let create () = { total = 0.; compensation = 0. }
+
+(* Neumaier's variant of Kahan summation: unlike plain Kahan it stays
+   accurate when the next addend is larger than the running total. *)
+let add acc x =
+  let t = acc.total +. x in
+  let c =
+    if Float.abs acc.total >= Float.abs x then acc.total -. t +. x
+    else x -. t +. acc.total
+  in
+  acc.compensation <- acc.compensation +. c;
+  acc.total <- t
+
+let total acc = acc.total +. acc.compensation
+
+let reset acc =
+  acc.total <- 0.;
+  acc.compensation <- 0.
+
+let sum a =
+  let acc = create () in
+  Array.iter (add acc) a;
+  total acc
+
+let sum_list l =
+  let acc = create () in
+  List.iter (add acc) l;
+  total acc
+
+let pairwise_sum a =
+  let rec go lo len =
+    if len = 0 then 0.
+    else if len <= 8 then (
+      let s = ref 0. in
+      for i = lo to lo + len - 1 do
+        s := !s +. a.(i)
+      done;
+      !s)
+    else
+      let half = len / 2 in
+      go lo half +. go (lo + half) (len - half)
+  in
+  go 0 (Array.length a)
+
+let sum_by f l =
+  let acc = create () in
+  List.iter (fun x -> add acc (f x)) l;
+  total acc

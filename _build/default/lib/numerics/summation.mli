@@ -1,0 +1,33 @@
+(** Compensated and pairwise summation.
+
+    Monte-Carlo energy/time accumulators add millions of small
+    contributions to large running totals; naive summation loses the
+    low-order bits that the model-validation tests rely on. *)
+
+type t
+(** Mutable Kahan-Babuška (Neumaier) accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add acc x] accumulates [x] with compensated error tracking. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val reset : t -> unit
+(** Reset the accumulator to 0. *)
+
+val sum : float array -> float
+(** [sum a] is the compensated sum of all elements of [a]. *)
+
+val sum_list : float list -> float
+(** [sum_list l] is the compensated sum of all elements of [l]. *)
+
+val pairwise_sum : float array -> float
+(** [pairwise_sum a] sums by recursive halving — O(log n) error growth,
+    used as an independent cross-check of {!sum} in tests. *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** [sum_by f l] is the compensated sum of [f x] for [x] in [l]. *)

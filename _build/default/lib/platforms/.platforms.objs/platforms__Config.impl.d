@@ -1,0 +1,1 @@
+lib/platforms/config.ml: Format List Option Platform Processor String

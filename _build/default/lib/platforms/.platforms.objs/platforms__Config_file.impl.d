@@ -1,0 +1,1 @@
+lib/platforms/config_file.ml: Buffer Float Hashtbl In_channel List Option Printf Result String

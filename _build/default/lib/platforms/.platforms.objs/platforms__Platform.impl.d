@@ -1,0 +1,1 @@
+lib/platforms/platform.ml: Format List String

@@ -1,0 +1,1 @@
+lib/platforms/processor.ml: Format List String

@@ -1,0 +1,35 @@
+type t = {
+  platform : Platform.t;
+  processor : Processor.t;
+  r : float;
+  p_io : float;
+}
+
+let make ?r ?p_io platform processor =
+  let r = Option.value r ~default:platform.Platform.c in
+  let p_io = Option.value p_io ~default:(Processor.default_p_io processor) in
+  if r < 0. then invalid_arg "Config.make: negative recovery time";
+  if p_io < 0. then invalid_arg "Config.make: negative I/O power";
+  { platform; processor; r; p_io }
+
+let name t = t.platform.Platform.name ^ "/" ^ t.processor.Processor.name
+
+let all =
+  List.concat_map
+    (fun platform ->
+      List.map (fun processor -> make platform processor) Processor.all)
+    Platform.all
+
+let find s =
+  match String.split_on_char '/' s with
+  | [ p; proc ] -> begin
+      match (Platform.find p, Processor.find proc) with
+      | Some platform, Some processor -> Some (make platform processor)
+      | None, _ | _, None -> None
+    end
+  | [] | [ _ ] | _ :: _ :: _ -> None
+
+let default_rho = 3.
+
+let pp ppf t =
+  Format.fprintf ppf "%s (R=%gs, Pio=%.4g mW)" (name t) t.r t.p_io

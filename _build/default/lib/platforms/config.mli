@@ -1,0 +1,35 @@
+(** The eight virtual platform x processor configurations (Section 4.1).
+
+    A configuration pairs a {!Platform.t} with a {!Processor.t} and
+    freezes the experiment defaults: [r = c], [p_io] = dynamic CPU power
+    at the slowest speed, performance bound [rho = 3]. Every paper table
+    and figure is evaluated against one of these. *)
+
+type t = {
+  platform : Platform.t;
+  processor : Processor.t;
+  r : float;  (** Recovery time, seconds. Default: [platform.c]. *)
+  p_io : float;  (** Dynamic I/O power, mW. Default: {!Processor.default_p_io}. *)
+}
+
+val make :
+  ?r:float -> ?p_io:float -> Platform.t -> Processor.t -> t
+(** [make platform processor] applies the paper's defaults; [?r] and
+    [?p_io] override them.
+    @raise Invalid_argument on negative [r] or [p_io]. *)
+
+val name : t -> string
+(** ["Hera/XScale"]-style display name. *)
+
+val all : t list
+(** All eight configurations, platforms major, processors minor:
+    Hera/XScale, Hera/Crusoe, Atlas/XScale, ... *)
+
+val find : string -> t option
+(** [find "atlas/crusoe"] — case-insensitive ["platform/processor"]
+    lookup with paper defaults. *)
+
+val default_rho : float
+(** The paper's default performance bound, 3. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+type t = {
+  lambda : float;
+  c : float;
+  r : float option;
+  v : float;
+  kappa : float;
+  p_idle : float;
+  p_io : float option;
+  speeds : float list;
+}
+
+let required_keys = [ "lambda"; "c"; "v"; "kappa"; "p_idle"; "speeds" ]
+let known_keys = "r" :: "p_io" :: required_keys
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let start = ref 0 and stop = ref n in
+  while !start < n && is_space s.[!start] do
+    incr start
+  done;
+  while !stop > !start && is_space s.[!stop - 1] do
+    decr stop
+  done;
+  String.sub s !start (!stop - !start)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_float ~line_number key raw =
+  match float_of_string_opt (strip raw) with
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ | None ->
+      Error
+        (Printf.sprintf "line %d: key %s: %S is not a finite number"
+           line_number key raw)
+
+let parse_speeds ~line_number raw =
+  let parts = String.split_on_char ',' raw |> List.map strip in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ ->
+        Error (Printf.sprintf "line %d: empty entry in speeds" line_number)
+    | part :: rest -> begin
+        match float_of_string_opt part with
+        | Some f when Float.is_finite f -> go (f :: acc) rest
+        | Some _ | None ->
+            Error
+              (Printf.sprintf "line %d: speeds: %S is not a number"
+                 line_number part)
+      end
+  in
+  go [] parts
+
+let parse contents =
+  let table = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' contents in
+  let rec read line_number = function
+    | [] -> Ok ()
+    | line :: rest -> begin
+        let line = strip (strip_comment line) in
+        if line = "" then read (line_number + 1) rest
+        else
+          match String.index_opt line '=' with
+          | None ->
+              Error
+                (Printf.sprintf "line %d: expected key = value, got %S"
+                   line_number line)
+          | Some i ->
+              let key =
+                String.lowercase_ascii (strip (String.sub line 0 i))
+              in
+              let value =
+                strip (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              if not (List.mem key known_keys) then
+                Error (Printf.sprintf "line %d: unknown key %S" line_number key)
+              else if Hashtbl.mem table key then
+                Error
+                  (Printf.sprintf "line %d: duplicate key %S" line_number key)
+              else begin
+                Hashtbl.replace table key (line_number, value);
+                read (line_number + 1) rest
+              end
+      end
+  in
+  match read 1 lines with
+  | Error e -> Error e
+  | Ok () -> begin
+      let missing =
+        List.filter (fun k -> not (Hashtbl.mem table k)) required_keys
+      in
+      if missing <> [] then
+        Error ("missing required keys: " ^ String.concat ", " missing)
+      else
+        let get key = Hashtbl.find table key in
+        let float_field key =
+          let line_number, raw = get key in
+          parse_float ~line_number key raw
+        in
+        let optional_float key =
+          match Hashtbl.find_opt table key with
+          | None -> Ok None
+          | Some (line_number, raw) ->
+              Result.map Option.some (parse_float ~line_number key raw)
+        in
+        let ( let* ) = Result.bind in
+        let* lambda = float_field "lambda" in
+        let* c = float_field "c" in
+        let* v = float_field "v" in
+        let* kappa = float_field "kappa" in
+        let* p_idle = float_field "p_idle" in
+        let* r = optional_float "r" in
+        let* p_io = optional_float "p_io" in
+        let* speeds =
+          let line_number, raw = get "speeds" in
+          parse_speeds ~line_number raw
+        in
+        Ok { lambda; c; r; v; kappa; p_idle; p_io; speeds }
+    end
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error message -> Error message
+
+let to_string t =
+  let buffer = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  add "lambda = %.17g" t.lambda;
+  add "c = %.17g" t.c;
+  Option.iter (fun r -> add "r = %.17g" r) t.r;
+  add "v = %.17g" t.v;
+  add "kappa = %.17g" t.kappa;
+  add "p_idle = %.17g" t.p_idle;
+  Option.iter (fun p -> add "p_io = %.17g" p) t.p_io;
+  add "speeds = %s"
+    (String.concat ", " (List.map (Printf.sprintf "%.17g") t.speeds));
+  Buffer.contents buffer

@@ -1,0 +1,43 @@
+(** Custom environments from a key = value file.
+
+    The built-in Tables 1-2 cover the paper's evaluation; real users
+    have their own machines. This parser reads a minimal INI-like
+    format (no external dependency in the sealed environment):
+
+    {v
+    # my-cluster.env — comments with '#'
+    lambda  = 5.2e-6          # errors per second
+    c       = 450             # checkpoint seconds
+    r       = 400             # optional, defaults to c
+    v       = 30              # verification seconds at unit speed
+    kappa   = 2000            # dynamic power coefficient, mW
+    p_idle  = 80              # static power, mW
+    p_io    = 25              # optional, defaults to kappa * min_speed^3
+    speeds  = 0.2, 0.5, 0.8, 1.0
+    v}
+
+    Keys are case-insensitive; whitespace is free; unknown keys are an
+    error (typos should not silently disappear). *)
+
+type t = {
+  lambda : float;
+  c : float;
+  r : float option;
+  v : float;
+  kappa : float;
+  p_idle : float;
+  p_io : float option;
+  speeds : float list;
+}
+
+val parse : string -> (t, string) result
+(** Parse file contents. The error string carries the line number. *)
+
+val load : path:string -> (t, string) result
+(** Read and {!parse} a file. I/O errors become [Error]. *)
+
+val required_keys : string list
+(** ["lambda"; "c"; "v"; "kappa"; "p_idle"; "speeds"]. *)
+
+val to_string : t -> string
+(** Render back to the file format (round-trips through {!parse}). *)

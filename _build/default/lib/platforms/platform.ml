@@ -1,0 +1,24 @@
+type t = { name : string; lambda : float; c : float; v : float }
+
+let hera = { name = "Hera"; lambda = 3.38e-6; c = 300.; v = 15.4 }
+let atlas = { name = "Atlas"; lambda = 7.78e-6; c = 439.; v = 9.1 }
+let coastal = { name = "Coastal"; lambda = 2.01e-6; c = 1051.; v = 4.5 }
+
+let coastal_ssd =
+  { name = "Coastal SSD"; lambda = 2.01e-6; c = 2500.; v = 180. }
+
+let all = [ hera; atlas; coastal; coastal_ssd ]
+
+let normalize s =
+  String.lowercase_ascii s
+  |> String.map (function ' ' | '-' -> '_' | ch -> ch)
+
+let find name =
+  let wanted = normalize name in
+  List.find_opt (fun p -> normalize p.name = wanted) all
+
+let mtbf p = 1. /. p.lambda
+
+let pp ppf p =
+  Format.fprintf ppf "%s (lambda=%.3g /s, C=%gs, V=%gs)" p.name p.lambda p.c
+    p.v

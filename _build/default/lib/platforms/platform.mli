@@ -1,0 +1,39 @@
+(** Checkpointing platforms of the paper's Table 1.
+
+    The four LLNL platforms of Moody et al. (SC'10) as used in the
+    paper's experiments: silent-error rate [lambda] (per second of
+    wall-clock), checkpoint time [c] and full-speed verification time
+    [v], both in seconds. Recovery defaults to [r = c] (Section 4.1). *)
+
+type t = {
+  name : string;
+  lambda : float;  (** Silent error rate, errors per second. *)
+  c : float;  (** Checkpoint time, seconds. *)
+  v : float;  (** Verification time at full speed, seconds. *)
+}
+
+val hera : t
+(** Hera: lambda = 3.38e-6, C = 300 s, V = 15.4 s. *)
+
+val atlas : t
+(** Atlas: lambda = 7.78e-6, C = 439 s, V = 9.1 s. *)
+
+val coastal : t
+(** Coastal: lambda = 2.01e-6, C = 1051 s, V = 4.5 s. *)
+
+val coastal_ssd : t
+(** Coastal SSD: lambda = 2.01e-6, C = 2500 s, V = 180 s. *)
+
+val all : t list
+(** The four platforms in the paper's Table 1 order. *)
+
+val find : string -> t option
+(** [find name] looks a platform up by case-insensitive name
+    (["hera"], ["atlas"], ["coastal"], ["coastal_ssd"] or
+    ["coastal ssd"]). *)
+
+val mtbf : t -> float
+(** Platform MTBF, mu = 1 / lambda, in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering. *)

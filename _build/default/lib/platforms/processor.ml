@@ -1,0 +1,59 @@
+type t = { name : string; speeds : float list; kappa : float; p_idle : float }
+
+let xscale =
+  {
+    name = "XScale";
+    speeds = [ 0.15; 0.4; 0.6; 0.8; 1.0 ];
+    kappa = 1550.;
+    p_idle = 60.;
+  }
+
+let crusoe =
+  {
+    name = "Crusoe";
+    speeds = [ 0.45; 0.6; 0.8; 0.9; 1.0 ];
+    kappa = 5756.;
+    p_idle = 4.4;
+  }
+
+let all = [ xscale; crusoe ]
+
+let find name =
+  let wanted = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = wanted) all
+
+let cpu_power p sigma = p.kappa *. sigma *. sigma *. sigma
+let total_power p sigma = cpu_power p sigma +. p.p_idle
+
+let min_speed p =
+  match p.speeds with
+  | [] -> invalid_arg "Processor.min_speed: no speeds"
+  | s :: _ -> s
+
+let max_speed p =
+  match List.rev p.speeds with
+  | [] -> invalid_arg "Processor.max_speed: no speeds"
+  | s :: _ -> s
+
+let default_p_io p = cpu_power p (min_speed p)
+
+let validate p =
+  let rec strictly_increasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  in
+  if p.speeds = [] then Error "no speeds"
+  else if List.exists (fun s -> s <= 0. || s > 1.) p.speeds then
+    Error "speeds must lie in (0, 1]"
+  else if not (strictly_increasing p.speeds) then
+    Error "speeds must be strictly increasing"
+  else if p.kappa < 0. then Error "kappa must be non-negative"
+  else if p.p_idle < 0. then Error "p_idle must be non-negative"
+  else Ok ()
+
+let pp ppf p =
+  Format.fprintf ppf "%s (speeds: %a; P = %g s^3 + %g mW)" p.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf s -> Format.fprintf ppf "%g" s))
+    p.speeds p.kappa p.p_idle

@@ -1,0 +1,48 @@
+(** DVFS processors of the paper's Table 2.
+
+    A processor exposes a set of normalized speeds and a cubic power
+    law [P(sigma) = kappa * sigma^3 + p_idle] (mW): [kappa * sigma^3]
+    is the dynamic CPU power and [p_idle] the static power. The default
+    I/O power follows the paper's rule — the dynamic CPU power at the
+    slowest available speed. *)
+
+type t = {
+  name : string;
+  speeds : float list;  (** Normalized speeds, strictly increasing, in (0, 1]. *)
+  kappa : float;  (** Dynamic power coefficient, mW per (unit speed)^3. *)
+  p_idle : float;  (** Static (idle) power, mW. *)
+}
+
+val xscale : t
+(** Intel XScale: speeds 0.15/0.4/0.6/0.8/1, P = 1550 s^3 + 60 mW. *)
+
+val crusoe : t
+(** Transmeta Crusoe: speeds 0.45/0.6/0.8/0.9/1, P = 5756 s^3 + 4.4 mW. *)
+
+val all : t list
+(** Both processors in Table 2 order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name (["xscale"], ["crusoe"]). *)
+
+val cpu_power : t -> float -> float
+(** [cpu_power p sigma] is the dynamic power [kappa * sigma^3], mW. *)
+
+val total_power : t -> float -> float
+(** [total_power p sigma] is [cpu_power p sigma +. p_idle], mW. *)
+
+val default_p_io : t -> float
+(** Default dynamic I/O power: [cpu_power p (min speed)] (Section 4.1). *)
+
+val min_speed : t -> float
+(** Slowest available speed. *)
+
+val max_speed : t -> float
+(** Fastest available speed. *)
+
+val validate : t -> (unit, string) result
+(** Check the invariants: non-empty strictly increasing speeds in
+    (0, 1], non-negative powers. The built-in processors satisfy it;
+    exposed so users can vet custom processors. *)
+
+val pp : Format.formatter -> t -> unit

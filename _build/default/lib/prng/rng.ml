@@ -1,0 +1,47 @@
+type t = { gen : Xoshiro256.t }
+
+let create ~seed = { gen = Xoshiro256.of_seed (Int64.of_int seed) }
+let of_xoshiro gen = { gen }
+
+let split t n =
+  if n < 0 then invalid_arg "Rng.split: negative count";
+  Array.init n (fun _ ->
+      let child = Xoshiro256.copy t.gen in
+      Xoshiro256.jump t.gen;
+      { gen = child })
+
+(* Top 53 bits scaled by 2^-53: the standard unbiased (0,1) mapping. *)
+let float t =
+  let bits = Int64.shift_right_logical (Xoshiro256.next t.gen) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t ~lo ~hi =
+  if lo >= hi then invalid_arg "Rng.uniform: empty interval";
+  lo +. ((hi -. lo) *. float t)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate <= 0";
+  (* u in [0,1) so 1-u in (0,1]; log1p (-u) = log (1-u) without the
+     catastrophic cancellation of log near 1. *)
+  let u = float t in
+  -.Float.log1p (-.u) /. rate
+
+let bernoulli t ~p =
+  if p < 0. || p > 1. then invalid_arg "Rng.bernoulli: p outside [0, 1]";
+  float t < p
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let bound64 = Int64.of_int bound in
+  (* Rejection sampling on the top bits of the 63-bit non-negative
+     range removes modulo bias. *)
+  let rec draw () =
+    let raw = Int64.shift_right_logical (Xoshiro256.next t.gen) 1 in
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t ~bound:(Array.length a))

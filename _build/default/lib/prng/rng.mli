@@ -1,0 +1,42 @@
+(** High-level random source used throughout the simulator.
+
+    Wraps {!Xoshiro256} with float conversion and the distributions the
+    execution model needs. Exponential variates drive both silent and
+    fail-stop error arrivals (the paper's error model, Section 2.1). *)
+
+type t
+(** A random source. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a deterministic source from an integer seed. *)
+
+val of_xoshiro : Xoshiro256.t -> t
+(** Wrap an existing generator (shares its state). *)
+
+val split : t -> int -> t array
+(** [split t n] derives [n] sources on non-overlapping subsequences of
+    the parent stream (successive 2^128-step jumps); the parent must not
+    be used afterwards. Used to give each Monte-Carlo replica an
+    independent stream. @raise Invalid_argument if [n < 0]. *)
+
+val float : t -> float
+(** Uniform float in [0, 1): 53 random mantissa bits. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). @raise Invalid_argument if [lo >= hi]. *)
+
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] draws from Exp(rate) (mean [1/rate]) by
+    inversion with [log1p] for accuracy near 0.
+    @raise Invalid_argument if [rate <= 0.]. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p].
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [0, bound), rejection-sampled to avoid modulo
+    bias. @raise Invalid_argument if [bound <= 0]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. @raise Invalid_argument on empty array. *)

@@ -1,0 +1,24 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, statistically solid 64-bit generator whose primary role here
+    is seeding: expanding one user seed into the 256-bit state that
+    {!Xoshiro256} requires, and deriving independent per-replica seeds
+    for Monte-Carlo runs. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from any 64-bit seed (all seeds,
+    including 0L, are valid). *)
+
+val next : t -> int64
+(** Next raw 64-bit output; advances the state. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of
+    the parent's subsequent outputs (gamma-less approximation: the
+    child is seeded from the parent's next output). *)
+
+val copy : t -> t
+(** Snapshot of the current state; the copy evolves independently. *)

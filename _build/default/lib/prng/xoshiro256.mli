@@ -1,0 +1,29 @@
+(** xoshiro256** generator (Blackman & Vigna 2018).
+
+    The workhorse generator of the simulation substrate: 256-bit state,
+    period 2^256 - 1, and a [jump] function advancing 2^128 steps so
+    that replicas can draw from provably non-overlapping subsequences. *)
+
+type t
+(** Mutable generator state. *)
+
+val of_seed : int64 -> t
+(** [of_seed seed] initializes the 256-bit state from [seed] via
+    SplitMix64, the initialization the authors recommend. *)
+
+val of_state : int64 * int64 * int64 * int64 -> t
+(** Build a generator from an explicit state.
+    @raise Invalid_argument if the state is all zeros (the one
+    forbidden state). *)
+
+val next : t -> int64
+(** Next raw 64-bit output; advances the state. *)
+
+val jump : t -> unit
+(** Advance the state by 2^128 steps in O(1) word operations. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val state : t -> int64 * int64 * int64 * int64
+(** Current state words (for serialization in traces). *)

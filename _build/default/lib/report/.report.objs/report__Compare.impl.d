@@ -1,0 +1,1 @@
+lib/report/compare.ml: Buffer Float Format List Printf

@@ -1,0 +1,1 @@
+lib/report/gnuplot.ml: Array Buffer Float Fun List Option Printf String

@@ -1,0 +1,95 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+  glyph : char;
+}
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let render ?(width = 72) ?(height = 20) ?(logx = false) ~title all_series =
+  if width < 16 then invalid_arg "Chart.render: width < 16";
+  if height < 4 then invalid_arg "Chart.render: height < 4";
+  let usable =
+    List.map
+      (fun s ->
+        let points =
+          List.filter
+            (fun ((x, _) as p) -> finite p && ((not logx) || x > 0.))
+            s.points
+        in
+        { s with points })
+      all_series
+    |> List.filter (fun s -> s.points <> [])
+  in
+  let buffer = Buffer.create 2048 in
+  Buffer.add_string buffer (title ^ "\n");
+  if usable = [] then begin
+    Buffer.add_string buffer "(no data)\n";
+    Buffer.contents buffer
+  end
+  else begin
+    let xs =
+      List.concat_map (fun s -> List.map fst s.points) usable
+      |> List.map (fun x -> if logx then log x else x)
+    in
+    let ys = List.concat_map (fun s -> List.map snd s.points) usable in
+    let x_min = List.fold_left Float.min (List.hd xs) xs in
+    let x_max = List.fold_left Float.max (List.hd xs) xs in
+    let y_min = List.fold_left Float.min (List.hd ys) ys in
+    let y_max = List.fold_left Float.max (List.hd ys) ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot s =
+      List.iter
+        (fun (x, y) ->
+          let x = if logx then log x else x in
+          let column =
+            int_of_float
+              (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+          in
+          let row =
+            height - 1
+            - int_of_float
+                (Float.round
+                   ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+          in
+          if row >= 0 && row < height && column >= 0 && column < width then
+            canvas.(row).(column) <- s.glyph)
+        s.points
+    in
+    List.iter plot usable;
+    let y_label_width = 10 in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then Printf.sprintf "%*.4g" y_label_width y_max
+          else if row = height - 1 then
+            Printf.sprintf "%*.4g" y_label_width y_min
+          else String.make y_label_width ' '
+        in
+        Buffer.add_string buffer (label ^ " |");
+        Buffer.add_string buffer (String.init width (fun i -> line.(i)));
+        Buffer.add_char buffer '\n')
+      canvas;
+    Buffer.add_string buffer (String.make (y_label_width + 1) ' ');
+    Buffer.add_string buffer ("+" ^ String.make width '-');
+    Buffer.add_char buffer '\n';
+    let x_lo = if logx then exp x_min else x_min in
+    let x_hi = if logx then exp x_max else x_max in
+    let left = Printf.sprintf "%.4g" x_lo in
+    let right = Printf.sprintf "%.4g" x_hi in
+    let pad =
+      Int.max 1 (width - String.length left - String.length right)
+    in
+    Buffer.add_string buffer
+      (String.make (y_label_width + 2) ' ' ^ left ^ String.make pad ' '
+     ^ right);
+    Buffer.add_char buffer '\n';
+    let legend =
+      String.concat "   "
+        (List.map (fun s -> Printf.sprintf "%c = %s" s.glyph s.label) usable)
+    in
+    Buffer.add_string buffer ("  " ^ legend ^ "\n");
+    Buffer.contents buffer
+  end

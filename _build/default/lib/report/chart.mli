@@ -1,0 +1,22 @@
+(** Terminal line charts.
+
+    Renders one or two series as a plain-ASCII chart so the CLI's
+    [figure] subcommand can show the paper's curves without gnuplot.
+    Deterministic output (pure text), hence golden-testable. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** Must be sorted by x. *)
+  glyph : char;  (** Mark used for this series, e.g. '*' or '+'. *)
+}
+
+val render :
+  ?width:int -> ?height:int -> ?logx:bool -> title:string ->
+  series list -> string
+(** [render ~title series] draws the series on a [width] x [height]
+    character canvas (defaults 72 x 20) with min/max axis annotations.
+    Series with no finite points are skipped; an empty chart renders a
+    placeholder line. When two series overlap on a cell the later
+    series' glyph wins. [logx] spaces the x axis logarithmically
+    (points with non-positive x are dropped).
+    @raise Invalid_argument if [width < 16] or [height < 4]. *)

@@ -1,0 +1,57 @@
+type verdict = Exact | Shape of string | Deviates of string
+
+type entry = {
+  experiment : string;
+  metric : string;
+  paper : string;
+  measured : string;
+  verdict : verdict;
+}
+
+let entry ~experiment ~metric ~paper ~measured ~verdict =
+  { experiment; metric; paper; measured; verdict }
+
+let numeric ~experiment ~metric ~paper ~measured ?(tolerance = 1e-3) () =
+  let close =
+    Float.abs (measured -. paper)
+    <= 1.0 +. (tolerance *. Float.abs paper)
+  in
+  {
+    experiment;
+    metric;
+    paper = Printf.sprintf "%g" paper;
+    measured = Printf.sprintf "%g" measured;
+    verdict =
+      (if close then Exact
+       else
+         Deviates
+           (Printf.sprintf "off by %.3g%%"
+              (100. *. Float.abs ((measured -. paper) /. paper))));
+  }
+
+let all_ok entries =
+  List.for_all
+    (fun e -> match e.verdict with Exact | Shape _ -> true | Deviates _ -> false)
+    entries
+
+let verdict_string = function
+  | Exact -> "exact"
+  | Shape s -> "shape: " ^ s
+  | Deviates s -> "DEVIATES: " ^ s
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%s] %s: paper=%s measured=%s (%s)" e.experiment
+    e.metric e.paper e.measured (verdict_string e.verdict)
+
+let render_markdown entries =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    "| Experiment | Metric | Paper | Measured | Verdict |\n";
+  Buffer.add_string buffer "|---|---|---|---|---|\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buffer
+        (Printf.sprintf "| %s | %s | %s | %s | %s |\n" e.experiment e.metric
+           e.paper e.measured (verdict_string e.verdict)))
+    entries;
+  Buffer.contents buffer

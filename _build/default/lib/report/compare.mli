@@ -1,0 +1,36 @@
+(** Paper-vs-measured comparison records.
+
+    EXPERIMENTS.md and the bench harness report every reproduced
+    quantity through these records, so "paper said / we measured /
+    verdict" is rendered uniformly. *)
+
+type verdict =
+  | Exact  (** Within rounding of the paper's printed number. *)
+  | Shape of string  (** Qualitative property reproduced; says which. *)
+  | Deviates of string  (** Reproduction differs; says how/why. *)
+
+type entry = {
+  experiment : string;  (** e.g. "Table rho=3" or "Fig 2". *)
+  metric : string;  (** e.g. "Wopt(0.4, 0.4)". *)
+  paper : string;  (** The paper's value or claim, as printed. *)
+  measured : string;  (** Our number/result. *)
+  verdict : verdict;
+}
+
+val entry :
+  experiment:string -> metric:string -> paper:string -> measured:string ->
+  verdict:verdict -> entry
+
+val numeric :
+  experiment:string -> metric:string -> paper:float -> measured:float ->
+  ?tolerance:float -> unit -> entry
+(** Compare numbers: verdict [Exact] when the measured value rounds to
+    the paper's within [tolerance] (default: relative 1e-3 plus
+    absolute 1.0, matching the paper's integer-printed tables). *)
+
+val all_ok : entry list -> bool
+(** No [Deviates] verdict present. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val render_markdown : entry list -> string
+(** A GitHub-flavoured markdown table of the entries. *)

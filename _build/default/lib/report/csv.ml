@@ -1,0 +1,39 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let to_string ~header ~rows =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (row_to_string header);
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (row_to_string row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let of_float_rows ~header ~rows =
+  let cell v = if Float.is_nan v then "" else Printf.sprintf "%.17g" v in
+  to_string ~header
+    ~rows:(List.map (fun row -> List.map cell (Array.to_list row)) rows)
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,17 @@
+(** Minimal CSV writer (RFC 4180 quoting) for exporting sweep series. *)
+
+val escape : string -> string
+(** Quote a field iff it contains a comma, quote, CR or LF. *)
+
+val row_to_string : string list -> string
+(** One CSV line, without trailing newline. *)
+
+val to_string : header:string list -> rows:string list list -> string
+(** Full document, newline-terminated lines. *)
+
+val of_float_rows : header:string list -> rows:float array list -> string
+(** Convenience: floats rendered with [%.17g] (round-trip safe), NaN
+    as an empty field. *)
+
+val write_file : path:string -> string -> unit
+(** Write a document to [path] (truncating). *)

@@ -1,0 +1,43 @@
+let data_block ?comment ~columns ~rows () =
+  let buffer = Buffer.create 1024 in
+  Option.iter (fun c -> Buffer.add_string buffer ("# " ^ c ^ "\n")) comment;
+  Buffer.add_string buffer ("# " ^ String.concat " " columns ^ "\n");
+  List.iter
+    (fun row ->
+      let cells =
+        Array.to_list row
+        |> List.map (fun v ->
+               if Float.is_nan v then "?" else Printf.sprintf "%.10g" v)
+      in
+      Buffer.add_string buffer (String.concat " " cells);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let script ~output ~title ~xlabel ~ylabel ?(logx = false) ~data_file ~series
+    () =
+  let buffer = Buffer.create 512 in
+  let add line = Buffer.add_string buffer (line ^ "\n") in
+  add "set terminal pngcairo size 800,600";
+  add (Printf.sprintf "set output %S" output);
+  add (Printf.sprintf "set title %S" title);
+  add (Printf.sprintf "set xlabel %S" xlabel);
+  add (Printf.sprintf "set ylabel %S" ylabel);
+  add "set datafile missing \"?\"";
+  add "set key top left";
+  if logx then add "set logscale x";
+  let plots =
+    List.map
+      (fun (col, legend) ->
+        Printf.sprintf "%S using 1:%d with linespoints title %S" data_file col
+          legend)
+      series
+  in
+  add ("plot " ^ String.concat ", \\\n     " plots);
+  Buffer.contents buffer
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,19 @@
+(** Gnuplot-ready data files: whitespace-separated columns with a
+    commented header, one block per series — the format the paper's
+    figures were almost certainly plotted from. *)
+
+val data_block :
+  ?comment:string -> columns:string list -> rows:float array list -> unit ->
+  string
+(** One data block. NaN cells render as ["?"] (gnuplot's missing-data
+    marker with [set datafile missing "?"]). *)
+
+val script :
+  output:string -> title:string -> xlabel:string -> ylabel:string ->
+  ?logx:bool -> data_file:string -> series:(int * string) list -> unit ->
+  string
+(** A small gnuplot script plotting columns of [data_file]:
+    [series = [(column_index_1based, legend); ...]] against column 1,
+    writing a PNG to [output]. *)
+
+val write_file : path:string -> string -> unit

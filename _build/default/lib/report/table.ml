@@ -1,0 +1,84 @@
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reverse order *)
+}
+
+let create ?aligns ~header () =
+  if header = [] then invalid_arg "Table.create: empty header";
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) header
+    | Some a ->
+        if List.length a <> List.length header then
+          invalid_arg "Table.create: aligns/header length mismatch"
+        else a
+  in
+  { header; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let add_float_row ?(precision = 6) t row =
+  let cell v =
+    if Float.is_nan v then "-" else Printf.sprintf "%.*g" precision v
+  in
+  add_row t (List.map cell row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w c -> Int.max w (String.length c)) widths row)
+      (List.map String.length t.header)
+      rows
+  in
+  let pad align width cell =
+    let fill = String.make (width - String.length cell) ' ' in
+    match align with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let render_row row =
+    let cells =
+      List.map2 (fun (a, w) c -> pad a w c) (List.combine t.aligns widths) row
+    in
+    String.concat "  " cells
+  in
+  let separator =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_row t.header);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer separator;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (render_row row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let render_markdown t =
+  let escape cell =
+    String.concat "\\|" (String.split_on_char '|' cell)
+  in
+  let row cells = "| " ^ String.concat " | " (List.map escape cells) ^ " |" in
+  let marker = function Left -> ":---" | Right -> "---:" in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (row t.header);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer
+    ("| " ^ String.concat " | " (List.map marker t.aligns) ^ " |");
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun cells ->
+      Buffer.add_string buffer (row cells);
+      Buffer.add_char buffer '\n')
+    (List.rev t.rows);
+  Buffer.contents buffer
+
+let print t = print_string (render t)

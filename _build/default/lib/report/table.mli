@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark harness and CLI.
+
+    Produces the aligned ASCII tables that mirror the paper's Section
+    4.2 tables and the per-figure series dumps. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table; [aligns] defaults to [Right]
+    for every column.
+    @raise Invalid_argument if [header] is empty or [aligns] has a
+    different length. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_float_row : ?precision:int -> t -> float list -> unit
+(** Formats each value with [%.*g] ([precision] defaults to 6); NaN
+    renders as ["-"], matching the paper's infeasible-cell symbol. *)
+
+val render : t -> string
+(** The full table with a header separator, newline-terminated. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown rendering (pipes escaped in cells,
+    alignment markers in the separator row). *)
+
+val print : t -> unit
+(** [print t] writes {!render} to stdout. *)

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Core Fault Float Machine Trace

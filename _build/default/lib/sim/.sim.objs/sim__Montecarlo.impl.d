@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Array Core Executor Float Format Machine Numerics Prng

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Core Format Numerics

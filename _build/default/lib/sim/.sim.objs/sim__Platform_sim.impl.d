@@ -1,0 +1,1 @@
+lib/sim/platform_sim.ml: Array Core Float List Machine Option Pqueue Prng Trace

@@ -1,0 +1,1 @@
+lib/sim/platform_sim.mli: Core Machine Prng Trace

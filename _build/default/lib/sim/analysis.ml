@@ -1,0 +1,84 @@
+type breakdown = {
+  productive : float;
+  wasted : float;
+  checkpoint : float;
+  recovery : float;
+  completed_work : float;
+  failed_attempts : int;
+  successful_patterns : int;
+}
+
+type pending = { exec_time : float; work : float }
+
+let empty_pending = { exec_time = 0.; work = 0. }
+
+let breakdown trace =
+  (* Accumulate the current attempt's execution in [pending]; commit it
+     to productive on Checkpoint, to wasted on Recovery (or at end of
+     trace for a truncated attempt). *)
+  let acc =
+    List.fold_left
+      (fun (b, pending) (e : Trace.event) ->
+        match e.segment with
+        | Trace.Compute { duration; work; _ } ->
+            ( b,
+              {
+                exec_time = pending.exec_time +. duration;
+                work = pending.work +. work;
+              } )
+        | Trace.Verify { duration; _ } ->
+            (b, { pending with exec_time = pending.exec_time +. duration })
+        | Trace.Fail_stop { elapsed } ->
+            (b, { pending with exec_time = pending.exec_time +. elapsed })
+        | Trace.Checkpoint { duration } ->
+            ( {
+                b with
+                productive = b.productive +. pending.exec_time;
+                checkpoint = b.checkpoint +. duration;
+                completed_work = b.completed_work +. pending.work;
+                successful_patterns = b.successful_patterns + 1;
+              },
+              empty_pending )
+        | Trace.Recovery { duration } ->
+            ( {
+                b with
+                wasted = b.wasted +. pending.exec_time;
+                recovery = b.recovery +. duration;
+                failed_attempts = b.failed_attempts + 1;
+              },
+              empty_pending ))
+      ( {
+          productive = 0.;
+          wasted = 0.;
+          checkpoint = 0.;
+          recovery = 0.;
+          completed_work = 0.;
+          failed_attempts = 0;
+          successful_patterns = 0;
+        },
+        empty_pending )
+      trace
+  in
+  let b, pending = acc in
+  if pending.exec_time > 0. then { b with wasted = b.wasted +. pending.exec_time }
+  else b
+
+let total_time b = b.productive +. b.wasted +. b.checkpoint +. b.recovery
+
+let utilization b =
+  let total = total_time b in
+  if total = 0. then 0. else b.productive /. total
+
+let waste_ratio b =
+  let total = total_time b in
+  if total = 0. then 0. else (b.wasted +. b.recovery) /. total
+
+let pp ppf b =
+  Format.fprintf ppf
+    "@[<v>productive: %.1f s (%.1f%%)@ wasted:     %.1f s@ checkpoint: %.1f \
+     s@ recovery:   %.1f s@ completed work: %.1f units over %d patterns (%d \
+     failed attempts)@]"
+    b.productive
+    (100. *. utilization b)
+    b.wasted b.checkpoint b.recovery b.completed_work b.successful_patterns
+    b.failed_attempts

@@ -1,0 +1,37 @@
+(** Trace analytics: where did the time and energy go?
+
+    Folds a {!Trace.t} into the breakdown resilience papers report:
+    productive execution (attempts that ended in a checkpoint), wasted
+    execution (attempts killed by an error, including the partial time
+    of fail-stop strikes), checkpointing, and recovery. *)
+
+type breakdown = {
+  productive : float;
+      (** Compute + verification seconds of successful attempts. *)
+  wasted : float;
+      (** Compute + verification seconds of failed attempts, including
+          the partial execution cut short by fail-stop errors. *)
+  checkpoint : float;  (** Seconds spent writing checkpoints. *)
+  recovery : float;  (** Seconds spent recovering. *)
+  completed_work : float;
+      (** Work units whose pattern eventually checkpointed. *)
+  failed_attempts : int;
+  successful_patterns : int;
+}
+
+val breakdown : Trace.t -> breakdown
+(** Classify every segment of a (well-formed) trace. A trailing
+    unfinished attempt (trace truncated mid-pattern) counts as wasted. *)
+
+val total_time : breakdown -> float
+(** Sum of the four time buckets. *)
+
+val utilization : breakdown -> float
+(** [productive / total_time] — the fraction of wall-clock time doing
+    work that survived; 0. for an empty trace. *)
+
+val waste_ratio : breakdown -> float
+(** [(wasted + recovery) / total_time] — the resilience overhead paid
+    to errors; 0. for an empty trace. *)
+
+val pp : Format.formatter -> breakdown -> unit

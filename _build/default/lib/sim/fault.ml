@@ -1,0 +1,43 @@
+type t =
+  | Poisson of float
+  | Scripted of float list ref
+
+let create ~rate =
+  if not (Float.is_finite rate) || rate < 0. then
+    invalid_arg "Fault.create: rate must be a non-negative finite float";
+  Poisson rate
+
+let scripted ~arrivals =
+  if List.exists (fun a -> a < 0. || Float.is_nan a) arrivals then
+    invalid_arg "Fault.scripted: arrivals must be non-negative";
+  Scripted (ref arrivals)
+
+let rate = function
+  | Poisson rate -> rate
+  | Scripted _ -> invalid_arg "Fault.rate: scripted process has no rate"
+
+let pop schedule =
+  match !schedule with
+  | [] -> infinity
+  | arrival :: rest ->
+      schedule := rest;
+      arrival
+
+let first_arrival t rng =
+  match t with
+  | Poisson 0. -> infinity
+  | Poisson rate -> Prng.Rng.exponential rng ~rate
+  | Scripted schedule -> pop schedule
+
+let strikes_within t rng ~duration =
+  if duration < 0. then invalid_arg "Fault.strikes_within: negative duration";
+  let arrival = first_arrival t rng in
+  if arrival < duration then Some arrival else None
+
+let strike_probability t ~duration =
+  if duration < 0. then
+    invalid_arg "Fault.strike_probability: negative duration";
+  match t with
+  | Poisson rate -> -.Float.expm1 (-.rate *. duration)
+  | Scripted _ ->
+      invalid_arg "Fault.strike_probability: scripted process"

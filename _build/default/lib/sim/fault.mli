@@ -1,0 +1,41 @@
+(** Fault processes (Section 2.1 error model).
+
+    Two kinds: {!create} builds the paper's Poisson process (silent and
+    fail-stop errors arrive exponentially in wall-clock time; by
+    memorylessness each execution segment draws its first arrival
+    independently), and {!scripted} builds a deterministic process for
+    failure-injection tests — each query consumes the next scheduled
+    arrival, interpreted as an offset into the queried segment. *)
+
+type t
+(** A fault process. Scripted processes are stateful: queries consume
+    their schedule. *)
+
+val create : rate:float -> t
+(** Poisson process of [rate] errors per second.
+    @raise Invalid_argument on negative or non-finite [rate]. A zero
+    rate is a process that never fires. *)
+
+val scripted : arrivals:float list -> t
+(** Deterministic process: the k-th query (via {!first_arrival} or
+    {!strikes_within}) consumes the k-th element as the arrival offset
+    of that segment; once the schedule is exhausted the process never
+    fires again. @raise Invalid_argument on a negative arrival. *)
+
+val rate : t -> float
+(** The Poisson rate. @raise Invalid_argument on a scripted process. *)
+
+val first_arrival : t -> Prng.Rng.t -> float
+(** Time to the next fault from the segment start; [infinity] for a
+    zero-rate or exhausted process. Consumes one scripted entry. *)
+
+val strikes_within : t -> Prng.Rng.t -> duration:float -> float option
+(** [strikes_within t rng ~duration] is [Some arrival_time] (measured
+    from the segment start, < duration) if the process fires during a
+    segment of length [duration], else [None]. Consumes one scripted
+    entry either way.
+    @raise Invalid_argument on negative [duration]. *)
+
+val strike_probability : t -> duration:float -> float
+(** Closed-form [1 - exp (-rate * duration)], for assertions.
+    @raise Invalid_argument on a scripted process or negative duration. *)

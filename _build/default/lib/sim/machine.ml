@@ -1,0 +1,27 @@
+type t = {
+  power : Core.Power.t;
+  mutable clock : float;
+  energy : Numerics.Summation.t;
+}
+
+let create power = { power; clock = 0.; energy = Numerics.Summation.create () }
+
+let advance_compute t ~speed ~duration =
+  if duration < 0. then invalid_arg "Machine.advance_compute: negative duration";
+  if speed <= 0. then invalid_arg "Machine.advance_compute: non-positive speed";
+  t.clock <- t.clock +. duration;
+  Numerics.Summation.add t.energy
+    (duration *. Core.Power.compute_total t.power speed)
+
+let advance_io t ~duration =
+  if duration < 0. then invalid_arg "Machine.advance_io: negative duration";
+  t.clock <- t.clock +. duration;
+  Numerics.Summation.add t.energy (duration *. Core.Power.io_total t.power)
+
+let clock t = t.clock
+let energy t = Numerics.Summation.total t.energy
+let power t = t.power
+
+let reset t =
+  t.clock <- 0.;
+  Numerics.Summation.reset t.energy

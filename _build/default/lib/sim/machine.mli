@@ -1,0 +1,31 @@
+(** DVFS machine: virtual clock plus segment-wise energy integration.
+
+    Mirrors Section 2.1 exactly: a compute or verification segment at
+    speed [sigma] draws [Pidle + kappa sigma^3]; an I/O segment
+    (checkpoint or recovery) draws [Pidle + Pio]. Energy accumulates in
+    a compensated sum so that million-segment runs keep full precision. *)
+
+type t
+
+val create : Core.Power.t -> t
+(** A machine at time 0 with zero energy. *)
+
+val advance_compute : t -> speed:float -> duration:float -> unit
+(** Advance the clock by [duration] seconds of computation (or
+    verification) at [speed], charging compute power.
+    @raise Invalid_argument on negative duration or non-positive speed. *)
+
+val advance_io : t -> duration:float -> unit
+(** Advance through an I/O (checkpoint/recovery) segment.
+    @raise Invalid_argument on negative duration. *)
+
+val clock : t -> float
+(** Current wall-clock time, seconds. *)
+
+val energy : t -> float
+(** Energy consumed so far, mW * s (i.e. mJ). *)
+
+val power : t -> Core.Power.t
+
+val reset : t -> unit
+(** Back to time 0 / zero energy (the power model is kept). *)

@@ -1,0 +1,116 @@
+type estimate = {
+  time : Numerics.Stats.summary;
+  energy : Numerics.Stats.summary;
+  re_executions_mean : float;
+}
+
+type check = {
+  label : string;
+  expected : float;
+  observed : Numerics.Stats.summary;
+  z : float;
+  ok : bool;
+}
+
+let replicate ~replicas ~seed run =
+  if replicas < 1 then invalid_arg "Montecarlo: replicas must be >= 1";
+  let root = Prng.Rng.create ~seed in
+  let rngs = Prng.Rng.split root replicas in
+  Array.map run rngs
+
+let pattern_estimate ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 =
+  let outcomes =
+    replicate ~replicas ~seed (fun rng ->
+        let machine = Machine.create power in
+        Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
+  in
+  {
+    time =
+      Numerics.Stats.summarize
+        (Array.map (fun (o : Executor.pattern_outcome) -> o.time) outcomes);
+    energy =
+      Numerics.Stats.summarize
+        (Array.map (fun (o : Executor.pattern_outcome) -> o.energy) outcomes);
+    re_executions_mean =
+      Numerics.Stats.mean
+        (Array.map
+           (fun (o : Executor.pattern_outcome) ->
+             float_of_int o.re_executions)
+           outcomes);
+  }
+
+let application_estimate ~replicas ~seed ~model ~power ~w_base ~pattern_w
+    ~sigma1 ~sigma2 =
+  let outcomes =
+    replicate ~replicas ~seed (fun rng ->
+        Executor.run_application ~model ~power ~rng ~w_base ~pattern_w ~sigma1
+          ~sigma2 ())
+  in
+  {
+    time =
+      Numerics.Stats.summarize
+        (Array.map (fun (o : Executor.outcome) -> o.makespan) outcomes);
+    energy =
+      Numerics.Stats.summarize
+        (Array.map (fun (o : Executor.outcome) -> o.total_energy) outcomes);
+    re_executions_mean =
+      Numerics.Stats.mean
+        (Array.map
+           (fun (o : Executor.outcome) -> float_of_int o.re_executions)
+           outcomes);
+  }
+
+let make_check ~label ~z ~expected (observed : Numerics.Stats.summary) =
+  let score =
+    if observed.std_error = 0. then
+      if Numerics.Float_utils.approx_equal observed.mean expected then 0.
+      else infinity
+    else Float.abs (observed.mean -. expected) /. observed.std_error
+  in
+  { label; expected; observed; z = score; ok = score <= z }
+
+let samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 =
+  replicate ~replicas ~seed (fun rng ->
+      let machine = Machine.create power in
+      Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
+
+let check_pattern_time ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
+    ~sigma2 () =
+  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
+  let observed =
+    Numerics.Stats.summarize
+      (Array.map (fun (o : Executor.pattern_outcome) -> o.time) outcomes)
+  in
+  make_check ~label:"pattern time" ~z
+    ~expected:(Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
+    observed
+
+let check_pattern_energy ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
+    ~sigma2 () =
+  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
+  let observed =
+    Numerics.Stats.summarize
+      (Array.map (fun (o : Executor.pattern_outcome) -> o.energy) outcomes)
+  in
+  make_check ~label:"pattern energy" ~z
+    ~expected:(Core.Mixed.expected_energy model power ~w ~sigma1 ~sigma2)
+    observed
+
+let check_reexecutions ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
+    ~sigma2 () =
+  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
+  let observed =
+    Numerics.Stats.summarize
+      (Array.map
+         (fun (o : Executor.pattern_outcome) -> float_of_int o.re_executions)
+         outcomes)
+  in
+  let p1 = Core.Mixed.success_probability model ~w ~sigma:sigma1 in
+  let p2 = Core.Mixed.success_probability model ~w ~sigma:sigma2 in
+  make_check ~label:"re-executions" ~z ~expected:((1. -. p1) /. p2) observed
+
+let pp_check ppf c =
+  Format.fprintf ppf
+    "%s: expected %.6g, observed %.6g +/- %.2g (n=%d, z=%.2f) %s" c.label
+    c.expected c.observed.mean c.observed.std_error c.observed.n c.z
+    (if c.ok then "OK" else "MISMATCH")

@@ -1,0 +1,52 @@
+(** Replicated simulation runs and model-vs-simulation comparison.
+
+    Each replica draws from an independent xoshiro256** subsequence
+    (2^128-step jumps), so replicas are statistically independent and
+    every experiment is reproducible from its seed. *)
+
+type estimate = {
+  time : Numerics.Stats.summary;
+  energy : Numerics.Stats.summary;
+  re_executions_mean : float;
+}
+
+type check = {
+  label : string;
+  expected : float;  (** Model prediction. *)
+  observed : Numerics.Stats.summary;  (** Simulated distribution. *)
+  z : float;  (** Standard scores of the discrepancy; 0 when exact. *)
+  ok : bool;  (** Expected value inside the wide confidence interval. *)
+}
+
+val pattern_estimate :
+  replicas:int -> seed:int -> model:Core.Mixed.t -> power:Core.Power.t ->
+  w:float -> sigma1:float -> sigma2:float -> estimate
+(** Simulate one pattern [replicas] times.
+    @raise Invalid_argument if [replicas < 1]. *)
+
+val application_estimate :
+  replicas:int -> seed:int -> model:Core.Mixed.t -> power:Core.Power.t ->
+  w_base:float -> pattern_w:float -> sigma1:float -> sigma2:float -> estimate
+(** Simulate the full divisible application [replicas] times; [time]
+    summarizes makespans and [energy] total energies. *)
+
+val check_pattern_time :
+  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
+(** Compare the simulated mean pattern time against
+    {!Core.Mixed.expected_time}. [z] (default 3.89, ~1e-4 two-sided)
+    sets the acceptance width. *)
+
+val check_pattern_energy :
+  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
+(** Same comparison for {!Core.Mixed.expected_energy}. *)
+
+val check_reexecutions :
+  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
+(** Compare the simulated mean number of re-executions against the
+    closed form [(1 - P1) / P2] implied by the recursion — equal to
+    {!Core.Exact.expected_reexecutions} when [lambda_f = 0.]. *)
+
+val pp_check : Format.formatter -> check -> unit

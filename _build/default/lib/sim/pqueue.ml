@@ -1,0 +1,97 @@
+(* Array-backed binary min-heap ordered by (priority, sequence): the
+   sequence number makes ties deterministic (FIFO among equals). *)
+
+type 'a entry = { priority : float; sequence : int; payload : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;  (* length = capacity, not size *)
+  mutable size : int;
+  mutable next_sequence : int;
+}
+
+let create () = { entries = [||]; size = 0; next_sequence = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b =
+  a.priority < b.priority
+  || (a.priority = b.priority && a.sequence < b.sequence)
+
+let swap t i j =
+  let tmp = t.entries.(i) in
+  t.entries.(i) <- t.entries.(j);
+  t.entries.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.entries.(i) t.entries.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && less t.entries.(left) t.entries.(!smallest) then
+    smallest := left;
+  if right < t.size && less t.entries.(right) t.entries.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let capacity = Array.length t.entries in
+  if t.size = capacity then begin
+    let new_capacity = Int.max 8 (2 * capacity) in
+    let fresh = Array.make new_capacity t.entries.(0) in
+    Array.blit t.entries 0 fresh 0 t.size;
+    t.entries <- fresh
+  end
+
+let push t ~priority payload =
+  if Float.is_nan priority then invalid_arg "Pqueue.push: NaN priority";
+  let entry = { priority; sequence = t.next_sequence; payload } in
+  t.next_sequence <- t.next_sequence + 1;
+  if Array.length t.entries = 0 then t.entries <- Array.make 8 entry
+  else grow t;
+  t.entries.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.entries.(0) in
+    Some (e.priority, e.payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (e.priority, e.payload)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_sequence <- 0
+
+let of_list items =
+  let t = create () in
+  List.iter (fun (priority, payload) -> push t ~priority payload) items;
+  t
+
+let to_sorted_list t =
+  let rec drain acc =
+    match pop t with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []

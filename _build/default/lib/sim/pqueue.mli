@@ -1,0 +1,34 @@
+(** Binary min-heap priority queue.
+
+    The event queue of the multi-node platform simulator: per-node
+    error arrivals are pushed as timestamped events and popped in time
+    order. Generic over the payload; priorities are floats (event
+    times). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an element. O(log n).
+    @raise Invalid_argument on a NaN priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest-priority element without removing it. O(1). Ties are
+    broken by insertion order (earliest first), making event
+    processing deterministic. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority element. O(log n). *)
+
+val clear : 'a t -> unit
+
+val of_list : (float * 'a) list -> 'a t
+(** Heapify a list. O(n log n). *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain the queue in priority order (empties it). *)

@@ -1,0 +1,79 @@
+type segment =
+  | Compute of { speed : float; duration : float; work : float }
+  | Verify of { speed : float; duration : float; passed : bool }
+  | Checkpoint of { duration : float }
+  | Recovery of { duration : float }
+  | Fail_stop of { elapsed : float }
+
+type event = { at : float; segment : segment }
+type t = event list
+type builder = { mutable events : event list }
+
+let builder () = { events = [] }
+let record b ~at segment = b.events <- { at; segment } :: b.events
+let finish b = List.rev b.events
+let segments t = List.map (fun e -> e.segment) t
+
+let duration = function
+  | Compute { duration; _ } | Verify { duration; _ }
+  | Checkpoint { duration } | Recovery { duration } ->
+      duration
+  | Fail_stop { elapsed } -> elapsed
+
+let total_time t = Numerics.Summation.sum_by (fun e -> duration e.segment) t
+
+let count t pred =
+  List.fold_left (fun n e -> if pred e.segment then n + 1 else n) 0 t
+
+let is_well_formed t =
+  let rec ordered = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a.at <= b.at && ordered rest
+  in
+  let rec check = function
+    | [] -> true
+    | { segment = Verify { passed = true; _ }; _ }
+      :: ({ segment = Checkpoint _; _ } :: _ as rest) ->
+        check rest
+    | { segment = Verify { passed = true; _ }; _ } :: _ -> false
+    | { segment = Verify { passed = false; _ }; _ }
+      :: ({ segment = Recovery _; _ } :: _ as rest) ->
+        check rest
+    | [ { segment = Verify { passed = false; _ }; _ } ] -> true
+    | { segment = Verify { passed = false; _ }; _ } :: _ -> false
+    | { segment = Fail_stop _; _ }
+      :: ({ segment = Recovery _; _ } :: _ as rest) ->
+        check rest
+    | [ { segment = Fail_stop _; _ } ] -> true
+    | { segment = Fail_stop _; _ } :: _ -> false
+    | { segment = Compute _ | Checkpoint _ | Recovery _; _ } :: rest ->
+        check rest
+  in
+  (* A Checkpoint must follow a passed Verify: scan pairs in reverse. *)
+  let rec checkpoints_verified = function
+    | [] -> true
+    | { segment = Checkpoint _; _ } :: rest -> begin
+        match rest with
+        | { segment = Verify { passed = true; _ }; _ } :: _ ->
+            checkpoints_verified rest
+        | [] | _ :: _ -> false
+      end
+    | _ :: rest -> checkpoints_verified rest
+  in
+  ordered t && check t && checkpoints_verified (List.rev t)
+
+let pp_segment ppf = function
+  | Compute { speed; duration; work } ->
+      Format.fprintf ppf "compute[w=%g @ s=%g, %.2fs]" work speed duration
+  | Verify { speed; duration; passed } ->
+      Format.fprintf ppf "verify[s=%g, %.2fs, %s]" speed duration
+        (if passed then "ok" else "SDC detected")
+  | Checkpoint { duration } -> Format.fprintf ppf "checkpoint[%.2fs]" duration
+  | Recovery { duration } -> Format.fprintf ppf "recovery[%.2fs]" duration
+  | Fail_stop { elapsed } -> Format.fprintf ppf "FAIL-STOP[+%.2fs]" elapsed
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    (fun ppf e -> Format.fprintf ppf "t=%10.2f  %a" e.at pp_segment e.segment)
+    ppf t

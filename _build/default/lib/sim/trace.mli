@@ -1,0 +1,48 @@
+(** Structured execution traces.
+
+    A trace is the simulator's rendering of the paper's Figure 1: the
+    sequence of compute / verify / checkpoint / recovery segments with
+    their speeds and the errors that struck. Tests assert schedule
+    properties on traces (e.g. "every re-execution runs at sigma2",
+    "every checkpoint is preceded by a passed verification"). *)
+
+type segment =
+  | Compute of { speed : float; duration : float; work : float }
+      (** A computation slice: [work] units executed at [speed]. *)
+  | Verify of { speed : float; duration : float; passed : bool }
+      (** End-of-pattern verification; [passed = false] means a silent
+          error was detected. *)
+  | Checkpoint of { duration : float }
+  | Recovery of { duration : float }
+  | Fail_stop of { elapsed : float }
+      (** A fail-stop error killed the attempt after [elapsed] seconds
+          of the current compute/verify phase. *)
+
+type event = { at : float;  (** Wall-clock start time of the segment. *)
+               segment : segment }
+
+type t = event list
+(** Events in chronological order. *)
+
+type builder
+(** Mutable accumulator used by the executor. *)
+
+val builder : unit -> builder
+val record : builder -> at:float -> segment -> unit
+val finish : builder -> t
+(** Chronological event list; the builder can keep recording. *)
+
+val segments : t -> segment list
+val total_time : t -> float
+(** Sum of all segment durations (a fail-stop contributes [elapsed]). *)
+
+val count : t -> (segment -> bool) -> int
+
+val is_well_formed : t -> bool
+(** Schedule sanity: events strictly ordered in time, every
+    [Checkpoint] immediately preceded by a passed [Verify], every
+    failed [Verify] and every [Fail_stop] followed by a [Recovery]
+    (except at end of trace truncation). *)
+
+val pp_segment : Format.formatter -> segment -> unit
+val pp : Format.formatter -> t -> unit

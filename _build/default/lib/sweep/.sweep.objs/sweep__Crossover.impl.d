@@ -1,0 +1,1 @@
+lib/sweep/crossover.ml: Core List Numerics Parameter

@@ -1,0 +1,1 @@
+lib/sweep/crossover.mli: Core Parameter

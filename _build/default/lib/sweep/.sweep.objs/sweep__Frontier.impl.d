@@ -1,0 +1,1 @@
+lib/sweep/frontier.ml: Core Float List Numerics Option

@@ -1,0 +1,1 @@
+lib/sweep/frontier.mli: Core

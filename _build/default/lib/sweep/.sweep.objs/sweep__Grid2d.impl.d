@@ -1,0 +1,1 @@
+lib/sweep/grid2d.ml: Array Buffer Core Float Int List Option Parameter Printf String

@@ -1,0 +1,1 @@
+lib/sweep/grid2d.mli: Core Parameter

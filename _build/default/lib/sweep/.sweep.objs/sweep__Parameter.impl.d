@@ -1,0 +1,1 @@
+lib/sweep/parameter.ml: Core List Numerics Option String

@@ -1,0 +1,1 @@
+lib/sweep/parameter.mli: Core

@@ -1,0 +1,1 @@
+lib/sweep/series.ml: Core Float List Option Parameter

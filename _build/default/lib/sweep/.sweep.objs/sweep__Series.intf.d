@@ -1,0 +1,1 @@
+lib/sweep/series.mli: Core Parameter

@@ -1,0 +1,1 @@
+lib/sweep/shape.ml: Core Float List Numerics Option Series

@@ -1,0 +1,1 @@
+lib/sweep/shape.mli: Series

@@ -1,0 +1,56 @@
+type boundary = {
+  lower : float;
+  upper : float;
+  before : float option;
+  after : float option;
+}
+
+let same_value a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Numerics.Float_utils.approx_equal x y
+  | None, Some _ | Some _, None -> false
+
+let scan ?(grid = 64) ?tol ~f ~lo ~hi () =
+  if lo >= hi then invalid_arg "Crossover.scan: empty axis";
+  if grid < 2 then invalid_arg "Crossover.scan: need at least two samples";
+  let tol =
+    match tol with Some t -> t | None -> 1e-6 *. (hi -. lo)
+  in
+  let rec bisect x_lo v_lo x_hi v_hi =
+    if x_hi -. x_lo <= tol then
+      { lower = x_lo; upper = x_hi; before = v_lo; after = v_hi }
+    else
+      let mid = 0.5 *. (x_lo +. x_hi) in
+      let v_mid = f mid in
+      if same_value v_lo v_mid then bisect mid v_mid x_hi v_hi
+      else bisect x_lo v_lo mid v_mid
+  in
+  (* Scan the coarse grid; each adjacent change yields one refined
+     boundary (changes finer than the grid are merged into it). *)
+  let xs = Numerics.Axis.linspace ~lo ~hi ~n:grid in
+  let values = List.map (fun x -> (x, f x)) xs in
+  let rec walk acc = function
+    | [] | [ _ ] -> List.rev acc
+    | (x1, v1) :: ((x2, v2) :: _ as rest) ->
+        if same_value v1 v2 then walk acc rest
+        else walk (bisect x1 v1 x2 v2 :: acc) rest
+  in
+  walk [] values
+
+let project env ~rho parameter which x =
+  let env, rho = Parameter.apply parameter ~env ~rho x in
+  match Core.Bicrit.solve env ~rho with
+  | None -> None
+  | Some { best; _ } -> begin
+      match which with
+      | `Sigma1 -> Some best.Core.Optimum.sigma1
+      | `Sigma2 -> Some best.Core.Optimum.sigma2
+    end
+
+let optimal_sigma1 env ~rho parameter x = project env ~rho parameter `Sigma1 x
+let optimal_sigma2 env ~rho parameter x = project env ~rho parameter `Sigma2 x
+
+let speed_switches ?grid ?tol env ~rho parameter ~lo ~hi =
+  ( scan ?grid ?tol ~f:(optimal_sigma1 env ~rho parameter) ~lo ~hi (),
+    scan ?grid ?tol ~f:(optimal_sigma2 env ~rho parameter) ~lo ~hi () )

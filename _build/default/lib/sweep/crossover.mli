@@ -1,0 +1,38 @@
+(** Locating the switch points of figure sweeps.
+
+    The paper's speed panels are staircases: "the optimal pair starts
+    at (0.45, 0.45) and reaches (0.45, 0.8) when C is increased to
+    5000 s". This module finds *where* each step happens, by scanning a
+    grid and bisecting every change of the projected optimum down to a
+    tolerance — turning the figures' qualitative staircases into
+    precise switch coordinates. *)
+
+type boundary = {
+  lower : float;  (** Largest axis value still showing [before]. *)
+  upper : float;  (** Smallest axis value already showing [after]. *)
+  before : float option;  (** Projected value left of the switch
+                              ([None] = infeasible). *)
+  after : float option;  (** Projected value right of the switch. *)
+}
+
+val scan :
+  ?grid:int -> ?tol:float -> f:(float -> float option) -> lo:float ->
+  hi:float -> unit -> boundary list
+(** [scan ~f ~lo ~hi ()] samples [f] on [grid] points (default 64) and
+    bisects each adjacent change until [upper - lower <= tol] (default
+    1e-6 relative to the axis width). Values are compared with a 1e-9
+    relative tolerance. Boundaries are returned in axis order.
+    @raise Invalid_argument if [lo >= hi] or [grid < 2]. *)
+
+val optimal_sigma1 :
+  Core.Env.t -> rho:float -> Parameter.t -> float -> float option
+(** Projection: the two-speed optimal first speed at axis value [x]. *)
+
+val optimal_sigma2 :
+  Core.Env.t -> rho:float -> Parameter.t -> float -> float option
+(** Projection: the optimal re-execution speed at axis value [x]. *)
+
+val speed_switches :
+  ?grid:int -> ?tol:float -> Core.Env.t -> rho:float -> Parameter.t ->
+  lo:float -> hi:float -> (boundary list * boundary list)
+(** [(sigma1 switches, sigma2 switches)] of a figure panel. *)

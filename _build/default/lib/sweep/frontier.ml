@@ -1,0 +1,99 @@
+type point = {
+  rho : float;
+  time_overhead : float;
+  energy_overhead : float;
+  solution : Core.Optimum.solution;
+}
+
+type t = { label : string; points : point list }
+
+let default_rhos env =
+  let min_rho = Core.Bicrit.min_feasible_rho env in
+  Numerics.Axis.linspace ~lo:(min_rho *. 1.001) ~hi:(Float.max 8. (min_rho *. 2.)) ~n:160
+
+let compute ?(label = "") ?rhos (env : Core.Env.t) =
+  let rhos = match rhos with Some r -> r | None -> default_rhos env in
+  let raw =
+    List.filter_map
+      (fun rho ->
+        match Core.Bicrit.solve env ~rho with
+        | None -> None
+        | Some { best; _ } ->
+            Some
+              {
+                rho;
+                time_overhead = best.Core.Optimum.time_overhead;
+                energy_overhead = best.Core.Optimum.energy_overhead;
+                solution = best;
+              })
+      rhos
+  in
+  (* Keep the Pareto-efficient subset: scanning by ascending time,
+     keep a point only if it strictly improves energy. *)
+  let sorted =
+    List.sort (fun a b -> Float.compare a.time_overhead b.time_overhead) raw
+  in
+  let points =
+    List.rev
+      (List.fold_left
+         (fun acc p ->
+           match acc with
+           | best :: _ when p.energy_overhead >= best.energy_overhead -. 1e-9
+             ->
+               acc
+           | [] | _ :: _ -> p :: acc)
+         [] sorted)
+  in
+  { label; points }
+
+let is_pareto t =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+        a.time_overhead < b.time_overhead
+        && a.energy_overhead > b.energy_overhead
+        && go rest
+  in
+  go t.points
+
+let knee t =
+  match t.points with
+  | [] | [ _ ] | [ _; _ ] -> None
+  | points ->
+      let first = List.hd points in
+      let last = List.nth points (List.length points - 1) in
+      (* Normalize both axes to [0,1] so the distance is scale-free. *)
+      let t_span = last.time_overhead -. first.time_overhead in
+      let e_span = first.energy_overhead -. last.energy_overhead in
+      if t_span <= 0. || e_span <= 0. then None
+      else
+        let distance p =
+          let x = (p.time_overhead -. first.time_overhead) /. t_span in
+          let y = (first.energy_overhead -. p.energy_overhead) /. e_span in
+          (* Segment from (0,0) to (1,1): distance proportional to
+             |y - x|. *)
+          Float.abs (y -. x)
+        in
+        Option.map fst (Numerics.Minimize.argmin_by (fun p -> -.distance p) points)
+
+let savings_range t =
+  match t.points with
+  | [] -> (nan, nan)
+  | p :: rest ->
+      List.fold_left
+        (fun (lo, hi) q ->
+          (Float.min lo q.energy_overhead, Float.max hi q.energy_overhead))
+        (p.energy_overhead, p.energy_overhead)
+        rest
+
+let column_names = [ "rho"; "time"; "energy"; "sigma1"; "sigma2"; "w_opt" ]
+
+let to_rows t =
+  List.map
+    (fun p ->
+      [|
+        p.rho; p.time_overhead; p.energy_overhead;
+        p.solution.Core.Optimum.sigma1; p.solution.Core.Optimum.sigma2;
+        p.solution.Core.Optimum.w_opt;
+      |])
+    t.points

@@ -1,0 +1,43 @@
+(** Time/energy Pareto frontier of the BiCrit problem.
+
+    BiCrit fixes a bound rho and minimizes energy; sweeping rho traces
+    the full trade-off curve an operator actually chooses from. Each
+    frontier point records the bound, the achieved (time, energy)
+    overheads and the winning pattern; dominated points (a stricter
+    bound that happens to cost no less energy) are filtered so the
+    curve is strictly decreasing in energy as time relaxes. *)
+
+type point = {
+  rho : float;  (** The bound that produced this point. *)
+  time_overhead : float;  (** Achieved expected s per work unit. *)
+  energy_overhead : float;  (** Achieved expected mW per work unit. *)
+  solution : Core.Optimum.solution;
+}
+
+type t = {
+  label : string;
+  points : point list;  (** Ascending time overhead, strictly
+                            descending energy overhead. *)
+}
+
+val compute : ?label:string -> ?rhos:float list -> Core.Env.t -> t
+(** [compute env] sweeps rho (default: 160 points from just above the
+    minimum feasible bound to 8) and keeps the non-dominated points. *)
+
+val knee : t -> point option
+(** The knee of the frontier: the point maximizing the normalized
+    distance to the segment joining the frontier's endpoints — the
+    natural "diminishing returns start here" marker. [None] for
+    frontiers with fewer than three points. *)
+
+val is_pareto : t -> bool
+(** Check the invariant: time strictly increases and energy strictly
+    decreases along the points. *)
+
+val savings_range : t -> float * float
+(** (min, max) energy overhead along the frontier. *)
+
+val to_rows : t -> float array list
+(** Rows [rho; time; energy; sigma1; sigma2; w_opt] for CSV/gnuplot. *)
+
+val column_names : string list

@@ -1,0 +1,55 @@
+(** Two-parameter sweeps.
+
+    The paper varies one parameter at a time; interactions (e.g. "the
+    second speed pays off when C is large *and* lambda is high") need a
+    grid. Each cell solves BiCrit in both modes, so the two-speed
+    saving, the winning pair, or feasibility can be mapped over any
+    pair of axes. *)
+
+type cell = {
+  x : float;
+  y : float;
+  two_speed : Core.Optimum.solution option;
+  single_speed : Core.Optimum.solution option;
+}
+
+type t = {
+  label : string;
+  rho : float;
+  x_parameter : Parameter.t;
+  y_parameter : Parameter.t;
+  cells : cell array array;  (** [cells.(row).(col)]: row indexes the
+                                 y axis (ascending), col the x axis. *)
+}
+
+val run :
+  ?label:string -> env:Core.Env.t -> rho:float ->
+  x:Parameter.t * float list -> y:Parameter.t * float list -> unit -> t
+(** Solve the grid. The two axes must be different parameters; [Rho]
+    on an axis overrides the [rho] argument along that axis.
+    @raise Invalid_argument if the axes repeat a parameter or either
+    axis is empty. *)
+
+val saving : cell -> float option
+(** Two-speed relative saving in a cell, [None] if either mode is
+    infeasible. *)
+
+val max_saving : t -> (float * float * float) option
+(** [(x, y, saving)] of the cell with the largest saving, if any cell
+    is feasible in both modes. *)
+
+val feasible_fraction : t -> float
+(** Fraction of cells where the two-speed problem is feasible. *)
+
+val to_rows : t -> float array list
+(** Flat rows [x; y; saving; sigma1; sigma2; w_opt; energy] (NaN where
+    infeasible), row-major. *)
+
+val column_names : string list
+
+val render_heatmap :
+  ?levels:string -> value:(cell -> float option) -> t -> string
+(** ASCII heatmap of [value] over the grid: values are binned linearly
+    onto [levels] (default [" .:-=+*#%@"], low to high); infeasible
+    cells print ['?']. Rows are printed with the y axis increasing
+    upwards; axis ranges are annotated. *)

@@ -1,0 +1,47 @@
+type t = C | V | Lambda | Rho | P_idle | P_io
+
+let all = [ C; V; Lambda; Rho; P_idle; P_io ]
+
+let name = function
+  | C -> "C"
+  | V -> "V"
+  | Lambda -> "lambda"
+  | Rho -> "rho"
+  | P_idle -> "Pidle"
+  | P_io -> "Pio"
+
+let unit_label = function
+  | C | V -> "s"
+  | Lambda -> "/s"
+  | Rho -> ""
+  | P_idle | P_io -> "mW"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun p -> String.lowercase_ascii (name p) = s) all
+
+let apply p ~env ~rho x =
+  match p with
+  | C -> (Core.Env.with_c env x, rho)
+  | V -> (Core.Env.with_v env x, rho)
+  | Lambda -> (Core.Env.with_lambda env x, rho)
+  | Rho -> (env, x)
+  | P_idle -> (Core.Env.with_p_idle env x, rho)
+  | P_io -> (Core.Env.with_p_io env x, rho)
+
+let paper_axis p ?(lambda_hi = 1e-2) ?points () =
+  match p with
+  | C | V ->
+      (* Start at a small positive value: C = V = 0 simultaneously is a
+         degenerate pattern (We = 0). *)
+      let n = Option.value points ~default:101 in
+      1. :: List.tl (Numerics.Axis.linspace ~lo:0. ~hi:5000. ~n)
+  | P_idle | P_io ->
+      let n = Option.value points ~default:101 in
+      Numerics.Axis.linspace ~lo:0. ~hi:5000. ~n
+  | Rho ->
+      let n = Option.value points ~default:101 in
+      Numerics.Axis.linspace ~lo:1. ~hi:3.5 ~n
+  | Lambda ->
+      let n = Option.value points ~default:81 in
+      Numerics.Axis.logspace ~lo:1e-6 ~hi:lambda_hi ~n

@@ -1,0 +1,32 @@
+(** The six swept parameters of the paper's figures.
+
+    Every figure panel varies exactly one of: checkpoint time C,
+    verification time V, error rate lambda, performance bound rho,
+    idle power Pidle, or I/O power Pio — holding the rest at the
+    configuration defaults. *)
+
+type t = C | V | Lambda | Rho | P_idle | P_io
+
+val all : t list
+(** In the paper's panel order: C, V, lambda, rho, Pidle, Pio. *)
+
+val name : t -> string
+(** Short axis label: "C", "V", "lambda", "rho", "Pidle", "Pio". *)
+
+val unit_label : t -> string
+(** "s" for times, "/s" for the rate, "mW" for powers, "" for rho. *)
+
+val of_string : string -> t option
+(** Case-insensitive parse of {!name}. *)
+
+val apply : t -> env:Core.Env.t -> rho:float -> float -> Core.Env.t * float
+(** [apply p ~env ~rho x] sets parameter [p] to [x], returning the
+    updated environment and bound. Setting C keeps R = C (the paper's
+    convention). *)
+
+val paper_axis : t -> ?lambda_hi:float -> ?points:int -> unit -> float list
+(** The grid the paper plots: [0, 5000] linear for C, V, Pidle and Pio
+    (C and V start slightly above zero since a zero checkpoint is
+    degenerate), [1, 3.5] for rho, and [1e-6, lambda_hi] logarithmic
+    for lambda ([lambda_hi] defaults to 1e-2; the Coastal figures stop
+    at 1e-3). [points] defaults to 101 (81 for lambda). *)

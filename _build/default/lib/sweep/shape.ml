@@ -1,0 +1,65 @@
+let two_speed_wopt (p : Series.point) =
+  Option.map (fun (s : Core.Optimum.solution) -> s.w_opt) p.two_speed
+
+let two_speed_energy (p : Series.point) =
+  Option.map (fun (s : Core.Optimum.solution) -> s.energy_overhead) p.two_speed
+
+let two_speed_sigma1 (p : Series.point) =
+  Option.map (fun (s : Core.Optimum.solution) -> s.sigma1) p.two_speed
+
+let two_speed_sigma2 (p : Series.point) =
+  Option.map (fun (s : Core.Optimum.solution) -> s.sigma2) p.two_speed
+
+let single_speed_energy (p : Series.point) =
+  Option.map
+    (fun (s : Core.Optimum.solution) -> s.energy_overhead)
+    p.single_speed
+
+let single_speed_wopt (p : Series.point) =
+  Option.map (fun (s : Core.Optimum.solution) -> s.w_opt) p.single_speed
+
+let project (t : Series.t) f =
+  List.filter_map
+    (fun (p : Series.point) -> Option.map (fun v -> (p.Series.x, v)) (f p))
+    t.points
+
+let nondecreasing ?(rtol = 1e-9) pts =
+  let rec go running_max = function
+    | [] -> true
+    | (_, v) :: rest ->
+        v >= running_max -. (rtol *. Float.abs running_max)
+        && go (Float.max running_max v) rest
+  in
+  match pts with [] -> true | (_, v) :: rest -> go v rest
+
+let nonincreasing ?rtol pts =
+  nondecreasing ?rtol (List.map (fun (x, v) -> (x, -.v)) pts)
+
+let shared a b =
+  List.filter_map
+    (fun (x, va) ->
+      Option.map (fun (_, vb) -> (x, va, vb)) (List.find_opt (fun (xb, _) -> xb = x) b))
+    a
+
+let never_above a b =
+  List.for_all
+    (fun (_, va, vb) -> va <= vb +. (1e-9 *. Float.abs vb))
+    (shared a b)
+
+let step_values pts =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (_, v) :: rest -> begin
+        match acc with
+        | prev :: _ when Numerics.Float_utils.approx_equal prev v ->
+            go acc rest
+        | [] | _ :: _ -> go (v :: acc) rest
+      end
+  in
+  go [] pts
+
+let max_gap_ratio cheap expensive =
+  List.fold_left
+    (fun acc (_, c, e) -> if e > 0. then Float.max acc ((e -. c) /. e) else acc)
+    0.
+    (shared cheap expensive)

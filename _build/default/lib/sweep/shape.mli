@@ -1,0 +1,38 @@
+(** Qualitative shape checks on sweep series.
+
+    The reproduction criterion for the paper's figures is shape, not
+    absolute pixels: who wins, what grows, where speeds switch. These
+    helpers extract projections of a {!Series.t} and test the
+    monotonicity/step properties the paper describes in Section 4.3. *)
+
+val two_speed_wopt : Series.point -> float option
+val two_speed_energy : Series.point -> float option
+val two_speed_sigma1 : Series.point -> float option
+val two_speed_sigma2 : Series.point -> float option
+val single_speed_energy : Series.point -> float option
+val single_speed_wopt : Series.point -> float option
+
+val project : Series.t -> (Series.point -> float option) -> (float * float) list
+(** Feasible [(x, value)] pairs along the series. *)
+
+val nondecreasing : ?rtol:float -> (float * float) list -> bool
+(** Values never drop by more than [rtol] (default 1e-9) relative to
+    the running maximum — tolerant of float noise and of the staircase
+    plateaus the discrete speed set produces. *)
+
+val nonincreasing : ?rtol:float -> (float * float) list -> bool
+
+val never_above : (float * float) list -> (float * float) list -> bool
+(** [never_above a b]: at every x the two series share, a's value is
+    <= b's value (within 1e-9 relative). Used for "two speeds never
+    lose to one speed". *)
+
+val step_values : (float * float) list -> float list
+(** Distinct consecutive values (plateau compression) — e.g. the
+    sequence of optimal speeds along an axis, for "the pair moves from
+    (0.45,0.45) to (0.45,0.8)" claims. *)
+
+val max_gap_ratio : (float * float) list -> (float * float) list -> float
+(** [max_gap_ratio cheap expensive] is the maximum over shared xs of
+    [(expensive - cheap) / expensive] — the "saves up to N%" statistic
+    between two energy curves. 0. when no xs are shared. *)

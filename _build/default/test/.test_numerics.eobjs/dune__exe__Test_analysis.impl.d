@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Core Float List Platforms Prng Sim Sweep Testutil

@@ -1,0 +1,1 @@
+test/test_bicrit.ml: Alcotest Core List Option Platforms QCheck Testutil

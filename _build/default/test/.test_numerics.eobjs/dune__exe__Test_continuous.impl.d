@@ -1,0 +1,1 @@
+test/test_continuous.ml: Alcotest Astring_contains Core Experiments Float List Testutil

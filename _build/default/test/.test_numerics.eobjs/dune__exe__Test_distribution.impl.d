@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Core Float Hashtbl Int List Numerics Option Printf Prng QCheck Sim Testutil

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_contains Core Experiments Float Format List Numerics Option Platforms Printf Report Sim Sweep

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Core Experiments Float List Numerics Option Prng QCheck Sim Testutil

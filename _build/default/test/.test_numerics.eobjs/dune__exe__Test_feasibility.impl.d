@@ -1,0 +1,1 @@
+test/test_feasibility.ml: Alcotest Array Core Numerics Option QCheck Testutil

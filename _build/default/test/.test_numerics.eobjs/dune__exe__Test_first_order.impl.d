@@ -1,0 +1,1 @@
+test/test_first_order.ml: Alcotest Core Float Numerics QCheck Testutil

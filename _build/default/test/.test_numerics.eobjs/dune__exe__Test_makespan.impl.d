@@ -1,0 +1,1 @@
+test/test_makespan.ml: Alcotest Array Core Numerics Prng Sim Testutil

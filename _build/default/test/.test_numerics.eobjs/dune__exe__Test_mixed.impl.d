@@ -1,0 +1,1 @@
+test/test_mixed.ml: Alcotest Core Float Numerics QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_model_laws.ml: Alcotest Core Float List Numerics Option Platforms QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Axis Float Float_utils Gen Histogram List Minimize Numerics QCheck Regression Roots Stats Summation Testutil

@@ -1,0 +1,1 @@
+test/test_optimum.ml: Alcotest Core QCheck Testutil

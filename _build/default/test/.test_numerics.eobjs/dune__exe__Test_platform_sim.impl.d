@@ -1,0 +1,1 @@
+test/test_platform_sim.ml: Alcotest Array Core Float List Numerics Printf Prng QCheck Sim Testutil

@@ -1,0 +1,1 @@
+test/test_platforms.ml: Alcotest Array Astring_contains Core Filename List Option Out_channel Platforms Result Sys

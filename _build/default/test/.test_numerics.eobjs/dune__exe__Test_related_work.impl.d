@@ -1,0 +1,1 @@
+test/test_related_work.ml: Alcotest Core Float QCheck Testutil

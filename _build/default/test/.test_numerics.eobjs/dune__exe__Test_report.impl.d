@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Filename List Report String Sys Testutil

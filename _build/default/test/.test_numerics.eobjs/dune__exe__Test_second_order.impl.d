@@ -1,0 +1,1 @@
+test/test_second_order.ml: Alcotest Core Float QCheck Testutil

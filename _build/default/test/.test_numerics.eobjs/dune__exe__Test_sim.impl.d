@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Core Float Format List Numerics Prng Sim Testutil

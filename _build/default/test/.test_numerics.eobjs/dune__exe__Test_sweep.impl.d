@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Array Astring_contains Core Float List Sweep Testutil

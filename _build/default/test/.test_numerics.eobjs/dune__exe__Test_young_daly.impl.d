@@ -1,0 +1,1 @@
+test/test_young_daly.ml: Alcotest Core Float QCheck Testutil

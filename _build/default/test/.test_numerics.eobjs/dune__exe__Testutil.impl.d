@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Core Format Numerics Option Platforms Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,14 @@
+(* Tiny substring search used by the report tests (no external string
+   library in the sealed environment). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else if n > h then false
+  else
+    let rec at i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else at (i + 1)
+    in
+    at 0

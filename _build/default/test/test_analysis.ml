@@ -1,0 +1,284 @@
+(* Tests for Frontier (Pareto curve), Analysis (trace breakdown) and
+   Sensitivity (closed-form derivatives). *)
+
+open Testutil
+
+let env = hera_xscale ()
+
+(* ------------------------------------------------------------------ *)
+(* Frontier                                                            *)
+
+let test_frontier_pareto_invariant () =
+  let f = Sweep.Frontier.compute ~label:"hera" env in
+  Alcotest.(check bool) "non-empty" true (f.Sweep.Frontier.points <> []);
+  Alcotest.(check bool) "pareto ordering holds" true (Sweep.Frontier.is_pareto f)
+
+let test_frontier_endpoints () =
+  let f = Sweep.Frontier.compute env in
+  let points = f.Sweep.Frontier.points in
+  let first = List.hd points in
+  let last = List.nth points (List.length points - 1) in
+  (* Tightest bound: fastest and most expensive; loosest: cheapest. *)
+  Alcotest.(check bool) "first is fastest" true
+    (first.Sweep.Frontier.time_overhead < last.Sweep.Frontier.time_overhead);
+  Alcotest.(check bool) "last is cheapest" true
+    (last.Sweep.Frontier.energy_overhead
+    < first.Sweep.Frontier.energy_overhead);
+  (* The loose end must reach the unconstrained optimum (E/W = 416). *)
+  check_close ~rtol:5e-3 "unconstrained energy reached" 416.8
+    last.Sweep.Frontier.energy_overhead
+
+let test_frontier_all_configs () =
+  List.iter
+    (fun config ->
+      let f = Sweep.Frontier.compute (Core.Env.of_config config) in
+      Alcotest.(check bool)
+        (Platforms.Config.name config ^ " pareto")
+        true
+        (Sweep.Frontier.is_pareto f && List.length f.Sweep.Frontier.points > 3))
+    Platforms.Config.all
+
+let test_frontier_knee () =
+  let f = Sweep.Frontier.compute env in
+  match Sweep.Frontier.knee f with
+  | None -> Alcotest.fail "expected a knee on a full frontier"
+  | Some k ->
+      let points = f.Sweep.Frontier.points in
+      let first = List.hd points in
+      let last = List.nth points (List.length points - 1) in
+      Alcotest.(check bool) "knee strictly inside" true
+        (k.Sweep.Frontier.time_overhead > first.Sweep.Frontier.time_overhead
+        && k.Sweep.Frontier.time_overhead < last.Sweep.Frontier.time_overhead)
+
+let test_frontier_rows () =
+  let f = Sweep.Frontier.compute env in
+  let rows = Sweep.Frontier.to_rows f in
+  Alcotest.(check int) "row per point"
+    (List.length f.Sweep.Frontier.points)
+    (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "column count"
+        (List.length Sweep.Frontier.column_names)
+        (Array.length row))
+    rows;
+  let lo, hi = Sweep.Frontier.savings_range f in
+  Alcotest.(check bool) "range ordered" true (lo <= hi)
+
+let test_frontier_degenerate () =
+  let f = Sweep.Frontier.compute ~rhos:[ 3. ] env in
+  Alcotest.(check int) "single point" 1 (List.length f.Sweep.Frontier.points);
+  Alcotest.(check bool) "no knee" true (Sweep.Frontier.knee f = None)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+
+let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2
+
+let scripted_trace () =
+  (* One pattern: a failed first attempt (silent) then a clean pass. *)
+  let model =
+    Core.Mixed.make ~c:50. ~r:25. ~v:10. ~lambda_f:0. ~lambda_s:1e-9 ()
+  in
+  let silent_process = Sim.Fault.scripted ~arrivals:[ 1.; infinity ] in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:2 in
+  let trace = Sim.Trace.builder () in
+  let _ =
+    Sim.Executor.run_pattern ~trace ~silent_process ~model ~machine ~rng
+      ~w:1000. ~sigma1:1. ~sigma2:1. ()
+  in
+  Sim.Trace.finish trace
+
+let test_breakdown_hand_values () =
+  let b = Sim.Analysis.breakdown (scripted_trace ()) in
+  (* Failed attempt: 1000 + 10 wasted; clean pass: 1010 productive. *)
+  check_close "wasted" 1010. b.Sim.Analysis.wasted;
+  check_close "productive" 1010. b.Sim.Analysis.productive;
+  check_close "recovery" 25. b.Sim.Analysis.recovery;
+  check_close "checkpoint" 50. b.Sim.Analysis.checkpoint;
+  check_close "completed work" 1000. b.Sim.Analysis.completed_work;
+  Alcotest.(check int) "one failed attempt" 1 b.Sim.Analysis.failed_attempts;
+  Alcotest.(check int) "one pattern" 1 b.Sim.Analysis.successful_patterns;
+  check_close "total" (1010. +. 1010. +. 25. +. 50.)
+    (Sim.Analysis.total_time b);
+  check_close "utilization" (1010. /. 2095.) (Sim.Analysis.utilization b);
+  check_close "waste ratio" ((1010. +. 25.) /. 2095.)
+    (Sim.Analysis.waste_ratio b)
+
+let test_breakdown_empty_and_truncated () =
+  let b = Sim.Analysis.breakdown [] in
+  check_close "empty total" 0. (Sim.Analysis.total_time b);
+  check_close "empty utilization" 0. (Sim.Analysis.utilization b);
+  (* A truncated trace (compute without outcome) counts as wasted. *)
+  let builder = Sim.Trace.builder () in
+  Sim.Trace.record builder ~at:0.
+    (Sim.Trace.Compute { speed = 1.; duration = 7.; work = 7. });
+  let b = Sim.Analysis.breakdown (Sim.Trace.finish builder) in
+  check_close "truncated attempt wasted" 7. b.Sim.Analysis.wasted;
+  check_close "no completed work" 0. b.Sim.Analysis.completed_work
+
+let test_breakdown_matches_trace_total () =
+  (* On a long random run, the buckets partition the total trace time
+     and completed work equals the injected w_base. *)
+  let model =
+    Core.Mixed.make ~c:30. ~r:20. ~v:5. ~lambda_f:5e-5 ~lambda_s:2e-4 ()
+  in
+  let rng = Prng.Rng.create ~seed:11 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_application ~trace ~model ~power ~rng ~w_base:20000.
+      ~pattern_w:1500. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let events = Sim.Trace.finish trace in
+  let b = Sim.Analysis.breakdown events in
+  check_close ~rtol:1e-9 "buckets partition the makespan" o.Sim.Executor.makespan
+    (Sim.Analysis.total_time b);
+  check_close ~rtol:1e-9 "completed work = w_base" 20000.
+    b.Sim.Analysis.completed_work;
+  Alcotest.(check int) "failed attempts = re-executions"
+    o.Sim.Executor.re_executions b.Sim.Analysis.failed_attempts;
+  Alcotest.(check int) "patterns agree" o.Sim.Executor.patterns
+    b.Sim.Analysis.successful_patterns;
+  Alcotest.(check bool) "utilization in (0, 1)" true
+    (Sim.Analysis.utilization b > 0. && Sim.Analysis.utilization b < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity                                                         *)
+
+let finite_difference f x =
+  (* Relative step: lambda is ~1e-6, powers are ~1e3 — an absolute step
+     would be grossly wrong for one of them. *)
+  let h = if x = 0. then 1e-8 else 1e-5 *. Float.abs x in
+  (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let perturbed (p : Core.Params.t) (pw : Core.Power.t) parameter value =
+  match parameter with
+  | Core.Sensitivity.C -> (Core.Params.with_c ~keep_r:true p value, pw)
+  | Core.Sensitivity.R -> (Core.Params.with_r p value, pw)
+  | Core.Sensitivity.V -> (Core.Params.with_v p value, pw)
+  | Core.Sensitivity.Lambda -> (Core.Params.with_lambda p value, pw)
+  | Core.Sensitivity.P_idle -> (p, Core.Power.with_p_idle pw value)
+  | Core.Sensitivity.P_io -> (p, Core.Power.with_p_io pw value)
+
+let test_derivatives_match_finite_differences () =
+  let p = env.Core.Env.params and pw = env.Core.Env.power in
+  let sigma1 = 0.6 and sigma2 = 0.8 in
+  List.iter
+    (fun parameter ->
+      let name = Core.Sensitivity.parameter_name parameter in
+      let g = Core.Sensitivity.derivative p pw ~sigma1 ~sigma2 parameter in
+      let x0 = Core.Sensitivity.parameter_value p pw parameter in
+      let we_at v =
+        let p', pw' = perturbed p pw parameter v in
+        Core.Optimum.w_energy p' pw' ~sigma1 ~sigma2
+      in
+      let energy_at v =
+        let p', pw' = perturbed p pw parameter v in
+        Core.First_order.minimum_value
+          (Core.First_order.energy p' pw' ~sigma1 ~sigma2)
+      in
+      check_close ~rtol:1e-4 (name ^ ": dWe") (finite_difference we_at x0)
+        g.Core.Sensitivity.d_w_energy;
+      check_close ~rtol:1e-4
+        (name ^ ": dE")
+        (finite_difference energy_at x0)
+        g.Core.Sensitivity.d_min_energy)
+    [
+      Core.Sensitivity.C; Core.Sensitivity.R; Core.Sensitivity.V;
+      Core.Sensitivity.Lambda; Core.Sensitivity.P_idle; Core.Sensitivity.P_io;
+    ]
+
+let test_known_signs () =
+  let p = env.Core.Env.params and pw = env.Core.Env.power in
+  let g param = Core.Sensitivity.derivative p pw ~sigma1:0.4 ~sigma2:0.4 param in
+  (* More checkpoint cost: longer patterns, higher energy. *)
+  Alcotest.(check bool) "dWe/dC > 0" true ((g Core.Sensitivity.C).d_w_energy > 0.);
+  Alcotest.(check bool) "dE/dC > 0" true ((g Core.Sensitivity.C).d_min_energy > 0.);
+  (* More errors: shorter patterns, higher energy. *)
+  Alcotest.(check bool) "dWe/dl < 0" true
+    ((g Core.Sensitivity.Lambda).d_w_energy < 0.);
+  Alcotest.(check bool) "dE/dl > 0" true
+    ((g Core.Sensitivity.Lambda).d_min_energy > 0.);
+  (* Recovery time does not move We (it is not in Eq 5). *)
+  checkf "dWe/dR = 0" 0. (g Core.Sensitivity.R).d_w_energy;
+  Alcotest.(check bool) "dE/dR > 0" true
+    ((g Core.Sensitivity.R).d_min_energy > 0.);
+  (* Pio raises the energy bill and lengthens patterns. *)
+  Alcotest.(check bool) "dWe/dPio > 0" true
+    ((g Core.Sensitivity.P_io).d_w_energy > 0.);
+  Alcotest.(check bool) "dE/dPio > 0" true
+    ((g Core.Sensitivity.P_io).d_min_energy > 0.)
+
+let test_lambda_elasticity_is_half () =
+  (* We ~ lambda^(-1/2) exactly, so the lambda elasticity of We is
+     -1/2 for every configuration and pair. *)
+  let p = env.Core.Env.params and pw = env.Core.Env.power in
+  List.iter
+    (fun (sigma1, sigma2) ->
+      let e =
+        Core.Sensitivity.elasticity p pw ~sigma1 ~sigma2
+          Core.Sensitivity.Lambda
+      in
+      check_close ~rtol:1e-9 "We elasticity in lambda" (-0.5)
+        e.Core.Sensitivity.d_w_energy)
+    [ (0.4, 0.4); (0.6, 0.8); (1., 0.4) ]
+
+let test_c_with_r_sweep () =
+  let p = env.Core.Env.params and pw = env.Core.Env.power in
+  let sigma1 = 0.4 and sigma2 = 0.4 in
+  let combined = Core.Sensitivity.c_with_r_sweep p pw ~sigma1 ~sigma2 in
+  (* Finite difference along the paper's C-axis (R follows C). *)
+  let we_at c =
+    let p' = Core.Params.with_c p c in
+    Core.Optimum.w_energy p' pw ~sigma1 ~sigma2
+  in
+  check_close ~rtol:1e-4 "paper C-axis derivative"
+    (finite_difference we_at p.Core.Params.c)
+    combined.Core.Sensitivity.d_w_energy
+
+let test_all_elasticities () =
+  let p = env.Core.Env.params and pw = env.Core.Env.power in
+  let all = Core.Sensitivity.all_elasticities p pw ~sigma1:0.4 ~sigma2:0.4 in
+  Alcotest.(check int) "six parameters" 6 (List.length all);
+  List.iter
+    (fun (param, (g : Core.Sensitivity.gradient)) ->
+      if not (Float.is_finite g.d_w_energy && Float.is_finite g.d_min_energy)
+      then
+        Alcotest.failf "non-finite elasticity for %s"
+          (Core.Sensitivity.parameter_name param))
+    all
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "frontier",
+        [
+          Alcotest.test_case "pareto invariant" `Quick
+            test_frontier_pareto_invariant;
+          Alcotest.test_case "endpoints" `Quick test_frontier_endpoints;
+          Alcotest.test_case "all configurations" `Slow
+            test_frontier_all_configs;
+          Alcotest.test_case "knee" `Quick test_frontier_knee;
+          Alcotest.test_case "rows" `Quick test_frontier_rows;
+          Alcotest.test_case "degenerate" `Quick test_frontier_degenerate;
+        ] );
+      ( "trace breakdown",
+        [
+          Alcotest.test_case "hand values" `Quick test_breakdown_hand_values;
+          Alcotest.test_case "empty and truncated" `Quick
+            test_breakdown_empty_and_truncated;
+          Alcotest.test_case "partitions the makespan" `Quick
+            test_breakdown_matches_trace_total;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "matches finite differences" `Quick
+            test_derivatives_match_finite_differences;
+          Alcotest.test_case "known signs" `Quick test_known_signs;
+          Alcotest.test_case "lambda elasticity -1/2" `Quick
+            test_lambda_elasticity_is_half;
+          Alcotest.test_case "paper C-axis" `Quick test_c_with_r_sweep;
+          Alcotest.test_case "all elasticities" `Quick test_all_elasticities;
+        ] );
+    ]

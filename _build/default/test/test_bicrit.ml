@@ -1,0 +1,146 @@
+(* Tests for Core.Bicrit — the O(K^2) bi-criteria solver. *)
+
+open Testutil
+
+let env = hera_xscale ()
+
+let test_solve_paper_optimum () =
+  match Core.Bicrit.solve env ~rho:3. with
+  | None -> Alcotest.fail "rho = 3 must be feasible on Hera/XScale"
+  | Some { best; candidates } ->
+      checkf "best sigma1" 0.4 best.Core.Optimum.sigma1;
+      checkf "best sigma2" 0.4 best.Core.Optimum.sigma2;
+      check_close ~rtol:1e-3 "best Wopt" 2764. best.Core.Optimum.w_opt;
+      (* 0.15 is infeasible at rho = 3: 5 speeds x 5 - 5 pairs lost. *)
+      Alcotest.(check int) "feasible candidates" 20 (List.length candidates)
+
+let test_best_is_argmin () =
+  match Core.Bicrit.solve env ~rho:3. with
+  | None -> Alcotest.fail "expected a solution"
+  | Some { best; candidates } ->
+      List.iter
+        (fun (s : Core.Optimum.solution) ->
+          if s.energy_overhead < best.Core.Optimum.energy_overhead then
+            Alcotest.failf "candidate (%g, %g) beats the reported best"
+              s.sigma1 s.sigma2)
+        candidates
+
+let test_single_speed_mode () =
+  match Core.Bicrit.solve ~mode:Core.Bicrit.Single_speed env ~rho:3. with
+  | None -> Alcotest.fail "expected a solution"
+  | Some { best; candidates } ->
+      List.iter
+        (fun (s : Core.Optimum.solution) ->
+          checkf "sigma1 = sigma2" s.sigma1 s.sigma2)
+        candidates;
+      checkf "best single speed" 0.4 best.Core.Optimum.sigma1
+
+let test_infeasible_rho () =
+  let min_rho = Core.Bicrit.min_feasible_rho env in
+  Alcotest.(check bool) "min rho above 1" true (min_rho > 1.);
+  Alcotest.(check bool) "below min rho" true
+    (Core.Bicrit.solve env ~rho:(min_rho *. 0.999) = None);
+  Alcotest.(check bool) "above min rho" true
+    (Option.is_some (Core.Bicrit.solve env ~rho:(min_rho *. 1.001)))
+
+let test_best_second_speed_rows () =
+  (* The rho = 1.775 table: per-sigma1 best second speeds. *)
+  let best sigma1 =
+    Option.map
+      (fun (s : Core.Optimum.solution) -> s.sigma2)
+      (Core.Bicrit.best_second_speed env ~rho:1.775 ~sigma1)
+  in
+  Alcotest.(check (option (float 1e-9))) "0.15 infeasible" None (best 0.15);
+  Alcotest.(check (option (float 1e-9))) "0.4 infeasible" None (best 0.4);
+  Alcotest.(check (option (float 1e-9))) "0.6 -> 0.8" (Some 0.8) (best 0.6);
+  Alcotest.(check (option (float 1e-9))) "0.8 -> 0.4" (Some 0.4) (best 0.8);
+  Alcotest.(check (option (float 1e-9))) "1.0 -> 0.4" (Some 0.4) (best 1.)
+
+let test_rho_validation () =
+  check_raises_invalid "rho = 0" (fun () -> Core.Bicrit.solve env ~rho:0.);
+  check_raises_invalid "negative rho" (fun () ->
+      Core.Bicrit.best_second_speed env ~rho:(-1.) ~sigma1:0.4)
+
+let all_envs =
+  List.map (fun c -> Core.Env.of_config c) Platforms.Config.all
+
+let prop_two_speeds_never_lose =
+  (* The single-speed solution space is a subset of the two-speed one,
+     so the saving is always >= 0 — on every configuration. *)
+  QCheck.Test.make ~count:100 ~name:"two speeds never lose to one"
+    QCheck.(
+      pair (int_range 0 7) (float_range 1.3 10.))
+    (fun (config_index, rho) ->
+      let env = List.nth all_envs config_index in
+      match Core.Bicrit.energy_saving_vs_single env ~rho with
+      | None -> true (* jointly infeasible: nothing to compare *)
+      | Some saving -> saving >= -1e-12)
+
+let prop_relaxing_rho_never_hurts =
+  QCheck.Test.make ~count:100 ~name:"larger rho never increases energy"
+    QCheck.(pair (int_range 0 7) (float_range 1.3 8.))
+    (fun (config_index, rho) ->
+      let env = List.nth all_envs config_index in
+      match (Core.Bicrit.solve env ~rho, Core.Bicrit.solve env ~rho:(rho *. 1.5)) with
+      | Some tight, Some loose ->
+          loose.Core.Bicrit.best.Core.Optimum.energy_overhead
+          <= tight.Core.Bicrit.best.Core.Optimum.energy_overhead +. 1e-9
+      | None, _ -> true
+      | Some _, None -> false)
+
+let prop_candidates_meet_bound =
+  QCheck.Test.make ~count:100 ~name:"all candidates satisfy the bound"
+    QCheck.(pair (int_range 0 7) (float_range 1.3 10.))
+    (fun (config_index, rho) ->
+      let env = List.nth all_envs config_index in
+      match Core.Bicrit.solve env ~rho with
+      | None -> true
+      | Some { candidates; _ } ->
+          List.for_all
+            (fun (s : Core.Optimum.solution) ->
+              s.time_overhead <= rho *. (1. +. 1e-9))
+            candidates)
+
+let test_deterministic () =
+  (* Same input, same output, including tie-breaks. *)
+  let a = Core.Bicrit.solve env ~rho:3. in
+  let b = Core.Bicrit.solve env ~rho:3. in
+  match (a, b) with
+  | Some a, Some b ->
+      checkf "same sigma1" a.Core.Bicrit.best.Core.Optimum.sigma1
+        b.Core.Bicrit.best.Core.Optimum.sigma1;
+      checkf "same sigma2" a.best.Core.Optimum.sigma2
+        b.best.Core.Optimum.sigma2
+  | None, _ | _, None -> Alcotest.fail "expected solutions"
+
+let test_saving_at_tight_bound () =
+  (* At rho = 1.775 the winning pair is genuinely mixed (0.6, 0.8), so
+     the two-speed saving must be strictly positive. *)
+  match Core.Bicrit.energy_saving_vs_single env ~rho:1.775 with
+  | None -> Alcotest.fail "expected feasible"
+  | Some saving -> Alcotest.(check bool) "strict saving" true (saving > 0.01)
+
+let () =
+  Alcotest.run "core-bicrit"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "paper optimum at rho=3" `Quick
+            test_solve_paper_optimum;
+          Alcotest.test_case "best is argmin" `Quick test_best_is_argmin;
+          Alcotest.test_case "single-speed mode" `Quick test_single_speed_mode;
+          Alcotest.test_case "infeasible rho" `Quick test_infeasible_rho;
+          Alcotest.test_case "per-sigma1 rows at 1.775" `Quick
+            test_best_second_speed_rows;
+          Alcotest.test_case "validation" `Quick test_rho_validation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "mixed pair saves energy" `Quick
+            test_saving_at_tight_bound;
+        ] );
+      ( "invariants",
+        [
+          Testutil.qcheck prop_two_speeds_never_lose;
+          Testutil.qcheck prop_relaxing_rho_never_hurts;
+          Testutil.qcheck prop_candidates_meet_bound;
+        ] );
+    ]

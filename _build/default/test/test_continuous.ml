@@ -1,0 +1,161 @@
+(* Tests for the continuous-DVFS relaxation and the ablation studies. *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+let test_continuous_beats_discrete () =
+  (* The ladder is a subset of the box: the relaxation can only be
+     cheaper (up to refinement tolerance). *)
+  match
+    ( Core.Bicrit.solve env ~rho:3.,
+      Core.Continuous.solve ~bounds:(0.15, 1.) params power ~rho:3. )
+  with
+  | Some discrete, Some continuous ->
+      Alcotest.(check bool) "continuous <= discrete" true
+        (continuous.inner.Core.Optimum.energy_overhead
+        <= discrete.best.Core.Optimum.energy_overhead +. 1e-6)
+  | None, _ | _, None -> Alcotest.fail "both problems must be feasible"
+
+let test_continuous_respects_bound () =
+  match Core.Continuous.solve ~bounds:(0.15, 1.) params power ~rho:2. with
+  | None -> Alcotest.fail "rho = 2 feasible on a continuous box"
+  | Some s ->
+      Alcotest.(check bool) "bound met" true
+        (s.inner.Core.Optimum.time_overhead <= 2. +. 1e-9);
+      Alcotest.(check bool) "speeds in the box" true
+        (s.sigma1 >= 0.15 && s.sigma1 <= 1. && s.sigma2 >= 0.15
+       && s.sigma2 <= 1.)
+
+let test_continuous_infeasible () =
+  (* A box capped at 0.2 cannot meet rho = 3 (1/0.2 = 5 > 3). *)
+  Alcotest.(check bool) "capped box infeasible" true
+    (Core.Continuous.solve ~bounds:(0.05, 0.2) params power ~rho:3. = None)
+
+let test_continuous_is_locally_optimal () =
+  (* Perturbing either speed of the solution must not reduce the
+     energy overhead (within the refinement tolerance). *)
+  match Core.Continuous.solve ~bounds:(0.15, 1.) params power ~rho:3. with
+  | None -> Alcotest.fail "expected a solution"
+  | Some s ->
+      let value sigma1 sigma2 =
+        match Core.Optimum.solve_pair params power ~rho:3. ~sigma1 ~sigma2 with
+        | Some sol -> sol.Core.Optimum.energy_overhead
+        | None -> infinity
+      in
+      let best = s.inner.Core.Optimum.energy_overhead in
+      List.iter
+        (fun delta ->
+          Alcotest.(check bool) "sigma1 perturbation" true
+            (best <= value (s.sigma1 +. delta) s.sigma2 +. 1e-3);
+          Alcotest.(check bool) "sigma2 perturbation" true
+            (best <= value s.sigma1 (s.sigma2 +. delta) +. 1e-3))
+        [ 0.02; -0.02 ]
+
+let test_continuous_validation () =
+  check_raises_invalid "bad bounds" (fun () ->
+      Core.Continuous.solve ~bounds:(1., 0.5) params power ~rho:3.);
+  check_raises_invalid "zero lower bound" (fun () ->
+      Core.Continuous.solve ~bounds:(0., 1.) params power ~rho:3.);
+  check_raises_invalid "bad rho" (fun () ->
+      Core.Continuous.solve params power ~rho:0.);
+  check_raises_invalid "coarse grid" (fun () ->
+      Core.Continuous.solve ~grid:2 params power ~rho:3.)
+
+let test_energy_gap () =
+  match Core.Continuous.energy_gap_vs_discrete env ~rho:3. with
+  | None -> Alcotest.fail "expected both feasible"
+  | Some gap ->
+      (* XScale's coarse ladder leaves real energy on the table. *)
+      Alcotest.(check bool) "gap positive" true (gap >= -1e-9);
+      Alcotest.(check bool) "gap substantial on XScale" true (gap > 0.02);
+      Alcotest.(check bool) "gap sane" true (gap < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let test_ablation_discrete_ladder () =
+  let rows = Experiments.Ablations.discrete_ladder () in
+  Alcotest.(check int) "all configs solved" 8 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Ablations.row) ->
+      Alcotest.(check bool)
+        (r.config ^ ": ladder never beats continuous")
+        true
+        (r.gap >= -1e-6))
+    rows;
+  (* Crusoe's ladder is near-optimal, XScale's is not. *)
+  let gap name =
+    (List.find (fun (r : Experiments.Ablations.row) -> r.config = name) rows)
+      .Experiments.Ablations.gap
+  in
+  Alcotest.(check bool) "XScale pays for coarseness" true
+    (gap "Hera/XScale" > 0.05);
+  Alcotest.(check bool) "Crusoe ladder near-optimal" true
+    (Float.abs (gap "Hera/Crusoe") < 0.005)
+
+let test_ablation_first_order () =
+  let rows = Experiments.Ablations.first_order_optimizer () in
+  Alcotest.(check int) "all configs" 8 (List.length rows);
+  (* The paper's closed-form period is essentially exact-optimal. *)
+  Alcotest.(check bool) "first-order gap below 0.1%" true
+    (Experiments.Ablations.summarize rows < 1e-3);
+  List.iter
+    (fun (r : Experiments.Ablations.row) ->
+      Alcotest.(check bool) (r.config ^ ": gap non-negative") true
+        (r.gap >= -1e-6))
+    rows
+
+let test_ablation_verification () =
+  let rows = Experiments.Ablations.verification_cost () in
+  Alcotest.(check int) "all configs" 8 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Ablations.row) ->
+      Alcotest.(check bool) (r.config ^ ": V never helps") true
+        (r.gap >= -1e-9))
+    rows;
+  (* Coastal SSD's V = 180 s dominates; its cost must exceed Hera's
+     (V = 15.4 s). *)
+  let gap name =
+    (List.find (fun (r : Experiments.Ablations.row) -> r.config = name) rows)
+      .Experiments.Ablations.gap
+  in
+  Alcotest.(check bool) "large V costs more" true
+    (gap "Coastal SSD/XScale" > gap "Hera/XScale")
+
+let test_ablation_render () =
+  let rows = Experiments.Ablations.verification_cost () in
+  let rendered = Experiments.Ablations.render ~title:"t" rows in
+  Alcotest.(check bool) "title present" true
+    (Astring_contains.contains rendered "t\n");
+  Alcotest.(check bool) "config present" true
+    (Astring_contains.contains rendered "Hera/XScale")
+
+let () =
+  Alcotest.run "continuous"
+    [
+      ( "relaxation",
+        [
+          Alcotest.test_case "beats discrete" `Quick
+            test_continuous_beats_discrete;
+          Alcotest.test_case "respects bound" `Quick
+            test_continuous_respects_bound;
+          Alcotest.test_case "infeasible box" `Quick test_continuous_infeasible;
+          Alcotest.test_case "local optimality" `Quick
+            test_continuous_is_locally_optimal;
+          Alcotest.test_case "validation" `Quick test_continuous_validation;
+          Alcotest.test_case "energy gap" `Quick test_energy_gap;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "discrete ladder" `Slow
+            test_ablation_discrete_ladder;
+          Alcotest.test_case "first-order optimizer" `Slow
+            test_ablation_first_order;
+          Alcotest.test_case "verification cost" `Quick
+            test_ablation_verification;
+          Alcotest.test_case "render" `Quick test_ablation_render;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for Core.Distribution — the full law of the pattern cost,
+   checked against the closed-form expectations, its own pmf, and the
+   simulator's empirical distribution. *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+let dist ?(w = 2764.) ?(sigma1 = 0.4) ?(sigma2 = 1.0) () =
+  Core.Distribution.make params ~w ~sigma1 ~sigma2
+
+(* Error-heavy variant so the distribution has real mass beyond N=0. *)
+let heavy_params = Core.Params.make ~lambda:2e-4 ~c:120. ~r:60. ~v:20. ()
+
+let heavy ?(w = 3000.) ?(sigma1 = 0.5) ?(sigma2 = 1.0) () =
+  Core.Distribution.make heavy_params ~w ~sigma1 ~sigma2
+
+let test_pmf_sums_to_one () =
+  let d = heavy () in
+  let k_max = Core.Distribution.tail_count d ~epsilon:1e-12 in
+  let total =
+    Numerics.Summation.sum_list
+      (List.init (k_max + 1) (fun k -> Core.Distribution.pmf d k))
+  in
+  check_close ~rtol:1e-9 "pmf mass" 1. total;
+  checkf "negative count" 0. (Core.Distribution.pmf d (-1))
+
+let test_pmf_matches_cdf () =
+  let d = heavy () in
+  List.iter
+    (fun k ->
+      let partial =
+        Numerics.Summation.sum_list
+          (List.init (k + 1) (fun i -> Core.Distribution.pmf d i))
+      in
+      check_close ~rtol:1e-10
+        (Printf.sprintf "cdf(%d)" k)
+        partial
+        (Core.Distribution.cdf_count d k))
+    [ 0; 1; 2; 5; 10 ]
+
+let test_mean_matches_exact () =
+  (* The distribution's mean must equal Proposition 2 exactly. *)
+  List.iter
+    (fun (w, sigma1, sigma2) ->
+      let d = Core.Distribution.make params ~w ~sigma1 ~sigma2 in
+      check_close ~rtol:1e-10 "mean time = Prop 2"
+        (Core.Exact.expected_time params ~w ~sigma1 ~sigma2)
+        (Core.Distribution.mean_time d);
+      check_close ~rtol:1e-10 "mean energy = Prop 3"
+        (Core.Exact.expected_energy params power ~w ~sigma1 ~sigma2)
+        (Core.Distribution.mean_energy d power))
+    [ (2764., 0.4, 0.4); (500., 0.15, 1.); (20000., 1., 0.6) ]
+
+let test_moments_match_pmf () =
+  (* Closed-form mean/variance vs direct truncated sums over the pmf. *)
+  let d = heavy () in
+  let k_max = Core.Distribution.tail_count d ~epsilon:1e-14 in
+  let sum f =
+    Numerics.Summation.sum_list
+      (List.init (k_max + 1) (fun k -> Core.Distribution.pmf d k *. f k))
+  in
+  let mean = sum (fun k -> Core.Distribution.time_of_count d k) in
+  let second = sum (fun k -> Numerics.Float_utils.square (Core.Distribution.time_of_count d k)) in
+  check_close ~rtol:1e-8 "mean via pmf" mean (Core.Distribution.mean_time d);
+  check_close ~rtol:1e-6 "variance via pmf"
+    (second -. (mean *. mean))
+    (Core.Distribution.variance_time d)
+
+let test_cdf_time_steps () =
+  let d = heavy () in
+  let t0 = Core.Distribution.time_of_count d 0 in
+  let t1 = Core.Distribution.time_of_count d 1 in
+  checkf "below support" 0. (Core.Distribution.cdf_time d (t0 -. 1.));
+  check_close ~rtol:1e-12 "at first atom"
+    (Core.Distribution.pmf d 0)
+    (Core.Distribution.cdf_time d t0);
+  check_close ~rtol:1e-12 "between atoms"
+    (Core.Distribution.pmf d 0)
+    (Core.Distribution.cdf_time d (0.5 *. (t0 +. t1)));
+  check_close ~rtol:1e-12 "at second atom"
+    (Core.Distribution.pmf d 0 +. Core.Distribution.pmf d 1)
+    (Core.Distribution.cdf_time d t1)
+
+let test_quantiles () =
+  let d = heavy () in
+  (* quantile is the generalized inverse of the cdf. *)
+  List.iter
+    (fun p ->
+      let x = Core.Distribution.quantile_time d p in
+      Alcotest.(check bool)
+        (Printf.sprintf "cdf(q(%.2f)) >= p" p)
+        true
+        (Core.Distribution.cdf_time d x >= p);
+      (* One atom earlier must be below p (x is the smallest). *)
+      let earlier = x -. 1e-9 in
+      Alcotest.(check bool) "minimality" true
+        (Core.Distribution.cdf_time d earlier < p))
+    [ 0.05; 0.5; 0.9; 0.999 ];
+  checkf "p=0 gives the base time"
+    (Core.Distribution.time_of_count d 0)
+    (Core.Distribution.quantile_time d 0.);
+  check_raises_invalid "p = 1" (fun () ->
+      ignore (Core.Distribution.quantile_time d 1.))
+
+let prop_variance_nonnegative =
+  QCheck.Test.make ~count:300 ~name:"variance is non-negative"
+    arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      let d = Core.Distribution.make p ~w ~sigma1 ~sigma2 in
+      Core.Distribution.variance_time d >= 0.
+      && Core.Distribution.variance_energy d
+           (Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2)
+         >= 0.)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~count:200 ~name:"cdf is monotone"
+    QCheck.(pair (float_range 0. 5e4) (float_range 0. 5e4))
+    (fun (x1, x2) ->
+      let d = heavy () in
+      let lo = Float.min x1 x2 and hi = Float.max x1 x2 in
+      Core.Distribution.cdf_time d lo <= Core.Distribution.cdf_time d hi)
+
+(* ------------------------------------------------------------------ *)
+(* Against the simulator: distribution, not just mean                  *)
+
+let simulate_samples ~replicas ~seed d =
+  let model =
+    Core.Mixed.make ~c:heavy_params.Core.Params.c ~r:heavy_params.Core.Params.r
+      ~v:heavy_params.Core.Params.v ~lambda_f:0.
+      ~lambda_s:heavy_params.Core.Params.lambda ()
+  in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed) replicas in
+  Array.map
+    (fun rng ->
+      let machine = Sim.Machine.create power in
+      let o =
+        Sim.Executor.run_pattern ~model ~machine ~rng
+          ~w:d.Core.Distribution.w ~sigma1:d.Core.Distribution.sigma1
+          ~sigma2:d.Core.Distribution.sigma2 ()
+      in
+      o.Sim.Executor.time)
+    rngs
+
+let test_simulator_variance () =
+  let d = heavy () in
+  let samples = simulate_samples ~replicas:6000 ~seed:23 d in
+  let s = Numerics.Stats.summarize samples in
+  (* Sample variance of n iid draws concentrates within ~5 sqrt(2/n)
+     relative; 6000 draws -> ~9%. Allow 15%. *)
+  check_close ~rtol:0.15 "sample variance vs closed form"
+    (Core.Distribution.variance_time d)
+    s.Numerics.Stats.variance
+
+let test_simulator_atoms () =
+  (* Silent-only pattern times are atoms: every simulated time must sit
+     on time_of_count for some k, and the empirical frequency of the
+     first atoms must match the pmf. *)
+  let d = heavy () in
+  let samples = simulate_samples ~replicas:6000 ~seed:24 d in
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun time ->
+      let k =
+        int_of_float
+          (Float.round
+             ((time -. Core.Distribution.time_of_count d 0)
+             /. (Core.Distribution.time_of_count d 1
+                -. Core.Distribution.time_of_count d 0)))
+      in
+      check_close ~rtol:1e-9 "sample sits on an atom"
+        (Core.Distribution.time_of_count d k)
+        time;
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    samples;
+  let n = float_of_int (Array.length samples) in
+  List.iter
+    (fun k ->
+      let observed =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. n
+      in
+      let expected = Core.Distribution.pmf d k in
+      (* Binomial std error. *)
+      let se = sqrt (expected *. (1. -. expected) /. n) in
+      if Float.abs (observed -. expected) > 5. *. se +. 1e-4 then
+        Alcotest.failf "atom %d: observed %.4f, pmf %.4f" k observed expected)
+    [ 0; 1; 2; 3 ]
+
+let test_simulator_chi_square_gof () =
+  (* Full goodness-of-fit: bucket the simulated re-execution counts and
+     chi-square them against the closed-form pmf (cells merged so every
+     expectation is >= 5, the classical rule). *)
+  let d = heavy () in
+  let replicas = 8000 in
+  let model =
+    Core.Mixed.make ~c:heavy_params.Core.Params.c ~r:heavy_params.Core.Params.r
+      ~v:heavy_params.Core.Params.v ~lambda_f:0.
+      ~lambda_s:heavy_params.Core.Params.lambda ()
+  in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:47) replicas in
+  let max_cell = 6 in
+  let observed = Array.make (max_cell + 1) 0 in
+  Array.iter
+    (fun rng ->
+      let machine = Sim.Machine.create power in
+      let o =
+        Sim.Executor.run_pattern ~model ~machine ~rng
+          ~w:d.Core.Distribution.w ~sigma1:d.Core.Distribution.sigma1
+          ~sigma2:d.Core.Distribution.sigma2 ()
+      in
+      let k = Int.min max_cell o.Sim.Executor.re_executions in
+      observed.(k) <- observed.(k) + 1)
+    rngs;
+  let n = float_of_int replicas in
+  let expected =
+    Array.init (max_cell + 1) (fun k ->
+        if k < max_cell then n *. Core.Distribution.pmf d k
+        else n *. (1. -. Core.Distribution.cdf_count d (max_cell - 1)))
+  in
+  (* Merge trailing cells with expectation below 5 into the last one. *)
+  let cut = ref (max_cell + 1) in
+  while !cut > 1 && expected.(!cut - 1) < 5. do
+    decr cut
+  done;
+  let merge a =
+    Array.init !cut (fun i ->
+        if i < !cut - 1 then a.(i)
+        else Array.fold_left ( +. ) 0. (Array.sub a i (Array.length a - i)))
+  in
+  let observed_f = merge (Array.map float_of_int observed) in
+  let expected_m = merge expected in
+  let statistic =
+    Numerics.Histogram.chi_square
+      ~observed:(Array.map int_of_float observed_f)
+      ~expected:expected_m
+  in
+  let critical =
+    Numerics.Histogram.chi_square_critical ~df:(Array.length expected_m - 1)
+  in
+  if statistic > critical then
+    Alcotest.failf "chi-square %.2f exceeds the 0.1%% critical value %.2f"
+      statistic critical
+
+let test_validation_errors () =
+  check_raises_invalid "zero w" (fun () ->
+      Core.Distribution.make params ~w:0. ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "negative count" (fun () ->
+      Core.Distribution.time_of_count (dist ()) (-1));
+  check_raises_invalid "epsilon" (fun () ->
+      Core.Distribution.tail_count (dist ()) ~epsilon:0.)
+
+let () =
+  Alcotest.run "core-distribution"
+    [
+      ( "law",
+        [
+          Alcotest.test_case "pmf sums to one" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "pmf vs cdf" `Quick test_pmf_matches_cdf;
+          Alcotest.test_case "mean = Props 2-3" `Quick test_mean_matches_exact;
+          Alcotest.test_case "moments via pmf" `Quick test_moments_match_pmf;
+          Alcotest.test_case "cdf steps" `Quick test_cdf_time_steps;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Testutil.qcheck prop_variance_nonnegative;
+          Testutil.qcheck prop_cdf_monotone;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "variance" `Slow test_simulator_variance;
+          Alcotest.test_case "atoms and frequencies" `Slow
+            test_simulator_atoms;
+          Alcotest.test_case "chi-square GOF" `Slow
+            test_simulator_chi_square_gof;
+        ] );
+    ]

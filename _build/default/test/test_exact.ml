@@ -1,0 +1,224 @@
+(* Tests for Core.Exact — the exact expectations of Propositions 1-3.
+
+   The key structural properties: Proposition 2 degenerates to
+   Proposition 1 at equal speeds, and both satisfy the defining
+   renewal recursions, which this file re-derives independently. *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked values (Hera/XScale, the Section 4.2 setting)          *)
+
+let test_hand_checked_time () =
+  (* At w = 2764, sigma = 0.4: lambda w / sigma = 0.023357..., so
+     T = C + e^x (w+v)/sigma + (e^x - 1) R with x small. *)
+  let w = 2764. in
+  let x = 3.38e-6 *. w /. 0.4 in
+  let expected =
+    300. +. (exp x *. (w +. 15.4) /. 0.4) +. (Float.expm1 x *. 300.)
+  in
+  check_close "Prop 1 hand expansion" expected
+    (Core.Exact.expected_time_single params ~w ~sigma:0.4)
+
+let test_error_probability () =
+  checkf ~eps:1e-12 "p(T) formula"
+    (1. -. exp (-3.38e-6 *. 1000. /. 0.5))
+    (Core.Exact.error_probability params ~w:1000. ~sigma:0.5);
+  let tiny = Core.Exact.error_probability params ~w:1e-6 ~sigma:1. in
+  check_close ~rtol:1e-6 "tiny probability keeps precision" (3.38e-12) tiny
+
+let test_reexecutions_formula () =
+  let w = 5000. and sigma1 = 0.8 and sigma2 = 0.4 in
+  let p1 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma1) in
+  let growth = exp (params.Core.Params.lambda *. w /. sigma2) in
+  check_close "re-execution count" (p1 *. growth)
+    (Core.Exact.expected_reexecutions params ~w ~sigma1 ~sigma2)
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties                                               *)
+
+let prop_prop2_degenerates_to_prop1 =
+  QCheck.Test.make ~count:300
+    ~name:"T(W, s, s) from Prop 2 equals Prop 1"
+    arb_params_pattern
+    (fun (p, (w, sigma, _)) ->
+      let t1 = Core.Exact.expected_time_single p ~w ~sigma in
+      let t2 = Core.Exact.expected_time p ~w ~sigma1:sigma ~sigma2:sigma in
+      Numerics.Float_utils.approx_equal ~rtol:1e-11 t1 t2)
+
+let prop_time_recursion =
+  (* T(W,s1,s2) = (W+V)/s1 + p1 (R + T(W,s2,s2)) + (1-p1) C  — the
+     defining equation in the proof of Proposition 2. *)
+  QCheck.Test.make ~count:300 ~name:"Prop 2 satisfies its recursion"
+    arb_params_pattern
+    (fun ((p : Core.Params.t), (w, sigma1, sigma2)) ->
+      let p1 = Core.Exact.error_probability p ~w ~sigma:sigma1 in
+      let t2 = Core.Exact.expected_time_single p ~w ~sigma:sigma2 in
+      let rhs =
+        ((w +. p.v) /. sigma1)
+        +. (p1 *. (p.r +. t2))
+        +. ((1. -. p1) *. p.c)
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-10 rhs
+        (Core.Exact.expected_time p ~w ~sigma1 ~sigma2))
+
+let prop_energy_recursion =
+  (* Energy counterpart: attempts charge compute power, C/R charge IO
+     power, and the re-execution branch recurses at sigma2. *)
+  QCheck.Test.make ~count:300 ~name:"Prop 3 satisfies its recursion"
+    arb_full
+    (fun ((p : Core.Params.t), pw, (w, sigma1, sigma2)) ->
+      let p1 = Core.Exact.error_probability p ~w ~sigma:sigma1 in
+      let e2 = Core.Exact.expected_energy p pw ~w ~sigma1:sigma2 ~sigma2 in
+      let io = Core.Power.io_total pw in
+      let rhs =
+        ((w +. p.v) /. sigma1 *. Core.Power.compute_total pw sigma1)
+        +. (p1 *. ((p.r *. io) +. e2))
+        +. ((1. -. p1) *. p.c *. io)
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-10 rhs
+        (Core.Exact.expected_energy p pw ~w ~sigma1 ~sigma2))
+
+let prop_time_exceeds_error_free =
+  QCheck.Test.make ~count:300 ~name:"expected time >= error-free time"
+    arb_params_pattern
+    (fun ((p : Core.Params.t), (w, sigma1, sigma2)) ->
+      let error_free = p.c +. ((w +. p.v) /. sigma1) in
+      Core.Exact.expected_time p ~w ~sigma1 ~sigma2 >= error_free -. 1e-9)
+
+let prop_time_monotone_in_w =
+  QCheck.Test.make ~count:300 ~name:"expected time increases with W"
+    arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      Core.Exact.expected_time p ~w:(w *. 1.1) ~sigma1 ~sigma2
+      >= Core.Exact.expected_time p ~w ~sigma1 ~sigma2)
+
+let prop_faster_reexecution_cheaper_time =
+  QCheck.Test.make ~count:300
+    ~name:"raising the re-execution speed never slows the pattern"
+    arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      Core.Exact.expected_time p ~w ~sigma1 ~sigma2:(Float.min 1. (sigma2 *. 1.25))
+      <= Core.Exact.expected_time p ~w ~sigma1 ~sigma2 +. 1e-9)
+
+let test_low_lambda_limit () =
+  (* As lambda -> 0 the pattern costs exactly C + (W+V)/sigma1. *)
+  let p = Core.Params.make ~lambda:1e-15 ~c:300. ~v:15.4 () in
+  let t = Core.Exact.expected_time p ~w:3000. ~sigma1:0.5 ~sigma2:1. in
+  check_close ~rtol:1e-8 "error-free limit" (300. +. (3015.4 /. 0.5)) t;
+  let e = Core.Exact.expected_energy p power ~w:3000. ~sigma1:0.5 ~sigma2:1. in
+  let expected =
+    (300. *. Core.Power.io_total power)
+    +. (3015.4 /. 0.5 *. Core.Power.compute_total power 0.5)
+  in
+  check_close ~rtol:1e-8 "error-free energy" expected e
+
+(* ------------------------------------------------------------------ *)
+(* Overheads and totals                                                *)
+
+let test_overheads_and_totals () =
+  let w = 2764. and sigma1 = 0.4 and sigma2 = 0.4 in
+  let t = Core.Exact.expected_time params ~w ~sigma1 ~sigma2 in
+  check_close "time overhead = T/W" (t /. w)
+    (Core.Exact.time_overhead params ~w ~sigma1 ~sigma2);
+  let e = Core.Exact.expected_energy params power ~w ~sigma1 ~sigma2 in
+  check_close "energy overhead = E/W" (e /. w)
+    (Core.Exact.energy_overhead params power ~w ~sigma1 ~sigma2);
+  check_close "makespan scales linearly"
+    (2. *. Core.Exact.total_makespan params ~w ~sigma1 ~sigma2 ~w_base:1e6)
+    (Core.Exact.total_makespan params ~w ~sigma1 ~sigma2 ~w_base:2e6);
+  check_close "energy scales linearly"
+    (2. *. Core.Exact.total_energy params power ~w ~sigma1 ~sigma2 ~w_base:1e6)
+    (Core.Exact.total_energy params power ~w ~sigma1 ~sigma2 ~w_base:2e6)
+
+let test_validation_errors () =
+  check_raises_invalid "zero w" (fun () ->
+      Core.Exact.expected_time params ~w:0. ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "negative w" (fun () ->
+      Core.Exact.expected_time params ~w:(-5.) ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "zero speed" (fun () ->
+      Core.Exact.expected_time params ~w:10. ~sigma1:0. ~sigma2:1.);
+  check_raises_invalid "negative sigma2" (fun () ->
+      Core.Exact.expected_energy params power ~w:10. ~sigma1:1. ~sigma2:(-1.));
+  check_raises_invalid "negative w_base" (fun () ->
+      Core.Exact.total_makespan params ~w:10. ~sigma1:1. ~sigma2:1.
+        ~w_base:(-1.))
+
+let test_params_construction () =
+  let p = Core.Params.make ~lambda:1e-5 ~c:100. ~v:10. () in
+  checkf "r defaults to c" 100. p.Core.Params.r;
+  checkf "mtbf" 1e5 (Core.Params.mtbf p);
+  let p2 = Core.Params.with_c p 200. in
+  checkf "with_c moves r" 200. p2.Core.Params.r;
+  let p3 = Core.Params.with_c ~keep_r:true p 200. in
+  checkf "keep_r preserves r" 100. p3.Core.Params.r;
+  checkf "with_v" 77. (Core.Params.with_v p 77.).Core.Params.v;
+  checkf "with_lambda" 1e-3 (Core.Params.with_lambda p 1e-3).Core.Params.lambda;
+  check_raises_invalid "lambda 0" (fun () ->
+      Core.Params.make ~lambda:0. ~c:1. ~v:1. ());
+  check_raises_invalid "negative c" (fun () ->
+      Core.Params.make ~lambda:1e-5 ~c:(-1.) ~v:1. ());
+  check_raises_invalid "nan v" (fun () ->
+      Core.Params.make ~lambda:1e-5 ~c:1. ~v:nan ())
+
+let test_power_construction () =
+  let pw = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5. in
+  checkf "cpu" 1550. (Core.Power.cpu pw 1.);
+  checkf "compute_total" 1610. (Core.Power.compute_total pw 1.);
+  checkf "io_total" 65. (Core.Power.io_total pw);
+  checkf "with_p_idle" 100.
+    (Core.Power.with_p_idle pw 100.).Core.Power.p_idle;
+  checkf "with_p_io" 9. (Core.Power.with_p_io pw 9.).Core.Power.p_io;
+  check_raises_invalid "negative kappa" (fun () ->
+      Core.Power.make ~kappa:(-1.) ~p_idle:0. ~p_io:0.)
+
+let test_env_construction () =
+  let p = Core.Params.make ~lambda:1e-5 ~c:100. ~v:10. () in
+  let pw = Core.Power.make ~kappa:1000. ~p_idle:10. ~p_io:5. in
+  let env = Core.Env.make ~params:p ~power:pw ~speeds:[ 0.5; 1.0 ] in
+  Alcotest.(check int) "pairs" 4 (List.length (Core.Env.speed_pairs env));
+  check_raises_invalid "empty speeds" (fun () ->
+      Core.Env.make ~params:p ~power:pw ~speeds:[]);
+  check_raises_invalid "non-increasing" (fun () ->
+      Core.Env.make ~params:p ~power:pw ~speeds:[ 1.0; 0.5 ]);
+  check_raises_invalid "duplicate" (fun () ->
+      Core.Env.make ~params:p ~power:pw ~speeds:[ 0.5; 0.5 ]);
+  let env2 = Core.Env.with_c env 500. in
+  checkf "with_c sets c" 500. env2.Core.Env.params.Core.Params.c;
+  checkf "with_c drags r" 500. env2.Core.Env.params.Core.Params.r;
+  checkf "with_p_io" 3.
+    (Core.Env.with_p_io env 3.).Core.Env.power.Core.Power.p_io
+
+let () =
+  Alcotest.run "core-exact"
+    [
+      ( "hand-checked",
+        [
+          Alcotest.test_case "Prop 1 value" `Quick test_hand_checked_time;
+          Alcotest.test_case "error probability" `Quick test_error_probability;
+          Alcotest.test_case "re-executions" `Quick test_reexecutions_formula;
+          Alcotest.test_case "low-lambda limit" `Quick test_low_lambda_limit;
+        ] );
+      ( "structure",
+        [
+          Testutil.qcheck prop_prop2_degenerates_to_prop1;
+          Testutil.qcheck prop_time_recursion;
+          Testutil.qcheck prop_energy_recursion;
+          Testutil.qcheck prop_time_exceeds_error_free;
+          Testutil.qcheck prop_time_monotone_in_w;
+          Testutil.qcheck prop_faster_reexecution_cheaper_time;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "overheads and totals" `Quick
+            test_overheads_and_totals;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+          Alcotest.test_case "params" `Quick test_params_construction;
+          Alcotest.test_case "power" `Quick test_power_construction;
+          Alcotest.test_case "env" `Quick test_env_construction;
+        ] );
+    ]

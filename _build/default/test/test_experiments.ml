@@ -1,0 +1,212 @@
+(* Tests for the experiments library: the Section 4.2 tables, the
+   figure definitions, the qualitative claims, Theorem 2's scaling
+   experiment and the Monte-Carlo validation suite. These are the
+   repository's reproduction acceptance tests. *)
+
+let hera_env () =
+  Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+
+let failures entries =
+  List.filter
+    (fun (e : Report.Compare.entry) ->
+      match e.verdict with
+      | Report.Compare.Deviates _ -> true
+      | Report.Compare.Exact | Report.Compare.Shape _ -> false)
+    entries
+
+let check_entries name entries =
+  match failures entries with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s: %d deviation(s), first: %s" name (List.length fs)
+        (Format.asprintf "%a" Report.Compare.pp_entry (List.hd fs))
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.2 tables                                                  *)
+
+let test_all_paper_tables_reproduce () =
+  let env = hera_env () in
+  List.iter
+    (fun reference ->
+      check_entries
+        (Printf.sprintf "table rho=%g" reference.Experiments.Tables42.rho)
+        (Experiments.Tables42.compare env reference))
+    Experiments.Tables42.paper
+
+let test_table_structure () =
+  Alcotest.(check int) "four reference tables" 4
+    (List.length Experiments.Tables42.paper);
+  let env = hera_env () in
+  let t = Experiments.Tables42.compute env ~rho:3. in
+  Alcotest.(check int) "five rows" 5 (List.length t.Experiments.Tables42.rows);
+  Alcotest.(check bool) "best pair present" true
+    (t.Experiments.Tables42.best_pair = Some (0.4, 0.4));
+  let rendered = Experiments.Tables42.render t in
+  Alcotest.(check bool) "render mentions rho" true
+    (Astring_contains.contains rendered "rho = 3");
+  Alcotest.(check bool) "render shows infeasible dash" true
+    (Astring_contains.contains rendered "-")
+
+let test_table_detects_deviation () =
+  (* Feed a wrong reference: compare must flag it, not silently pass. *)
+  let env = hera_env () in
+  let wrong =
+    {
+      Experiments.Tables42.rho = 3.;
+      rows =
+        [
+          { Experiments.Tables42.sigma1 = 0.15; best = None };
+          { sigma1 = 0.4; best = Some (0.4, 9999., 416.) };
+          { sigma1 = 0.6; best = Some (0.4, 3639., 674.) };
+          { sigma1 = 0.8; best = Some (0.4, 4627., 1082.) };
+          { sigma1 = 1.; best = Some (0.4, 5742., 1625.) };
+        ];
+      best_pair = Some (0.4, 0.4);
+    }
+  in
+  Alcotest.(check bool) "deviation detected" true
+    (failures (Experiments.Tables42.compare env wrong) <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let test_figure_catalogue () =
+  Alcotest.(check int) "13 figures" 13 (List.length Experiments.Figures.all);
+  List.iter
+    (fun id ->
+      match Experiments.Figures.find id with
+      | Some f ->
+          Alcotest.(check int) (Printf.sprintf "figure %d id" id) id
+            f.Experiments.Figures.id
+      | None -> Alcotest.failf "figure %d missing" id)
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ];
+  Alcotest.(check bool) "no figure 1" true (Experiments.Figures.find 1 = None);
+  (* Single-panel figures 2-7; six-panel figures 8-14. *)
+  List.iter
+    (fun id ->
+      let f = Option.get (Experiments.Figures.find id) in
+      Alcotest.(check int)
+        (Printf.sprintf "figure %d panels" id)
+        (if id <= 7 then 1 else 6)
+        (List.length f.Experiments.Figures.parameters))
+    [ 2; 7; 8; 14 ];
+  (* Coastal figures cap the lambda axis at 1e-3. *)
+  let f10 = Option.get (Experiments.Figures.find 10) in
+  Alcotest.(check (float 1e-12)) "fig 10 lambda_hi" 1e-3
+    f10.Experiments.Figures.lambda_hi
+
+let test_figure_run_panel () =
+  let f2 = Option.get (Experiments.Figures.find 2) in
+  let s = Experiments.Figures.run_panel ~points:11 f2 Sweep.Parameter.C in
+  Alcotest.(check int) "point count" 11 (List.length s.Sweep.Series.points);
+  Alcotest.(check string) "label" "Atlas/Crusoe" s.Sweep.Series.label;
+  (match f2.Experiments.Figures.parameters with
+  | [ p ] ->
+      Alcotest.(check bool) "figure 2 sweeps C" true (p = Sweep.Parameter.C)
+  | _ -> Alcotest.fail "figure 2 must have one panel");
+  match Experiments.Figures.run_panel ~points:5 f2 Sweep.Parameter.V with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "figure 2 has no V panel"
+
+let test_figure_env () =
+  let f8 = Option.get (Experiments.Figures.find 8) in
+  let env = Experiments.Figures.env_of f8 in
+  Alcotest.(check (float 1e-12)) "Hera lambda" 3.38e-6
+    env.Core.Env.params.Core.Params.lambda
+
+(* ------------------------------------------------------------------ *)
+(* Claims (Section 4.3)                                                *)
+
+let test_all_claims () =
+  check_entries "claims" (Experiments.Claims.all ~points:26 ())
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2                                                           *)
+
+let test_theorem2_scaling () =
+  let r =
+    Experiments.Theorem2.run
+      ~lambdas:(Numerics.Axis.logspace ~lo:1e-9 ~hi:1e-6 ~n:7)
+      ()
+  in
+  Alcotest.(check bool) "slope ~ -2/3" true
+    (Float.abs (r.Experiments.Theorem2.slope_twice -. (-2. /. 3.)) < 0.02);
+  Alcotest.(check bool) "same-speed slope ~ -1/2" true
+    (Float.abs (r.Experiments.Theorem2.slope_same -. (-0.5)) < 0.02);
+  Alcotest.(check bool) "closed form tracks numeric" true
+    (r.Experiments.Theorem2.max_analytic_gap < 0.01);
+  Alcotest.(check bool) "regimes differ" true
+    (r.Experiments.Theorem2.slope_twice
+    < r.Experiments.Theorem2.slope_same -. 0.1)
+
+let test_theorem2_periods_longer () =
+  (* The lambda^(-2/3) period is (much) longer than Young/Daly's at
+     small lambda. *)
+  let r = Experiments.Theorem2.run () in
+  List.iter2
+    (fun (_, w2) (_, w1) ->
+      Alcotest.(check bool) "twice-faster period longer" true (w2 > w1))
+    r.Experiments.Theorem2.w_twice r.Experiments.Theorem2.w_same
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo validation                                              *)
+
+let test_validation_synthetic () =
+  let checks =
+    Experiments.Validation.run ~replicas:1500 ~seed:7
+      [
+        Experiments.Validation.synthetic ~name:"silent" ~fail_stop_fraction:0.;
+        Experiments.Validation.synthetic ~name:"mixed" ~fail_stop_fraction:0.5;
+      ]
+  in
+  Alcotest.(check int) "three checks per scenario" 6 (List.length checks);
+  List.iter
+    (fun (c : Sim.Montecarlo.check) ->
+      if not c.ok then
+        Alcotest.failf "%s" (Format.asprintf "%a" Sim.Montecarlo.pp_check c))
+    checks
+
+let test_validation_config_scenario () =
+  let scenario =
+    Experiments.Validation.of_config ~lambda_scale:50.
+      (Option.get (Platforms.Config.find "atlas/crusoe"))
+  in
+  Alcotest.(check string) "name" "Atlas/Crusoe" scenario.Experiments.Validation.name;
+  (* The scenario sits at the BiCrit optimum: (0.45, 0.45) / We. *)
+  Alcotest.(check (float 1e-9)) "sigma1" 0.45
+    scenario.Experiments.Validation.sigma1;
+  let checks = Experiments.Validation.run ~replicas:1500 ~seed:11 [ scenario ] in
+  Alcotest.(check bool) "all ok" true (Experiments.Validation.all_ok checks)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables 4.2",
+        [
+          Alcotest.test_case "all four reproduce" `Quick
+            test_all_paper_tables_reproduce;
+          Alcotest.test_case "structure" `Quick test_table_structure;
+          Alcotest.test_case "detects deviation" `Quick
+            test_table_detects_deviation;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "catalogue" `Quick test_figure_catalogue;
+          Alcotest.test_case "run panel" `Quick test_figure_run_panel;
+          Alcotest.test_case "environment" `Quick test_figure_env;
+        ] );
+      ( "claims", [ Alcotest.test_case "section 4.3" `Slow test_all_claims ] );
+      ( "theorem 2",
+        [
+          Alcotest.test_case "scaling exponents" `Slow test_theorem2_scaling;
+          Alcotest.test_case "periods longer" `Slow
+            test_theorem2_periods_longer;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "synthetic scenarios" `Slow
+            test_validation_synthetic;
+          Alcotest.test_case "config scenario" `Slow
+            test_validation_config_scenario;
+        ] );
+    ]

@@ -1,0 +1,349 @@
+(* Tests for the beyond-the-paper extensions: the exact mixed-error
+   BiCrit solver, multi-verification patterns, and their experiment
+   drivers. *)
+
+open Testutil
+
+let env = hera_xscale ()
+
+(* ------------------------------------------------------------------ *)
+(* Mixed_bicrit                                                        *)
+
+let silent_mixed () =
+  Core.Mixed.of_params env.Core.Env.params ~fail_stop_fraction:0.
+
+let test_window_matches_first_order_when_silent () =
+  (* At f = 0 and paper-scale rates, the exact window must closely
+     match the first-order quadratic window of Theorem 1. *)
+  let m = silent_mixed () in
+  match
+    ( Core.Mixed_bicrit.time_window m ~rho:3. ~sigma1:0.4 ~sigma2:0.4,
+      Core.Feasibility.window env.params ~rho:3. ~sigma1:0.4 ~sigma2:0.4 )
+  with
+  | Some (w1, w2), Some fo ->
+      (* The left edge sits at small lambda W where the expansion is
+         tight; at the right edge lambda W ~ 0.2 and the exact overhead
+         grows faster than the quadratic, so the exact window closes
+         ~9% earlier — the expected direction. *)
+      check_close ~rtol:0.01 "left edge" fo.Core.Feasibility.w_min w1;
+      check_close ~rtol:0.15 "right edge magnitude" fo.Core.Feasibility.w_max
+        w2;
+      Alcotest.(check bool) "exact window closes no later" true
+        (w2 <= fo.Core.Feasibility.w_max +. 1e-6)
+  | None, _ | _, None -> Alcotest.fail "both windows must exist"
+
+let test_window_infeasible () =
+  let m = silent_mixed () in
+  Alcotest.(check bool) "rho below reach" true
+    (Core.Mixed_bicrit.time_window m ~rho:1.05 ~sigma1:0.4 ~sigma2:0.4 = None);
+  (* 1/sigma1 alone exceeds the bound for sigma1 = 0.15, rho = 3. *)
+  Alcotest.(check bool) "slow first speed infeasible" true
+    (Core.Mixed_bicrit.time_window m ~rho:3. ~sigma1:0.15 ~sigma2:1. = None)
+
+let test_solve_matches_closed_form_at_silent_limit () =
+  let gap = Experiments.Extensions.silent_limit_matches_closed_form () in
+  Alcotest.(check bool) "numeric ~ closed form" true (gap < 1e-2)
+
+let test_solution_respects_bound () =
+  let m = Core.Mixed.of_params env.params ~fail_stop_fraction:0.5 in
+  match
+    Core.Mixed_bicrit.solve m env.power
+      ~speeds:(Array.to_list env.speeds)
+      ~rho:2.
+  with
+  | None -> Alcotest.fail "rho = 2 should be feasible"
+  | Some { best; candidates } ->
+      List.iter
+        (fun (s : Core.Mixed_bicrit.solution) ->
+          Alcotest.(check bool) "T/W <= rho" true
+            (s.time_overhead <= 2. *. (1. +. 1e-6));
+          let w1, w2 = s.window in
+          Alcotest.(check bool) "w in window" true
+            (s.w_opt >= w1 -. 1e-9 && s.w_opt <= w2 +. 1e-9))
+        candidates;
+      List.iter
+        (fun (s : Core.Mixed_bicrit.solution) ->
+          Alcotest.(check bool) "best is argmin" true
+            (best.energy_overhead <= s.energy_overhead +. 1e-9))
+        candidates
+
+let test_solves_beyond_validity_window () =
+  (* sigma2/sigma1 = 1/0.15 = 6.67 with f = s: far outside
+     (0.5, 4) where the first-order expansion breaks; the exact solver
+     still answers (at a permissive bound). *)
+  let m = Core.Mixed.of_params env.params ~fail_stop_fraction:0.5 in
+  Alcotest.(check bool) "first order not applicable" false
+    (Core.Mixed.first_order_applicable m ~sigma1:0.15 ~sigma2:1.);
+  match
+    Core.Mixed_bicrit.solve_pair m env.power ~rho:8. ~sigma1:0.15 ~sigma2:1.
+  with
+  | Some s ->
+      Alcotest.(check bool) "bound met" true (s.time_overhead <= 8.);
+      Alcotest.(check bool) "sane period" true
+        (s.w_opt > 0. && Float.is_finite s.w_opt)
+  | None -> Alcotest.fail "exact solver should handle the invalid regime"
+
+let test_wopt_grows_with_failstop_fraction () =
+  (* Fail-stop errors waste half the pattern on average instead of all
+     of it, so pure fail-stop mixes afford longer periods. *)
+  let points = Experiments.Extensions.fraction_sweep () in
+  let wopts =
+    List.filter_map
+      (fun (p : Experiments.Extensions.mixed_point) ->
+        Option.map (fun (s : Core.Mixed_bicrit.solution) -> s.w_opt) p.solution)
+      points
+  in
+  Alcotest.(check int) "all fractions feasible" 11 (List.length wopts);
+  let rec nondecreasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a <= b +. 1e-6 && nondecreasing rest
+  in
+  Alcotest.(check bool) "Wopt nondecreasing in f" true (nondecreasing wopts)
+
+let test_single_speed_never_better () =
+  List.iter
+    (fun (p : Experiments.Extensions.mixed_point) ->
+      match (p.solution, p.single_speed) with
+      | Some two, Some one ->
+          Alcotest.(check bool) "two speeds never lose" true
+            (two.energy_overhead <= one.energy_overhead +. 1e-6)
+      | None, Some _ -> Alcotest.fail "pair space contains the diagonal"
+      | Some _, None | None, None -> ())
+    (Experiments.Extensions.fraction_sweep ())
+
+let test_coverage_count () =
+  let solved, outside =
+    Experiments.Extensions.coverage_beyond_validity ~fraction:0.5 ()
+  in
+  Alcotest.(check bool) "some pairs outside the window" true (outside > 0);
+  Alcotest.(check bool) "exact solver covers most of them" true
+    (solved >= (outside + 1) / 2)
+
+let test_mixed_bicrit_validation () =
+  let m = silent_mixed () in
+  check_raises_invalid "empty speeds" (fun () ->
+      Core.Mixed_bicrit.solve m env.power ~speeds:[] ~rho:3.);
+  check_raises_invalid "bad rho" (fun () ->
+      Core.Mixed_bicrit.solve m env.power ~speeds:[ 1. ] ~rho:0.);
+  check_raises_invalid "bad speed" (fun () ->
+      Core.Mixed_bicrit.solve m env.power ~speeds:[ 0. ] ~rho:3.)
+
+(* ------------------------------------------------------------------ *)
+(* Multi_verif                                                         *)
+
+let test_m1_reduces_to_prop2 () =
+  let t = Core.Multi_verif.make env.params ~verifications:1 in
+  let cases =
+    [ (500., 0.4, 0.4); (2764., 0.4, 1.); (10000., 0.8, 0.6) ]
+  in
+  List.iter
+    (fun (w, sigma1, sigma2) ->
+      check_close ~rtol:1e-10 "time = Prop 2"
+        (Core.Exact.expected_time env.params ~w ~sigma1 ~sigma2)
+        (Core.Multi_verif.expected_time t ~w ~sigma1 ~sigma2);
+      check_close ~rtol:1e-10 "energy = Prop 3"
+        (Core.Exact.expected_energy env.params env.power ~w ~sigma1 ~sigma2)
+        (Core.Multi_verif.expected_energy t env.power ~w ~sigma1 ~sigma2))
+    cases
+
+let prop_attempt_time_below_full_pass =
+  (* An attempt stops at the first failed verification, so its expected
+     execution time is at most the error-free (W + mV)/sigma. *)
+  QCheck.Test.make ~count:300 ~name:"attempt time <= error-free pass"
+    QCheck.(
+      pair arb_params_pattern (int_range 1 10))
+    (fun ((p, (w, sigma, _)), m) ->
+      let t = Core.Multi_verif.make p ~verifications:m in
+      let full =
+        (w +. (float_of_int m *. p.Core.Params.v)) /. sigma
+      in
+      Core.Multi_verif.attempt_time t ~w ~sigma <= full +. 1e-9)
+
+let prop_more_verifications_shorter_attempts =
+  (* For zero verification cost, splitting finer only helps: the
+     expected executed time per attempt decreases with m. *)
+  QCheck.Test.make ~count:200
+    ~name:"with V = 0, attempts shrink as m grows"
+    QCheck.(
+      pair
+        (pair (float_range 1e-5 1e-3) (float_range 500. 20000.))
+        (int_range 1 9))
+    (fun ((lambda, w), m) ->
+      let p = Core.Params.make ~lambda ~c:100. ~v:0. () in
+      let t_m = Core.Multi_verif.make p ~verifications:m in
+      let t_m1 = Core.Multi_verif.make p ~verifications:(m + 1) in
+      Core.Multi_verif.attempt_time t_m1 ~w ~sigma:0.5
+      <= Core.Multi_verif.attempt_time t_m ~w ~sigma:0.5 +. 1e-9)
+
+let test_expected_units_bounds () =
+  (* Expected time of a pattern with more verifications is higher when
+     V is large (pure overhead at low error rates). *)
+  let p = Core.Params.make ~lambda:1e-7 ~c:300. ~v:100. () in
+  let t1 = Core.Multi_verif.make p ~verifications:1 in
+  let t4 = Core.Multi_verif.make p ~verifications:4 in
+  Alcotest.(check bool) "extra verifications cost time at low rates" true
+    (Core.Multi_verif.expected_time t4 ~w:3000. ~sigma1:0.5 ~sigma2:0.5
+    > Core.Multi_verif.expected_time t1 ~w:3000. ~sigma1:0.5 ~sigma2:0.5)
+
+let test_multi_verif_helps_at_high_rates () =
+  (* The headline of the extension: at 100x Hera's rate, m = 2 beats
+     m = 1 on energy. *)
+  let best_m = Experiments.Extensions.best_verification_count () in
+  Alcotest.(check bool) "more than one verification wins" true (best_m > 1);
+  let points = Experiments.Extensions.verification_sweep () in
+  let energy m =
+    match (List.nth points (m - 1)).Experiments.Extensions.solution with
+    | Some s -> s.Core.Multi_verif.energy_overhead
+    | None -> infinity
+  in
+  Alcotest.(check bool) "m=2 beats m=1 here" true (energy 2 < energy 1)
+
+let test_solve_pattern_bound () =
+  let t = Core.Multi_verif.make env.params ~verifications:3 in
+  match
+    Core.Multi_verif.solve_pattern t env.power ~rho:3. ~sigma1:0.4 ~sigma2:0.4
+  with
+  | None -> Alcotest.fail "expected feasible"
+  | Some s ->
+      Alcotest.(check bool) "bound met" true (s.time_overhead <= 3. +. 1e-9);
+      Alcotest.(check int) "verification count carried" 3 s.verifications
+
+let test_solve_overall () =
+  (* At paper rates the intermediate-verification gain is marginal:
+     the winner keeps the paper's speed pair and lands within 0.5% of
+     the m = 1 energy (it happens to be m = 2, 0.15% cheaper). *)
+  match Core.Multi_verif.solve ~max_verifications:4 env ~rho:3. with
+  | None -> Alcotest.fail "expected feasible"
+  | Some s ->
+      checkf "sigma1" 0.4 s.sigma1;
+      checkf "sigma2" 0.4 s.sigma2;
+      Alcotest.(check bool) "few verifications win at paper rates" true
+        (s.verifications <= 2);
+      let m1 =
+        Option.get
+          (Core.Multi_verif.solve_pattern
+             (Core.Multi_verif.make env.params ~verifications:1)
+             env.power ~rho:3. ~sigma1:0.4 ~sigma2:0.4)
+      in
+      Alcotest.(check bool) "gain over m = 1 is marginal" true
+        (s.energy_overhead <= m1.energy_overhead
+        && s.energy_overhead > 0.995 *. m1.energy_overhead);
+      check_close ~rtol:0.02 "m = 1 period matches Theorem 1" 2764.
+        m1.w_opt
+
+let test_multi_verif_validation () =
+  check_raises_invalid "zero verifications" (fun () ->
+      Core.Multi_verif.make env.params ~verifications:0);
+  let t = Core.Multi_verif.make env.params ~verifications:2 in
+  check_raises_invalid "zero w" (fun () ->
+      Core.Multi_verif.expected_time t ~w:0. ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "bad rho" (fun () ->
+      Core.Multi_verif.solve env ~rho:(-1.))
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo cross-check of the multi-verification formula           *)
+
+let test_multi_verif_matches_simulator_many_m () =
+  (* The m-verification formula against the executor for several m,
+     one shared replica budget. *)
+  let lambda = 3e-4 in
+  let p = Core.Params.make ~lambda ~c:80. ~r:40. ~v:12. () in
+  let model =
+    Core.Mixed.make ~c:80. ~r:40. ~v:12. ~lambda_f:0. ~lambda_s:lambda ()
+  in
+  let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2 in
+  let w = 2500. and sigma1 = 0.6 and sigma2 = 0.9 in
+  List.iter
+    (fun m ->
+      let t = Core.Multi_verif.make p ~verifications:m in
+      let expected = Core.Multi_verif.expected_time t ~w ~sigma1 ~sigma2 in
+      let replicas = 3000 in
+      let rngs = Prng.Rng.split (Prng.Rng.create ~seed:(100 + m)) replicas in
+      let samples =
+        Array.map
+          (fun rng ->
+            let machine = Sim.Machine.create power in
+            (Sim.Executor.run_pattern ~verifications:m ~model ~machine ~rng ~w
+               ~sigma1 ~sigma2 ())
+              .Sim.Executor.time)
+          rngs
+      in
+      if not (Numerics.Stats.within_confidence ~expected samples) then
+        Alcotest.failf "m=%d: formula %.2f outside the simulated CI (mean %.2f)"
+          m expected (Numerics.Stats.mean samples))
+    [ 2; 5 ]
+
+let test_multi_verif_matches_simulator () =
+  let lambda = 2e-4 in
+  let p = Core.Params.make ~lambda ~c:120. ~r:60. ~v:20. () in
+  let t = Core.Multi_verif.make p ~verifications:3 in
+  let model =
+    Core.Mixed.make ~c:120. ~r:60. ~v:20. ~lambda_f:0. ~lambda_s:lambda ()
+  in
+  let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2 in
+  let w = 3000. and sigma1 = 0.5 and sigma2 = 1. in
+  let expected = Core.Multi_verif.expected_time t ~w ~sigma1 ~sigma2 in
+  let expected_energy =
+    Core.Multi_verif.expected_energy t power ~w ~sigma1 ~sigma2
+  in
+  let replicas = 4000 in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:31) replicas in
+  let times = Array.make replicas 0. in
+  let energies = Array.make replicas 0. in
+  Array.iteri
+    (fun i rng ->
+      let machine = Sim.Machine.create power in
+      let o =
+        Sim.Executor.run_pattern ~verifications:3 ~model ~machine ~rng ~w
+          ~sigma1 ~sigma2 ()
+      in
+      times.(i) <- o.Sim.Executor.time;
+      energies.(i) <- o.Sim.Executor.energy)
+    rngs;
+  Alcotest.(check bool) "simulated mean time matches formula" true
+    (Numerics.Stats.within_confidence ~expected times);
+  Alcotest.(check bool) "simulated mean energy matches formula" true
+    (Numerics.Stats.within_confidence ~expected:expected_energy energies)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "mixed bicrit",
+        [
+          Alcotest.test_case "window vs first order" `Quick
+            test_window_matches_first_order_when_silent;
+          Alcotest.test_case "infeasible windows" `Quick
+            test_window_infeasible;
+          Alcotest.test_case "silent limit anchor" `Quick
+            test_solve_matches_closed_form_at_silent_limit;
+          Alcotest.test_case "bound respected" `Quick
+            test_solution_respects_bound;
+          Alcotest.test_case "beyond the validity window" `Quick
+            test_solves_beyond_validity_window;
+          Alcotest.test_case "Wopt grows with f" `Slow
+            test_wopt_grows_with_failstop_fraction;
+          Alcotest.test_case "two speeds never lose" `Slow
+            test_single_speed_never_better;
+          Alcotest.test_case "coverage count" `Quick test_coverage_count;
+          Alcotest.test_case "validation" `Quick test_mixed_bicrit_validation;
+        ] );
+      ( "multi verification",
+        [
+          Alcotest.test_case "m=1 is Prop 2/3" `Quick test_m1_reduces_to_prop2;
+          Testutil.qcheck prop_attempt_time_below_full_pass;
+          Testutil.qcheck prop_more_verifications_shorter_attempts;
+          Alcotest.test_case "verification overhead at low rates" `Quick
+            test_expected_units_bounds;
+          Alcotest.test_case "helps at high rates" `Slow
+            test_multi_verif_helps_at_high_rates;
+          Alcotest.test_case "solve_pattern bound" `Quick
+            test_solve_pattern_bound;
+          Alcotest.test_case "full solve at paper rates" `Slow
+            test_solve_overall;
+          Alcotest.test_case "validation" `Quick test_multi_verif_validation;
+          Alcotest.test_case "matches the simulator" `Slow
+            test_multi_verif_matches_simulator;
+          Alcotest.test_case "matches the simulator (m = 2, 5)" `Slow
+            test_multi_verif_matches_simulator_many_m;
+        ] );
+    ]

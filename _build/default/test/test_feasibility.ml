@@ -1,0 +1,139 @@
+(* Tests for Core.Feasibility — the quadratic performance-bound window
+   of Theorem 1 and the minimum feasible bound of Equation (6). *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+
+let test_coefficients_match_eq2 () =
+  let sigma1 = 0.6 and sigma2 = 0.8 and rho = 2.5 in
+  let a, b, c = Core.Feasibility.coefficients params ~rho ~sigma1 ~sigma2 in
+  let o = Core.First_order.time params ~sigma1 ~sigma2 in
+  check_close "a = linear" o.Core.First_order.linear a;
+  check_close "b = const - rho" (o.Core.First_order.const -. rho) b;
+  check_close "c = inverse" o.Core.First_order.inverse c
+
+let test_rho_min_formula () =
+  (* Equation (6) verbatim for a hand-picked pair. *)
+  let sigma1 = 0.6 and sigma2 = 0.4 in
+  let l = params.Core.Params.lambda in
+  let expected =
+    (1. /. sigma1)
+    +. (2. *. sqrt ((300. +. (15.4 /. sigma1)) *. l /. (sigma1 *. sigma2)))
+    +. (l *. ((300. /. sigma1) +. (15.4 /. (sigma1 *. sigma2))))
+  in
+  check_close "Eq 6" expected
+    (Core.Feasibility.rho_min params ~sigma1 ~sigma2)
+
+let test_paper_feasibility_pattern () =
+  (* Section 4.2: sigma1 = 0.15 is feasible at rho = 8, infeasible at
+     rho = 3; sigma1 = 0.6 becomes infeasible at rho = 1.4. *)
+  let feasible_for_any_s2 rho sigma1 =
+    Array.exists
+      (fun sigma2 -> Core.Feasibility.is_feasible params ~rho ~sigma1 ~sigma2)
+      env.Core.Env.speeds
+  in
+  Alcotest.(check bool) "0.15 at rho=8" true (feasible_for_any_s2 8. 0.15);
+  Alcotest.(check bool) "0.15 at rho=3" false (feasible_for_any_s2 3. 0.15);
+  Alcotest.(check bool) "0.6 at rho=1.775" true (feasible_for_any_s2 1.775 0.6);
+  Alcotest.(check bool) "0.6 at rho=1.4" false (feasible_for_any_s2 1.4 0.6);
+  Alcotest.(check bool) "0.8 at rho=1.4" true (feasible_for_any_s2 1.4 0.8)
+
+let prop_window_iff_rho_min =
+  QCheck.Test.make ~count:300
+    ~name:"window exists exactly when rho >= rho_min" arb_params_pattern
+    (fun (p, (_, sigma1, sigma2)) ->
+      let rho_min = Core.Feasibility.rho_min p ~sigma1 ~sigma2 in
+      let above = Core.Feasibility.window p ~rho:(rho_min *. 1.01) ~sigma1 ~sigma2 in
+      let below = Core.Feasibility.window p ~rho:(rho_min *. 0.99) ~sigma1 ~sigma2 in
+      Option.is_some above && Option.is_none below)
+
+let prop_window_edges_hit_the_bound =
+  (* At W1 and W2 the first-order time overhead equals rho. *)
+  QCheck.Test.make ~count:300 ~name:"T/W = rho at the window edges"
+    QCheck.(pair arb_params_pattern (float_range 1.05 3.))
+    (fun ((p, (_, sigma1, sigma2)), slack) ->
+      let rho = Core.Feasibility.rho_min p ~sigma1 ~sigma2 *. slack in
+      match Core.Feasibility.window p ~rho ~sigma1 ~sigma2 with
+      | None -> false
+      | Some win ->
+          let o = Core.First_order.time p ~sigma1 ~sigma2 in
+          let at w = Core.First_order.eval o ~w in
+          Numerics.Float_utils.approx_equal ~rtol:1e-6
+            (at win.Core.Feasibility.w_min) rho
+          && Numerics.Float_utils.approx_equal ~rtol:1e-6
+               (at win.Core.Feasibility.w_max) rho)
+
+let prop_interior_meets_bound =
+  QCheck.Test.make ~count:300 ~name:"interior of the window satisfies T/W <= rho"
+    QCheck.(
+      pair arb_params_pattern (pair (float_range 1.05 3.) (float_range 0. 1.)))
+    (fun ((p, (_, sigma1, sigma2)), (slack, frac)) ->
+      let rho = Core.Feasibility.rho_min p ~sigma1 ~sigma2 *. slack in
+      match Core.Feasibility.window p ~rho ~sigma1 ~sigma2 with
+      | None -> false
+      | Some win ->
+          let w =
+            win.Core.Feasibility.w_min
+            +. (frac *. (win.Core.Feasibility.w_max -. win.Core.Feasibility.w_min))
+          in
+          let o = Core.First_order.time p ~sigma1 ~sigma2 in
+          Core.First_order.eval o ~w <= rho *. (1. +. 1e-9))
+
+let prop_window_positive =
+  QCheck.Test.make ~count:300 ~name:"window bounds are positive and ordered"
+    QCheck.(pair arb_params_pattern (float_range 1.01 10.))
+    (fun ((p, (_, sigma1, sigma2)), slack) ->
+      let rho = Core.Feasibility.rho_min p ~sigma1 ~sigma2 *. slack in
+      match Core.Feasibility.window p ~rho ~sigma1 ~sigma2 with
+      | None -> false
+      | Some win ->
+          win.Core.Feasibility.w_min > 0.
+          && win.Core.Feasibility.w_min <= win.Core.Feasibility.w_max)
+
+let test_contains_and_clamp () =
+  let rho = 3. in
+  match Core.Feasibility.window params ~rho ~sigma1:0.4 ~sigma2:0.4 with
+  | None -> Alcotest.fail "expected a window"
+  | Some win ->
+      let { Core.Feasibility.w_min; w_max } = win in
+      Alcotest.(check bool) "contains midpoint" true
+        (Core.Feasibility.contains win (0.5 *. (w_min +. w_max)));
+      Alcotest.(check bool) "excludes below" false
+        (Core.Feasibility.contains win (w_min /. 2.));
+      Alcotest.(check bool) "excludes above" false
+        (Core.Feasibility.contains win (w_max *. 2.));
+      checkf "clamp below" w_min (Core.Feasibility.clamp win (w_min /. 2.));
+      checkf "clamp above" w_max (Core.Feasibility.clamp win (w_max *. 2.));
+      checkf "clamp inside" (w_min +. 1.)
+        (Core.Feasibility.clamp win (w_min +. 1.))
+
+let test_rho_huge_gives_wide_window () =
+  match Core.Feasibility.window params ~rho:1e6 ~sigma1:1. ~sigma2:1. with
+  | None -> Alcotest.fail "huge rho must be feasible"
+  | Some win ->
+      Alcotest.(check bool) "wide window" true
+        (win.Core.Feasibility.w_max > 1e8)
+
+let () =
+  Alcotest.run "core-feasibility"
+    [
+      ( "coefficients",
+        [
+          Alcotest.test_case "match Eq 2" `Quick test_coefficients_match_eq2;
+          Alcotest.test_case "Eq 6 formula" `Quick test_rho_min_formula;
+          Alcotest.test_case "paper feasibility pattern" `Quick
+            test_paper_feasibility_pattern;
+        ] );
+      ( "window",
+        [
+          Testutil.qcheck prop_window_iff_rho_min;
+          Testutil.qcheck prop_window_edges_hit_the_bound;
+          Testutil.qcheck prop_interior_meets_bound;
+          Testutil.qcheck prop_window_positive;
+          Alcotest.test_case "contains and clamp" `Quick
+            test_contains_and_clamp;
+          Alcotest.test_case "huge rho" `Quick test_rho_huge_gives_wide_window;
+        ] );
+    ]

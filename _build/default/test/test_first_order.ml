@@ -1,0 +1,160 @@
+(* Tests for Core.First_order — Equations (2) and (3).
+
+   Cross-checks: hand-computed coefficients for the Section 4.2
+   setting, the generalized Young/Daly minimizer, and convergence of
+   the exact overheads to the expansion as lambda -> 0. *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+let test_overhead_eval () =
+  let o = { Core.First_order.const = 2.; linear = 0.5; inverse = 8. } in
+  checkf "eval" (2. +. 5. +. 0.8) (Core.First_order.eval o ~w:10.);
+  checkf "minimizer sqrt(z/y)" 4. (Core.First_order.unconstrained_minimizer o);
+  checkf "minimum value x + 2 sqrt(yz)" 6. (Core.First_order.minimum_value o);
+  check_raises_invalid "w <= 0" (fun () -> Core.First_order.eval o ~w:0.);
+  check_raises_invalid "non-positive linear" (fun () ->
+      Core.First_order.unconstrained_minimizer
+        { o with Core.First_order.linear = 0. })
+
+let test_time_coefficients_hera () =
+  (* Equation (2) at (s1, s2) = (0.4, 0.4), Hera: hand evaluation. *)
+  let lambda = 3.38e-6 in
+  let o = Core.First_order.time params ~sigma1:0.4 ~sigma2:0.4 in
+  check_close "linear = l/(s1 s2)" (lambda /. 0.16) o.Core.First_order.linear;
+  check_close "inverse = C + V/s1" (300. +. (15.4 /. 0.4))
+    o.Core.First_order.inverse;
+  check_close "const"
+    ((1. /. 0.4) +. (lambda *. ((300. /. 0.4) +. (15.4 /. 0.16))))
+    o.Core.First_order.const
+
+let test_energy_coefficients_hera () =
+  (* Equation (3) at (0.4, 0.4): the values behind Wopt = 2764 and
+     E/W = 416 in the Section 4.2 tables. *)
+  let o = Core.First_order.energy params power ~sigma1:0.4 ~sigma2:0.4 in
+  let compute = (1550. *. 0.4 ** 3.) +. 60. in
+  let io = (1550. *. 0.15 ** 3.) +. 60. in
+  check_close "linear" (3.38e-6 /. 0.16 *. compute) o.Core.First_order.linear;
+  check_close "inverse" ((300. *. io) +. (15.4 *. compute /. 0.4))
+    o.Core.First_order.inverse;
+  let we = Core.First_order.unconstrained_minimizer o in
+  check_close ~rtol:1e-3 "We = 2764 (paper table)" 2764. we;
+  check_close ~rtol:2e-3 "E/W at We = 416 (paper table)" 416.8
+    (Core.First_order.eval o ~w:we)
+
+let test_full_speed_pair () =
+  (* At (1, 0.4) the paper prints Wopt = 5742, E/W = 1625. *)
+  let o = Core.First_order.energy params power ~sigma1:1. ~sigma2:0.4 in
+  let we = Core.First_order.unconstrained_minimizer o in
+  check_close ~rtol:1e-3 "We(1, 0.4)" 5742.6 we;
+  check_close ~rtol:1e-3 "E/W(1, 0.4)" 1625.7 (Core.First_order.eval o ~w:we)
+
+let prop_minimizer_is_minimum =
+  QCheck.Test.make ~count:300 ~name:"eval at the minimizer beats neighbours"
+    QCheck.(
+      pair arb_params_pattern (float_range 0.2 5.))
+    (fun ((p, (_, sigma1, sigma2)), factor) ->
+      QCheck.assume (factor <> 1.);
+      let o = Core.First_order.time p ~sigma1 ~sigma2 in
+      let w_star = Core.First_order.unconstrained_minimizer o in
+      Core.First_order.eval o ~w:w_star
+      <= Core.First_order.eval o ~w:(w_star *. factor) +. 1e-12)
+
+let prop_minimum_value_consistent =
+  QCheck.Test.make ~count:300
+    ~name:"minimum_value equals eval at the minimizer" arb_params_pattern
+    (fun (p, (_, sigma1, sigma2)) ->
+      let o = Core.First_order.time p ~sigma1 ~sigma2 in
+      let w_star = Core.First_order.unconstrained_minimizer o in
+      Numerics.Float_utils.approx_equal ~rtol:1e-10
+        (Core.First_order.minimum_value o)
+        (Core.First_order.eval o ~w:w_star))
+
+(* Convergence: with W fixed, the gap between the exact overhead and
+   the first-order expansion is O(lambda^2 W^2 / W) in absolute terms,
+   so shrinking lambda 10x shrinks the gap ~100x. *)
+let test_expansion_convergence_time () =
+  let w = 2000. and sigma1 = 0.6 and sigma2 = 0.8 in
+  let gap lambda =
+    let p = Core.Params.make ~lambda ~c:300. ~r:300. ~v:15.4 () in
+    let exact = Core.Exact.time_overhead p ~w ~sigma1 ~sigma2 in
+    let approx =
+      Core.First_order.eval (Core.First_order.time p ~sigma1 ~sigma2) ~w
+    in
+    Float.abs (exact -. approx)
+  in
+  let g1 = gap 1e-4 and g2 = gap 1e-5 in
+  Alcotest.(check bool)
+    "gap shrinks quadratically" true
+    (g2 < g1 /. 50. && g1 > 0.)
+
+let test_expansion_convergence_energy () =
+  let w = 2000. and sigma1 = 0.45 and sigma2 = 0.9 in
+  let gap lambda =
+    let p = Core.Params.make ~lambda ~c:439. ~r:439. ~v:9.1 () in
+    let exact = Core.Exact.energy_overhead p power ~w ~sigma1 ~sigma2 in
+    let approx =
+      Core.First_order.eval (Core.First_order.energy p power ~sigma1 ~sigma2) ~w
+    in
+    Float.abs (exact -. approx)
+  in
+  let g1 = gap 1e-4 and g2 = gap 1e-5 in
+  Alcotest.(check bool)
+    "energy gap shrinks quadratically" true
+    (g2 < g1 /. 50. && g1 > 0.)
+
+let prop_first_order_close_at_paper_rates =
+  (* At realistic rates the relative error of the expansion at its own
+     minimizer is far below 1%. *)
+  QCheck.Test.make ~count:200 ~name:"expansion accurate at realistic rates"
+    arb_full
+    (fun (p, pw, (_, sigma1, sigma2)) ->
+      let o = Core.First_order.energy p pw ~sigma1 ~sigma2 in
+      let w = Core.First_order.unconstrained_minimizer o in
+      QCheck.assume (Float.is_finite w && w > 1.);
+      (* The expansion's premise is lambda W -> 0 (Section 3); quantify
+         over instances where the neglected exponent is genuinely
+         small, as in all the paper's configurations. *)
+      QCheck.assume
+        (p.Core.Params.lambda *. w /. Float.min sigma1 sigma2 < 0.1);
+      let exact = Core.Exact.energy_overhead p pw ~w ~sigma1 ~sigma2 in
+      let approx = Core.First_order.eval o ~w in
+      Numerics.Float_utils.relative_error ~expected:exact approx < 0.01)
+
+let test_speed_validation () =
+  check_raises_invalid "zero sigma1" (fun () ->
+      Core.First_order.time params ~sigma1:0. ~sigma2:1.);
+  check_raises_invalid "negative sigma2" (fun () ->
+      Core.First_order.energy params power ~sigma1:1. ~sigma2:(-0.4))
+
+let () =
+  Alcotest.run "core-first-order"
+    [
+      ( "coefficients",
+        [
+          Alcotest.test_case "overhead record" `Quick test_overhead_eval;
+          Alcotest.test_case "Eq 2 at Hera (0.4, 0.4)" `Quick
+            test_time_coefficients_hera;
+          Alcotest.test_case "Eq 3 at Hera (0.4, 0.4)" `Quick
+            test_energy_coefficients_hera;
+          Alcotest.test_case "Eq 3 at Hera (1, 0.4)" `Quick
+            test_full_speed_pair;
+          Alcotest.test_case "validation" `Quick test_speed_validation;
+        ] );
+      ( "minimizer",
+        [
+          Testutil.qcheck prop_minimizer_is_minimum;
+          Testutil.qcheck prop_minimum_value_consistent;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "time expansion O(l^2)" `Quick
+            test_expansion_convergence_time;
+          Alcotest.test_case "energy expansion O(l^2)" `Quick
+            test_expansion_convergence_energy;
+          Testutil.qcheck prop_first_order_close_at_paper_rates;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for Core.Makespan — application-level makespan law (CLT over
+   pattern distributions). *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+let heavy_params = Core.Params.make ~lambda:2e-4 ~c:120. ~r:60. ~v:20. ()
+
+let heavy_makespan ?(w_base = 60_000.) () =
+  let d =
+    Core.Distribution.make heavy_params ~w:3000. ~sigma1:0.5 ~sigma2:1.
+  in
+  Core.Makespan.make d ~w_base
+
+let test_normal_quantile_values () =
+  checkf ~eps:1e-6 "median" 0. (Core.Makespan.normal_quantile 0.5);
+  checkf ~eps:1e-6 "97.5%" 1.959964 (Core.Makespan.normal_quantile 0.975);
+  checkf ~eps:1e-6 "99%" 2.326348 (Core.Makespan.normal_quantile 0.99);
+  checkf ~eps:1e-6 "0.1% (low tail branch)" (-3.090232)
+    (Core.Makespan.normal_quantile 0.001);
+  checkf ~eps:1e-6 "99.9% (high tail branch)" 3.090232
+    (Core.Makespan.normal_quantile 0.999);
+  check_close ~rtol:1e-6 "symmetry"
+    (-.Core.Makespan.normal_quantile 0.25)
+    (Core.Makespan.normal_quantile 0.75);
+  check_raises_invalid "p = 0" (fun () -> Core.Makespan.normal_quantile 0.);
+  check_raises_invalid "p = 1" (fun () -> Core.Makespan.normal_quantile 1.)
+
+let test_mean_matches_exact_total () =
+  (* With w_base an exact multiple of w, the mean must equal the
+     Section 2.3 total. *)
+  let w = 2764. and sigma1 = 0.4 and sigma2 = 0.4 in
+  let d = Core.Distribution.make params ~w ~sigma1 ~sigma2 in
+  let n = 500. in
+  let m = Core.Makespan.make d ~w_base:(n *. w) in
+  Alcotest.(check int) "pattern count" 500 m.Core.Makespan.patterns;
+  checkf "no remainder" 0. m.Core.Makespan.remainder;
+  check_close ~rtol:1e-10 "mean = n * pattern mean"
+    (n *. Core.Exact.expected_time params ~w ~sigma1 ~sigma2)
+    (Core.Makespan.mean m)
+
+let test_remainder_pattern () =
+  let w = 1000. in
+  let d = Core.Distribution.make heavy_params ~w ~sigma1:0.5 ~sigma2:1. in
+  let m = Core.Makespan.make d ~w_base:3500. in
+  Alcotest.(check int) "three full patterns" 3 m.Core.Makespan.patterns;
+  checkf "remainder 500" 500. m.Core.Makespan.remainder;
+  (* Mean = 3 x full pattern + 1 x 500-unit pattern. *)
+  let d500 =
+    Core.Distribution.make heavy_params ~w:500. ~sigma1:0.5 ~sigma2:1.
+  in
+  check_close ~rtol:1e-10 "remainder folded into the mean"
+    ((3. *. Core.Distribution.mean_time d)
+    +. Core.Distribution.mean_time d500)
+    (Core.Makespan.mean m)
+
+let test_variance_additivity () =
+  let d = Core.Distribution.make heavy_params ~w:3000. ~sigma1:0.5 ~sigma2:1. in
+  let m1 = Core.Makespan.make d ~w_base:30_000. in
+  let m2 = Core.Makespan.make d ~w_base:60_000. in
+  check_close ~rtol:1e-10 "variance scales with patterns"
+    (2. *. Core.Makespan.variance m1)
+    (Core.Makespan.variance m2);
+  Alcotest.(check bool) "stddev grows sublinearly" true
+    (Core.Makespan.stddev m2 < 2. *. Core.Makespan.stddev m1)
+
+let test_quantile_and_tail_consistency () =
+  let m = heavy_makespan () in
+  let p99 = Core.Makespan.quantile m 0.99 in
+  Alcotest.(check bool) "p99 above the mean" true (p99 > Core.Makespan.mean m);
+  (* Tail probability at the p-quantile is 1 - p. *)
+  check_close ~rtol:1e-4 "tail at p99" 0.01
+    (Core.Makespan.tail_probability m ~deadline:p99);
+  check_close ~rtol:1e-4 "tail at median" 0.5
+    (Core.Makespan.tail_probability m ~deadline:(Core.Makespan.quantile m 0.5));
+  Alcotest.(check bool) "tail decreasing" true
+    (Core.Makespan.tail_probability m ~deadline:(p99 +. 1e4)
+    < Core.Makespan.tail_probability m ~deadline:(p99 -. 1e4))
+
+let test_energy_quantile () =
+  let m = heavy_makespan () in
+  let mean = Core.Makespan.mean_energy m power in
+  Alcotest.(check bool) "p95 energy above mean" true
+    (Core.Makespan.energy_quantile m power 0.95 > mean);
+  Alcotest.(check bool) "p05 energy below mean" true
+    (Core.Makespan.energy_quantile m power 0.05 < mean)
+
+let test_clt_against_simulator () =
+  (* The normal approximation of the 20-pattern makespan must match
+     the simulated distribution: mean (tight) and p90 (loose). *)
+  let m = heavy_makespan () in
+  let model =
+    Core.Mixed.make ~c:heavy_params.Core.Params.c ~r:heavy_params.Core.Params.r
+      ~v:heavy_params.Core.Params.v ~lambda_f:0.
+      ~lambda_s:heavy_params.Core.Params.lambda ()
+  in
+  let replicas = 3000 in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:41) replicas in
+  let samples =
+    Array.map
+      (fun rng ->
+        (Sim.Executor.run_application ~model ~power ~rng ~w_base:60_000.
+           ~pattern_w:3000. ~sigma1:0.5 ~sigma2:1. ())
+          .Sim.Executor.makespan)
+      rngs
+  in
+  Alcotest.(check bool) "mean within CI" true
+    (Numerics.Stats.within_confidence ~expected:(Core.Makespan.mean m) samples);
+  let empirical_p90 = Numerics.Stats.quantile samples 0.9 in
+  check_close ~rtol:0.01 "p90 vs normal approximation"
+    (Core.Makespan.quantile m 0.9)
+    empirical_p90
+
+let test_validation () =
+  let d = Core.Distribution.make params ~w:1000. ~sigma1:1. ~sigma2:1. in
+  check_raises_invalid "w_base <= 0" (fun () ->
+      Core.Makespan.make d ~w_base:0.);
+  let m = Core.Makespan.make d ~w_base:5000. in
+  check_raises_invalid "quantile p=1" (fun () ->
+      ignore (Core.Makespan.quantile m 1.))
+
+let () =
+  Alcotest.run "core-makespan"
+    [
+      ( "normal",
+        [
+          Alcotest.test_case "quantile values" `Quick
+            test_normal_quantile_values;
+        ] );
+      ( "makespan law",
+        [
+          Alcotest.test_case "mean = Section 2.3 total" `Quick
+            test_mean_matches_exact_total;
+          Alcotest.test_case "remainder pattern" `Quick test_remainder_pattern;
+          Alcotest.test_case "variance additivity" `Quick
+            test_variance_additivity;
+          Alcotest.test_case "quantile/tail consistency" `Quick
+            test_quantile_and_tail_consistency;
+          Alcotest.test_case "energy quantiles" `Quick test_energy_quantile;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "simulator",
+        [ Alcotest.test_case "CLT check" `Slow test_clt_against_simulator ] );
+    ]

@@ -1,0 +1,335 @@
+(* Tests for Core.Mixed — fail-stop + silent errors (Section 5).
+
+   The central test re-derives the paper's recursion (Equation 8)
+   independently and checks the closed form solves it. The printed
+   Propositions 4-5 are compared against the recursion solution: they
+   differ by exactly the extra V/sigma2 term (the documented erratum),
+   and coincide when V = 0. *)
+
+open Testutil
+
+let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2
+
+(* Independent implementation of Equation (8): solve the single-speed
+   fixed point for T2, then one unrolling for T1. *)
+let recursion_time (m : Core.Mixed.t) ~w ~sigma1 ~sigma2 =
+  let pf sigma = -.Float.expm1 (-.m.lambda_f *. (w +. m.v) /. sigma) in
+  let ps sigma = -.Float.expm1 (-.m.lambda_s *. w /. sigma) in
+  let t_lost sigma = Core.Mixed.t_lost m ~exposure:((w +. m.v) /. sigma) in
+  (* T2 = pf (Tlost + R + T2) + (1-pf) ((W+V)/s2 + ps (R + T2) + (1-ps) C)
+     => T2 (1 - pf - (1-pf) ps) = pf (Tlost + R)
+        + (1-pf)((W+V)/s2 + ps R + (1-ps) C) *)
+  let t2 =
+    let a = pf sigma2 and s = ps sigma2 in
+    let success = (1. -. a) *. (1. -. s) in
+    ((a *. (t_lost sigma2 +. m.r))
+    +. ((1. -. a)
+       *. (((w +. m.v) /. sigma2) +. (s *. m.r) +. ((1. -. s) *. m.c))))
+    /. success
+  in
+  let a = pf sigma1 and s = ps sigma1 in
+  (a *. (t_lost sigma1 +. m.r +. t2))
+  +. ((1. -. a)
+     *. (((w +. m.v) /. sigma1)
+        +. (s *. (m.r +. t2))
+        +. ((1. -. s) *. m.c)))
+
+let recursion_energy (m : Core.Mixed.t) pw ~w ~sigma1 ~sigma2 =
+  let pf sigma = -.Float.expm1 (-.m.lambda_f *. (w +. m.v) /. sigma) in
+  let ps sigma = -.Float.expm1 (-.m.lambda_s *. w /. sigma) in
+  let t_lost sigma = Core.Mixed.t_lost m ~exposure:((w +. m.v) /. sigma) in
+  let io = Core.Power.io_total pw in
+  let cp sigma = Core.Power.compute_total pw sigma in
+  let e2 =
+    let a = pf sigma2 and s = ps sigma2 in
+    let success = (1. -. a) *. (1. -. s) in
+    ((a *. ((t_lost sigma2 *. cp sigma2) +. (m.r *. io)))
+    +. ((1. -. a)
+       *. (((w +. m.v) /. sigma2 *. cp sigma2)
+          +. (s *. m.r *. io)
+          +. ((1. -. s) *. m.c *. io))))
+    /. success
+  in
+  let a = pf sigma1 and s = ps sigma1 in
+  (a *. ((t_lost sigma1 *. cp sigma1) +. (m.r *. io) +. e2))
+  +. ((1. -. a)
+     *. (((w +. m.v) /. sigma1 *. cp sigma1)
+        +. (s *. (m.r *. io +. e2))
+        +. ((1. -. s) *. m.c *. io)))
+
+(* Beyond a handful of expected errors per attempt the success
+   probability underflows towards 1e-20 and the 1/success factor
+   amplifies representation error past any fixed tolerance; the model
+   is meaningless there (expected times of 1e20 s), so the properties
+   are quantified over exposures of at most ~5 expected errors. *)
+let sane_exposure (m : Core.Mixed.t) ~w ~sigma1 ~sigma2 =
+  let exponent sigma =
+    ((m.lambda_f *. (w +. m.v)) +. (m.lambda_s *. w)) /. sigma
+  in
+  exponent (Float.min sigma1 sigma2) < 5.
+
+let prop_time_solves_recursion =
+  QCheck.Test.make ~count:300 ~name:"closed form solves Equation (8)"
+    arb_mixed_pattern
+    (fun (m, (w, sigma1, sigma2)) ->
+      QCheck.assume (sane_exposure m ~w ~sigma1 ~sigma2);
+      let direct = Core.Mixed.expected_time m ~w ~sigma1 ~sigma2 in
+      let recursive = recursion_time m ~w ~sigma1 ~sigma2 in
+      Numerics.Float_utils.approx_equal ~rtol:1e-8 direct recursive)
+
+let prop_energy_solves_recursion =
+  QCheck.Test.make ~count:300 ~name:"energy closed form solves its recursion"
+    arb_mixed_pattern
+    (fun (m, (w, sigma1, sigma2)) ->
+      QCheck.assume (sane_exposure m ~w ~sigma1 ~sigma2);
+      let direct = Core.Mixed.expected_energy m power ~w ~sigma1 ~sigma2 in
+      let recursive = recursion_energy m power ~w ~sigma1 ~sigma2 in
+      Numerics.Float_utils.approx_equal ~rtol:1e-8 direct recursive)
+
+let prop_silent_only_reduces_to_exact =
+  QCheck.Test.make ~count:300 ~name:"lambda_f = 0 recovers Propositions 1-3"
+    arb_params_pattern
+    (fun ((p : Core.Params.t), (w, sigma1, sigma2)) ->
+      let m =
+        Core.Mixed.make ~c:p.c ~r:p.r ~v:p.v ~lambda_f:0. ~lambda_s:p.lambda ()
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-10
+        (Core.Exact.expected_time p ~w ~sigma1 ~sigma2)
+        (Core.Mixed.expected_time m ~w ~sigma1 ~sigma2)
+      && Numerics.Float_utils.approx_equal ~rtol:1e-10
+           (Core.Exact.expected_energy p power ~w ~sigma1 ~sigma2)
+           (Core.Mixed.expected_energy m power ~w ~sigma1 ~sigma2))
+
+let prop_printed_differs_by_v_term =
+  (* The printed Proposition 4 = recursion solution + the extra
+     (1 - F1 S1) e^(ls W / s2) V/s2 term. Checking the algebraic
+     difference exactly pins down both implementations. *)
+  QCheck.Test.make ~count:300 ~name:"printed Prop 4 = closed form + V-term"
+    arb_mixed_pattern
+    (fun ((m : Core.Mixed.t), (w, sigma1, sigma2)) ->
+      QCheck.assume (m.lambda_f > 0.);
+      QCheck.assume (sane_exposure m ~w ~sigma1 ~sigma2);
+      let printed = Core.Mixed.expected_time_printed m ~w ~sigma1 ~sigma2 in
+      let ours = Core.Mixed.expected_time m ~w ~sigma1 ~sigma2 in
+      let fail1 =
+        -.Float.expm1
+            (-.((m.lambda_f *. (w +. m.v)) +. (m.lambda_s *. w)) /. sigma1)
+      in
+      let v_term =
+        fail1 *. exp (m.lambda_s *. w /. sigma2) *. m.v /. sigma2
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-8 printed (ours +. v_term))
+
+let prop_printed_coincides_when_v_zero =
+  QCheck.Test.make ~count:200 ~name:"printed forms agree when V = 0"
+    arb_mixed_pattern
+    (fun ((m : Core.Mixed.t), (w, sigma1, sigma2)) ->
+      QCheck.assume (m.lambda_f > 0.);
+      let m0 =
+        Core.Mixed.make ~c:m.c ~r:m.r ~v:0. ~lambda_f:m.lambda_f
+          ~lambda_s:m.lambda_s ()
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9
+        (Core.Mixed.expected_time_printed m0 ~w ~sigma1 ~sigma2)
+        (Core.Mixed.expected_time m0 ~w ~sigma1 ~sigma2)
+      && Numerics.Float_utils.approx_equal ~rtol:1e-9
+           (Core.Mixed.expected_energy_printed m0 power ~w ~sigma1 ~sigma2)
+           (Core.Mixed.expected_energy m0 power ~w ~sigma1 ~sigma2))
+
+(* ------------------------------------------------------------------ *)
+(* t_lost and attempt-level quantities                                 *)
+
+let test_t_lost () =
+  let m = Core.Mixed.make ~c:100. ~v:0. ~lambda_f:1e-3 ~lambda_s:0. () in
+  (* Tlost = 1/lf - L / (e^(lf L) - 1). *)
+  let exposure = 500. in
+  check_close "formula"
+    ((1. /. 1e-3) -. (exposure /. Float.expm1 (1e-3 *. exposure)))
+    (Core.Mixed.t_lost m ~exposure);
+  (* Small-exposure limit: half the exposure. *)
+  let tiny = Core.Mixed.t_lost m ~exposure:1e-6 in
+  check_close ~rtol:1e-3 "half-exposure limit" 5e-7 tiny;
+  (* lambda_f = 0 branch. *)
+  let silent = Core.Mixed.make ~c:100. ~v:0. ~lambda_f:0. ~lambda_s:1e-4 () in
+  check_close "zero-rate limit" 250. (Core.Mixed.t_lost silent ~exposure:500.);
+  checkf "zero exposure" 0. (Core.Mixed.t_lost m ~exposure:0.);
+  check_raises_invalid "negative exposure" (fun () ->
+      Core.Mixed.t_lost m ~exposure:(-1.))
+
+let prop_t_lost_below_exposure =
+  QCheck.Test.make ~count:200 ~name:"lost time is within the exposure"
+    QCheck.(pair (float_range 1e-6 1e-2) (float_range 1. 1e4))
+    (fun (lambda_f, exposure) ->
+      let m = Core.Mixed.make ~c:1. ~v:0. ~lambda_f ~lambda_s:0. () in
+      let lost = Core.Mixed.t_lost m ~exposure in
+      lost >= 0. && lost <= exposure)
+
+let test_success_probability () =
+  let m = Core.Mixed.make ~c:100. ~v:50. ~lambda_f:1e-4 ~lambda_s:2e-4 () in
+  let w = 1000. and sigma = 0.5 in
+  check_close "product of survivals"
+    (exp (-1e-4 *. 1050. /. 0.5) *. exp (-2e-4 *. 1000. /. 0.5))
+    (Core.Mixed.success_probability m ~w ~sigma);
+  Alcotest.(check bool) "monotone in w" true
+    (Core.Mixed.success_probability m ~w:2000. ~sigma
+    < Core.Mixed.success_probability m ~w:1000. ~sigma)
+
+(* ------------------------------------------------------------------ *)
+(* First-order expansion and the validity window                       *)
+
+let test_first_order_convergence () =
+  (* Fixed W; the gap between exact and first-order shrinks ~100x when
+     the rates shrink 10x. *)
+  let w = 2000. and sigma1 = 0.6 and sigma2 = 0.9 in
+  let gap scale =
+    let m =
+      Core.Mixed.make ~c:300. ~r:300. ~v:15. ~lambda_f:(3e-5 *. scale)
+        ~lambda_s:(7e-5 *. scale) ()
+    in
+    let exact = Core.Mixed.expected_time m ~w ~sigma1 ~sigma2 /. w in
+    let approx =
+      Core.First_order.eval (Core.Mixed.first_order_time m ~sigma1 ~sigma2) ~w
+    in
+    Float.abs (exact -. approx)
+  in
+  let g1 = gap 1. and g2 = gap 0.1 in
+  Alcotest.(check bool) "O(lambda^2) gap" true (g2 < g1 /. 50. && g1 > 0.)
+
+let test_first_order_energy_convergence () =
+  let w = 1500. and sigma1 = 0.45 and sigma2 = 0.8 in
+  let gap scale =
+    let m =
+      Core.Mixed.make ~c:439. ~r:439. ~v:9.1 ~lambda_f:(4e-5 *. scale)
+        ~lambda_s:(4e-5 *. scale) ()
+    in
+    let exact = Core.Mixed.expected_energy m power ~w ~sigma1 ~sigma2 /. w in
+    let approx =
+      Core.First_order.eval
+        (Core.Mixed.first_order_energy m power ~sigma1 ~sigma2)
+        ~w
+    in
+    Float.abs (exact -. approx)
+  in
+  let g1 = gap 1. and g2 = gap 0.1 in
+  Alcotest.(check bool) "O(lambda^2) energy gap" true (g2 < g1 /. 50. && g1 > 0.)
+
+let test_linear_coefficient_signs () =
+  (* Paper Section 5.2: the W coefficient is positive iff
+     sigma2/sigma1 < 2 (1 + ls/lf). With f = s (50/50) the threshold
+     ratio is 4. *)
+  let m = Core.Mixed.make ~c:300. ~v:10. ~lambda_f:1e-5 ~lambda_s:1e-5 () in
+  Alcotest.(check bool) "ratio 2 applicable" true
+    (Core.Mixed.first_order_applicable m ~sigma1:0.25 ~sigma2:0.5);
+  Alcotest.(check bool) "ratio 3.9 applicable" true
+    (Core.Mixed.first_order_applicable m ~sigma1:0.25 ~sigma2:0.975);
+  Alcotest.(check bool) "ratio 4.1 not applicable" false
+    (Core.Mixed.first_order_applicable m ~sigma1:0.2 ~sigma2:0.82);
+  let lo, hi = Core.Mixed.validity_ratio_bounds m in
+  checkf "upper bound 2(1+s/f) = 4" 4. hi;
+  check_close "lower bound 4^(-1/2)" 0.5 lo
+
+let test_validity_failstop_only () =
+  (* f = 1, s = 0: the window is (1/sqrt 2, 2) — the Theorem 2 regime
+     sits exactly on its upper edge. *)
+  let m = Core.Mixed.make ~c:300. ~v:0. ~lambda_f:1e-5 ~lambda_s:0. () in
+  let lo, hi = Core.Mixed.validity_ratio_bounds m in
+  checkf "hi = 2" 2. hi;
+  check_close "lo = 2^(-1/2)" (1. /. sqrt 2.) lo;
+  (* At exactly sigma2 = 2 sigma1 the linear coefficient vanishes. *)
+  let o = Core.Mixed.first_order_time m ~sigma1:0.5 ~sigma2:1. in
+  checkf ~eps:1e-18 "linear coefficient zero at ratio 2" 0.
+    o.Core.First_order.linear
+
+let test_validity_silent_only_raises () =
+  let m = Core.Mixed.make ~c:300. ~v:10. ~lambda_f:0. ~lambda_s:1e-5 () in
+  check_raises_invalid "no window without fail-stop errors" (fun () ->
+      Core.Mixed.validity_ratio_bounds m);
+  Alcotest.(check bool) "silent-only always applicable" true
+    (Core.Mixed.first_order_applicable m ~sigma1:0.1 ~sigma2:1.)
+
+let prop_applicable_matches_ratio =
+  QCheck.Test.make ~count:300
+    ~name:"applicability test equals the ratio criterion" arb_mixed_pattern
+    (fun ((m : Core.Mixed.t), (_, sigma1, sigma2)) ->
+      QCheck.assume (m.lambda_f > 0.);
+      let _, hi = Core.Mixed.validity_ratio_bounds m in
+      let ratio = sigma2 /. sigma1 in
+      QCheck.assume (Float.abs (ratio -. hi) > 1e-9);
+      Core.Mixed.first_order_applicable m ~sigma1 ~sigma2 = (ratio < hi))
+
+(* ------------------------------------------------------------------ *)
+(* Construction and numeric optimum                                    *)
+
+let test_construction () =
+  let p = Core.Params.make ~lambda:1e-4 ~c:100. ~v:10. () in
+  let m = Core.Mixed.of_params p ~fail_stop_fraction:0.25 in
+  check_close "lambda_f" 2.5e-5 m.Core.Mixed.lambda_f;
+  check_close "lambda_s" 7.5e-5 m.Core.Mixed.lambda_s;
+  check_close "total" 1e-4 (Core.Mixed.total_rate m);
+  check_raises_invalid "fraction > 1" (fun () ->
+      Core.Mixed.of_params p ~fail_stop_fraction:1.5);
+  check_raises_invalid "both rates zero" (fun () ->
+      Core.Mixed.make ~c:1. ~v:1. ~lambda_f:0. ~lambda_s:0. ());
+  check_raises_invalid "negative c" (fun () ->
+      Core.Mixed.make ~c:(-1.) ~v:1. ~lambda_f:1e-5 ~lambda_s:0. ());
+  let d = Core.Mixed.make ~c:50. ~v:1. ~lambda_f:1e-5 ~lambda_s:0. () in
+  checkf "r defaults to c" 50. d.Core.Mixed.r
+
+let test_printed_requires_failstop () =
+  let m = Core.Mixed.make ~c:100. ~v:10. ~lambda_f:0. ~lambda_s:1e-4 () in
+  check_raises_invalid "printed form needs lambda_f > 0" (fun () ->
+      Core.Mixed.expected_time_printed m ~w:100. ~sigma1:1. ~sigma2:1.)
+
+let test_optimal_w_numeric_matches_first_order () =
+  (* Silent-only: the numeric minimizer of the exact overhead should be
+     close to the first-order sqrt(z/y) period. *)
+  let m = Core.Mixed.make ~c:300. ~r:300. ~v:15.4 ~lambda_f:0. ~lambda_s:3.38e-6 () in
+  let w_numeric, _ = Core.Mixed.optimal_w_numeric m ~sigma1:0.4 ~sigma2:0.4 in
+  let w_first_order =
+    Core.First_order.unconstrained_minimizer
+      (Core.Mixed.first_order_time m ~sigma1:0.4 ~sigma2:0.4)
+  in
+  check_close ~rtol:0.05 "numeric vs first-order period" w_first_order
+    w_numeric
+
+let () =
+  Alcotest.run "core-mixed"
+    [
+      ( "recursion",
+        [
+          Testutil.qcheck prop_time_solves_recursion;
+          Testutil.qcheck prop_energy_solves_recursion;
+          Testutil.qcheck prop_silent_only_reduces_to_exact;
+          Testutil.qcheck prop_printed_differs_by_v_term;
+          Testutil.qcheck prop_printed_coincides_when_v_zero;
+        ] );
+      ( "attempt quantities",
+        [
+          Alcotest.test_case "t_lost" `Quick test_t_lost;
+          Testutil.qcheck prop_t_lost_below_exposure;
+          Alcotest.test_case "success probability" `Quick
+            test_success_probability;
+        ] );
+      ( "first order",
+        [
+          Alcotest.test_case "time convergence" `Quick
+            test_first_order_convergence;
+          Alcotest.test_case "energy convergence" `Quick
+            test_first_order_energy_convergence;
+          Alcotest.test_case "linear coefficient signs" `Quick
+            test_linear_coefficient_signs;
+          Alcotest.test_case "fail-stop-only window" `Quick
+            test_validity_failstop_only;
+          Alcotest.test_case "silent-only raises" `Quick
+            test_validity_silent_only_raises;
+          Testutil.qcheck prop_applicable_matches_ratio;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "printed precondition" `Quick
+            test_printed_requires_failstop;
+          Alcotest.test_case "numeric optimum" `Quick
+            test_optimal_w_numeric_matches_first_order;
+        ] );
+    ]

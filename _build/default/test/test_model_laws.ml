@@ -1,0 +1,207 @@
+(* Cross-module model laws: scaling symmetries and dominance relations
+   that any correct implementation of the model must satisfy, tested as
+   properties. These catch unit mistakes (seconds vs work units, mW vs
+   W) that per-module tests can miss. *)
+
+open Testutil
+
+let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2
+
+(* ------------------------------------------------------------------ *)
+(* Scaling symmetries                                                  *)
+
+let prop_time_scaling_law =
+  (* Scale all times (C, R, V, W) by k and the rate by 1/k: every
+     probability is unchanged and the expected time scales by k. *)
+  QCheck.Test.make ~count:300 ~name:"time rescaling law (silent errors)"
+    QCheck.(pair arb_params_pattern (float_range 0.1 10.))
+    (fun (((p : Core.Params.t), (w, sigma1, sigma2)), k) ->
+      let scaled =
+        Core.Params.make ~lambda:(p.lambda /. k) ~c:(k *. p.c) ~r:(k *. p.r)
+          ~v:(k *. p.v) ()
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9
+        (k *. Core.Exact.expected_time p ~w ~sigma1 ~sigma2)
+        (Core.Exact.expected_time scaled ~w:(k *. w) ~sigma1 ~sigma2))
+
+let prop_power_scaling_law =
+  (* Scale every power (kappa, Pidle, Pio) by k: energy scales by k,
+     and the optimal pattern size We is unchanged (energy units cancel
+     in the ratio z/y). *)
+  QCheck.Test.make ~count:300 ~name:"power rescaling law"
+    QCheck.(pair arb_full (float_range 0.1 10.))
+    (fun ((p, (pw : Core.Power.t), (w, sigma1, sigma2)), k) ->
+      let scaled =
+        Core.Power.make ~kappa:(k *. pw.kappa) ~p_idle:(k *. pw.p_idle)
+          ~p_io:(k *. pw.p_io)
+      in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9
+        (k *. Core.Exact.expected_energy p pw ~w ~sigma1 ~sigma2)
+        (Core.Exact.expected_energy p scaled ~w ~sigma1 ~sigma2)
+      && Numerics.Float_utils.approx_equal ~rtol:1e-9
+           (Core.Optimum.w_energy p pw ~sigma1 ~sigma2)
+           (Core.Optimum.w_energy p scaled ~sigma1 ~sigma2))
+
+let prop_bicrit_invariant_under_power_units =
+  (* The whole BiCrit solution (speeds and Wopt) is invariant under a
+     change of power units. *)
+  QCheck.Test.make ~count:50 ~name:"BiCrit invariant under power units"
+    QCheck.(pair (float_range 0.2 5.) (float_range 1.5 6.))
+    (fun (k, rho) ->
+      let env =
+        Core.Env.of_config (Option.get (Platforms.Config.find "atlas/xscale"))
+      in
+      let scaled_power =
+        Core.Power.make
+          ~kappa:(k *. env.power.Core.Power.kappa)
+          ~p_idle:(k *. env.power.Core.Power.p_idle)
+          ~p_io:(k *. env.power.Core.Power.p_io)
+      in
+      let scaled = Core.Env.with_power env scaled_power in
+      match (Core.Bicrit.solve env ~rho, Core.Bicrit.solve scaled ~rho) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.best.Core.Optimum.sigma1 = b.best.Core.Optimum.sigma1
+          && a.best.Core.Optimum.sigma2 = b.best.Core.Optimum.sigma2
+          && Numerics.Float_utils.approx_equal ~rtol:1e-9
+               a.best.Core.Optimum.w_opt b.best.Core.Optimum.w_opt
+      | Some _, None | None, Some _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance relations                                                 *)
+
+let prop_more_errors_cost_more =
+  QCheck.Test.make ~count:300 ~name:"higher rate dominates (time and energy)"
+    QCheck.(pair arb_params_pattern (float_range 1.1 10.))
+    (fun (((p : Core.Params.t), (w, sigma1, sigma2)), factor) ->
+      let worse = Core.Params.with_lambda p (p.lambda *. factor) in
+      Core.Exact.expected_time worse ~w ~sigma1 ~sigma2
+      >= Core.Exact.expected_time p ~w ~sigma1 ~sigma2 -. 1e-9
+      && Core.Exact.expected_energy worse power ~w ~sigma1 ~sigma2
+         >= Core.Exact.expected_energy p power ~w ~sigma1 ~sigma2 -. 1e-9)
+
+let prop_cheaper_checkpoints_never_hurt =
+  (* Reducing C (with R following) can only reduce the optimal energy
+     overhead of the whole BiCrit problem. *)
+  QCheck.Test.make ~count:50 ~name:"cheaper checkpoints never hurt"
+    QCheck.(pair (float_range 0.1 0.9) (float_range 1.6 6.))
+    (fun (shrink, rho) ->
+      let env =
+        Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+      in
+      let cheaper =
+        Core.Env.with_c env (shrink *. env.params.Core.Params.c)
+      in
+      match (Core.Bicrit.solve env ~rho, Core.Bicrit.solve cheaper ~rho) with
+      | Some base, Some better ->
+          better.best.Core.Optimum.energy_overhead
+          <= base.best.Core.Optimum.energy_overhead +. 1e-9
+      | None, _ -> true
+      | Some _, None -> false)
+
+let prop_wider_speed_set_never_hurts =
+  (* Adding a speed to the ladder can only improve the optimum —
+     solution-space monotonicity of the O(K^2) search. *)
+  QCheck.Test.make ~count:100 ~name:"adding a speed never hurts"
+    QCheck.(pair (float_range 0.2 0.99) (float_range 1.6 6.))
+    (fun (extra, rho) ->
+      let base_speeds = [ 0.15; 0.4; 0.6; 0.8; 1.0 ] in
+      QCheck.assume (not (List.mem extra base_speeds));
+      let params = Core.Params.make ~lambda:3.38e-6 ~c:300. ~v:15.4 () in
+      let env = Core.Env.make ~params ~power ~speeds:base_speeds in
+      let richer =
+        Core.Env.make ~params ~power
+          ~speeds:(List.sort Float.compare (extra :: base_speeds))
+      in
+      match (Core.Bicrit.solve env ~rho, Core.Bicrit.solve richer ~rho) with
+      | Some base, Some better ->
+          better.best.Core.Optimum.energy_overhead
+          <= base.best.Core.Optimum.energy_overhead +. 1e-9
+      | None, _ -> true
+      | Some _, None -> false)
+
+let prop_verification_cost_monotone =
+  QCheck.Test.make ~count:300 ~name:"larger V costs more"
+    QCheck.(pair arb_params_pattern (float_range 1.1 5.))
+    (fun (((p : Core.Params.t), (w, sigma1, sigma2)), factor) ->
+      QCheck.assume (p.v > 0.);
+      let worse = Core.Params.with_v p (p.v *. factor) in
+      Core.Exact.expected_time worse ~w ~sigma1 ~sigma2
+      >= Core.Exact.expected_time p ~w ~sigma1 ~sigma2 -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Consistency across abstraction levels                               *)
+
+let prop_distribution_mean_equals_exact =
+  QCheck.Test.make ~count:300
+    ~name:"Distribution mean = Exact everywhere" arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      let d = Core.Distribution.make p ~w ~sigma1 ~sigma2 in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9
+        (Core.Distribution.mean_time d)
+        (Core.Exact.expected_time p ~w ~sigma1 ~sigma2))
+
+let prop_makespan_single_pattern =
+  (* A one-pattern application's makespan law is the pattern law. *)
+  QCheck.Test.make ~count:300 ~name:"Makespan at n = 1 is the pattern law"
+    arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      let d = Core.Distribution.make p ~w ~sigma1 ~sigma2 in
+      let m = Core.Makespan.make d ~w_base:w in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9 (Core.Makespan.mean m)
+        (Core.Distribution.mean_time d)
+      && Numerics.Float_utils.approx_equal ~rtol:1e-9
+           (Core.Makespan.variance m)
+           (Core.Distribution.variance_time d))
+
+let prop_multiverif_m1_total_consistency =
+  QCheck.Test.make ~count:300
+    ~name:"Multi_verif at m = 1 equals Exact for all overheads"
+    arb_params_pattern
+    (fun ((p : Core.Params.t), (w, sigma1, sigma2)) ->
+      (* Beyond a handful of expected errors per attempt the two
+         algebraically-equal formulations diverge in float (the
+         (1-x^m)/(1-x) path vs the expm1 path amplify differently
+         through e^40-scale factors); quantify over sane exposures. *)
+      QCheck.assume (p.lambda *. w /. Float.min sigma1 sigma2 < 5.);
+      let t = Core.Multi_verif.make p ~verifications:1 in
+      Numerics.Float_utils.approx_equal ~rtol:1e-6
+        (Core.Multi_verif.time_overhead t ~w ~sigma1 ~sigma2)
+        (Core.Exact.time_overhead p ~w ~sigma1 ~sigma2)
+      && Numerics.Float_utils.approx_equal ~rtol:1e-6
+           (Core.Multi_verif.energy_overhead t power ~w ~sigma1 ~sigma2)
+           (Core.Exact.energy_overhead p power ~w ~sigma1 ~sigma2))
+
+let prop_mixed_silent_limit_overheads =
+  QCheck.Test.make ~count:300
+    ~name:"Mixed at f = 0 equals Exact for overheads" arb_params_pattern
+    (fun ((p : Core.Params.t), (w, sigma1, sigma2)) ->
+      let m = Core.Mixed.of_params p ~fail_stop_fraction:0. in
+      Numerics.Float_utils.approx_equal ~rtol:1e-9
+        (Core.Mixed.expected_time m ~w ~sigma1 ~sigma2 /. w)
+        (Core.Exact.time_overhead p ~w ~sigma1 ~sigma2))
+
+let () =
+  Alcotest.run "model-laws"
+    [
+      ( "scaling symmetries",
+        [
+          Testutil.qcheck prop_time_scaling_law;
+          Testutil.qcheck prop_power_scaling_law;
+          Testutil.qcheck prop_bicrit_invariant_under_power_units;
+        ] );
+      ( "dominance",
+        [
+          Testutil.qcheck prop_more_errors_cost_more;
+          Testutil.qcheck prop_cheaper_checkpoints_never_hurt;
+          Testutil.qcheck prop_wider_speed_set_never_hurts;
+          Testutil.qcheck prop_verification_cost_monotone;
+        ] );
+      ( "cross-level consistency",
+        [
+          Testutil.qcheck prop_distribution_mean_equals_exact;
+          Testutil.qcheck prop_makespan_single_pattern;
+          Testutil.qcheck prop_multiverif_m1_total_consistency;
+          Testutil.qcheck prop_mixed_silent_limit_overheads;
+        ] );
+    ]

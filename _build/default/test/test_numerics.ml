@@ -1,0 +1,492 @@
+(* Tests for the numerics substrate: float utilities, compensated
+   summation, root finding, minimization, statistics, regression and
+   axis generation. *)
+
+open Numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+(* ------------------------------------------------------------------ *)
+(* Float_utils                                                         *)
+
+let test_approx_equal () =
+  check_bool "equal floats" true (Float_utils.approx_equal 1.0 1.0);
+  check_bool "within rtol" true (Float_utils.approx_equal 1.0 (1.0 +. 1e-12));
+  check_bool "outside rtol" false (Float_utils.approx_equal 1.0 1.001);
+  check_bool "atol at zero" true (Float_utils.approx_equal 0. 1e-13);
+  check_bool "nan never equal" false (Float_utils.approx_equal nan nan);
+  check_bool "nan vs number" false (Float_utils.approx_equal nan 1.);
+  check_bool "custom rtol" true
+    (Float_utils.approx_equal ~rtol:1e-2 1.0 1.005);
+  check_bool "infinities equal" true
+    (Float_utils.approx_equal infinity infinity)
+
+let test_clamp () =
+  check_float "inside" 2. (Float_utils.clamp ~lo:1. ~hi:3. 2.);
+  check_float "below" 1. (Float_utils.clamp ~lo:1. ~hi:3. 0.);
+  check_float "above" 3. (Float_utils.clamp ~lo:1. ~hi:3. 7.);
+  check_float "at boundary" 1. (Float_utils.clamp ~lo:1. ~hi:3. 1.);
+  check_raises_invalid "inverted bounds" (fun () ->
+      Float_utils.clamp ~lo:3. ~hi:1. 2.);
+  check_raises_invalid "nan bound" (fun () ->
+      Float_utils.clamp ~lo:nan ~hi:1. 0.)
+
+let test_relative_error () =
+  check_float "exact" 0. (Float_utils.relative_error ~expected:5. 5.);
+  check_float "ten percent" 0.1 (Float_utils.relative_error ~expected:10. 11.);
+  check_bool "zero expected stays finite" true
+    (Float.is_finite (Float_utils.relative_error ~expected:0. 1e-10) = false
+    || Float_utils.relative_error ~expected:0. 0. = 0.)
+
+let test_powers () =
+  check_float "square" 9. (Float_utils.square 3.);
+  check_float "cube" 27. (Float_utils.cube 3.);
+  check_float "cube negative" (-8.) (Float_utils.cube (-2.));
+  checkf "cbrt" 3. (Float_utils.cbrt 27.);
+  checkf "cbrt negative" (-2.) (Float_utils.cbrt (-8.));
+  checkf "cbrt zero" 0. (Float_utils.cbrt 0.)
+
+let test_log_midpoint () =
+  checkf "geometric mean" 10. (Float_utils.log_space_midpoint 1. 100.);
+  check_raises_invalid "non-positive" (fun () ->
+      Float_utils.log_space_midpoint 0. 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Summation                                                           *)
+
+let test_kahan_pathological () =
+  (* Naive summation loses the 1.0 entirely; Neumaier keeps it. *)
+  checkf "1e16 + 1 - 1e16" 1. (Summation.sum [| 1e16; 1.; -1e16 |]);
+  checkf "alternating large/small" 2.
+    (Summation.sum [| 1e100; 1.; -1e100; 1. |])
+
+let test_kahan_accumulator () =
+  let acc = Summation.create () in
+  for _ = 1 to 100_000 do
+    Summation.add acc 0.1
+  done;
+  checkf ~eps:1e-7 "100k * 0.1" 10_000. (Summation.total acc);
+  Summation.reset acc;
+  check_float "reset" 0. (Summation.total acc);
+  Summation.add acc 42.;
+  check_float "after reset" 42. (Summation.total acc)
+
+let test_sum_variants () =
+  check_float "empty array" 0. (Summation.sum [||]);
+  check_float "empty list" 0. (Summation.sum_list []);
+  check_float "sum_list" 6. (Summation.sum_list [ 1.; 2.; 3. ]);
+  check_float "sum_by" 12.
+    (Summation.sum_by (fun x -> 2. *. x) [ 1.; 2.; 3. ]);
+  check_float "pairwise empty" 0. (Summation.pairwise_sum [||]);
+  check_float "pairwise small" 10. (Summation.pairwise_sum [| 1.; 2.; 3.; 4. |]);
+  let a = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  check_float "pairwise 1..1000" 500500. (Summation.pairwise_sum a)
+
+let prop_kahan_matches_pairwise =
+  QCheck.Test.make ~count:200 ~name:"kahan agrees with pairwise summation"
+    QCheck.(array_of_size (Gen.int_range 1 200) (float_range (-1e6) 1e6))
+    (fun a ->
+      let k = Summation.sum a and p = Summation.pairwise_sum a in
+      Float_utils.approx_equal ~rtol:1e-9 ~atol:1e-6 k p)
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                               *)
+
+let test_quadratic_basic () =
+  (match Roots.quadratic ~a:1. ~b:(-3.) ~c:2. with
+  | Roots.Two_roots (x1, x2) ->
+      checkf "root 1" 1. x1;
+      checkf "root 2" 2. x2
+  | Roots.No_real_root | Roots.Double_root _ ->
+      Alcotest.fail "expected two roots");
+  (match Roots.quadratic ~a:1. ~b:(-2.) ~c:1. with
+  | Roots.Double_root x -> checkf "double root" 1. x
+  | Roots.No_real_root | Roots.Two_roots _ ->
+      Alcotest.fail "expected double root");
+  (match Roots.quadratic ~a:1. ~b:0. ~c:1. with
+  | Roots.No_real_root -> ()
+  | Roots.Double_root _ | Roots.Two_roots _ ->
+      Alcotest.fail "expected no real root")
+
+let test_quadratic_small_a () =
+  (* The BiCrit shape: a ~ 1e-6 — the naive formula would destroy the
+     small root. Roots of 1e-6 W^2 - 1 W + 300 = 0. *)
+  match Roots.quadratic ~a:1e-6 ~b:(-1.) ~c:300. with
+  | Roots.Two_roots (x1, x2) ->
+      checkf ~eps:1e-6 "small root residual" 0.
+        ((1e-6 *. x1 *. x1) -. x1 +. 300.);
+      checkf ~eps:1e-3 "large root residual" 0.
+        ((1e-6 *. x2 *. x2) -. x2 +. 300.);
+      check_bool "ordering" true (x1 < x2)
+  | Roots.No_real_root | Roots.Double_root _ ->
+      Alcotest.fail "expected two roots"
+
+let test_quadratic_degenerate () =
+  (match Roots.quadratic ~a:0. ~b:2. ~c:(-4.) with
+  | Roots.Double_root x -> checkf "linear fallback" 2. x
+  | Roots.No_real_root | Roots.Two_roots _ ->
+      Alcotest.fail "expected linear solution");
+  (match Roots.quadratic ~a:0. ~b:0. ~c:5. with
+  | Roots.No_real_root -> ()
+  | Roots.Double_root _ | Roots.Two_roots _ ->
+      Alcotest.fail "expected no root");
+  check_raises_invalid "all zero" (fun () ->
+      Roots.quadratic ~a:0. ~b:0. ~c:0.)
+
+let test_bisection () =
+  let root = Roots.bisection ~f:cos ~lo:1. ~hi:2. () in
+  checkf ~eps:1e-9 "cos root" (Float.pi /. 2.) root;
+  checkf "root at endpoint" 1.
+    (Roots.bisection ~f:(fun x -> x -. 1.) ~lo:1. ~hi:2. ());
+  check_raises_invalid "no bracket" (fun () ->
+      Roots.bisection ~f:(fun x -> x +. 10.) ~lo:1. ~hi:2. ())
+
+let test_brent () =
+  let f x = (x *. x *. x) -. (2. *. x) -. 5. in
+  let root = Roots.brent ~f ~lo:2. ~hi:3. () in
+  checkf ~eps:1e-9 "wilkinson cubic" 2.0945514815423265 root;
+  checkf ~eps:1e-9 "cos root" (Float.pi /. 2.)
+    (Roots.brent ~f:cos ~lo:1. ~hi:2. ());
+  check_raises_invalid "no bracket" (fun () ->
+      Roots.brent ~f:(fun _ -> 1.) ~lo:0. ~hi:1. ())
+
+let prop_brent_agrees_with_bisection =
+  (* Roots of x^3 - t on [0, max 1 t]: both methods must agree. *)
+  QCheck.Test.make ~count:200 ~name:"brent agrees with bisection"
+    QCheck.(float_range 0.001 100.)
+    (fun t ->
+      let f x = (x *. x *. x) -. t in
+      let hi = Float.max 1. t in
+      let b1 = Roots.brent ~f ~lo:0. ~hi () in
+      let b2 = Roots.bisection ~f ~lo:0. ~hi () in
+      Float_utils.approx_equal ~rtol:1e-6 ~atol:1e-9 b1 b2)
+
+let prop_quadratic_roots_are_roots =
+  QCheck.Test.make ~count:300 ~name:"quadratic roots satisfy the equation"
+    QCheck.(
+      triple (float_range 1e-8 10.) (float_range (-100.) 100.)
+        (float_range (-100.) 100.))
+    (fun (a, b, c) ->
+      match Roots.quadratic ~a ~b ~c with
+      | Roots.No_real_root -> (b *. b) -. (4. *. a *. c) < 1e-7
+      | Roots.Double_root x ->
+          let scale = Float.max 1. (Float.abs ((a *. x *. x) +. 1.)) in
+          Float.abs ((a *. x *. x) +. (b *. x) +. c) < 1e-4 *. scale
+      | Roots.Two_roots (x1, x2) ->
+          let residual x = Float.abs ((a *. x *. x) +. (b *. x) +. c) in
+          let scale x =
+            Float.max 1.
+              (Float.max (Float.abs (a *. x *. x)) (Float.abs (b *. x)))
+          in
+          x1 <= x2
+          && residual x1 < 1e-7 *. scale x1
+          && residual x2 < 1e-7 *. scale x2)
+
+(* ------------------------------------------------------------------ *)
+(* Minimize                                                            *)
+
+let test_golden_section () =
+  let f x = Float_utils.square (x -. 3.) +. 2. in
+  let x, v = Minimize.golden_section ~f ~lo:0. ~hi:10. () in
+  checkf ~eps:1e-6 "argmin" 3. x;
+  checkf ~eps:1e-9 "min value" 2. v;
+  check_raises_invalid "empty interval" (fun () ->
+      Minimize.golden_section ~f ~lo:1. ~hi:1. ())
+
+let test_ternary () =
+  let f x = exp x +. exp (-.x) in
+  let x, _ = Minimize.ternary ~f ~lo:(-4.) ~hi:5. () in
+  checkf ~eps:1e-6 "cosh argmin" 0. x
+
+let test_grid_then_golden () =
+  (* A function with a flat region then a dip: the plain golden section
+     contract (unimodal) holds, but grid refinement must also find it. *)
+  let f x = Float.min 5. (Float_utils.square (x -. 7.)) in
+  let x, v = Minimize.grid_then_golden ~f ~lo:0. ~hi:10. () in
+  checkf ~eps:1e-4 "argmin in dip" 7. x;
+  checkf ~eps:1e-8 "value" 0. v
+
+let test_argmin_by () =
+  (match Minimize.argmin_by (fun x -> x *. x) [ 3.; -1.; 2. ] with
+  | Some (x, v) ->
+      check_float "argmin element" (-1.) x;
+      check_float "argmin value" 1. v
+  | None -> Alcotest.fail "expected a minimum");
+  check_bool "empty list" true (Minimize.argmin_by (fun x -> x) [] = None);
+  (* Ties keep the earliest element. *)
+  match Minimize.argmin_by (fun (_, v) -> v) [ ("a", 1.); ("b", 1.) ] with
+  | Some ((name, _), _) -> Alcotest.(check string) "tie keeps first" "a" name
+  | None -> Alcotest.fail "expected a minimum"
+
+let prop_golden_finds_quadratic_min =
+  QCheck.Test.make ~count:200 ~name:"golden section minimizes quadratics"
+    QCheck.(pair (float_range (-50.) 50.) (float_range 0.1 10.))
+    (fun (center, scale) ->
+      let f x = scale *. Float_utils.square (x -. center) in
+      let x, _ =
+        Minimize.golden_section ~f ~lo:(center -. 60.) ~hi:(center +. 60.) ()
+      in
+      Float.abs (x -. center) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_known_values () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  checkf "mean" 5. (Stats.mean a);
+  checkf "variance" (32. /. 7.) (Stats.variance a);
+  let s = Stats.summarize a in
+  check_int "n" 8 s.Stats.n;
+  checkf "summary mean" 5. s.Stats.mean;
+  check_float "min" 2. s.Stats.min;
+  check_float "max" 9. s.Stats.max;
+  checkf "std_error" (s.Stats.stddev /. sqrt 8.) s.Stats.std_error
+
+let test_stats_edge_cases () =
+  check_float "singleton variance" 0. (Stats.variance [| 42. |]);
+  check_raises_invalid "empty mean" (fun () -> Stats.mean [||]);
+  check_raises_invalid "empty summarize" (fun () -> Stats.summarize [||]);
+  let s = Stats.summarize [| 3.; 3.; 3. |] in
+  check_float "degenerate stddev" 0. s.Stats.stddev
+
+let test_confidence () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  let lo, hi = Stats.confidence_interval ~z:2. s in
+  check_bool "mean inside CI" true (lo < 3. && 3. < hi);
+  checkf "CI symmetric" (3. -. lo) (hi -. 3.);
+  check_bool "within_confidence accepts truth" true
+    (Stats.within_confidence ~expected:3. [| 1.; 2.; 3.; 4.; 5. |]);
+  check_bool "within_confidence rejects absurd" false
+    (Stats.within_confidence ~expected:100. [| 1.; 2.; 3.; 4.; 5. |]);
+  check_bool "degenerate exact" true
+    (Stats.within_confidence ~expected:3. [| 3.; 3. |]);
+  check_bool "degenerate mismatch" false
+    (Stats.within_confidence ~expected:4. [| 3.; 3. |])
+
+let test_median_quantile () =
+  check_float "median odd" 3. (Stats.median [| 5.; 3.; 1. |]);
+  check_float "median even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "q0" 1. (Stats.quantile a 0.);
+  check_float "q1" 5. (Stats.quantile a 1.);
+  check_float "q0.5" 3. (Stats.quantile a 0.5);
+  check_float "q0.25 interpolated" 2. (Stats.quantile a 0.25);
+  check_raises_invalid "p out of range" (fun () -> Stats.quantile a 1.5);
+  (* median must not mutate its input *)
+  let b = [| 3.; 1.; 2. |] in
+  ignore (Stats.median b);
+  check_float "input unchanged" 3. b.(0)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantile is monotone in p"
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (a, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.quantile a lo <= Stats.quantile a hi +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Regression                                                          *)
+
+let test_linear_fit () =
+  let fit = Regression.linear_fit [ (0., 1.); (1., 3.); (2., 5.) ] in
+  checkf "slope" 2. fit.Regression.slope;
+  checkf "intercept" 1. fit.Regression.intercept;
+  checkf "r_squared" 1. fit.Regression.r_squared;
+  check_raises_invalid "single point" (fun () ->
+      Regression.linear_fit [ (1., 1.) ]);
+  check_raises_invalid "coincident xs" (fun () ->
+      Regression.linear_fit [ (1., 1.); (1., 2.) ])
+
+let test_log_log_fit () =
+  (* y = 3 x^(-2/3) *)
+  let pts =
+    List.map (fun x -> (x, 3. *. (x ** (-2. /. 3.)))) [ 1.; 2.; 5.; 10.; 100. ]
+  in
+  let fit = Regression.log_log_fit pts in
+  checkf ~eps:1e-9 "power-law slope" (-2. /. 3.) fit.Regression.slope;
+  checkf ~eps:1e-9 "prefactor" (log 3.) fit.Regression.intercept;
+  check_raises_invalid "non-positive coordinate" (fun () ->
+      Regression.log_log_fit [ (1., 1.); (-1., 2.) ])
+
+let test_constant_fit () =
+  let fit = Regression.linear_fit [ (0., 2.); (1., 2.); (2., 2.) ] in
+  checkf "zero slope" 0. fit.Regression.slope;
+  checkf "flat r_squared" 1. fit.Regression.r_squared
+
+let prop_log_log_recovers_exponent =
+  QCheck.Test.make ~count:100 ~name:"log-log fit recovers random exponents"
+    QCheck.(pair (float_range (-3.) 3.) (float_range 0.1 10.))
+    (fun (exponent, scale) ->
+      let pts =
+        List.map (fun x -> (x, scale *. (x ** exponent))) [ 0.5; 1.; 2.; 4.; 8. ]
+      in
+      let fit = Regression.log_log_fit pts in
+      Float.abs (fit.Regression.slope -. exponent) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+
+let test_histogram_binning () =
+  let h = Histogram.of_samples ~lo:0. ~hi:10. ~bins:5 [| 0.; 1.9; 5.; 9.99; -1.; 10.; 42. |] in
+  check_int "bin 0" 2 h.Histogram.counts.(0);
+  check_int "bin 2" 1 h.Histogram.counts.(2);
+  check_int "bin 4" 1 h.Histogram.counts.(4);
+  check_int "underflow" 1 h.Histogram.underflow;
+  check_int "overflow (hi inclusive-exclusive)" 2 h.Histogram.overflow;
+  check_int "total" 7 (Histogram.total h);
+  let lo, hi = Histogram.bin_edges h 1 in
+  check_float "edge lo" 2. lo;
+  check_float "edge hi" 4. hi;
+  check_bool "bin_index" true (Histogram.bin_index h 3. = `Bin 1);
+  check_bool "underflow index" true (Histogram.bin_index h (-0.5) = `Underflow);
+  check_raises_invalid "NaN sample" (fun () -> ignore (Histogram.add h nan));
+  check_raises_invalid "bad bounds" (fun () ->
+      Histogram.create ~lo:1. ~hi:1. ~bins:3);
+  check_raises_invalid "bad edges index" (fun () ->
+      ignore (Histogram.bin_edges h 5))
+
+let test_histogram_add_functional () =
+  let h0 = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  let h1 = Histogram.add h0 0.25 in
+  check_int "original untouched" 0 h0.Histogram.counts.(0);
+  check_int "copy updated" 1 h1.Histogram.counts.(0)
+
+let test_chi_square () =
+  (* Perfect fit: statistic 0. *)
+  checkf "perfect" 0.
+    (Histogram.chi_square ~observed:[| 10; 20 |] ~expected:[| 10.; 20. |]);
+  (* Known value: O = [12; 8], E = [10; 10] -> 4/10 + 4/10 = 0.8. *)
+  checkf "hand value" 0.8
+    (Histogram.chi_square ~observed:[| 12; 8 |] ~expected:[| 10.; 10. |]);
+  check_raises_invalid "mismatch" (fun () ->
+      ignore (Histogram.chi_square ~observed:[| 1 |] ~expected:[| 1.; 2. |]));
+  check_raises_invalid "zero-expectation cell" (fun () ->
+      ignore (Histogram.chi_square ~observed:[| 1 |] ~expected:[| 0. |]))
+
+let test_chi_square_critical () =
+  (* Table values at alpha = 0.001: df=1 -> 10.83, df=5 -> 20.52,
+     df=10 -> 29.59. Wilson-Hilferty is within ~2%. *)
+  checkf ~eps:0.5 "df=1" 10.83 (Histogram.chi_square_critical ~df:1);
+  checkf ~eps:0.5 "df=5" 20.52 (Histogram.chi_square_critical ~df:5);
+  checkf ~eps:0.5 "df=10" 29.59 (Histogram.chi_square_critical ~df:10);
+  check_raises_invalid "df=0" (fun () ->
+      ignore (Histogram.chi_square_critical ~df:0))
+
+let prop_histogram_conserves_samples =
+  QCheck.Test.make ~count:200 ~name:"histogram conserves its samples"
+    QCheck.(array_of_size (Gen.int_range 0 500) (float_range (-50.) 150.))
+    (fun samples ->
+      let h = Histogram.of_samples ~lo:0. ~hi:100. ~bins:7 samples in
+      Histogram.total h = Array.length samples)
+
+(* ------------------------------------------------------------------ *)
+(* Axis                                                                *)
+
+let test_linspace () =
+  let pts = Axis.linspace ~lo:0. ~hi:10. ~n:5 in
+  check_int "count" 5 (List.length pts);
+  check_float "first" 0. (List.hd pts);
+  check_float "last" 10. (List.nth pts 4);
+  check_float "step" 2.5 (List.nth pts 1);
+  check_bool "n=1" true (Axis.linspace ~lo:3. ~hi:9. ~n:1 = [ 3. ]);
+  check_raises_invalid "n=0" (fun () -> Axis.linspace ~lo:0. ~hi:1. ~n:0);
+  check_raises_invalid "inverted" (fun () -> Axis.linspace ~lo:1. ~hi:0. ~n:3)
+
+let test_logspace () =
+  let pts = Axis.logspace ~lo:1. ~hi:10000. ~n:5 in
+  check_int "count" 5 (List.length pts);
+  checkf "first" 1. (List.hd pts);
+  checkf ~eps:1e-6 "last" 10000. (List.nth pts 4);
+  checkf ~eps:1e-9 "geometric" 10. (List.nth pts 1);
+  check_raises_invalid "non-positive lo" (fun () ->
+      Axis.logspace ~lo:0. ~hi:1. ~n:3)
+
+let test_arange () =
+  let pts = Axis.arange ~lo:0. ~hi:1. ~step:0.25 in
+  check_int "count" 5 (List.length pts);
+  check_float "last" 1. (List.nth pts 4);
+  check_raises_invalid "bad step" (fun () ->
+      Axis.arange ~lo:0. ~hi:1. ~step:0.)
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "float_utils",
+        [
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "relative_error" `Quick test_relative_error;
+          Alcotest.test_case "powers" `Quick test_powers;
+          Alcotest.test_case "log_space_midpoint" `Quick test_log_midpoint;
+        ] );
+      ( "summation",
+        [
+          Alcotest.test_case "kahan pathological" `Quick
+            test_kahan_pathological;
+          Alcotest.test_case "accumulator" `Quick test_kahan_accumulator;
+          Alcotest.test_case "variants" `Quick test_sum_variants;
+          Testutil.qcheck prop_kahan_matches_pairwise;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "quadratic basic" `Quick test_quadratic_basic;
+          Alcotest.test_case "quadratic small a" `Quick test_quadratic_small_a;
+          Alcotest.test_case "quadratic degenerate" `Quick
+            test_quadratic_degenerate;
+          Alcotest.test_case "bisection" `Quick test_bisection;
+          Alcotest.test_case "brent" `Quick test_brent;
+          Testutil.qcheck prop_brent_agrees_with_bisection;
+          Testutil.qcheck prop_quadratic_roots_are_roots;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "golden section" `Quick test_golden_section;
+          Alcotest.test_case "ternary" `Quick test_ternary;
+          Alcotest.test_case "grid then golden" `Quick test_grid_then_golden;
+          Alcotest.test_case "argmin_by" `Quick test_argmin_by;
+          Testutil.qcheck prop_golden_finds_quadratic_min;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "edge cases" `Quick test_stats_edge_cases;
+          Alcotest.test_case "confidence" `Quick test_confidence;
+          Alcotest.test_case "median and quantile" `Quick test_median_quantile;
+          Testutil.qcheck prop_quantile_monotone;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "log-log fit" `Quick test_log_log_fit;
+          Alcotest.test_case "constant fit" `Quick test_constant_fit;
+          Testutil.qcheck prop_log_log_recovers_exponent;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "functional add" `Quick
+            test_histogram_add_functional;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+          Alcotest.test_case "critical values" `Quick test_chi_square_critical;
+          Testutil.qcheck prop_histogram_conserves_samples;
+        ] );
+      ( "axis",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "arange" `Quick test_arange;
+        ] );
+    ]

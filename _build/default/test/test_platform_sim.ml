@@ -1,0 +1,368 @@
+(* Tests for the event queue and the multi-node platform simulator —
+   including the superposition theorem that justifies the paper's
+   aggregate-platform abstraction. *)
+
+open Testutil
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_basic () =
+  let q = Sim.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Sim.Pqueue.is_empty q);
+  Sim.Pqueue.push q ~priority:3. "c";
+  Sim.Pqueue.push q ~priority:1. "a";
+  Sim.Pqueue.push q ~priority:2. "b";
+  Alcotest.(check int) "length" 3 (Sim.Pqueue.length q);
+  (match Sim.Pqueue.peek q with
+  | Some (p, v) ->
+      checkf "peek priority" 1. p;
+      Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected a minimum");
+  Alcotest.(check int) "peek does not remove" 3 (Sim.Pqueue.length q);
+  let order = List.map snd (Sim.Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "sorted drain" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "drained" true (Sim.Pqueue.is_empty q)
+
+let test_pqueue_ties_fifo () =
+  let q = Sim.Pqueue.create () in
+  Sim.Pqueue.push q ~priority:1. "first";
+  Sim.Pqueue.push q ~priority:1. "second";
+  Sim.Pqueue.push q ~priority:1. "third";
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ]
+    (List.map snd (Sim.Pqueue.to_sorted_list q))
+
+let test_pqueue_clear_and_nan () =
+  let q = Sim.Pqueue.create () in
+  Sim.Pqueue.push q ~priority:1. 1;
+  Sim.Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Sim.Pqueue.pop q = None);
+  check_raises_invalid "NaN priority" (fun () ->
+      Sim.Pqueue.push q ~priority:nan 1)
+
+let test_pqueue_of_list () =
+  let q = Sim.Pqueue.of_list [ (2., "b"); (1., "a"); (3., "c") ] in
+  Alcotest.(check (list string)) "heapified"
+    [ "a"; "b"; "c" ]
+    (List.map snd (Sim.Pqueue.to_sorted_list q))
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~count:300 ~name:"pqueue drains in sorted order"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (float_range (-1e6) 1e6))
+    (fun priorities ->
+      let q = Sim.Pqueue.create () in
+      List.iteri (fun i p -> Sim.Pqueue.push q ~priority:p i) priorities;
+      let drained = List.map fst (Sim.Pqueue.to_sorted_list q) in
+      drained = List.sort Float.compare priorities)
+
+let prop_pqueue_interleaved =
+  (* Random interleaving of pushes and pops never violates the heap
+     order: every popped priority is <= the next one popped without an
+     intervening push of something smaller. We check a weaker but sharp
+     invariant: pop always returns the minimum of the current
+     contents. *)
+  QCheck.Test.make ~count:200 ~name:"pop returns the current minimum"
+    QCheck.(list (pair bool (float_range 0. 1e3)))
+    (fun ops ->
+      let q = Sim.Pqueue.create () in
+      let reference = ref [] in
+      let remove_one x l =
+        let rec go acc = function
+          | [] -> List.rev acc
+          | y :: rest when y = x -> List.rev_append acc rest
+          | y :: rest -> go (y :: acc) rest
+        in
+        go [] l
+      in
+      List.for_all
+        (fun (is_pop, priority) ->
+          if is_pop then
+            match (Sim.Pqueue.pop q, !reference) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (p, ()), contents ->
+                let min_ref = List.fold_left Float.min infinity contents in
+                reference := remove_one p contents;
+                p = min_ref
+          else begin
+            Sim.Pqueue.push q ~priority ();
+            reference := priority :: !reference;
+            true
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Platform simulator                                                  *)
+
+let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2
+
+let test_aggregate_model_rates () =
+  let platform =
+    Sim.Platform_sim.make ~nodes:16 ~node_lambda_f:1e-6 ~node_lambda_s:3e-6
+      ~c:120. ~v:15. ()
+  in
+  let m = Sim.Platform_sim.aggregate_model platform in
+  checkf "aggregate fail-stop rate" 1.6e-5 m.Core.Mixed.lambda_f;
+  checkf "aggregate silent rate" 4.8e-5 m.Core.Mixed.lambda_s;
+  checkf "r defaults to c" 120. platform.Sim.Platform_sim.r
+
+let test_make_validation () =
+  check_raises_invalid "zero nodes" (fun () ->
+      Sim.Platform_sim.make ~nodes:0 ~node_lambda_f:1e-6 ~node_lambda_s:0.
+        ~c:1. ~v:1. ());
+  check_raises_invalid "no errors" (fun () ->
+      Sim.Platform_sim.make ~nodes:4 ~node_lambda_f:0. ~node_lambda_s:0. ~c:1.
+        ~v:1. ());
+  check_raises_invalid "negative rate" (fun () ->
+      Sim.Platform_sim.make ~nodes:4 ~node_lambda_f:(-1.) ~node_lambda_s:0.
+        ~c:1. ~v:1. ())
+
+let test_superposition_theorem () =
+  (* The N-node platform's mean pattern time must match the aggregate
+     Mixed model with rates N * node rate — the justification of the
+     paper's "aggregated platform" abstraction. *)
+  let platform =
+    Sim.Platform_sim.make ~nodes:8 ~node_lambda_f:2e-5 ~node_lambda_s:5e-5
+      ~c:100. ~r:50. ~v:20. ()
+  in
+  let model = Sim.Platform_sim.aggregate_model platform in
+  let w = 2000. and sigma1 = 0.5 and sigma2 = 1. in
+  let expected = Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 in
+  let expected_energy =
+    Core.Mixed.expected_energy model power ~w ~sigma1 ~sigma2
+  in
+  let replicas = 4000 in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:77) replicas in
+  let times = Array.make replicas 0. in
+  let energies = Array.make replicas 0. in
+  Array.iteri
+    (fun i rng ->
+      let machine = Sim.Machine.create power in
+      let o =
+        Sim.Platform_sim.run_pattern platform ~machine ~rng ~w ~sigma1 ~sigma2
+          ()
+      in
+      times.(i) <- o.Sim.Platform_sim.time;
+      energies.(i) <- o.Sim.Platform_sim.energy)
+    rngs;
+  Alcotest.(check bool) "mean time matches the aggregate model" true
+    (Numerics.Stats.within_confidence ~expected times);
+  Alcotest.(check bool) "mean energy matches the aggregate model" true
+    (Numerics.Stats.within_confidence ~expected:expected_energy energies)
+
+let test_errors_spread_over_nodes () =
+  (* Homogeneous nodes: decisive errors land roughly uniformly. *)
+  let platform =
+    Sim.Platform_sim.make ~nodes:4 ~node_lambda_f:5e-5 ~node_lambda_s:1e-4
+      ~c:50. ~v:10. ()
+  in
+  let rng = Prng.Rng.create ~seed:13 in
+  let o =
+    Sim.Platform_sim.run_application platform ~power ~rng ~w_base:400_000.
+      ~pattern_w:2000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let total = Array.fold_left ( + ) 0 o.Sim.Platform_sim.errors_by_node in
+  Alcotest.(check bool) "errors occurred" true (total > 100);
+  let expected_share = float_of_int total /. 4. in
+  Array.iteri
+    (fun node count ->
+      if
+        Float.abs (float_of_int count -. expected_share)
+        > 5. *. sqrt expected_share
+      then
+        Alcotest.failf "node %d saw %d errors, expected ~%.0f" node count
+          expected_share)
+    o.Sim.Platform_sim.errors_by_node
+
+let test_platform_trace_well_formed () =
+  let platform =
+    Sim.Platform_sim.make ~nodes:3 ~node_lambda_f:1e-4 ~node_lambda_s:2e-4
+      ~c:30. ~v:5. ()
+  in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:14 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Platform_sim.run_pattern ~trace platform ~machine ~rng ~w:3000.
+      ~sigma1:0.5 ~sigma2:1. ()
+  in
+  Alcotest.(check bool) "well-formed trace" true
+    (Sim.Trace.is_well_formed (Sim.Trace.finish trace));
+  Alcotest.(check bool) "time positive" true (o.Sim.Platform_sim.time > 0.)
+
+let test_single_node_equals_aggregate_executor_stats () =
+  (* N = 1: the platform simulator and the aggregate executor share the
+     same distribution; compare their means over independent streams. *)
+  let platform =
+    Sim.Platform_sim.make ~nodes:1 ~node_lambda_f:1e-4 ~node_lambda_s:2e-4
+      ~c:60. ~v:12. ()
+  in
+  let model = Sim.Platform_sim.aggregate_model platform in
+  let w = 1500. and sigma1 = 0.6 and sigma2 = 0.9 in
+  let replicas = 3000 in
+  let mean_of run =
+    let rngs = Prng.Rng.split (Prng.Rng.create ~seed:15) replicas in
+    let samples = Array.map run rngs in
+    Numerics.Stats.mean samples
+  in
+  let platform_mean =
+    mean_of (fun rng ->
+        let machine = Sim.Machine.create power in
+        (Sim.Platform_sim.run_pattern platform ~machine ~rng ~w ~sigma1
+           ~sigma2 ())
+          .Sim.Platform_sim.time)
+  in
+  let executor_mean =
+    mean_of (fun rng ->
+        let machine = Sim.Machine.create power in
+        (Sim.Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
+          .Sim.Executor.time)
+  in
+  let analytic = Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 in
+  check_close ~rtol:0.05 "platform vs analytic" analytic platform_mean;
+  check_close ~rtol:0.05 "executor vs analytic" analytic executor_mean
+
+(* ------------------------------------------------------------------ *)
+(* Heterogeneous platforms                                             *)
+
+let test_heterogeneous_validation () =
+  check_raises_invalid "length mismatch" (fun () ->
+      Sim.Platform_sim.heterogeneous ~node_lambda_f:[| 1e-5 |]
+        ~node_lambda_s:[| 1e-5; 1e-5 |] ~c:1. ~v:1. ());
+  check_raises_invalid "empty" (fun () ->
+      Sim.Platform_sim.heterogeneous ~node_lambda_f:[||] ~node_lambda_s:[||]
+        ~c:1. ~v:1. ());
+  check_raises_invalid "all zero" (fun () ->
+      Sim.Platform_sim.heterogeneous ~node_lambda_f:[| 0. |]
+        ~node_lambda_s:[| 0. |] ~c:1. ~v:1. ());
+  (* The constructor copies its inputs: later mutation is invisible. *)
+  let rates = [| 1e-5; 2e-5 |] in
+  let platform =
+    Sim.Platform_sim.heterogeneous ~node_lambda_f:rates
+      ~node_lambda_s:[| 0.; 0. |] ~c:1. ~v:1. ()
+  in
+  rates.(0) <- 99.;
+  checkf "defensive copy" 1e-5 platform.Sim.Platform_sim.node_lambda_f.(0)
+
+let test_heterogeneous_aggregate () =
+  let platform =
+    Sim.Platform_sim.heterogeneous
+      ~node_lambda_f:[| 1e-5; 0.; 3e-5 |]
+      ~node_lambda_s:[| 2e-5; 5e-5; 0. |]
+      ~c:100. ~v:10. ()
+  in
+  Alcotest.(check int) "three nodes" 3 (Sim.Platform_sim.nodes platform);
+  let m = Sim.Platform_sim.aggregate_model platform in
+  checkf "summed fail-stop" 4e-5 m.Core.Mixed.lambda_f;
+  checkf "summed silent" 7e-5 m.Core.Mixed.lambda_s
+
+let test_platform_trace_analytics () =
+  (* The Analysis breakdown composes with platform traces: buckets
+     partition the makespan and completed work equals w_base. *)
+  let platform =
+    Sim.Platform_sim.make ~nodes:6 ~node_lambda_f:3e-5 ~node_lambda_s:6e-5
+      ~c:40. ~r:20. ~v:8. ()
+  in
+  let rng = Prng.Rng.create ~seed:25 in
+  let machine = Sim.Machine.create power in
+  let trace = Sim.Trace.builder () in
+  let total_time = ref 0. in
+  let remaining = ref 30_000. in
+  while !remaining > 0. do
+    let w = Float.min !remaining 2000. in
+    let o =
+      Sim.Platform_sim.run_pattern ~trace platform ~machine ~rng ~w
+        ~sigma1:0.5 ~sigma2:1. ()
+    in
+    total_time := !total_time +. o.Sim.Platform_sim.time;
+    remaining := !remaining -. w
+  done;
+  let b = Sim.Analysis.breakdown (Sim.Trace.finish trace) in
+  check_close ~rtol:1e-9 "buckets partition the time" !total_time
+    (Sim.Analysis.total_time b);
+  check_close ~rtol:1e-9 "completed work" 30_000.
+    b.Sim.Analysis.completed_work;
+  Alcotest.(check int) "15 patterns" 15 b.Sim.Analysis.successful_patterns
+
+let test_flaky_node_attribution () =
+  (* One node 20x flakier than the rest: it must absorb the bulk of
+     the decisive errors, and the aggregate model must still predict
+     the mean pattern time. *)
+  let base = 2e-5 in
+  let platform =
+    Sim.Platform_sim.heterogeneous
+      ~node_lambda_f:[| 0.; 0.; 0.; 0. |]
+      ~node_lambda_s:[| base; base; 20. *. base; base |]
+      ~c:60. ~v:10. ()
+  in
+  let rng = Prng.Rng.create ~seed:19 in
+  let o =
+    Sim.Platform_sim.run_application platform ~power ~rng ~w_base:600_000.
+      ~pattern_w:3000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let total = Array.fold_left ( + ) 0 o.Sim.Platform_sim.errors_by_node in
+  Alcotest.(check bool) "errors occurred" true (total > 50);
+  let flaky_share =
+    float_of_int o.Sim.Platform_sim.errors_by_node.(2) /. float_of_int total
+  in
+  (* Expected share 20/23 = 0.87. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "flaky node dominates (share %.2f)" flaky_share)
+    true
+    (flaky_share > 0.75 && flaky_share < 0.95);
+  (* Aggregate mean check on a single pattern. *)
+  let model = Sim.Platform_sim.aggregate_model platform in
+  let expected = Core.Mixed.expected_time model ~w:3000. ~sigma1:0.5 ~sigma2:1. in
+  let replicas = 3000 in
+  let rngs = Prng.Rng.split (Prng.Rng.create ~seed:20) replicas in
+  let samples =
+    Array.map
+      (fun rng ->
+        let machine = Sim.Machine.create power in
+        (Sim.Platform_sim.run_pattern platform ~machine ~rng ~w:3000.
+           ~sigma1:0.5 ~sigma2:1. ())
+          .Sim.Platform_sim.time)
+      rngs
+  in
+  Alcotest.(check bool) "heterogeneous superposition" true
+    (Numerics.Stats.within_confidence ~expected samples)
+
+let () =
+  Alcotest.run "platform-sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basics" `Quick test_pqueue_basic;
+          Alcotest.test_case "FIFO ties" `Quick test_pqueue_ties_fifo;
+          Alcotest.test_case "clear and NaN" `Quick test_pqueue_clear_and_nan;
+          Alcotest.test_case "of_list" `Quick test_pqueue_of_list;
+          Testutil.qcheck prop_pqueue_sorts;
+          Testutil.qcheck prop_pqueue_interleaved;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "aggregate rates" `Quick
+            test_aggregate_model_rates;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "superposition theorem" `Slow
+            test_superposition_theorem;
+          Alcotest.test_case "errors spread over nodes" `Slow
+            test_errors_spread_over_nodes;
+          Alcotest.test_case "well-formed trace" `Quick
+            test_platform_trace_well_formed;
+          Alcotest.test_case "single node equals executor" `Slow
+            test_single_node_equals_aggregate_executor_stats;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "validation" `Quick
+            test_heterogeneous_validation;
+          Alcotest.test_case "aggregate rates" `Quick
+            test_heterogeneous_aggregate;
+          Alcotest.test_case "flaky node attribution" `Slow
+            test_flaky_node_attribution;
+          Alcotest.test_case "trace analytics" `Quick
+            test_platform_trace_analytics;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the platform/processor database (the paper's Tables 1-2)
+   and the eight derived configurations. *)
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let test_table1_values () =
+  let open Platforms.Platform in
+  checkf "Hera lambda" 3.38e-6 hera.lambda;
+  checkf "Hera C" 300. hera.c;
+  checkf "Hera V" 15.4 hera.v;
+  checkf "Atlas lambda" 7.78e-6 atlas.lambda;
+  checkf "Atlas C" 439. atlas.c;
+  checkf "Atlas V" 9.1 atlas.v;
+  checkf "Coastal lambda" 2.01e-6 coastal.lambda;
+  checkf "Coastal C" 1051. coastal.c;
+  checkf "Coastal V" 4.5 coastal.v;
+  checkf "Coastal SSD lambda" 2.01e-6 coastal_ssd.lambda;
+  checkf "Coastal SSD C" 2500. coastal_ssd.c;
+  checkf "Coastal SSD V" 180. coastal_ssd.v;
+  check_int "four platforms" 4 (List.length all)
+
+let test_platform_find () =
+  let open Platforms.Platform in
+  check_bool "hera" true (find "hera" = Some hera);
+  check_bool "HERA case-insensitive" true (find "HERA" = Some hera);
+  check_bool "coastal ssd with space" true
+    (find "coastal ssd" = Some coastal_ssd);
+  check_bool "coastal_ssd underscore" true
+    (find "coastal_ssd" = Some coastal_ssd);
+  check_bool "Coastal-SSD dash" true (find "Coastal-SSD" = Some coastal_ssd);
+  check_bool "unknown" true (find "summit" = None)
+
+let test_mtbf () =
+  checkf ~eps:1. "Hera MTBF"
+    (1. /. 3.38e-6)
+    (Platforms.Platform.mtbf Platforms.Platform.hera)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let test_table2_values () =
+  let open Platforms.Processor in
+  check_bool "XScale speeds" true (xscale.speeds = [ 0.15; 0.4; 0.6; 0.8; 1.0 ]);
+  checkf "XScale kappa" 1550. xscale.kappa;
+  checkf "XScale idle" 60. xscale.p_idle;
+  check_bool "Crusoe speeds" true (crusoe.speeds = [ 0.45; 0.6; 0.8; 0.9; 1.0 ]);
+  checkf "Crusoe kappa" 5756. crusoe.kappa;
+  checkf "Crusoe idle" 4.4 crusoe.p_idle
+
+let test_power_law () =
+  let open Platforms.Processor in
+  checkf "XScale P(1)" 1550. (cpu_power xscale 1.);
+  checkf "XScale P(0.5)" (1550. *. 0.125) (cpu_power xscale 0.5);
+  checkf "XScale total P(1)" 1610. (total_power xscale 1.);
+  checkf "Crusoe total P(1)" 5760.4 (total_power crusoe 1.);
+  checkf "cubic scaling" 8.
+    (cpu_power xscale 1. /. cpu_power xscale 0.5 /. 0.25 /. 4.)
+
+let test_default_p_io () =
+  let open Platforms.Processor in
+  checkf "XScale Pio = P(0.15)" (1550. *. 0.15 ** 3.) (default_p_io xscale);
+  checkf "Crusoe Pio = P(0.45)" (5756. *. 0.45 ** 3.) (default_p_io crusoe);
+  checkf "min speed xscale" 0.15 (min_speed xscale);
+  checkf "max speed xscale" 1. (max_speed xscale)
+
+let test_processor_find () =
+  let open Platforms.Processor in
+  check_bool "xscale" true (find "xscale" = Some xscale);
+  check_bool "XSCALE" true (find "XSCALE" = Some xscale);
+  check_bool "crusoe" true (find "Crusoe" = Some crusoe);
+  check_bool "unknown" true (find "epyc" = None)
+
+let test_validate () =
+  let open Platforms.Processor in
+  check_bool "xscale valid" true (validate xscale = Ok ());
+  check_bool "crusoe valid" true (validate crusoe = Ok ());
+  let broken speeds = { xscale with speeds } in
+  check_bool "empty speeds" true (Result.is_error (validate (broken [])));
+  check_bool "non-increasing" true
+    (Result.is_error (validate (broken [ 0.5; 0.5 ])));
+  check_bool "out of range" true
+    (Result.is_error (validate (broken [ 0.5; 1.5 ])));
+  check_bool "non-positive" true
+    (Result.is_error (validate (broken [ 0.; 0.5 ])));
+  check_bool "negative kappa" true
+    (Result.is_error (validate { xscale with kappa = -1. }))
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+
+let test_config_defaults () =
+  let cfg =
+    Platforms.Config.make Platforms.Platform.hera Platforms.Processor.xscale
+  in
+  checkf "R defaults to C" 300. cfg.Platforms.Config.r;
+  checkf "Pio defaults to P(min speed)" (1550. *. 0.15 ** 3.)
+    cfg.Platforms.Config.p_io;
+  check_string "name" "Hera/XScale" (Platforms.Config.name cfg);
+  let custom =
+    Platforms.Config.make ~r:100. ~p_io:42. Platforms.Platform.hera
+      Platforms.Processor.xscale
+  in
+  checkf "R override" 100. custom.Platforms.Config.r;
+  checkf "Pio override" 42. custom.Platforms.Config.p_io
+
+let test_config_all () =
+  check_int "eight configurations" 8 (List.length Platforms.Config.all);
+  let names = List.map Platforms.Config.name Platforms.Config.all in
+  check_bool "contains Hera/XScale" true (List.mem "Hera/XScale" names);
+  check_bool "contains Coastal SSD/Crusoe" true
+    (List.mem "Coastal SSD/Crusoe" names);
+  check_int "all names distinct" 8
+    (List.length (List.sort_uniq compare names))
+
+let test_config_find () =
+  check_bool "atlas/crusoe" true
+    (Option.is_some (Platforms.Config.find "atlas/crusoe"));
+  check_bool "COASTAL SSD/XSCALE" true
+    (Option.is_some (Platforms.Config.find "COASTAL SSD/XSCALE"));
+  check_bool "bad platform" true (Platforms.Config.find "summit/xscale" = None);
+  check_bool "bad format" true (Platforms.Config.find "heraxscale" = None);
+  check_bool "too many slashes" true
+    (Platforms.Config.find "a/b/c" = None)
+
+let test_config_validation () =
+  (match
+     Platforms.Config.make ~r:(-1.) Platforms.Platform.hera
+       Platforms.Processor.xscale
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative r accepted");
+  match
+    Platforms.Config.make ~p_io:(-1.) Platforms.Platform.hera
+      Platforms.Processor.xscale
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative p_io accepted"
+
+let test_default_rho () = checkf "rho = 3" 3. Platforms.Config.default_rho
+
+(* ------------------------------------------------------------------ *)
+(* Config_file                                                         *)
+
+let sample_file =
+  "# my cluster\n\
+   lambda = 5.2e-6   # errors per second\n\
+   c = 450\n\
+   v = 30\n\
+   kappa = 2000\n\
+   p_idle = 80\n\
+   speeds = 0.2, 0.5, 0.8, 1.0\n"
+
+let test_config_file_parse () =
+  match Platforms.Config_file.parse sample_file with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      checkf "lambda" 5.2e-6 t.Platforms.Config_file.lambda;
+      checkf "c" 450. t.c;
+      check_bool "r defaulted" true (t.r = None);
+      checkf "v" 30. t.v;
+      checkf "kappa" 2000. t.kappa;
+      checkf "p_idle" 80. t.p_idle;
+      check_bool "p_io defaulted" true (t.p_io = None);
+      check_bool "speeds" true (t.speeds = [ 0.2; 0.5; 0.8; 1.0 ])
+
+let test_config_file_optional_keys () =
+  let contents = sample_file ^ "r = 400\np_io = 25\n" in
+  match Platforms.Config_file.parse contents with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      check_bool "r present" true (t.Platforms.Config_file.r = Some 400.);
+      check_bool "p_io present" true (t.p_io = Some 25.)
+
+let test_config_file_errors () =
+  let expect_error label contents =
+    match Platforms.Config_file.parse contents with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" label
+  in
+  expect_error "unknown key" (sample_file ^ "bogus = 3\n");
+  expect_error "duplicate key" (sample_file ^ "c = 1\n");
+  expect_error "missing required" "lambda = 1e-6\n";
+  expect_error "bad number" "lambda = abc\nc=1\nv=1\nkappa=1\np_idle=1\nspeeds=1\n";
+  expect_error "no equals sign" (sample_file ^ "just words\n");
+  expect_error "empty speeds entry"
+    "lambda=1e-6\nc=1\nv=1\nkappa=1\np_idle=1\nspeeds=0.5,,1\n";
+  (* Error messages carry line numbers. *)
+  (match Platforms.Config_file.parse (sample_file ^ "bogus = 3\n") with
+  | Error e -> check_bool "line number in error" true
+      (Astring_contains.contains e "line 8")
+  | Ok _ -> Alcotest.fail "expected error")
+
+let test_config_file_roundtrip () =
+  match Platforms.Config_file.parse sample_file with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t -> begin
+      match Platforms.Config_file.parse (Platforms.Config_file.to_string t) with
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e
+      | Ok t' -> check_bool "roundtrip equal" true (t = t')
+    end
+
+let test_config_file_load () =
+  let path = Filename.temp_file "rexspeed" ".env" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc sample_file);
+  (match Platforms.Config_file.load ~path with
+  | Ok t -> checkf "loaded lambda" 5.2e-6 t.Platforms.Config_file.lambda
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove path;
+  check_bool "missing file is an error" true
+    (Result.is_error (Platforms.Config_file.load ~path:"/nonexistent/x.env"))
+
+let test_env_of_config_file () =
+  match Platforms.Config_file.parse sample_file with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      let env = Core.Env.of_config_file t in
+      checkf "r defaults to c" 450. env.Core.Env.params.Core.Params.r;
+      (* p_io defaults to kappa * min_speed^3 = 2000 * 0.008. *)
+      checkf "p_io default" 16. env.Core.Env.power.Core.Power.p_io;
+      Alcotest.(check int) "speed count" 4 (Array.length env.Core.Env.speeds);
+      (* The custom machine is solvable end to end. *)
+      check_bool "solvable" true
+        (Option.is_some (Core.Bicrit.solve env ~rho:3.))
+
+let () =
+  Alcotest.run "platforms"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "values" `Quick test_table1_values;
+          Alcotest.test_case "find" `Quick test_platform_find;
+          Alcotest.test_case "mtbf" `Quick test_mtbf;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "values" `Quick test_table2_values;
+          Alcotest.test_case "power law" `Quick test_power_law;
+          Alcotest.test_case "default p_io" `Quick test_default_p_io;
+          Alcotest.test_case "find" `Quick test_processor_find;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "all eight" `Quick test_config_all;
+          Alcotest.test_case "find" `Quick test_config_find;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "default rho" `Quick test_default_rho;
+        ] );
+      ( "config_file",
+        [
+          Alcotest.test_case "parse" `Quick test_config_file_parse;
+          Alcotest.test_case "optional keys" `Quick
+            test_config_file_optional_keys;
+          Alcotest.test_case "errors" `Quick test_config_file_errors;
+          Alcotest.test_case "roundtrip" `Quick test_config_file_roundtrip;
+          Alcotest.test_case "load" `Quick test_config_file_load;
+          Alcotest.test_case "to environment" `Quick test_env_of_config_file;
+        ] );
+    ]

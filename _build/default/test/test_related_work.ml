@@ -1,0 +1,137 @@
+(* Tests for the Section 6 related-work baselines. *)
+
+open Testutil
+
+let env = hera_xscale ()
+let params = env.Core.Env.params
+let power = env.Core.Env.power
+
+let test_time_optimal_is_young_daly () =
+  check_close "matches Young_daly"
+    (Core.Young_daly.silent_period_at_speed params ~sigma:0.4)
+    (Core.Related_work.time_optimal_period params ~sigma:0.4)
+
+let test_energy_optimal_is_we () =
+  check_close "matches Optimum.w_energy"
+    (Core.Optimum.w_energy params power ~sigma1:0.4 ~sigma2:0.4)
+    (Core.Related_work.energy_optimal_period params power ~sigma:0.4)
+
+let test_periods_differ () =
+  (* Time period sqrt((C+V/s)/l) s vs energy period: the power ratio
+     between checkpoint and compute shifts them apart on XScale. *)
+  let w_t = Core.Related_work.time_optimal_period params ~sigma:0.4 in
+  let w_e = Core.Related_work.energy_optimal_period params power ~sigma:0.4 in
+  Alcotest.(check bool) "periods differ" true
+    (Float.abs (w_t -. w_e) /. w_e > 0.05)
+
+let test_penalty_nonnegative_and_hera_value () =
+  let penalty = Core.Related_work.period_mismatch_penalty params power ~sigma:0.4 in
+  Alcotest.(check bool) "penalty >= 0" true (penalty >= 0.);
+  Alcotest.(check bool) "penalty sane" true (penalty < 0.5)
+
+let prop_penalty_nonnegative =
+  QCheck.Test.make ~count:300
+    ~name:"running the time period never saves energy" arb_full
+    (fun (p, pw, (_, sigma, _)) ->
+      Core.Related_work.period_mismatch_penalty p pw ~sigma >= -1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Single re-execution truncation                                      *)
+
+let test_truncation_underestimates () =
+  let w = 2764. and sigma1 = 0.4 and sigma2 = 0.4 in
+  let truncated =
+    Core.Related_work.Single_reexecution.expected_time params ~w ~sigma1
+      ~sigma2
+  in
+  let true_time = Core.Exact.expected_time params ~w ~sigma1 ~sigma2 in
+  Alcotest.(check bool) "underestimates" true (truncated <= true_time);
+  let truncated_e =
+    Core.Related_work.Single_reexecution.expected_energy params power ~w
+      ~sigma1 ~sigma2
+  in
+  Alcotest.(check bool) "energy underestimates" true
+    (truncated_e
+    <= Core.Exact.expected_energy params power ~w ~sigma1 ~sigma2)
+
+let prop_truncation_always_below =
+  QCheck.Test.make ~count:300 ~name:"truncated time <= Proposition 2"
+    arb_params_pattern
+    (fun (p, (w, sigma1, sigma2)) ->
+      Core.Related_work.Single_reexecution.expected_time p ~w ~sigma1 ~sigma2
+      <= Core.Exact.expected_time p ~w ~sigma1 ~sigma2 +. 1e-9)
+
+let test_truncation_tight_at_low_rates () =
+  (* At paper rates the truncation is nearly exact for one pattern... *)
+  let under =
+    Core.Related_work.Single_reexecution.underestimate params ~w:2764.
+      ~sigma1:0.4 ~sigma2:0.4
+  in
+  Alcotest.(check bool) "single-pattern gap tiny" true (under < 1e-3);
+  (* ...but the risk compounds over an application: for a month-long
+     job the probability that some pattern needs a second re-execution
+     is no longer negligible. *)
+  let app_risk =
+    Core.Related_work.Single_reexecution.application_risk params ~w:2764.
+      ~sigma1:0.4 ~sigma2:0.4 ~w_base:2.592e6
+  in
+  let single_risk =
+    Core.Related_work.Single_reexecution.risk params ~w:2764. ~sigma1:0.4
+      ~sigma2:0.4
+  in
+  Alcotest.(check bool) "risk compounds" true
+    (app_risk > 100. *. single_risk);
+  Alcotest.(check bool) "application risk material" true (app_risk > 0.1)
+
+let test_risk_formula () =
+  let w = 3000. and sigma1 = 0.5 and sigma2 = 1.0 in
+  let p1 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma1) in
+  let p2 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma2) in
+  check_close "product of failures" (p1 *. p2)
+    (Core.Related_work.Single_reexecution.risk params ~w ~sigma1 ~sigma2)
+
+let test_high_rate_truncation_breaks () =
+  (* At an error-heavy rate the truncated model is badly wrong —
+     the quantified version of the paper's Section 6 argument. *)
+  let p = Core.Params.make ~lambda:5e-4 ~c:120. ~v:20. () in
+  let under =
+    Core.Related_work.Single_reexecution.underestimate p ~w:4000. ~sigma1:0.4
+      ~sigma2:0.4
+  in
+  Alcotest.(check bool) "underestimate exceeds 10%" true (under > 0.1)
+
+let test_validation () =
+  check_raises_invalid "zero w" (fun () ->
+      Core.Related_work.Single_reexecution.expected_time params ~w:0.
+        ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "w_base" (fun () ->
+      Core.Related_work.Single_reexecution.application_risk params ~w:10.
+        ~sigma1:1. ~sigma2:1. ~w_base:0.)
+
+let () =
+  Alcotest.run "related-work"
+    [
+      ( "meneses periods",
+        [
+          Alcotest.test_case "time period = Young/Daly" `Quick
+            test_time_optimal_is_young_daly;
+          Alcotest.test_case "energy period = We" `Quick
+            test_energy_optimal_is_we;
+          Alcotest.test_case "periods differ" `Quick test_periods_differ;
+          Alcotest.test_case "penalty bounds" `Quick
+            test_penalty_nonnegative_and_hera_value;
+          Testutil.qcheck prop_penalty_nonnegative;
+        ] );
+      ( "single re-execution (Aupy et al.)",
+        [
+          Alcotest.test_case "underestimates" `Quick
+            test_truncation_underestimates;
+          Testutil.qcheck prop_truncation_always_below;
+          Alcotest.test_case "tight per pattern, risky per app" `Quick
+            test_truncation_tight_at_low_rates;
+          Alcotest.test_case "risk formula" `Quick test_risk_formula;
+          Alcotest.test_case "breaks at high rates" `Quick
+            test_high_rate_truncation_breaks;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

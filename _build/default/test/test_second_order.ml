@@ -1,0 +1,170 @@
+(* Tests for Core.Second_order — Proposition 7 and Theorem 2. *)
+
+open Testutil
+
+let test_linear_coefficient () =
+  (* (1/(s1 s2) - 1/(2 s1^2)) l — zero exactly at sigma2 = 2 sigma1. *)
+  checkf ~eps:1e-18 "vanishes at ratio 2" 0.
+    (Core.Second_order.linear_coefficient ~lambda:1e-4 ~sigma1:0.5 ~sigma2:1.);
+  Alcotest.(check bool) "positive below ratio 2" true
+    (Core.Second_order.linear_coefficient ~lambda:1e-4 ~sigma1:0.5 ~sigma2:0.9
+    > 0.);
+  Alcotest.(check bool) "negative above ratio 2" true
+    (Core.Second_order.linear_coefficient ~lambda:1e-4 ~sigma1:0.4 ~sigma2:0.9
+    < 0.)
+
+let test_quadratic_coefficient () =
+  (* At sigma2 = 2 sigma1 = 2 sigma: l^2 / (24 sigma^3). *)
+  let lambda = 1e-4 and sigma = 0.5 in
+  check_close "l^2/(24 s^3)"
+    (lambda *. lambda /. (24. *. sigma ** 3.))
+    (Core.Second_order.quadratic_coefficient ~lambda ~sigma1:sigma
+       ~sigma2:(2. *. sigma))
+
+let prop_quadratic_coefficient_positive =
+  (* 1/6 - x/2 + x^2/2 with x = s1/s2 has negative discriminant, so the
+     W^2 coefficient is positive for every real speed pair. *)
+  QCheck.Test.make ~count:300 ~name:"W^2 coefficient is always positive"
+    QCheck.(pair (float_range 0.05 1.) (float_range 0.05 2.))
+    (fun (sigma1, sigma2) ->
+      Core.Second_order.quadratic_coefficient ~lambda:1e-5 ~sigma1 ~sigma2
+      > 0.)
+
+let test_theorem2_formula () =
+  (* Wopt = (12 C / l^2)^(1/3) sigma. *)
+  let c = 300. and lambda = 1e-6 and sigma = 0.5 in
+  check_close "closed form"
+    ((12. *. c /. (lambda *. lambda)) ** (1. /. 3.) *. sigma)
+    (Core.Second_order.w_opt_twice_faster ~c ~lambda ~sigma);
+  check_raises_invalid "zero c" (fun () ->
+      Core.Second_order.w_opt_twice_faster ~c:0. ~lambda ~sigma)
+
+let test_w_opt_order2_at_ratio2 () =
+  (* The generic order-2 minimizer must reproduce Theorem 2 exactly
+     when sigma2 = 2 sigma1 (the linear term vanishes). *)
+  let c = 300. and lambda = 1e-6 and sigma = 0.8 in
+  check_close ~rtol:1e-9 "order-2 minimizer = Theorem 2"
+    (Core.Second_order.w_opt_twice_faster ~c ~lambda ~sigma)
+    (Core.Second_order.w_opt_order2 ~c ~r:300. ~lambda ~sigma1:sigma
+       ~sigma2:(2. *. sigma))
+
+let prop_w_opt_order2_is_stationary =
+  QCheck.Test.make ~count:200 ~name:"order-2 minimizer zeroes the derivative"
+    QCheck.(
+      triple (float_range 50. 2000.)
+        (map (fun e -> 10. ** e) (float_range (-7.) (-4.)))
+        (pair (float_range 0.2 1.) (float_range 0.5 2.5)))
+    (fun (c, lambda, (sigma1, ratio)) ->
+      let sigma2 = sigma1 *. ratio in
+      let w =
+        Core.Second_order.w_opt_order2 ~c ~r:c ~lambda ~sigma1 ~sigma2
+      in
+      let y = Core.Second_order.linear_coefficient ~lambda ~sigma1 ~sigma2 in
+      let q = Core.Second_order.quadratic_coefficient ~lambda ~sigma1 ~sigma2 in
+      let derivative = (-.c /. (w *. w)) +. y +. (2. *. q *. w) in
+      (* Scale by the c/W^2 term magnitude. *)
+      Float.abs derivative < 1e-6 *. (c /. (w *. w)))
+
+let test_prop7_matches_exact () =
+  (* The order-2 overhead approximates the exact fail-stop overhead
+     with an O(l^3 W^2) error: shrink lambda 10x at W ~ l^(-2/3)
+     scaling and the overhead *gap* at the Theorem 2 period should
+     shrink by ~10x (the relative regime is delicate; we test at fixed
+     W so the gap shrinks 1000x). *)
+  let sigma1 = 0.5 and sigma2 = 1.0 and c = 300. and r = 300. and w = 5000. in
+  let gap lambda =
+    let model = Core.Mixed.make ~c ~r ~v:0. ~lambda_f:lambda ~lambda_s:0. () in
+    let exact = Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 /. w in
+    let order2 =
+      Core.Second_order.time_overhead_order2 ~c ~r ~lambda ~w ~sigma1 ~sigma2
+    in
+    Float.abs (exact -. order2)
+  in
+  (* The residual is dominated by the O(l^2 W R) recovery term Prop 7
+     truncates, so the gap shrinks at least quadratically in lambda. *)
+  let g1 = gap 1e-4 and g2 = gap 1e-5 in
+  Alcotest.(check bool)
+    "O(lambda^2) gap at fixed W" true
+    (g2 < g1 /. 50. && g1 > 0.)
+
+let test_prop7_beats_first_order () =
+  (* In the Theorem 2 regime the first-order expansion (whose W term
+     vanished) misses the W^2 term entirely; the second order tracks
+     the exact overhead much better at the optimal period. *)
+  let c = 300. and r = 300. and lambda = 1e-5 and sigma = 1. in
+  let w = Core.Second_order.w_opt_twice_faster ~c ~lambda ~sigma in
+  let model = Core.Mixed.make ~c ~r ~v:0. ~lambda_f:lambda ~lambda_s:0. () in
+  let exact = Core.Mixed.expected_time model ~w ~sigma1:sigma ~sigma2:(2. *. sigma) /. w in
+  let order2 =
+    Core.Second_order.time_overhead_order2 ~c ~r ~lambda ~w ~sigma1:sigma
+      ~sigma2:(2. *. sigma)
+  in
+  let order1 =
+    Core.First_order.eval
+      (Core.Mixed.first_order_time model ~sigma1:sigma ~sigma2:(2. *. sigma))
+      ~w
+  in
+  Alcotest.(check bool)
+    "order-2 closer than order-1" true
+    (Float.abs (exact -. order2) < Float.abs (exact -. order1))
+
+let test_w_opt_exact_scaling () =
+  (* Numeric minimizers of the exact model across two decades of
+     lambda: the ratio follows lambda^(-2/3), not lambda^(-1/2). *)
+  let c = 300. and r = 300. and sigma = 1. in
+  let w lambda =
+    fst (Core.Second_order.w_opt_exact ~c ~r ~lambda ~sigma1:sigma ~sigma2:2.)
+  in
+  let ratio = w 1e-8 /. w 1e-6 in
+  (* lambda^(-2/3): 100^(2/3) = 21.5; lambda^(-1/2) would give 10. *)
+  check_close ~rtol:0.05 "two-decade ratio" (100. ** (2. /. 3.)) ratio
+
+let test_w_opt_exact_close_to_analytic () =
+  let c = 300. and r = 300. and lambda = 1e-7 and sigma = 1. in
+  let numeric, _ =
+    Core.Second_order.w_opt_exact ~c ~r ~lambda ~sigma1:sigma ~sigma2:2.
+  in
+  check_close ~rtol:0.01 "numeric matches Theorem 2"
+    (Core.Second_order.w_opt_twice_faster ~c ~lambda ~sigma)
+    numeric
+
+let test_overhead_validation () =
+  check_raises_invalid "zero w" (fun () ->
+      Core.Second_order.time_overhead_order2 ~c:1. ~r:1. ~lambda:1e-5 ~w:0.
+        ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "zero lambda" (fun () ->
+      Core.Second_order.linear_coefficient ~lambda:0. ~sigma1:1. ~sigma2:1.);
+  check_raises_invalid "negative c" (fun () ->
+      Core.Second_order.time_overhead_order2 ~c:(-1.) ~r:1. ~lambda:1e-5
+        ~w:10. ~sigma1:1. ~sigma2:1.)
+
+let () =
+  Alcotest.run "core-second-order"
+    [
+      ( "coefficients",
+        [
+          Alcotest.test_case "linear term" `Quick test_linear_coefficient;
+          Alcotest.test_case "quadratic term" `Quick
+            test_quadratic_coefficient;
+          Testutil.qcheck prop_quadratic_coefficient_positive;
+          Alcotest.test_case "validation" `Quick test_overhead_validation;
+        ] );
+      ( "theorem 2",
+        [
+          Alcotest.test_case "closed form" `Quick test_theorem2_formula;
+          Alcotest.test_case "order-2 minimizer at ratio 2" `Quick
+            test_w_opt_order2_at_ratio2;
+          Testutil.qcheck prop_w_opt_order2_is_stationary;
+          Alcotest.test_case "lambda^(-2/3) scaling" `Quick
+            test_w_opt_exact_scaling;
+          Alcotest.test_case "numeric vs analytic" `Quick
+            test_w_opt_exact_close_to_analytic;
+        ] );
+      ( "proposition 7",
+        [
+          Alcotest.test_case "matches exact overhead" `Quick
+            test_prop7_matches_exact;
+          Alcotest.test_case "beats first order" `Quick
+            test_prop7_beats_first_order;
+        ] );
+    ]

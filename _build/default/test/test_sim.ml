@@ -1,0 +1,520 @@
+(* Tests for the simulation substrate: fault processes, the DVFS
+   machine, traces, the executor's operational semantics and the
+   Monte-Carlo layer. *)
+
+open Testutil
+
+let power = Core.Power.make ~kappa:1550. ~p_idle:60. ~p_io:5.2
+
+(* ------------------------------------------------------------------ *)
+(* Fault                                                               *)
+
+let test_fault_basic () =
+  let f = Sim.Fault.create ~rate:1e-3 in
+  checkf "rate accessor" 1e-3 (Sim.Fault.rate f);
+  check_close "strike probability"
+    (1. -. exp (-1e-3 *. 500.))
+    (Sim.Fault.strike_probability f ~duration:500.);
+  check_raises_invalid "negative rate" (fun () ->
+      Sim.Fault.create ~rate:(-1.));
+  check_raises_invalid "negative duration" (fun () ->
+      Sim.Fault.strike_probability f ~duration:(-1.))
+
+let test_fault_zero_rate () =
+  let f = Sim.Fault.create ~rate:0. in
+  let rng = Prng.Rng.create ~seed:1 in
+  checkf "never arrives" infinity (Sim.Fault.first_arrival f rng);
+  Alcotest.(check bool) "never strikes" true
+    (Sim.Fault.strikes_within f rng ~duration:1e12 = None)
+
+let test_fault_empirical_rate () =
+  let f = Sim.Fault.create ~rate:2e-3 in
+  let rng = Prng.Rng.create ~seed:2 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    match Sim.Fault.strikes_within f rng ~duration:400. with
+    | Some t ->
+        if t < 0. || t >= 400. then Alcotest.fail "arrival outside segment";
+        incr hits
+    | None -> ()
+  done;
+  let expected = Sim.Fault.strike_probability f ~duration:400. in
+  checkf ~eps:0.01 "empirical strike rate" expected
+    (float_of_int !hits /. float_of_int n)
+
+let test_fault_scripted () =
+  let f = Sim.Fault.scripted ~arrivals:[ 5.; 100.; 2. ] in
+  let rng = Prng.Rng.create ~seed:1 in
+  (* First query consumes 5. — strikes within a 10-second segment. *)
+  (match Sim.Fault.strikes_within f rng ~duration:10. with
+  | Some t -> checkf "first arrival" 5. t
+  | None -> Alcotest.fail "scripted arrival expected");
+  (* Second consumes 100. — misses a 10-second segment. *)
+  Alcotest.(check bool) "second misses" true
+    (Sim.Fault.strikes_within f rng ~duration:10. = None);
+  (* Third consumes 2. *)
+  (match Sim.Fault.strikes_within f rng ~duration:10. with
+  | Some t -> checkf "third arrival" 2. t
+  | None -> Alcotest.fail "third arrival expected");
+  (* Exhausted: never fires again. *)
+  Alcotest.(check bool) "exhausted" true
+    (Sim.Fault.strikes_within f rng ~duration:1e12 = None);
+  check_raises_invalid "negative arrival" (fun () ->
+      Sim.Fault.scripted ~arrivals:[ -1. ]);
+  check_raises_invalid "no rate" (fun () -> Sim.Fault.rate f);
+  check_raises_invalid "no closed form" (fun () ->
+      Sim.Fault.strike_probability f ~duration:1.)
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+
+let test_machine_accounting () =
+  let m = Sim.Machine.create power in
+  checkf "initial clock" 0. (Sim.Machine.clock m);
+  checkf "initial energy" 0. (Sim.Machine.energy m);
+  Sim.Machine.advance_compute m ~speed:0.5 ~duration:100.;
+  checkf "clock after compute" 100. (Sim.Machine.clock m);
+  check_close "compute energy"
+    (100. *. (60. +. (1550. *. 0.125)))
+    (Sim.Machine.energy m);
+  Sim.Machine.advance_io m ~duration:50.;
+  checkf "clock after io" 150. (Sim.Machine.clock m);
+  check_close "io energy added"
+    ((100. *. (60. +. (1550. *. 0.125))) +. (50. *. 65.2))
+    (Sim.Machine.energy m);
+  Sim.Machine.reset m;
+  checkf "reset clock" 0. (Sim.Machine.clock m);
+  checkf "reset energy" 0. (Sim.Machine.energy m);
+  check_raises_invalid "negative duration" (fun () ->
+      Sim.Machine.advance_compute m ~speed:1. ~duration:(-1.));
+  check_raises_invalid "zero speed" (fun () ->
+      Sim.Machine.advance_compute m ~speed:0. ~duration:1.)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_trace_builder () =
+  let b = Sim.Trace.builder () in
+  Sim.Trace.record b ~at:0.
+    (Sim.Trace.Compute { speed = 0.5; duration = 10.; work = 5. });
+  Sim.Trace.record b ~at:10.
+    (Sim.Trace.Verify { speed = 0.5; duration = 2.; passed = true });
+  Sim.Trace.record b ~at:12. (Sim.Trace.Checkpoint { duration = 3. });
+  let t = Sim.Trace.finish b in
+  Alcotest.(check int) "three events" 3 (List.length t);
+  checkf "total time" 15. (Sim.Trace.total_time t);
+  Alcotest.(check bool) "well formed" true (Sim.Trace.is_well_formed t);
+  Alcotest.(check int) "one checkpoint" 1
+    (Sim.Trace.count t (function
+      | Sim.Trace.Checkpoint _ -> true
+      | Sim.Trace.Compute _ | Sim.Trace.Verify _ | Sim.Trace.Recovery _
+      | Sim.Trace.Fail_stop _ ->
+          false))
+
+let test_trace_ill_formed () =
+  (* A checkpoint without a preceding passed verification. *)
+  let b = Sim.Trace.builder () in
+  Sim.Trace.record b ~at:0.
+    (Sim.Trace.Compute { speed = 1.; duration = 5.; work = 5. });
+  Sim.Trace.record b ~at:5. (Sim.Trace.Checkpoint { duration = 1. });
+  Alcotest.(check bool) "checkpoint without verify" false
+    (Sim.Trace.is_well_formed (Sim.Trace.finish b));
+  (* A failed verification not followed by recovery. *)
+  let b2 = Sim.Trace.builder () in
+  Sim.Trace.record b2 ~at:0.
+    (Sim.Trace.Verify { speed = 1.; duration = 1.; passed = false });
+  Sim.Trace.record b2 ~at:1. (Sim.Trace.Checkpoint { duration = 1. });
+  Alcotest.(check bool) "failed verify then checkpoint" false
+    (Sim.Trace.is_well_formed (Sim.Trace.finish b2));
+  (* Events out of chronological order. *)
+  let b3 = Sim.Trace.builder () in
+  Sim.Trace.record b3 ~at:5.
+    (Sim.Trace.Compute { speed = 1.; duration = 1.; work = 1. });
+  Sim.Trace.record b3 ~at:0.
+    (Sim.Trace.Compute { speed = 1.; duration = 1.; work = 1. });
+  Alcotest.(check bool) "out of order" false
+    (Sim.Trace.is_well_formed (Sim.Trace.finish b3))
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+
+let silent_model lambda_s =
+  Core.Mixed.make ~c:300. ~r:300. ~v:15.4 ~lambda_f:0. ~lambda_s ()
+
+let test_error_free_pattern () =
+  (* Negligible error rate: the pattern runs exactly once. *)
+  let model = silent_model 1e-15 in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:3 in
+  let o =
+    Sim.Executor.run_pattern ~model ~machine ~rng ~w:1000. ~sigma1:0.5
+      ~sigma2:1. ()
+  in
+  check_close "time = (W+V)/s1 + C" ((1015.4 /. 0.5) +. 300.) o.Sim.Executor.time;
+  Alcotest.(check int) "no re-executions" 0 o.Sim.Executor.re_executions;
+  let compute_power = Core.Power.compute_total power 0.5 in
+  check_close "energy"
+    ((1015.4 /. 0.5 *. compute_power) +. (300. *. Core.Power.io_total power))
+    o.Sim.Executor.energy
+
+let test_reexecutions_at_sigma2 () =
+  (* Error-heavy silent model: every re-execution must run at sigma2.
+     Verified on the trace. *)
+  let model = Core.Mixed.make ~c:10. ~r:10. ~v:5. ~lambda_f:0. ~lambda_s:2e-3 () in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:4 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_pattern ~trace ~model ~machine ~rng ~w:1000. ~sigma1:0.4
+      ~sigma2:0.9 ()
+  in
+  Alcotest.(check bool) "at least one re-execution happened" true
+    (o.Sim.Executor.re_executions > 0);
+  let events = Sim.Trace.finish trace in
+  Alcotest.(check bool) "trace well formed" true
+    (Sim.Trace.is_well_formed events);
+  let compute_speeds =
+    List.filter_map
+      (fun (e : Sim.Trace.event) ->
+        match e.segment with
+        | Sim.Trace.Compute { speed; _ } -> Some speed
+        | Sim.Trace.Verify _ | Sim.Trace.Checkpoint _ | Sim.Trace.Recovery _
+        | Sim.Trace.Fail_stop _ ->
+            None)
+      events
+  in
+  (match compute_speeds with
+  | first :: rest ->
+      checkf "first attempt at sigma1" 0.4 first;
+      List.iter (fun s -> checkf "re-execution at sigma2" 0.9 s) rest
+  | [] -> Alcotest.fail "no compute segments recorded");
+  (* The last verification passed, earlier ones failed. *)
+  let verdicts =
+    List.filter_map
+      (fun (e : Sim.Trace.event) ->
+        match e.segment with
+        | Sim.Trace.Verify { passed; _ } -> Some passed
+        | Sim.Trace.Compute _ | Sim.Trace.Checkpoint _ | Sim.Trace.Recovery _
+        | Sim.Trace.Fail_stop _ ->
+            None)
+      events
+  in
+  (match List.rev verdicts with
+  | last :: earlier ->
+      Alcotest.(check bool) "final verify passes" true last;
+      Alcotest.(check bool) "earlier verifies failed" true
+        (List.for_all not earlier)
+  | [] -> Alcotest.fail "no verifications recorded")
+
+let test_failstop_cuts_attempt () =
+  (* Fail-stop-heavy model: fail-stop events appear in the trace and
+     each is immediately followed by a recovery. *)
+  let model = Core.Mixed.make ~c:10. ~r:20. ~v:5. ~lambda_f:1e-3 ~lambda_s:0. () in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:5 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_pattern ~trace ~model ~machine ~rng ~w:2000. ~sigma1:0.5
+      ~sigma2:1. ()
+  in
+  Alcotest.(check bool) "fail-stop errors occurred" true
+    (o.Sim.Executor.fail_stop_errors > 0);
+  Alcotest.(check int) "no silent errors in fail-stop-only model" 0
+    o.Sim.Executor.silent_errors;
+  Alcotest.(check bool) "trace well formed" true
+    (Sim.Trace.is_well_formed (Sim.Trace.finish trace))
+
+let test_pattern_determinism () =
+  let model = silent_model 5e-4 in
+  let run seed =
+    let machine = Sim.Machine.create power in
+    let rng = Prng.Rng.create ~seed in
+    Sim.Executor.run_pattern ~model ~machine ~rng ~w:1500. ~sigma1:0.6
+      ~sigma2:0.8 ()
+  in
+  let a = run 7 and b = run 7 and c = run 8 in
+  checkf "same seed same time" a.Sim.Executor.time b.Sim.Executor.time;
+  checkf "same seed same energy" a.Sim.Executor.energy b.Sim.Executor.energy;
+  Alcotest.(check bool) "different seed differs" true
+    (a.Sim.Executor.time <> c.Sim.Executor.time
+    || a.Sim.Executor.re_executions <> c.Sim.Executor.re_executions)
+
+let test_application_patterns () =
+  let model = silent_model 1e-15 in
+  let rng = Prng.Rng.create ~seed:9 in
+  let o =
+    Sim.Executor.run_application ~model ~power ~rng ~w_base:2500.
+      ~pattern_w:1000. ~sigma1:1. ~sigma2:1. ()
+  in
+  Alcotest.(check int) "ceil(2500/1000) patterns" 3 o.Sim.Executor.patterns;
+  (* Error-free: makespan = work/speed + per-pattern V and C. *)
+  check_close "makespan"
+    (2500. +. (3. *. 15.4) +. (3. *. 300.))
+    o.Sim.Executor.makespan;
+  check_raises_invalid "zero w_base" (fun () ->
+      Sim.Executor.run_application ~model ~power ~rng ~w_base:0.
+        ~pattern_w:10. ~sigma1:1. ~sigma2:1. ())
+
+let test_application_remainder_pattern () =
+  (* The trailing pattern carries the remainder work. *)
+  let model = silent_model 1e-15 in
+  let rng = Prng.Rng.create ~seed:10 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_application ~trace ~model ~power ~rng ~w_base:1750.
+      ~pattern_w:500. ~sigma1:1. ~sigma2:1. ()
+  in
+  Alcotest.(check int) "four patterns" 4 o.Sim.Executor.patterns;
+  let works =
+    List.filter_map
+      (fun (e : Sim.Trace.event) ->
+        match e.segment with
+        | Sim.Trace.Compute { work; _ } -> Some work
+        | Sim.Trace.Verify _ | Sim.Trace.Checkpoint _ | Sim.Trace.Recovery _
+        | Sim.Trace.Fail_stop _ ->
+            None)
+      (Sim.Trace.finish trace)
+  in
+  check_close "total work executed" 1750. (Numerics.Summation.sum_list works);
+  check_close "last pattern is the remainder" 250.
+    (List.nth works (List.length works - 1))
+
+let test_scripted_failure_injection () =
+  (* Deterministic schedule: a fail-stop 100 s into the first attempt,
+     then a silent error during the second attempt's compute, then
+     clean. Every duration and energy is checked by hand. *)
+  let model = Core.Mixed.make ~c:50. ~r:30. ~v:10. ~lambda_f:1e-9 ~lambda_s:1e-9 () in
+  let fail_process = Sim.Fault.scripted ~arrivals:[ 100.; infinity; infinity ] in
+  (* Silent queries happen only on attempts that survive fail-stop:
+     attempt 2 gets arrival 1. (strikes), attempt 3 gets infinity. *)
+  let silent_process = Sim.Fault.scripted ~arrivals:[ 1.; infinity ] in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:0 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_pattern ~trace ~fail_process ~silent_process ~model
+      ~machine ~rng ~w:1000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  Alcotest.(check int) "two re-executions" 2 o.Sim.Executor.re_executions;
+  Alcotest.(check int) "one fail-stop" 1 o.Sim.Executor.fail_stop_errors;
+  Alcotest.(check int) "one silent" 1 o.Sim.Executor.silent_errors;
+  (* Attempt 1: 100 s at 0.5 + R. Attempt 2 (at sigma2 = 1): full
+     compute 1000 + verify 10, fails, + R. Attempt 3: 1010 + C. *)
+  check_close "hand-computed time"
+    (100. +. 30. +. 1010. +. 30. +. 1010. +. 50.)
+    o.Sim.Executor.time;
+  let cp s = Core.Power.compute_total power s in
+  check_close "hand-computed energy"
+    ((100. *. cp 0.5) +. (30. *. Core.Power.io_total power)
+    +. (1010. *. cp 1.) +. (30. *. Core.Power.io_total power)
+    +. (1010. *. cp 1.) +. (50. *. Core.Power.io_total power))
+    o.Sim.Executor.energy;
+  Alcotest.(check bool) "trace well formed" true
+    (Sim.Trace.is_well_formed (Sim.Trace.finish trace))
+
+let test_multi_verification_pattern () =
+  (* m = 4 verifications, error-free: time and energy follow the
+     multi-verification formula exactly. *)
+  let model = Core.Mixed.make ~c:100. ~r:100. ~v:8. ~lambda_f:0. ~lambda_s:1e-15 () in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:21 in
+  let trace = Sim.Trace.builder () in
+  let o =
+    Sim.Executor.run_pattern ~trace ~verifications:4 ~model ~machine ~rng
+      ~w:2000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  check_close "time = (W + 4V)/s + C" (((2000. +. 32.) /. 0.5) +. 100.)
+    o.Sim.Executor.time;
+  let events = Sim.Trace.finish trace in
+  Alcotest.(check int) "four verifications" 4
+    (Sim.Trace.count events (function
+      | Sim.Trace.Verify _ -> true
+      | Sim.Trace.Compute _ | Sim.Trace.Checkpoint _ | Sim.Trace.Recovery _
+      | Sim.Trace.Fail_stop _ ->
+          false));
+  Alcotest.(check int) "four segments" 4
+    (Sim.Trace.count events (function
+      | Sim.Trace.Compute _ -> true
+      | Sim.Trace.Verify _ | Sim.Trace.Checkpoint _ | Sim.Trace.Recovery _
+      | Sim.Trace.Fail_stop _ ->
+          false));
+  Alcotest.(check int) "one checkpoint" 1
+    (Sim.Trace.count events (function
+      | Sim.Trace.Checkpoint _ -> true
+      | Sim.Trace.Compute _ | Sim.Trace.Verify _ | Sim.Trace.Recovery _
+      | Sim.Trace.Fail_stop _ ->
+          false));
+  check_raises_invalid "verifications < 1" (fun () ->
+      Sim.Executor.run_pattern ~verifications:0 ~model ~machine ~rng ~w:10.
+        ~sigma1:1. ~sigma2:1. ())
+
+let test_multi_verification_early_detection () =
+  (* A silent error in the first of 4 segments is caught at the first
+     verification: only W/4 + V is wasted, not the whole pattern. *)
+  let model = Core.Mixed.make ~c:50. ~r:25. ~v:10. ~lambda_f:0. ~lambda_s:1e-9 () in
+  let silent_process = Sim.Fault.scripted ~arrivals:[ 10.; infinity; infinity; infinity; infinity ] in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:3 in
+  let o =
+    Sim.Executor.run_pattern ~verifications:4 ~silent_process ~model ~machine
+      ~rng ~w:2000. ~sigma1:1. ~sigma2:1. ()
+  in
+  (* Wasted: segment 500 + verify 10, recovery 25; then a clean pass
+     2000 + 40 + checkpoint 50. *)
+  check_close "early detection wastes one segment"
+    (500. +. 10. +. 25. +. 2040. +. 50.)
+    o.Sim.Executor.time;
+  Alcotest.(check int) "one silent error" 1 o.Sim.Executor.silent_errors
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo vs the closed forms                                     *)
+
+let test_montecarlo_matches_prop2 () =
+  let model = silent_model 4e-4 in
+  let c =
+    Sim.Montecarlo.check_pattern_time ~replicas:3000 ~seed:11 ~model ~power
+      ~w:2000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  if not c.Sim.Montecarlo.ok then
+    Alcotest.failf "time mismatch: %s"
+      (Format.asprintf "%a" Sim.Montecarlo.pp_check c)
+
+let test_montecarlo_matches_prop3 () =
+  let model = silent_model 4e-4 in
+  let c =
+    Sim.Montecarlo.check_pattern_energy ~replicas:3000 ~seed:12 ~model ~power
+      ~w:2000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  if not c.Sim.Montecarlo.ok then
+    Alcotest.failf "energy mismatch: %s"
+      (Format.asprintf "%a" Sim.Montecarlo.pp_check c)
+
+let test_montecarlo_matches_mixed () =
+  let model =
+    Core.Mixed.make ~c:120. ~r:60. ~v:30. ~lambda_f:2e-4 ~lambda_s:2e-4 ()
+  in
+  let time =
+    Sim.Montecarlo.check_pattern_time ~replicas:3000 ~seed:13 ~model ~power
+      ~w:3000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let reexec =
+    Sim.Montecarlo.check_reexecutions ~replicas:3000 ~seed:14 ~model ~power
+      ~w:3000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  Alcotest.(check bool) "mixed time matches" true time.Sim.Montecarlo.ok;
+  Alcotest.(check bool) "mixed re-executions match" true
+    reexec.Sim.Montecarlo.ok
+
+let test_montecarlo_rejects_wrong_model () =
+  (* Feed the checker a deliberately wrong expectation (the printed
+     Prop 4 under a huge V): the simulator should *refute* it while
+     accepting the recursion closed form. This is the erratum test at
+     the operational level. *)
+  let model =
+    Core.Mixed.make ~c:50. ~r:50. ~v:800. ~lambda_f:8e-4 ~lambda_s:8e-4 ()
+  in
+  let w = 2000. and sigma1 = 0.5 and sigma2 = 1. in
+  let replicas = 8000 in
+  let ours =
+    Sim.Montecarlo.check_pattern_time ~replicas ~seed:15 ~model ~power ~w
+      ~sigma1 ~sigma2 ()
+  in
+  Alcotest.(check bool) "recursion form accepted" true ours.Sim.Montecarlo.ok;
+  let printed_expectation =
+    Core.Mixed.expected_time_printed model ~w ~sigma1 ~sigma2
+  in
+  let z_printed =
+    Float.abs (ours.Sim.Montecarlo.observed.Numerics.Stats.mean -. printed_expectation)
+    /. ours.Sim.Montecarlo.observed.Numerics.Stats.std_error
+  in
+  Alcotest.(check bool) "printed Prop 4 refuted (z > 5)" true (z_printed > 5.)
+
+let test_montecarlo_estimates () =
+  let model = silent_model 3e-4 in
+  let est =
+    Sim.Montecarlo.pattern_estimate ~replicas:500 ~seed:16 ~model ~power
+      ~w:1000. ~sigma1:0.5 ~sigma2:1.
+  in
+  Alcotest.(check int) "replica count" 500 est.Sim.Montecarlo.time.Numerics.Stats.n;
+  Alcotest.(check bool) "mean within min/max" true
+    (est.Sim.Montecarlo.time.Numerics.Stats.min
+     <= est.Sim.Montecarlo.time.Numerics.Stats.mean
+    && est.Sim.Montecarlo.time.Numerics.Stats.mean
+       <= est.Sim.Montecarlo.time.Numerics.Stats.max);
+  check_raises_invalid "zero replicas" (fun () ->
+      ignore
+        (Sim.Montecarlo.pattern_estimate ~replicas:0 ~seed:1 ~model ~power
+           ~w:1000. ~sigma1:1. ~sigma2:1.))
+
+let test_application_estimate_matches_model () =
+  (* Application-level: mean makespan ~ (T(W)/W) * W_base for a
+     multi-pattern job. *)
+  let model = silent_model 2e-4 in
+  let w = 1000. and sigma1 = 0.5 and sigma2 = 1. and w_base = 10_000. in
+  let est =
+    Sim.Montecarlo.application_estimate ~replicas:1500 ~seed:17 ~model ~power
+      ~w_base ~pattern_w:w ~sigma1 ~sigma2
+  in
+  let expected =
+    Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 /. w *. w_base
+  in
+  let z =
+    Float.abs (est.Sim.Montecarlo.time.Numerics.Stats.mean -. expected)
+    /. est.Sim.Montecarlo.time.Numerics.Stats.std_error
+  in
+  Alcotest.(check bool) "makespan within 4 sigma" true (z < 4.)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "basics" `Quick test_fault_basic;
+          Alcotest.test_case "zero rate" `Quick test_fault_zero_rate;
+          Alcotest.test_case "empirical rate" `Slow test_fault_empirical_rate;
+          Alcotest.test_case "scripted" `Quick test_fault_scripted;
+        ] );
+      ( "machine",
+        [ Alcotest.test_case "accounting" `Quick test_machine_accounting ] );
+      ( "trace",
+        [
+          Alcotest.test_case "builder" `Quick test_trace_builder;
+          Alcotest.test_case "ill-formed detection" `Quick
+            test_trace_ill_formed;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "error-free pattern" `Quick
+            test_error_free_pattern;
+          Alcotest.test_case "re-executions at sigma2" `Quick
+            test_reexecutions_at_sigma2;
+          Alcotest.test_case "fail-stop semantics" `Quick
+            test_failstop_cuts_attempt;
+          Alcotest.test_case "determinism" `Quick test_pattern_determinism;
+          Alcotest.test_case "application patterns" `Quick
+            test_application_patterns;
+          Alcotest.test_case "remainder pattern" `Quick
+            test_application_remainder_pattern;
+          Alcotest.test_case "scripted failure injection" `Quick
+            test_scripted_failure_injection;
+          Alcotest.test_case "multi-verification pattern" `Quick
+            test_multi_verification_pattern;
+          Alcotest.test_case "multi-verification early detection" `Quick
+            test_multi_verification_early_detection;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "matches Prop 2" `Slow
+            test_montecarlo_matches_prop2;
+          Alcotest.test_case "matches Prop 3" `Slow
+            test_montecarlo_matches_prop3;
+          Alcotest.test_case "matches mixed model" `Slow
+            test_montecarlo_matches_mixed;
+          Alcotest.test_case "refutes printed Prop 4" `Slow
+            test_montecarlo_rejects_wrong_model;
+          Alcotest.test_case "estimates" `Quick test_montecarlo_estimates;
+          Alcotest.test_case "application estimate" `Slow
+            test_application_estimate_matches_model;
+        ] );
+    ]

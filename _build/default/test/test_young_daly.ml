@@ -1,0 +1,92 @@
+(* Tests for Core.Young_daly — the classical baselines the paper
+   extends. *)
+
+open Testutil
+
+let test_failstop_period () =
+  checkf "sqrt(2C/l)" (sqrt (2. *. 300. /. 1e-5))
+    (Core.Young_daly.failstop_period ~c:300. ~lambda:1e-5);
+  check_raises_invalid "zero c" (fun () ->
+      Core.Young_daly.failstop_period ~c:0. ~lambda:1e-5);
+  check_raises_invalid "zero lambda" (fun () ->
+      Core.Young_daly.failstop_period ~c:300. ~lambda:0.)
+
+let test_silent_period () =
+  checkf "sqrt((V+C)/l)" (sqrt (315.4 /. 3.38e-6))
+    (Core.Young_daly.silent_period ~c:300. ~v:15.4 ~lambda:3.38e-6);
+  (* The paper's observation: silent errors lose the factor 2 because
+     detection always happens at the end of the period. *)
+  let silent = Core.Young_daly.silent_period ~c:300. ~v:0. ~lambda:1e-5 in
+  let failstop = Core.Young_daly.failstop_period ~c:300. ~lambda:1e-5 in
+  check_close "factor sqrt 2 between regimes" (sqrt 2.) (failstop /. silent);
+  check_raises_invalid "negative v" (fun () ->
+      Core.Young_daly.silent_period ~c:1. ~v:(-1.) ~lambda:1e-5)
+
+let test_period_at_speed () =
+  let p = Core.Params.make ~lambda:3.38e-6 ~c:300. ~v:15.4 () in
+  check_close "sigma = 1 reduces to classical"
+    (Core.Young_daly.silent_period ~c:300. ~v:15.4 ~lambda:3.38e-6)
+    (Core.Young_daly.silent_period_at_speed p ~sigma:1.);
+  (* At sigma: W* = sigma sqrt((C + V/sigma)/lambda). *)
+  check_close "speed-aware formula"
+    (0.4 *. sqrt ((300. +. (15.4 /. 0.4)) /. 3.38e-6))
+    (Core.Young_daly.silent_period_at_speed p ~sigma:0.4)
+
+let prop_period_minimizes_overhead =
+  QCheck.Test.make ~count:300
+    ~name:"the period minimizes the first-order time overhead"
+    QCheck.(
+      pair arb_params_pattern (float_range 0.25 4.))
+    (fun ((p, (_, sigma, _)), factor) ->
+      QCheck.assume (Float.abs (factor -. 1.) > 1e-3);
+      let w_star = Core.Young_daly.silent_period_at_speed p ~sigma in
+      Core.Young_daly.time_overhead_at p ~sigma ~w:w_star
+      <= Core.Young_daly.time_overhead_at p ~sigma ~w:(w_star *. factor)
+         +. 1e-12)
+
+let test_failstop_expected_time () =
+  (* Classical renewal formula and the lambda_s = 0, V = 0 limit of the
+     mixed model must coincide. *)
+  let c = 300. and r = 120. and lambda = 1e-4 and sigma = 0.8 and w = 2500. in
+  let classical =
+    Core.Young_daly.failstop_expected_time ~c ~r ~lambda ~sigma ~w
+  in
+  let model = Core.Mixed.make ~c ~r ~v:0. ~lambda_f:lambda ~lambda_s:0. () in
+  check_close "matches the mixed model"
+    (Core.Mixed.expected_time_single model ~w ~sigma)
+    classical;
+  (* Hand value: C + (e^(lw/s) - 1)(1/l + R). *)
+  check_close "hand formula"
+    (300. +. (Float.expm1 (1e-4 *. 2500. /. 0.8) *. (1e4 +. 120.)))
+    classical;
+  check_raises_invalid "zero w" (fun () ->
+      Core.Young_daly.failstop_expected_time ~c ~r ~lambda ~sigma ~w:0.)
+
+let prop_failstop_time_increasing_in_lambda =
+  QCheck.Test.make ~count:200 ~name:"fail-stop time increases with the rate"
+    QCheck.(
+      triple (float_range 1e-6 1e-3) (float_range 100. 5000.)
+        (float_range 0.2 1.))
+    (fun (lambda, w, sigma) ->
+      Core.Young_daly.failstop_expected_time ~c:300. ~r:300.
+        ~lambda:(lambda *. 2.) ~sigma ~w
+      >= Core.Young_daly.failstop_expected_time ~c:300. ~r:300. ~lambda ~sigma
+           ~w)
+
+let () =
+  Alcotest.run "core-young-daly"
+    [
+      ( "periods",
+        [
+          Alcotest.test_case "fail-stop" `Quick test_failstop_period;
+          Alcotest.test_case "silent" `Quick test_silent_period;
+          Alcotest.test_case "at speed" `Quick test_period_at_speed;
+          Testutil.qcheck prop_period_minimizes_overhead;
+        ] );
+      ( "expected time",
+        [
+          Alcotest.test_case "fail-stop renewal formula" `Quick
+            test_failstop_expected_time;
+          Testutil.qcheck prop_failstop_time_increasing_in_lambda;
+        ] );
+    ]
