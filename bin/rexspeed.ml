@@ -42,6 +42,26 @@ let points_arg =
   let doc = "Number of samples along the sweep axis." in
   Arg.(value & opt (some int) None & info [ "points" ] ~docv:"N" ~doc)
 
+(* Worker-domain count for the deterministic parallel engine. A setup
+   term rather than a plain argument so every hot-path subcommand can
+   compose it in without threading a pool through its [run]. *)
+let domains_setup =
+  let doc =
+    "Worker domains for Monte-Carlo replication, grid/frontier sweeps and \
+     large speed-pair enumerations. Results are bit-identical for any \
+     value; the default is the machine's recommended domain count minus \
+     one, at least 1."
+  in
+  let env = Cmd.Env.info Parallel.Pool.env_var in
+  let arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~env ~doc)
+  in
+  Term.(const (Option.iter Parallel.Pool.set_default) $ arg)
+
+(* Evaluates [domains_setup] (left argument, so before the command's own
+   [run] fires) and passes the command's exit code through. *)
+let with_domains term = Term.(const (fun () code -> code) $ domains_setup $ term)
+
 let print_solutions (result : Core.Bicrit.result) =
   let table =
     Report.Table.create
@@ -121,7 +141,9 @@ let optimize_cmd =
         | Some _ | None -> ());
         0
   in
-  let term = Term.(const run $ config_arg $ rho_arg $ single $ env_file_arg) in
+  let term =
+    with_domains Term.(const run $ config_arg $ rho_arg $ single $ env_file_arg)
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Solve one BiCrit instance (Theorem 1 + O(K^2) search).")
     term
@@ -264,7 +286,7 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one paper figure (series dump or gnuplot files).")
-    Term.(const run $ id $ points_arg $ output $ chart)
+    (with_domains Term.(const run $ id $ points_arg $ output $ chart))
 
 let sweep_cmd =
   let param =
@@ -307,7 +329,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Custom one-parameter sweep, CSV on stdout.")
-    Term.(const run $ config_arg $ rho_arg $ param $ points_arg $ lo $ hi)
+    (with_domains
+       Term.(const run $ config_arg $ rho_arg $ param $ points_arg $ lo $ hi))
 
 let simulate_cmd =
   let replicas =
@@ -341,7 +364,8 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo cross-check of the analytical expectations.")
-    Term.(const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale)
+    (with_domains
+       Term.(const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale))
 
 let theorem2_cmd =
   let run () =
@@ -387,7 +411,7 @@ let claims_cmd =
   in
   Cmd.v
     (Cmd.info "claims" ~doc:"Check every qualitative claim of Section 4.3.")
-    Term.(const run $ points_arg)
+    (with_domains Term.(const run $ points_arg))
 
 let ablation_cmd =
   let run rho =
@@ -524,7 +548,7 @@ let evaluate_cmd =
       let model = Core.Mixed.of_params params ~fail_stop_fraction:0. in
       let est =
         Sim.Montecarlo.pattern_estimate ~replicas ~seed:42 ~model ~power ~w
-          ~sigma1 ~sigma2
+          ~sigma1 ~sigma2 ()
       in
       Printf.printf
         "simulated:    mean T = %.2f +/- %.2f s over %d replicas (model \
@@ -539,9 +563,10 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Evaluate one pattern (W, sigma1, sigma2) under the first-order, \
              exact, distributional and simulated models.")
-    Term.(
-      const run $ config_arg $ env_file_arg $ w_arg $ sigma1_arg $ sigma2_arg
-      $ replicas_arg)
+    (with_domains
+       Term.(
+         const run $ config_arg $ env_file_arg $ w_arg $ sigma1_arg
+         $ sigma2_arg $ replicas_arg))
 
 let heatmap_cmd =
   let param_pos k docv =
@@ -595,9 +620,10 @@ let heatmap_cmd =
   Cmd.v
     (Cmd.info "heatmap"
        ~doc:"Two-parameter grid of the two-speed saving (ASCII heatmap).")
-    Term.(
-      const run $ config_arg $ rho_arg $ param_pos 0 "X" $ param_pos 1 "Y"
-      $ points_arg)
+    (with_domains
+       Term.(
+         const run $ config_arg $ rho_arg $ param_pos 0 "X" $ param_pos 1 "Y"
+         $ points_arg))
 
 let baselines_cmd =
   let run rho =
@@ -718,7 +744,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Generate the full markdown reproduction report (EXPERIMENTS-style).")
-    Term.(const run $ points_arg $ output)
+    (with_domains Term.(const run $ points_arg $ output))
 
 let frontier_cmd =
   let run config =
@@ -759,7 +785,7 @@ let frontier_cmd =
   Cmd.v
     (Cmd.info "frontier"
        ~doc:"Time/energy Pareto frontier across performance bounds.")
-    Term.(const run $ config_arg)
+    (with_domains Term.(const run $ config_arg))
 
 let mixed_cmd =
   let run config rho =

@@ -73,7 +73,7 @@ let () =
       let est =
         Sim.Montecarlo.pattern_estimate ~replicas:4000 ~seed:5 ~model:m100
           ~power:inflated.power ~w:best.w_opt ~sigma1:best.sigma1
-          ~sigma2:best.sigma2
+          ~sigma2:best.sigma2 ()
       in
       Printf.printf
         "model expects %.1f s/pattern; simulator measured %.1f +/- %.1f \

@@ -43,7 +43,7 @@ let () =
   let run name pattern_w =
     let est =
       Sim.Montecarlo.application_estimate ~replicas:400 ~seed:99 ~model ~power
-        ~w_base ~pattern_w ~sigma1:sigma ~sigma2:(2. *. sigma)
+        ~w_base ~pattern_w ~sigma1:sigma ~sigma2:(2. *. sigma) ()
     in
     Printf.printf "  %-28s W=%9.0f -> mean makespan %.4g s (+/- %.2g)\n" name
       pattern_w est.time.Numerics.Stats.mean est.time.Numerics.Stats.std_error;

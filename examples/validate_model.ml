@@ -9,11 +9,15 @@
 
 let () =
   let replicas = 3000 in
+  let pool = Parallel.Pool.default () in
   print_endline "Monte-Carlo validation of the analytical expectations";
-  Printf.printf "(%d replicas per scenario, independent xoshiro256** streams)\n\n"
-    replicas;
+  Printf.printf
+    "(%d replicas per scenario, independent xoshiro256** streams, %d worker \
+     domain(s) — results are domain-count independent)\n\n"
+    replicas
+    (Parallel.Pool.domains pool);
   let checks =
-    Experiments.Validation.run ~replicas ~seed:2016
+    Experiments.Validation.run ~replicas ~seed:2016 ~pool
       (Experiments.Validation.default_suite ())
   in
   List.iter (fun c -> Format.printf "  %a@." Sim.Montecarlo.pp_check c) checks;

@@ -11,13 +11,26 @@ let pairs_of_mode mode env =
   | Single_speed ->
       Array.to_list (Array.map (fun s -> (s, s)) env.Env.speeds)
 
-let solve ?(mode = Two_speeds) (env : Env.t) ~rho =
+(* Below this many speed pairs a solve is too cheap to amortize a
+   parallel region; the paper's ladders (K <= 6, K^2 <= 36) always
+   stay sequential, large custom DVFS ladders fan out. *)
+let parallel_pair_threshold = 128
+
+let solve ?(mode = Two_speeds) ?pool (env : Env.t) ~rho =
   if rho <= 0. then invalid_arg "Bicrit.solve: rho must be positive";
+  let pairs = Array.of_list (pairs_of_mode mode env) in
+  let pool =
+    if Array.length pairs < parallel_pair_threshold then
+      Parallel.Pool.sequential
+    else match pool with Some p -> p | None -> Parallel.Pool.default ()
+  in
   let candidates =
-    List.filter_map
+    Parallel.Pool.map_array pool
       (fun (sigma1, sigma2) ->
         Optimum.solve_pair env.params env.power ~rho ~sigma1 ~sigma2)
-      (pairs_of_mode mode env)
+      pairs
+    |> Array.to_list
+    |> List.filter_map Fun.id
   in
   let best =
     Numerics.Minimize.argmin_by
@@ -51,5 +64,8 @@ let energy_saving_vs_single env ~rho =
   | Some two, Some one ->
       let e2 = two.best.Optimum.energy_overhead in
       let e1 = one.best.Optimum.energy_overhead in
-      Some ((e1 -. e2) /. e1)
+      (* A zero single-speed overhead (possible with an all-zero power
+         model) would turn the ratio into nan/inf and poison CSV rows
+         downstream; report "no meaningful saving" instead. *)
+      if e1 = 0. then None else Some ((e1 -. e2) /. e1)
   | None, _ | _, None -> None

@@ -21,11 +21,17 @@ type result = {
           this list. *)
 }
 
-val solve : ?mode:mode -> Env.t -> rho:float -> result option
+val solve : ?mode:mode -> ?pool:Parallel.Pool.t -> Env.t -> rho:float -> result option
 (** [solve env ~rho] is [None] when no speed pair meets the bound.
     Ties on energy overhead keep the pair enumerated first
     (sigma1-major, then sigma2), making results deterministic.
     Default mode: [Two_speeds].
+
+    Speed sets large enough that the O(K^2) pair enumeration dominates
+    (128 pairs and up) are solved on [pool] (default: the ambient
+    {!Parallel.Pool.default}); candidates stay in enumeration order
+    and the result is bit-identical to the sequential solve for any
+    domain count. Smaller sets always run sequentially.
     @raise Invalid_argument if [rho <= 0.]. *)
 
 val best_second_speed :
@@ -41,4 +47,5 @@ val min_feasible_rho : Env.t -> float
 val energy_saving_vs_single : Env.t -> rho:float -> float option
 (** Relative energy saving of the two-speed optimum over the one-speed
     optimum, [(E1 - E2) / E1]; [None] when either problem is
-    infeasible. This is the paper's headline "up to 35%" metric. *)
+    infeasible or the one-speed overhead [E1] is zero (the ratio would
+    be undefined). This is the paper's headline "up to 35%" metric. *)

@@ -55,24 +55,23 @@ let default_suite () =
       synthetic ~name:"synthetic fail-stop-heavy" ~fail_stop_fraction:0.9;
     ]
 
-let run ?(replicas = 4000) ?(seed = 42) scenarios =
+let run ?(replicas = 4000) ?(seed = 42) ?pool scenarios =
   List.concat_map
     (fun s ->
       let tag (c : Sim.Montecarlo.check) =
         { c with Sim.Montecarlo.label = s.name ^ " " ^ c.Sim.Montecarlo.label }
       in
+      (* One simulation pass per scenario; the three checks are
+         projections of the same outcome set (previously each check
+         re-simulated from its own seed, tripling the cost). *)
+      let c =
+        Sim.Montecarlo.checks ?pool ~replicas ~seed ~model:s.model
+          ~power:s.power ~w:s.w ~sigma1:s.sigma1 ~sigma2:s.sigma2 ()
+      in
       [
-        tag
-          (Sim.Montecarlo.check_pattern_time ~replicas ~seed ~model:s.model
-             ~power:s.power ~w:s.w ~sigma1:s.sigma1 ~sigma2:s.sigma2 ());
-        tag
-          (Sim.Montecarlo.check_pattern_energy ~replicas ~seed:(seed + 1)
-             ~model:s.model ~power:s.power ~w:s.w ~sigma1:s.sigma1
-             ~sigma2:s.sigma2 ());
-        tag
-          (Sim.Montecarlo.check_reexecutions ~replicas ~seed:(seed + 2)
-             ~model:s.model ~power:s.power ~w:s.w ~sigma1:s.sigma1
-             ~sigma2:s.sigma2 ());
+        tag c.Sim.Montecarlo.pattern_time;
+        tag c.Sim.Montecarlo.pattern_energy;
+        tag c.Sim.Montecarlo.re_executions;
       ])
     scenarios
 

@@ -33,7 +33,10 @@ val default_suite : unit -> scenario list
     synthetic silent/mixed/fail-stop-heavy ones. *)
 
 val run :
-  ?replicas:int -> ?seed:int -> scenario list -> Sim.Montecarlo.check list
-(** All three checks per scenario, default 4000 replicas, seed 42. *)
+  ?replicas:int -> ?seed:int -> ?pool:Parallel.Pool.t -> scenario list ->
+  Sim.Montecarlo.check list
+(** All three checks per scenario — time, energy and re-execution
+    count projected from a single simulation pass per scenario —
+    default 4000 replicas, seed 42, ambient pool. *)
 
 val all_ok : Sim.Montecarlo.check list -> bool

@@ -1,0 +1,110 @@
+type t = { domains : int }
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  { domains }
+
+let sequential = { domains = 1 }
+let domains t = t.domains
+let env_var = "REXSPEED_DOMAINS"
+
+let default_domain_count () =
+  let from_env =
+    match Sys.getenv_opt env_var with
+    | None -> None
+    | Some s -> begin
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | Some _ | None -> None
+      end
+  in
+  match from_env with
+  | Some n -> n
+  | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+
+(* 0 = unset; the CLI writes it once at startup but Atomic keeps the
+   default coherent if a worker ever reads it concurrently. *)
+let default_override = Atomic.make 0
+let set_default n = Atomic.set default_override (Int.max 1 n)
+
+let default () =
+  let n = Atomic.get default_override in
+  { domains = (if n >= 1 then n else default_domain_count ()) }
+
+(* True while this domain executes inside a parallel region — both in
+   spawned workers and in the caller while it participates. Any pool
+   call under the flag degrades to sequential, so composed layers
+   (sweep cells invoking the solver, solvers invoking numerics) can
+   all be pool-aware without ever nesting domains. *)
+let in_region = Domain.DLS.new_key (fun () -> false)
+
+let sequential_init n f = Array.init n f
+
+let parallel_init ~domains ~chunk n f =
+  Domain.DLS.set in_region true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_region false) @@ fun () ->
+  (* Evaluate slot 0 up front: it seeds the result array with a value
+     of the right type, and any immediate exception from [f] escapes
+     before domains are spawned. *)
+  let results = Array.make n (f 0) in
+  let next = Atomic.make 1 in
+  let failure = Atomic.make None in
+  let work () =
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = Int.min n (start + chunk) in
+        (try
+           for i = start to stop - 1 do
+             results.(i) <- f i
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+           (* Drain the remaining chunks so every worker stops
+              promptly; slots they would have filled keep the seed
+              value, which is fine because the exception is re-raised
+              below and [results] never escapes. *)
+           Atomic.set next n);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawn () =
+    Domain.spawn (fun () ->
+        Domain.DLS.set in_region true;
+        work ())
+  in
+  let workers = Array.init (domains - 1) (fun _ -> spawn ()) in
+  (* [work] cannot raise: it traps [f]'s exceptions into [failure]. *)
+  work ();
+  Array.iter Domain.join workers;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> results
+
+let init_array ?chunk t n f =
+  if n < 0 then invalid_arg "Pool.init_array: negative length";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.init_array: chunk must be >= 1"
+  | Some _ | None -> ());
+  if n = 0 then [||]
+  else if t.domains = 1 || n = 1 || Domain.DLS.get in_region then
+    sequential_init n f
+  else
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> Int.max 1 (n / (8 * t.domains))
+    in
+    parallel_init ~domains:t.domains ~chunk n f
+
+let map_array ?chunk t f a =
+  init_array ?chunk t (Array.length a) (fun i -> f a.(i))
+
+let map_list ?chunk t f l =
+  Array.to_list (map_array ?chunk t f (Array.of_list l))
+
+let map_reduce ?chunk t ~map ~reduce ~init a =
+  Array.fold_left reduce init (map_array ?chunk t map a)

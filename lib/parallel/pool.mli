@@ -1,0 +1,83 @@
+(** Deterministic multicore execution engine.
+
+    A fixed-size, [Domain]-backed worker pool with chunked scheduling
+    and ordered result slots. Every mapping combinator writes the
+    result of item [i] into slot [i] of a preallocated array, so the
+    output is bit-identical to the sequential [Array.map] for any
+    domain count — scheduling only decides {e who} computes a slot,
+    never {e what} is computed or in which order results are combined.
+
+    The contract for the mapped function [f] is the same as for a
+    correct [Array.map] refactoring: [f] must be pure per item (no
+    shared mutable state, no dependence on evaluation order). The
+    Monte-Carlo harness satisfies this by pre-splitting one RNG stream
+    per replica from the root seed {e before} dispatch; the sweep and
+    solver layers are purely functional already.
+
+    Parallel regions never nest: a pool call issued from inside a
+    worker (or from the caller while it participates in a region) runs
+    sequentially on the spot. This keeps the domain count bounded by
+    the pool size regardless of how the layers compose (e.g. a grid
+    sweep whose cells each invoke the BiCrit solver). *)
+
+type t
+(** A pool configuration. Cheap to create; worker domains are spawned
+    per parallel region and joined before the combinator returns, so a
+    pool holds no OS resources while idle. *)
+
+val create : domains:int -> t
+(** [create ~domains] is a pool of [domains] workers ([>= 1]); the
+    calling domain counts as one worker, so [domains = 1] is the
+    sequential pool and [domains = n] spawns [n - 1] extra domains per
+    region. @raise Invalid_argument if [domains < 1]. *)
+
+val sequential : t
+(** [create ~domains:1]: never spawns, runs everything in the caller. *)
+
+val domains : t -> int
+(** The worker count the pool was created with. *)
+
+val env_var : string
+(** ["REXSPEED_DOMAINS"] — environment override for the default worker
+    count. *)
+
+val default_domain_count : unit -> int
+(** The worker count used when no explicit pool is given: the value of
+    {!env_var} if it parses as a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1] (leaving one core for the
+    rest of the system), clamped to [>= 1]. *)
+
+val set_default : int -> unit
+(** Override the ambient worker count for this process (the CLI's
+    [--domains] flag); clamped to [>= 1]. Takes precedence over
+    {!env_var}. *)
+
+val default : unit -> t
+(** The ambient pool: [create ~domains:(set_default value or
+    default_domain_count ())]. Library entry points use this when no
+    [?pool] is passed. *)
+
+val init_array : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [init_array pool n f] is [Array.init n f] with the [n] evaluations
+    distributed over the pool in chunks. [chunk] (default [max 1 (n /
+    (8 * domains))]) is the number of consecutive indices a worker
+    claims at a time. If any [f i] raises, one such exception is
+    re-raised after all workers have stopped.
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a], parallelized as
+    {!init_array}. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f l] is [List.map f l] (same order), parallelized
+    through an intermediate array. *)
+
+val map_reduce :
+  ?chunk:int -> t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) ->
+  init:'acc -> 'a array -> 'acc
+(** [map_reduce pool ~map ~reduce ~init a] maps in parallel, then folds
+    the mapped values {e sequentially, left to right in index order}:
+    [Array.fold_left reduce init (map_array pool map a)]. The ordered
+    fold is what keeps floating-point reductions bit-identical across
+    domain counts; the parallelism is confined to the map. *)

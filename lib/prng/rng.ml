@@ -33,12 +33,25 @@ let bernoulli t ~p =
 let int t ~bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   let bound64 = Int64.of_int bound in
-  (* Rejection sampling on the top bits of the 63-bit non-negative
-     range removes modulo bias. *)
+  (* Rejection sampling on the 63-bit non-negative range removes
+     modulo bias. The post-shift draw is uniform over the full 2^63
+     values [0, Int64.max_int] inclusive, so the acceptance region is
+     the largest multiple of [bound] <= 2^63 — not <= Int64.max_int,
+     which would needlessly reject up to [bound] values per draw.
+     With r = 2^63 mod bound (computed as (max_int mod bound + 1) mod
+     bound to stay in range), r = 0 means every draw is accepted. *)
+  let r =
+    Int64.rem (Int64.add (Int64.rem Int64.max_int bound64) 1L) bound64
+  in
+  (* First value rejected: 2^63 - r = max_int - (r - 1); max_int + 1
+     (never reached by any draw) when r = 0. *)
+  let limit =
+    if r = 0L then Int64.max_int else Int64.sub Int64.max_int r
+  in
   let rec draw () =
     let raw = Int64.shift_right_logical (Xoshiro256.next t.gen) 1 in
-    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
-    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+    if r <> 0L && raw > limit then draw ()
+    else Int64.to_int (Int64.rem raw bound64)
   in
   draw ()
 

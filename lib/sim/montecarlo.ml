@@ -12,15 +12,28 @@ type check = {
   ok : bool;
 }
 
-let replicate ~replicas ~seed run =
+type pattern_checks = {
+  pattern_time : check;
+  pattern_energy : check;
+  re_executions : check;
+}
+
+let replicate ?pool ~replicas ~seed run =
   if replicas < 1 then invalid_arg "Montecarlo: replicas must be >= 1";
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.default ()
+  in
+  (* The streams are pre-split from the root seed before any work is
+     dispatched: replica i always sees the i-th 2^128-jump
+     subsequence, so the domain count can never change what a replica
+     draws — parallel results are bit-identical to sequential ones. *)
   let root = Prng.Rng.create ~seed in
   let rngs = Prng.Rng.split root replicas in
-  Array.map run rngs
+  Parallel.Pool.map_array pool run rngs
 
-let pattern_estimate ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 =
+let pattern_estimate ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 () =
   let outcomes =
-    replicate ~replicas ~seed (fun rng ->
+    replicate ?pool ~replicas ~seed (fun rng ->
         let machine = Machine.create power in
         Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
   in
@@ -39,10 +52,10 @@ let pattern_estimate ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 =
            outcomes);
   }
 
-let application_estimate ~replicas ~seed ~model ~power ~w_base ~pattern_w
-    ~sigma1 ~sigma2 =
+let application_estimate ?pool ~replicas ~seed ~model ~power ~w_base ~pattern_w
+    ~sigma1 ~sigma2 () =
   let outcomes =
-    replicate ~replicas ~seed (fun rng ->
+    replicate ?pool ~replicas ~seed (fun rng ->
         Executor.run_application ~model ~power ~rng ~w_base ~pattern_w ~sigma1
           ~sigma2 ())
   in
@@ -69,45 +82,53 @@ let make_check ~label ~z ~expected (observed : Numerics.Stats.summary) =
   in
   { label; expected; observed; z = score; ok = score <= z }
 
-let samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 =
-  replicate ~replicas ~seed (fun rng ->
+let samples_of ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 () =
+  replicate ?pool ~replicas ~seed (fun rng ->
       let machine = Machine.create power in
       Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
 
-let check_pattern_time ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
-    ~sigma2 () =
-  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
-  let observed =
-    Numerics.Stats.summarize
-      (Array.map (fun (o : Executor.pattern_outcome) -> o.time) outcomes)
+let checks ?(z = 3.89) ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2
+    () =
+  (* One simulation pass feeds all three comparisons; the time, energy
+     and re-execution checks are different projections of the same
+     outcomes, not reasons to pay the simulation cost three times. *)
+  let outcomes =
+    samples_of ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ()
   in
-  make_check ~label:"pattern time" ~z
-    ~expected:(Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
-    observed
+  let summarize f = Numerics.Stats.summarize (Array.map f outcomes) in
+  let time =
+    make_check ~label:"pattern time" ~z
+      ~expected:(Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
+      (summarize (fun (o : Executor.pattern_outcome) -> o.time))
+  in
+  let energy =
+    make_check ~label:"pattern energy" ~z
+      ~expected:(Core.Mixed.expected_energy model power ~w ~sigma1 ~sigma2)
+      (summarize (fun (o : Executor.pattern_outcome) -> o.energy))
+  in
+  let re_executions =
+    let p1 = Core.Mixed.success_probability model ~w ~sigma:sigma1 in
+    let p2 = Core.Mixed.success_probability model ~w ~sigma:sigma2 in
+    make_check ~label:"re-executions" ~z ~expected:((1. -. p1) /. p2)
+      (summarize (fun (o : Executor.pattern_outcome) ->
+           float_of_int o.re_executions))
+  in
+  { pattern_time = time; pattern_energy = energy; re_executions }
 
-let check_pattern_energy ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
+let check_pattern_time ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
     ~sigma2 () =
-  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
-  let observed =
-    Numerics.Stats.summarize
-      (Array.map (fun (o : Executor.pattern_outcome) -> o.energy) outcomes)
-  in
-  make_check ~label:"pattern energy" ~z
-    ~expected:(Core.Mixed.expected_energy model power ~w ~sigma1 ~sigma2)
-    observed
+  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+    .pattern_time
 
-let check_reexecutions ?(z = 3.89) ~replicas ~seed ~model ~power ~w ~sigma1
+let check_pattern_energy ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
     ~sigma2 () =
-  let outcomes = samples_of ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 in
-  let observed =
-    Numerics.Stats.summarize
-      (Array.map
-         (fun (o : Executor.pattern_outcome) -> float_of_int o.re_executions)
-         outcomes)
-  in
-  let p1 = Core.Mixed.success_probability model ~w ~sigma:sigma1 in
-  let p2 = Core.Mixed.success_probability model ~w ~sigma:sigma2 in
-  make_check ~label:"re-executions" ~z ~expected:((1. -. p1) /. p2) observed
+  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+    .pattern_energy
+
+let check_reexecutions ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
+    ~sigma2 () =
+  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+    .re_executions
 
 let pp_check ppf c =
   Format.fprintf ppf

@@ -2,7 +2,13 @@
 
     Each replica draws from an independent xoshiro256** subsequence
     (2^128-step jumps), so replicas are statistically independent and
-    every experiment is reproducible from its seed. *)
+    every experiment is reproducible from its seed.
+
+    Replicas run on the parallel engine ({!Parallel.Pool}): the
+    subsequences are split from the root seed {e before} dispatch —
+    one stream per replica — so the domain count never changes the
+    random sequence any replica consumes, and every estimate below is
+    bit-identical to the sequential run for the same seed. *)
 
 type estimate = {
   time : Numerics.Stats.summary;
@@ -18,35 +24,66 @@ type check = {
   ok : bool;  (** Expected value inside the wide confidence interval. *)
 }
 
+type pattern_checks = {
+  pattern_time : check;  (** vs {!Core.Mixed.expected_time}. *)
+  pattern_energy : check;  (** vs {!Core.Mixed.expected_energy}. *)
+  re_executions : check;  (** vs the closed form [(1 - P1) / P2]. *)
+}
+(** The three projections of one simulated outcome set. *)
+
+val replicate :
+  ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  (Prng.Rng.t -> 'a) -> 'a array
+(** [replicate ~replicas ~seed run] pre-splits [replicas] independent
+    streams from [seed] and maps [run] over them on [pool] (default:
+    the ambient pool); slot [i] always holds the outcome of stream
+    [i]. @raise Invalid_argument if [replicas < 1]. *)
+
 val pattern_estimate :
-  replicas:int -> seed:int -> model:Core.Mixed.t -> power:Core.Power.t ->
-  w:float -> sigma1:float -> sigma2:float -> estimate
+  ?pool:Parallel.Pool.t -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit ->
+  estimate
 (** Simulate one pattern [replicas] times.
     @raise Invalid_argument if [replicas < 1]. *)
 
 val application_estimate :
-  replicas:int -> seed:int -> model:Core.Mixed.t -> power:Core.Power.t ->
-  w_base:float -> pattern_w:float -> sigma1:float -> sigma2:float -> estimate
+  ?pool:Parallel.Pool.t -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  power:Core.Power.t -> w_base:float -> pattern_w:float -> sigma1:float ->
+  sigma2:float -> unit -> estimate
 (** Simulate the full divisible application [replicas] times; [time]
     summarizes makespans and [energy] total energies. *)
 
+val checks :
+  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
+  sigma2:float -> unit -> pattern_checks
+(** All three closed-form comparisons from a {e single} simulation
+    pass — use this instead of calling the three [check_*] functions,
+    which would each re-simulate the same seed. [z] (default 3.89,
+    ~1e-4 two-sided) sets the acceptance width. *)
+
 val check_pattern_time :
-  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
-  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
-(** Compare the simulated mean pattern time against
-    {!Core.Mixed.expected_time}. [z] (default 3.89, ~1e-4 two-sided)
-    sets the acceptance width. *)
+  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
+  sigma2:float -> unit -> check
+(** [(checks ...).pattern_time] — compare the simulated mean pattern
+    time against {!Core.Mixed.expected_time}. Runs one simulation
+    pass; prefer {!checks} when more than one projection is needed. *)
 
 val check_pattern_energy :
-  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
-  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
-(** Same comparison for {!Core.Mixed.expected_energy}. *)
+  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
+  sigma2:float -> unit -> check
+(** [(checks ...).pattern_energy] — same comparison for
+    {!Core.Mixed.expected_energy}. *)
 
 val check_reexecutions :
-  ?z:float -> replicas:int -> seed:int -> model:Core.Mixed.t ->
-  power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit -> check
-(** Compare the simulated mean number of re-executions against the
-    closed form [(1 - P1) / P2] implied by the recursion — equal to
-    {!Core.Exact.expected_reexecutions} when [lambda_f = 0.]. *)
+  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
+  sigma2:float -> unit -> check
+(** [(checks ...).re_executions] — compare the simulated mean number
+    of re-executions against the closed form [(1 - P1) / P2] implied
+    by the recursion — equal to {!Core.Exact.expected_reexecutions}
+    when [lambda_f = 0.]. *)
 
 val pp_check : Format.formatter -> check -> unit

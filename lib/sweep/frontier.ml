@@ -11,10 +11,16 @@ let default_rhos env =
   let min_rho = Core.Bicrit.min_feasible_rho env in
   Numerics.Axis.linspace ~lo:(min_rho *. 1.001) ~hi:(Float.max 8. (min_rho *. 2.)) ~n:160
 
-let compute ?(label = "") ?rhos (env : Core.Env.t) =
+let compute ?(label = "") ?pool ?rhos (env : Core.Env.t) =
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.default ()
+  in
   let rhos = match rhos with Some r -> r | None -> default_rhos env in
+  (* One BiCrit solve per bound on the pool; the Pareto filter below
+     stays sequential over the rho-ordered results, so the frontier is
+     independent of the domain count. *)
   let raw =
-    List.filter_map
+    Parallel.Pool.map_list pool
       (fun rho ->
         match Core.Bicrit.solve env ~rho with
         | None -> None
@@ -27,6 +33,7 @@ let compute ?(label = "") ?rhos (env : Core.Env.t) =
                 solution = best;
               })
       rhos
+    |> List.filter_map Fun.id
   in
   (* Keep the Pareto-efficient subset: scanning by ascending time,
      keep a point only if it strictly improves energy. *)

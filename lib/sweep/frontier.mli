@@ -20,9 +20,14 @@ type t = {
                             descending energy overhead. *)
 }
 
-val compute : ?label:string -> ?rhos:float list -> Core.Env.t -> t
+val compute :
+  ?label:string -> ?pool:Parallel.Pool.t -> ?rhos:float list -> Core.Env.t -> t
 (** [compute env] sweeps rho (default: 160 points from just above the
-    minimum feasible bound to 8) and keeps the non-dominated points. *)
+    minimum feasible bound to 8) and keeps the non-dominated points.
+    One solve per bound runs on [pool] (default: the ambient
+    {!Parallel.Pool.default}); the dominance filter is sequential over
+    the ordered results, so the frontier is bit-identical for any
+    domain count. *)
 
 val knee : t -> point option
 (** The knee of the frontier: the point maximizing the normalized

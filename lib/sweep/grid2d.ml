@@ -13,10 +13,14 @@ type t = {
   cells : cell array array;
 }
 
-let run ?(label = "") ~env ~rho ~x:(x_parameter, xs) ~y:(y_parameter, ys) () =
+let run ?(label = "") ?pool ~env ~rho ~x:(x_parameter, xs) ~y:(y_parameter, ys)
+    () =
   if x_parameter = y_parameter then
     invalid_arg "Grid2d.run: the two axes must differ";
   if xs = [] || ys = [] then invalid_arg "Grid2d.run: empty axis";
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.default ()
+  in
   let solve x y =
     let env, rho = Parameter.apply x_parameter ~env ~rho x in
     let env, rho = Parameter.apply y_parameter ~env ~rho y in
@@ -32,17 +36,26 @@ let run ?(label = "") ~env ~rho ~x:(x_parameter, xs) ~y:(y_parameter, ys) () =
       single_speed = best Core.Bicrit.Single_speed;
     }
   in
-  let cells =
-    Array.of_list
-      (List.map (fun y -> Array.of_list (List.map (fun x -> solve x y) xs)) ys)
+  (* One task per cell, flattened row-major onto the pool; slot i is
+     always cell (i / nx, i mod nx), so the reassembled grid is
+     bit-identical to the nested-List.map sequential construction. *)
+  let xs = Array.of_list xs and ys = Array.of_list ys in
+  let nx = Array.length xs and ny = Array.length ys in
+  let flat =
+    Parallel.Pool.init_array pool (nx * ny) (fun i ->
+        solve xs.(i mod nx) ys.(i / nx))
   in
+  let cells = Array.init ny (fun row -> Array.sub flat (row * nx) nx) in
   { label; rho; x_parameter; y_parameter; cells }
 
 let saving cell =
   match (cell.two_speed, cell.single_speed) with
   | Some two, Some one ->
       let e1 = one.Core.Optimum.energy_overhead in
-      Some ((e1 -. two.Core.Optimum.energy_overhead) /. e1)
+      (* e1 = 0 (all-zero power model) would make the ratio nan/inf
+         and leak silently into CSV rows and heatmaps. *)
+      if e1 = 0. then None
+      else Some ((e1 -. two.Core.Optimum.energy_overhead) /. e1)
   | None, _ | _, None -> None
 
 let fold_cells f init t =

@@ -23,16 +23,20 @@ type t = {
 }
 
 val run :
-  ?label:string -> env:Core.Env.t -> rho:float ->
+  ?label:string -> ?pool:Parallel.Pool.t -> env:Core.Env.t -> rho:float ->
   x:Parameter.t * float list -> y:Parameter.t * float list -> unit -> t
-(** Solve the grid. The two axes must be different parameters; [Rho]
-    on an axis overrides the [rho] argument along that axis.
+(** Solve the grid, one task per cell on [pool] (default: the ambient
+    {!Parallel.Pool.default}); cells land in fixed row-major slots, so
+    the grid is bit-identical for any domain count. The two axes must
+    be different parameters; [Rho] on an axis overrides the [rho]
+    argument along that axis.
     @raise Invalid_argument if the axes repeat a parameter or either
     axis is empty. *)
 
 val saving : cell -> float option
 (** Two-speed relative saving in a cell, [None] if either mode is
-    infeasible. *)
+    infeasible or the single-speed energy overhead is zero (the ratio
+    would be undefined). *)
 
 val max_saving : t -> (float * float * float) option
 (** [(x, y, saving)] of the cell with the largest saving, if any cell

@@ -113,6 +113,17 @@ let test_deterministic () =
         b.best.Core.Optimum.sigma2
   | None, _ | _, None -> Alcotest.fail "expected solutions"
 
+let prop_saving_finite_when_present =
+  (* Guard regression: the saving ratio must never be nan/inf — a zero
+     single-speed overhead reports None instead of dividing by it. *)
+  QCheck.Test.make ~count:100 ~name:"saving is finite when present"
+    QCheck.(pair (int_range 0 7) (float_range 1.3 10.))
+    (fun (config_index, rho) ->
+      let env = List.nth all_envs config_index in
+      match Core.Bicrit.energy_saving_vs_single env ~rho with
+      | None -> true
+      | Some saving -> Float.is_finite saving)
+
 let test_saving_at_tight_bound () =
   (* At rho = 1.775 the winning pair is genuinely mixed (0.6, 0.8), so
      the two-speed saving must be strictly positive. *)
@@ -142,5 +153,6 @@ let () =
           Testutil.qcheck prop_two_speeds_never_lose;
           Testutil.qcheck prop_relaxing_rho_never_hurts;
           Testutil.qcheck prop_candidates_meet_bound;
+          Testutil.qcheck prop_saving_finite_when_present;
         ] );
     ]

@@ -244,6 +244,40 @@ let test_simulator_chi_square_gof () =
     Alcotest.failf "chi-square %.2f exceeds the 0.1%% critical value %.2f"
       statistic critical
 
+(* ------------------------------------------------------------------ *)
+(* Rng.int uniformity                                                  *)
+
+let test_rng_int_chi_square () =
+  (* Regression for the rejection limit: the post-shift draw is
+     uniform over the full 2^63 values [0, Int64.max_int] inclusive,
+     so the acceptance region must be the largest multiple of the
+     bound <= 2^63 (the old limit was computed from Int64.max_int and
+     rejected up to [bound] values needlessly). Uniformity over small
+     bounds pins both the range and the absence of modulo bias. *)
+  let draws = 40_000 in
+  List.iter
+    (fun bound ->
+      let rng = Prng.Rng.create ~seed:(1000 + bound) in
+      let observed = Array.make bound 0 in
+      for _ = 1 to draws do
+        let k = Prng.Rng.int rng ~bound in
+        if k < 0 || k >= bound then
+          Alcotest.failf "bound %d: draw out of range: %d" bound k;
+        observed.(k) <- observed.(k) + 1
+      done;
+      let expected =
+        Array.make bound (float_of_int draws /. float_of_int bound)
+      in
+      let statistic = Numerics.Histogram.chi_square ~observed ~expected in
+      let critical =
+        Numerics.Histogram.chi_square_critical ~df:(bound - 1)
+      in
+      if statistic > critical then
+        Alcotest.failf
+          "bound %d: chi-square %.2f exceeds the 0.1%% critical value %.2f"
+          bound statistic critical)
+    [ 2; 3; 5; 6; 7; 10; 12; 64; 100 ]
+
 let test_validation_errors () =
   check_raises_invalid "zero w" (fun () ->
       Core.Distribution.make params ~w:0. ~sigma1:1. ~sigma2:1.);
@@ -274,5 +308,10 @@ let () =
             test_simulator_atoms;
           Alcotest.test_case "chi-square GOF" `Slow
             test_simulator_chi_square_gof;
+        ] );
+      ( "rng-int",
+        [
+          Alcotest.test_case "chi-square over small bounds" `Quick
+            test_rng_int_chi_square;
         ] );
     ]

@@ -1,0 +1,264 @@
+(* Tests for the deterministic multicore engine: the pool combinators
+   must equal their sequential counterparts element for element, and
+   the parallelized hot paths (Monte-Carlo replication, 2-D grid
+   sweeps, frontier sweeps, large BiCrit pair enumerations) must be
+   bit-identical for 1, 2 and 4 domains with a fixed seed. *)
+
+let pools = List.map (fun d -> Parallel.Pool.create ~domains:d) [ 1; 2; 4 ]
+
+(* Structural float equality that treats nan as equal to itself —
+   "bit-identical" for the arrays the sweep layers produce. *)
+let float_eq a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+let rows_eq = List.equal (fun a b -> Array.for_all2 float_eq a b)
+
+let check_rows msg reference rows =
+  if not (rows_eq reference rows) then Alcotest.failf "%s: rows differ" msg
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+
+let test_map_array_matches_sequential () =
+  List.iter
+    (fun n ->
+      let input = Array.init n (fun i -> float_of_int (i * i) +. 0.5) in
+      let f x = (Float.sin x *. 1e6) +. x in
+      let expected = Array.map f input in
+      List.iter
+        (fun pool ->
+          let got = Parallel.Pool.map_array pool f input in
+          if not (Array.for_all2 float_eq expected got) then
+            Alcotest.failf "n=%d domains=%d: map_array differs" n
+              (Parallel.Pool.domains pool))
+        pools)
+    [ 0; 1; 2; 3; 7; 64; 1000 ]
+
+let test_map_array_explicit_chunk () =
+  let input = Array.init 37 string_of_int in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun pool ->
+          Alcotest.(check (array string))
+            (Printf.sprintf "chunk=%d" chunk)
+            (Array.map (fun s -> s ^ "!") input)
+            (Parallel.Pool.map_array ~chunk pool (fun s -> s ^ "!") input))
+        pools)
+    [ 1; 2; 5; 36; 37; 100 ]
+
+let test_init_and_list () =
+  List.iter
+    (fun pool ->
+      Alcotest.(check (array int))
+        "init_array" (Array.init 100 succ)
+        (Parallel.Pool.init_array pool 100 succ);
+      Alcotest.(check (list int))
+        "map_list"
+        (List.map succ [ 3; 1; 4; 1; 5; 9; 2; 6 ])
+        (Parallel.Pool.map_list pool succ [ 3; 1; 4; 1; 5; 9; 2; 6 ]))
+    pools
+
+let test_map_reduce_ordered () =
+  (* The reduction must be the sequential left fold in index order,
+     so a non-commutative reduce is a sharp probe. *)
+  let input = Array.init 257 (fun i -> float_of_int (i + 1)) in
+  let map x = 1. /. x in
+  let reduce acc x = (acc *. 0.999) +. x in
+  let expected = Array.fold_left reduce 0. (Array.map map input) in
+  List.iter
+    (fun pool ->
+      let got =
+        Parallel.Pool.map_reduce pool ~map ~reduce ~init:0. input
+      in
+      if not (float_eq expected got) then
+        Alcotest.failf "domains=%d: map_reduce differs: %.17g vs %.17g"
+          (Parallel.Pool.domains pool) expected got)
+    pools
+
+let test_exceptions_propagate () =
+  List.iter
+    (fun pool ->
+      match
+        Parallel.Pool.init_array pool 1000 (fun i ->
+            if i = 997 then failwith "boom" else i)
+      with
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m
+      | _ -> Alcotest.fail "expected the worker exception to propagate")
+    pools
+
+let test_nested_regions_degrade () =
+  (* A pool call from inside a worker must run sequentially (bounded
+     domain count) and still produce the right answer. *)
+  let pool = Parallel.Pool.create ~domains:4 in
+  let got =
+    Parallel.Pool.init_array pool 16 (fun i ->
+        Array.fold_left ( + ) 0
+          (Parallel.Pool.init_array pool 16 (fun j -> (16 * i) + j)))
+  in
+  let expected =
+    Array.init 16 (fun i ->
+        Array.fold_left ( + ) 0 (Array.init 16 (fun j -> (16 * i) + j)))
+  in
+  Alcotest.(check (array int)) "nested result" expected got
+
+let test_validation () =
+  (match Parallel.Pool.create ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains = 0 must raise");
+  (match Parallel.Pool.init_array Parallel.Pool.sequential (-1) succ with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative length must raise");
+  match
+    Parallel.Pool.init_array ~chunk:0 (Parallel.Pool.create ~domains:2) 4 succ
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "chunk = 0 must raise"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the parallelized hot paths                           *)
+
+let hera () =
+  Core.Env.of_config (Option.get (Platforms.Config.find "hera/xscale"))
+
+let test_montecarlo_bit_identical () =
+  let model =
+    Core.Mixed.make ~c:120. ~r:60. ~v:20. ~lambda_f:1e-4 ~lambda_s:2e-4 ()
+  in
+  let power = Core.Power.make ~kappa:1000. ~p_idle:50. ~p_io:20. in
+  let estimate pool =
+    Sim.Montecarlo.pattern_estimate ~pool ~replicas:2000 ~seed:2016 ~model
+      ~power ~w:3000. ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let reference = estimate Parallel.Pool.sequential in
+  List.iter
+    (fun pool ->
+      let est = estimate pool in
+      (* Record equality: every float must match to the last bit. *)
+      if est <> reference then
+        Alcotest.failf "domains=%d: pattern_estimate differs"
+          (Parallel.Pool.domains pool))
+    pools;
+  let checks pool =
+    Sim.Montecarlo.checks ~pool ~replicas:1000 ~seed:7 ~model ~power ~w:3000.
+      ~sigma1:0.5 ~sigma2:1. ()
+  in
+  let reference = checks Parallel.Pool.sequential in
+  List.iter
+    (fun pool ->
+      if checks pool <> reference then
+        Alcotest.failf "domains=%d: checks differ"
+          (Parallel.Pool.domains pool))
+    pools
+
+let test_grid2d_bit_identical () =
+  let env = hera () in
+  let grid pool =
+    Sweep.Grid2d.run ~label:"det" ~pool ~env ~rho:3.
+      ~x:(Sweep.Parameter.C, [ 100.; 500.; 1000.; 2000.; 4000. ])
+      ~y:(Sweep.Parameter.Lambda, [ 1e-6; 1e-5; 1e-4 ])
+      ()
+  in
+  let reference = grid Parallel.Pool.sequential in
+  let reference_rows = Sweep.Grid2d.to_rows reference in
+  let reference_heatmap =
+    Sweep.Grid2d.render_heatmap ~value:Sweep.Grid2d.saving reference
+  in
+  List.iter
+    (fun pool ->
+      let g = grid pool in
+      check_rows
+        (Printf.sprintf "domains=%d" (Parallel.Pool.domains pool))
+        reference_rows (Sweep.Grid2d.to_rows g);
+      Alcotest.(check string)
+        "heatmap identical" reference_heatmap
+        (Sweep.Grid2d.render_heatmap ~value:Sweep.Grid2d.saving g))
+    pools
+
+let test_frontier_bit_identical () =
+  let env = hera () in
+  let frontier pool = Sweep.Frontier.compute ~pool env in
+  let reference = Sweep.Frontier.to_rows (frontier Parallel.Pool.sequential) in
+  List.iter
+    (fun pool ->
+      check_rows
+        (Printf.sprintf "domains=%d" (Parallel.Pool.domains pool))
+        reference
+        (Sweep.Frontier.to_rows (frontier pool)))
+    pools
+
+let test_bicrit_large_ladder_bit_identical () =
+  (* A synthetic 16-speed ladder: 256 pairs, above the parallel
+     threshold, so the enumeration actually fans out. *)
+  let env = hera () in
+  let speeds = List.init 16 (fun i -> 0.15 +. (0.05 *. float_of_int i)) in
+  let big =
+    Core.Env.make ~params:env.Core.Env.params ~power:env.Core.Env.power
+      ~speeds
+  in
+  let solve pool = Core.Bicrit.solve ~pool big ~rho:2.5 in
+  match solve Parallel.Pool.sequential with
+  | None -> Alcotest.fail "expected a feasible ladder"
+  | Some reference ->
+      List.iter
+        (fun pool ->
+          match solve pool with
+          | None -> Alcotest.fail "parallel solve infeasible"
+          | Some r ->
+              if r.Core.Bicrit.best <> reference.Core.Bicrit.best then
+                Alcotest.failf "domains=%d: best differs"
+                  (Parallel.Pool.domains pool);
+              if r.Core.Bicrit.candidates <> reference.Core.Bicrit.candidates
+              then
+                Alcotest.failf "domains=%d: candidate order differs"
+                  (Parallel.Pool.domains pool))
+        pools
+
+(* ------------------------------------------------------------------ *)
+(* Defaults                                                            *)
+
+let test_default_domain_count () =
+  Alcotest.(check bool)
+    "at least one" true
+    (Parallel.Pool.default_domain_count () >= 1);
+  Parallel.Pool.set_default 3;
+  Alcotest.(check int) "override wins" 3
+    (Parallel.Pool.domains (Parallel.Pool.default ()));
+  Parallel.Pool.set_default 0;
+  Alcotest.(check int) "clamped to 1" 1
+    (Parallel.Pool.domains (Parallel.Pool.default ()))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_array = Array.map" `Quick
+            test_map_array_matches_sequential;
+          Alcotest.test_case "explicit chunking" `Quick
+            test_map_array_explicit_chunk;
+          Alcotest.test_case "init_array and map_list" `Quick
+            test_init_and_list;
+          Alcotest.test_case "map_reduce ordered fold" `Quick
+            test_map_reduce_ordered;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exceptions_propagate;
+          Alcotest.test_case "nested regions degrade" `Quick
+            test_nested_regions_degrade;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "Monte-Carlo bit-identical" `Quick
+            test_montecarlo_bit_identical;
+          Alcotest.test_case "Grid2d bit-identical" `Quick
+            test_grid2d_bit_identical;
+          Alcotest.test_case "Frontier bit-identical" `Quick
+            test_frontier_bit_identical;
+          Alcotest.test_case "BiCrit 256-pair ladder" `Quick
+            test_bicrit_large_ladder_bit_identical;
+        ] );
+      ( "defaults",
+        [
+          Alcotest.test_case "domain count" `Quick test_default_domain_count;
+        ] );
+    ]

@@ -434,7 +434,7 @@ let test_montecarlo_estimates () =
   let model = silent_model 3e-4 in
   let est =
     Sim.Montecarlo.pattern_estimate ~replicas:500 ~seed:16 ~model ~power
-      ~w:1000. ~sigma1:0.5 ~sigma2:1.
+      ~w:1000. ~sigma1:0.5 ~sigma2:1. ()
   in
   Alcotest.(check int) "replica count" 500 est.Sim.Montecarlo.time.Numerics.Stats.n;
   Alcotest.(check bool) "mean within min/max" true
@@ -445,7 +445,7 @@ let test_montecarlo_estimates () =
   check_raises_invalid "zero replicas" (fun () ->
       ignore
         (Sim.Montecarlo.pattern_estimate ~replicas:0 ~seed:1 ~model ~power
-           ~w:1000. ~sigma1:1. ~sigma2:1.))
+           ~w:1000. ~sigma1:1. ~sigma2:1. ()))
 
 let test_application_estimate_matches_model () =
   (* Application-level: mean makespan ~ (T(W)/W) * W_base for a
@@ -454,7 +454,7 @@ let test_application_estimate_matches_model () =
   let w = 1000. and sigma1 = 0.5 and sigma2 = 1. and w_base = 10_000. in
   let est =
     Sim.Montecarlo.application_estimate ~replicas:1500 ~seed:17 ~model ~power
-      ~w_base ~pattern_w:w ~sigma1 ~sigma2
+      ~w_base ~pattern_w:w ~sigma1 ~sigma2 ()
   in
   let expected =
     Core.Mixed.expected_time model ~w ~sigma1 ~sigma2 /. w *. w_base

@@ -287,6 +287,41 @@ let test_grid_heatmap () =
   Alcotest.(check string) "deterministic" rendered
     (Sweep.Grid2d.render_heatmap ~value:Sweep.Grid2d.saving g)
 
+let test_grid_saving_zero_energy () =
+  (* A zero single-speed energy overhead must yield no saving, not a
+     silent nan that poisons CSV rows and heatmaps downstream. The
+     solver never produces one for the paper's power models, so build
+     the cell directly. *)
+  let window =
+    Option.get
+      (Core.Feasibility.window env.Core.Env.params ~rho:3. ~sigma1:0.5
+         ~sigma2:0.5)
+  in
+  let solution energy_overhead : Core.Optimum.solution =
+    {
+      sigma1 = 0.5;
+      sigma2 = 0.5;
+      w_opt = window.Core.Feasibility.w_min;
+      w_energy = window.Core.Feasibility.w_min;
+      window;
+      energy_overhead;
+      time_overhead = 3.;
+      bound_active = false;
+    }
+  in
+  let cell two one : Sweep.Grid2d.cell =
+    { x = 1.; y = 1.; two_speed = two; single_speed = one }
+  in
+  (match Sweep.Grid2d.saving (cell (Some (solution 0.)) (Some (solution 0.))) with
+  | None -> ()
+  | Some s -> Alcotest.failf "expected None for e1 = 0, got %g" s);
+  (match Sweep.Grid2d.saving (cell (Some (solution 80.)) (Some (solution 100.))) with
+  | Some s -> checkf "normal ratio" 0.2 s
+  | None -> Alcotest.fail "expected a saving");
+  match Sweep.Grid2d.saving (cell None (Some (solution 100.))) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "infeasible cell must have no saving"
+
 let test_grid_validation () =
   (match
      Sweep.Grid2d.run ~env ~rho:3.
@@ -345,6 +380,8 @@ let () =
             test_grid_consistent_with_1d;
           Alcotest.test_case "stats" `Quick test_grid_stats;
           Alcotest.test_case "heatmap" `Quick test_grid_heatmap;
+          Alcotest.test_case "zero-energy saving" `Quick
+            test_grid_saving_zero_energy;
           Alcotest.test_case "validation" `Quick test_grid_validation;
         ] );
     ]
