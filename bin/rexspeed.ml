@@ -9,6 +9,61 @@
 
 open Cmdliner
 
+(* ------------------------------------------------------------------ *)
+(* Exit codes and fatal errors. One table, advertised in every man
+   page, and one [die] path, so codes and messages cannot drift apart
+   subcommand by subcommand. Cmdliner owns 124 (usage) and 125
+   (internal); rexspeed adds:
+
+     1  infeasible bound, failed reproduction/validation check, or
+        tasks that exhausted their retry budget
+     2  unreadable or invalid configuration/environment/journal file *)
+
+let exit_infeasible = 1
+let exit_config = 2
+
+let die code message =
+  prerr_endline ("rexspeed: " ^ message);
+  exit code
+
+let exits =
+  Cmd.Exit.info exit_infeasible
+    ~doc:
+      "on an infeasible performance bound, a failed reproduction or \
+       validation check, or tasks that exhausted their retry budget."
+  :: Cmd.Exit.info exit_config
+       ~doc:
+         "on an unreadable or invalid configuration, environment or journal \
+          file."
+  :: Cmd.Exit.defaults
+
+let envs =
+  [
+    Cmd.Env.info Resilience.Chaos.env_var
+      ~doc:
+        "Deterministic chaos injection, $(b,P) or $(b,P:SEED): fail each \
+         task attempt with probability P (overridden by $(b,--chaos)).";
+  ]
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits ~envs
+
+(* Fatal conditions shared by the parallel/journaled commands, mapped
+   onto the exit table. *)
+let guarded run =
+  match run () with
+  | code -> code
+  | exception Parallel.Pool.Tasks_failed failures ->
+      List.iter
+        (fun (f : Parallel.Pool.failure) ->
+          Printf.eprintf "rexspeed: task %d failed after %d attempt(s): %s\n"
+            f.index f.attempts f.error)
+        failures;
+      die exit_infeasible
+        (Printf.sprintf "%d task(s) exhausted their retry budget"
+           (List.length failures))
+  | exception Resilience.Checkpointed.Journal_error message ->
+      die exit_config message
+
 let config_conv =
   let parse s =
     match Platforms.Config.find s with
@@ -42,25 +97,108 @@ let points_arg =
   let doc = "Number of samples along the sweep axis." in
   Arg.(value & opt (some int) None & info [ "points" ] ~docv:"N" ~doc)
 
-(* Worker-domain count for the deterministic parallel engine. A setup
-   term rather than a plain argument so every hot-path subcommand can
-   compose it in without threading a pool through its [run]. *)
-let domains_setup =
-  let doc =
-    "Worker domains for Monte-Carlo replication, grid/frontier sweeps and \
-     large speed-pair enumerations. Results are bit-identical for any \
-     value; the default is the machine's recommended domain count minus \
-     one, at least 1."
-  in
-  let env = Cmd.Env.info Parallel.Pool.env_var in
-  let arg =
+(* Runtime setup for the deterministic parallel engine: worker
+   domains, retry budget and chaos injection. A setup term rather than
+   plain arguments so every hot-path subcommand can compose it in
+   without threading state through its [run]. *)
+let runtime_setup =
+  let domains =
+    let doc =
+      "Worker domains for Monte-Carlo replication, grid/frontier sweeps and \
+       large speed-pair enumerations. Results are bit-identical for any \
+       value; the default is the machine's recommended domain count minus \
+       one, at least 1."
+    in
+    let env = Cmd.Env.info Parallel.Pool.env_var in
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~env ~doc)
   in
-  Term.(const (Option.iter Parallel.Pool.set_default) $ arg)
+  let retries =
+    let doc =
+      "Per-task attempt budget of the parallel engine (at least 1; 1 \
+       disables retrying). A failing task is retried in place; only after \
+       its budget is exhausted is it reported, without aborting the rest of \
+       the region."
+    in
+    let env = Cmd.Env.info Parallel.Pool.retries_env_var in
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~env ~doc)
+  in
+  let chaos =
+    let doc =
+      "Deterministic chaos testing: fail each task attempt with probability \
+       $(docv) (in [0,1)), decided by a pure function of the chaos seed and \
+       the task's index and attempt number. With retrying enabled, results \
+       are bit-identical to a fault-free run."
+    in
+    Arg.(value & opt (some float) None & info [ "chaos" ] ~docv:"P" ~doc)
+  in
+  let chaos_seed =
+    let doc = "Seed of the chaos decision stream (with $(b,--chaos))." in
+    Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+  in
+  let setup domains retries chaos chaos_seed =
+    Option.iter Parallel.Pool.set_default domains;
+    (match retries with
+    | Some n when n < 1 -> die Cmd.Exit.cli_error "--retries must be at least 1"
+    | Some n -> Parallel.Pool.set_max_attempts n
+    | None -> ());
+    match chaos with
+    | Some p -> begin
+        match Resilience.Chaos.configure ~p ~seed:chaos_seed with
+        | Ok () -> ()
+        | Error message -> die Cmd.Exit.cli_error message
+      end
+    | None -> begin
+        match Resilience.Chaos.of_env () with
+        | Ok () -> ()
+        | Error message -> die Cmd.Exit.cli_error message
+      end
+  in
+  Term.(const setup $ domains $ retries $ chaos $ chaos_seed)
 
-(* Evaluates [domains_setup] (left argument, so before the command's own
+(* Evaluates [runtime_setup] (left argument, so before the command's own
    [run] fires) and passes the command's exit code through. *)
-let with_domains term = Term.(const (fun () code -> code) $ domains_setup $ term)
+let with_domains term = Term.(const (fun () code -> code) $ runtime_setup $ term)
+
+(* --journal/--resume for the long-running commands. The pair is
+   turned into a {!Resilience.Checkpointed.journal} by [journal_of]
+   once the command knows its fingerprint description. *)
+let journal_args =
+  let journal =
+    let doc =
+      "Checkpoint completed work into a verified journal at $(docv) \
+       (created or truncated unless $(b,--resume) is given). Every record \
+       is checksummed and the header fingerprints the exact run, so \
+       progress survives crashes and can never be resumed into a different \
+       computation."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+  in
+  let resume =
+    let doc =
+      "Resume from the journal: verified records are recovered, a torn or \
+       corrupted tail is discarded, and only the missing work is \
+       recomputed — output is bit-identical to an uninterrupted run. A \
+       missing journal file starts a fresh run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let make path resume =
+    match (path, resume) with
+    | None, true -> die Cmd.Exit.cli_error "--resume requires --journal"
+    | None, false -> None
+    | Some path, resume -> Some (path, resume)
+  in
+  Term.(const make $ journal $ resume)
+
+let journal_of ~description =
+  Option.map (fun (path, resume) ->
+      { Resilience.Checkpointed.path; resume; description })
+
+(* Resume/progress notes go to stderr: stdout must stay byte-identical
+   between resumed and uninterrupted runs. *)
+let resume_note ~entries ~dropped =
+  Printf.eprintf "rexspeed: journal resume: %d slot(s) recovered%s\n%!" entries
+    (if dropped then "; corrupted tail discarded" else "")
 
 let print_solutions (result : Core.Bicrit.result) =
   let table =
@@ -108,7 +246,8 @@ let optimize_cmd =
       & info [ "single-speed" ]
           ~doc:"Restrict the re-execution speed to the first speed.")
   in
-  let run config rho single env_file =
+  let run config rho single env_file jspec =
+    guarded @@ fun () ->
     let env, name =
       match env_file with
       | None -> (Core.Env.of_config config, Platforms.Config.name config)
@@ -116,22 +255,29 @@ let optimize_cmd =
           match Platforms.Config_file.load ~path with
           | Ok file -> (Core.Env.of_config_file file, path)
           | Error message ->
-              prerr_endline ("cannot load " ^ path ^ ": " ^ message);
-              exit 2
+              die exit_config ("cannot load " ^ path ^ ": " ^ message)
         end
     in
     let mode =
       if single then Core.Bicrit.Single_speed else Core.Bicrit.Two_speeds
     in
+    let journal =
+      journal_of jspec
+        ~description:
+          (Printf.sprintf "optimize config=%s rho=%g mode=%s" name rho
+             (if single then "single-speed" else "two-speeds"))
+    in
     Printf.printf "configuration: %s\n" name;
     Format.printf "%a@.@." Core.Env.pp env;
-    match Core.Bicrit.solve ~mode env ~rho with
+    match
+      Core.Bicrit.solve ~mode ?journal ~on_resume:resume_note env ~rho
+    with
     | None ->
         Printf.printf
           "no feasible speed pair for rho = %g (minimum feasible rho: %.4f)\n"
           rho
           (Core.Bicrit.min_feasible_rho env);
-        1
+        exit_infeasible
     | Some result ->
         print_solutions result;
         (match Core.Bicrit.energy_saving_vs_single env ~rho with
@@ -142,10 +288,14 @@ let optimize_cmd =
         0
   in
   let term =
-    with_domains Term.(const run $ config_arg $ rho_arg $ single $ env_file_arg)
+    with_domains
+      Term.(
+        const run $ config_arg $ rho_arg $ single $ env_file_arg
+        $ journal_args)
   in
   Cmd.v
-    (Cmd.info "optimize" ~doc:"Solve one BiCrit instance (Theorem 1 + O(K^2) search).")
+    (cmd_info "optimize"
+       ~doc:"Solve one BiCrit instance (Theorem 1 + O(K^2) search).")
     term
 
 let tables_cmd =
@@ -181,7 +331,7 @@ let tables_cmd =
     else 1
   in
   Cmd.v
-    (Cmd.info "tables" ~doc:"Regenerate the four Section 4.2 tables and diff against the paper.")
+    (cmd_info "tables" ~doc:"Regenerate the four Section 4.2 tables and diff against the paper.")
     (Term.(const run $ const ()))
 
 let figure_cmd =
@@ -207,9 +357,7 @@ let figure_cmd =
   in
   let run id points output chart =
     match Experiments.Figures.find id with
-    | None ->
-        prerr_endline "figure number must be between 2 and 14";
-        2
+    | None -> die Cmd.Exit.cli_error "figure number must be between 2 and 14"
     | Some figure ->
         let panels = Experiments.Figures.run ?points figure in
         List.iter
@@ -285,7 +433,7 @@ let figure_cmd =
         0
   in
   Cmd.v
-    (Cmd.info "figure" ~doc:"Regenerate one paper figure (series dump or gnuplot files).")
+    (cmd_info "figure" ~doc:"Regenerate one paper figure (series dump or gnuplot files).")
     (with_domains Term.(const run $ id $ points_arg $ output $ chart))
 
 let sweep_cmd =
@@ -328,7 +476,7 @@ let sweep_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Custom one-parameter sweep, CSV on stdout.")
+    (cmd_info "sweep" ~doc:"Custom one-parameter sweep, CSV on stdout.")
     (with_domains
        Term.(const run $ config_arg $ rho_arg $ param $ points_arg $ lo $ hi))
 
@@ -349,23 +497,39 @@ let simulate_cmd =
       & info [ "lambda-scale" ] ~docv:"X"
           ~doc:"Error-rate inflation so errors occur within the replica budget.")
   in
-  let run config rho replicas seed fraction scale =
+  let run config rho replicas seed fraction scale jspec =
+    guarded @@ fun () ->
     ignore rho;
     let scenario =
       Experiments.Validation.of_config ~fail_stop_fraction:fraction
         ~lambda_scale:scale config
     in
+    let journal =
+      journal_of jspec
+        ~description:
+          (Printf.sprintf
+             "simulate config=%s fail-stop-fraction=%g lambda-scale=%g \
+              replicas=%d seed=%d"
+             (Platforms.Config.name config)
+             fraction scale replicas seed)
+    in
     Printf.printf
       "simulating %s: W=%.1f, (s1, s2)=(%g, %g), %d replicas, seed %d\n"
       scenario.name scenario.w scenario.sigma1 scenario.sigma2 replicas seed;
-    let checks = Experiments.Validation.run ~replicas ~seed [ scenario ] in
+    let checks =
+      Experiments.Validation.run ~replicas ~seed ?journal
+        ~on_resume:resume_note [ scenario ]
+    in
     List.iter (fun c -> Format.printf "%a@." Sim.Montecarlo.pp_check c) checks;
-    if Experiments.Validation.all_ok checks then 0 else 1
+    if Experiments.Validation.all_ok checks then 0 else exit_infeasible
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Monte-Carlo cross-check of the analytical expectations.")
+    (cmd_info "simulate"
+       ~doc:"Monte-Carlo cross-check of the analytical expectations.")
     (with_domains
-       Term.(const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale))
+       Term.(
+         const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale
+         $ journal_args))
 
 let theorem2_cmd =
   let run () =
@@ -396,7 +560,7 @@ let theorem2_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "theorem2" ~doc:"Theta(lambda^(-2/3)) scaling experiment (Theorem 2).")
+    (cmd_info "theorem2" ~doc:"Theta(lambda^(-2/3)) scaling experiment (Theorem 2).")
     Term.(const run $ const ())
 
 let claims_cmd =
@@ -410,7 +574,7 @@ let claims_cmd =
     else 1
   in
   Cmd.v
-    (Cmd.info "claims" ~doc:"Check every qualitative claim of Section 4.3.")
+    (cmd_info "claims" ~doc:"Check every qualitative claim of Section 4.3.")
     (with_domains Term.(const run $ points_arg))
 
 let ablation_cmd =
@@ -436,7 +600,7 @@ let ablation_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "ablation"
+    (cmd_info "ablation"
        ~doc:"Quantify the paper's design choices: speed discreteness, \
              first-order optimization, verification cost.")
     Term.(const run $ rho_arg)
@@ -446,8 +610,8 @@ let sensitivity_cmd =
     let env = Core.Env.of_config config in
     match Core.Bicrit.solve env ~rho with
     | None ->
-        prerr_endline "infeasible bound";
-        1
+        die exit_infeasible
+          (Printf.sprintf "no feasible speed pair for rho = %g" rho)
     | Some { best; _ } ->
         let sigma1 = best.Core.Optimum.sigma1 in
         let sigma2 = best.Core.Optimum.sigma2 in
@@ -481,7 +645,7 @@ let sensitivity_cmd =
         0
   in
   Cmd.v
-    (Cmd.info "sensitivity"
+    (cmd_info "sensitivity"
        ~doc:"Closed-form parameter elasticities of the optimal pattern.")
     Term.(const run $ config_arg $ rho_arg)
 
@@ -518,8 +682,7 @@ let evaluate_cmd =
           match Platforms.Config_file.load ~path with
           | Ok file -> Core.Env.of_config_file file
           | Error message ->
-              prerr_endline ("cannot load " ^ path ^ ": " ^ message);
-              exit 2
+              die exit_config ("cannot load " ^ path ^ ": " ^ message)
         end
     in
     let params = env.Core.Env.params and power = env.Core.Env.power in
@@ -560,7 +723,7 @@ let evaluate_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "evaluate"
+    (cmd_info "evaluate"
        ~doc:"Evaluate one pattern (W, sigma1, sigma2) under the first-order, \
              exact, distributional and simulated models.")
     (with_domains
@@ -580,11 +743,9 @@ let heatmap_cmd =
       & pos k (some (enum choices)) None
       & info [] ~docv ~doc:"Axis parameter (C, V, lambda, rho, Pidle, Pio).")
   in
-  let run config rho x_param y_param points =
-    if x_param = y_param then begin
-      prerr_endline "the two axes must differ";
-      2
-    end
+  let run config rho x_param y_param points jspec =
+    guarded @@ fun () ->
+    if x_param = y_param then die Cmd.Exit.cli_error "the two axes must differ"
     else begin
       let env = Core.Env.of_config config in
       let n = Option.value points ~default:40 in
@@ -599,12 +760,22 @@ let heatmap_cmd =
           | Sweep.Parameter.P_idle | Sweep.Parameter.P_io ->
               Numerics.Axis.linspace ~lo:0. ~hi:5000. ~n )
       in
+      let journal =
+        journal_of jspec
+          ~description:
+            (Printf.sprintf "heatmap config=%s rho=%g x=%s y=%s points=%d"
+               (Platforms.Config.name config)
+               rho
+               (Sweep.Parameter.name x_param)
+               (Sweep.Parameter.name y_param)
+               n)
+      in
       let grid =
         Sweep.Grid2d.run
           ~label:
             (Printf.sprintf "%s two-speed saving"
                (Platforms.Config.name config))
-          ~env ~rho ~x:(axis x_param)
+          ?journal ~on_resume:resume_note ~env ~rho ~x:(axis x_param)
           ~y:(axis y_param) ()
       in
       print_string (Sweep.Grid2d.render_heatmap ~value:Sweep.Grid2d.saving grid);
@@ -618,12 +789,12 @@ let heatmap_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "heatmap"
+    (cmd_info "heatmap"
        ~doc:"Two-parameter grid of the two-speed saving (ASCII heatmap).")
     (with_domains
        Term.(
          const run $ config_arg $ rho_arg $ param_pos 0 "X" $ param_pos 1 "Y"
-         $ points_arg))
+         $ points_arg $ journal_args))
 
 let baselines_cmd =
   let run rho =
@@ -644,7 +815,7 @@ let baselines_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "baselines"
+    (cmd_info "baselines"
        ~doc:"Compare against the Section 6 related-work models.")
     Term.(const run $ rho_arg)
 
@@ -742,15 +913,23 @@ let report_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "report"
+    (cmd_info "report"
        ~doc:"Generate the full markdown reproduction report (EXPERIMENTS-style).")
     (with_domains Term.(const run $ points_arg $ output))
 
 let frontier_cmd =
-  let run config =
+  let run config jspec =
+    guarded @@ fun () ->
     let env = Core.Env.of_config config in
+    let journal =
+      journal_of jspec
+        ~description:
+          (Printf.sprintf "frontier config=%s" (Platforms.Config.name config))
+    in
     let f =
-      Sweep.Frontier.compute ~label:(Platforms.Config.name config) env
+      Sweep.Frontier.compute
+        ~label:(Platforms.Config.name config)
+        ?journal ~on_resume:resume_note env
     in
     Printf.printf
       "time/energy Pareto frontier for %s (%d non-dominated points)\n\n"
@@ -783,9 +962,9 @@ let frontier_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "frontier"
+    (cmd_info "frontier"
        ~doc:"Time/energy Pareto frontier across performance bounds.")
-    (with_domains Term.(const run $ config_arg))
+    (with_domains Term.(const run $ config_arg $ journal_args))
 
 let mixed_cmd =
   let run config rho =
@@ -831,7 +1010,7 @@ let mixed_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "mixed"
+    (cmd_info "mixed"
        ~doc:"Exact BiCrit with both error sources across the error mix (extension).")
     Term.(const run $ config_arg $ rho_arg)
 
@@ -880,7 +1059,7 @@ let verif_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "verif"
+    (cmd_info "verif"
        ~doc:"Patterns with m intermediate verifications per checkpoint (extension).")
     Term.(const run $ config_arg $ rho_arg $ scale)
 
@@ -890,7 +1069,7 @@ let main =
      al., 2016)"
   in
   Cmd.group
-    (Cmd.info "rexspeed" ~version:"1.0.0" ~doc)
+    (Cmd.info "rexspeed" ~version:"1.0.0" ~doc ~exits ~envs)
     [
       optimize_cmd; tables_cmd; figure_cmd; sweep_cmd; simulate_cmd;
       theorem2_cmd; claims_cmd; mixed_cmd; verif_cmd; frontier_cmd; report_cmd;

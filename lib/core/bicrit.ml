@@ -16,19 +16,23 @@ let pairs_of_mode mode env =
    stay sequential, large custom DVFS ladders fan out. *)
 let parallel_pair_threshold = 128
 
-let solve ?(mode = Two_speeds) ?pool (env : Env.t) ~rho =
+let solve ?(mode = Two_speeds) ?pool ?journal ?on_resume (env : Env.t) ~rho =
   if rho <= 0. then invalid_arg "Bicrit.solve: rho must be positive";
   let pairs = Array.of_list (pairs_of_mode mode env) in
   let pool =
-    if Array.length pairs < parallel_pair_threshold then
-      Parallel.Pool.sequential
-    else match pool with Some p -> p | None -> Parallel.Pool.default ()
+    (* A journaled solve always goes through the checkpointing path,
+       even below the parallel threshold — crash safety is requested
+       explicitly and is worth more than the region overhead. *)
+    if journal = None && Array.length pairs < parallel_pair_threshold then
+      Some Parallel.Pool.sequential
+    else pool
   in
   let candidates =
-    Parallel.Pool.map_array pool
-      (fun (sigma1, sigma2) ->
+    Resilience.Checkpointed.init_array ?pool ?journal ?on_resume
+      (Array.length pairs)
+      (fun i ->
+        let sigma1, sigma2 = pairs.(i) in
         Optimum.solve_pair env.params env.power ~rho ~sigma1 ~sigma2)
-      pairs
     |> Array.to_list
     |> List.filter_map Fun.id
   in

@@ -21,7 +21,11 @@ type result = {
           this list. *)
 }
 
-val solve : ?mode:mode -> ?pool:Parallel.Pool.t -> Env.t -> rho:float -> result option
+val solve :
+  ?mode:mode -> ?pool:Parallel.Pool.t ->
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> Env.t -> rho:float ->
+  result option
 (** [solve env ~rho] is [None] when no speed pair meets the bound.
     Ties on energy overhead keep the pair enumerated first
     (sigma1-major, then sigma2), making results deterministic.
@@ -31,7 +35,11 @@ val solve : ?mode:mode -> ?pool:Parallel.Pool.t -> Env.t -> rho:float -> result 
     (128 pairs and up) are solved on [pool] (default: the ambient
     {!Parallel.Pool.default}); candidates stay in enumeration order
     and the result is bit-identical to the sequential solve for any
-    domain count. Smaller sets always run sequentially.
+    domain count. Smaller sets run sequentially — unless [journal] is
+    given, which always takes the checkpointing path: completed pairs
+    are persisted and a resumed solve recomputes only the missing ones
+    (see {!Resilience.Checkpointed.init_array}, which also documents
+    [on_resume]).
     @raise Invalid_argument if [rho <= 0.]. *)
 
 val best_second_speed :

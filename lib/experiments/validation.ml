@@ -55,24 +55,47 @@ let default_suite () =
       synthetic ~name:"synthetic fail-stop-heavy" ~fail_stop_fraction:0.9;
     ]
 
-let run ?(replicas = 4000) ?(seed = 42) ?pool scenarios =
-  List.concat_map
-    (fun s ->
-      let tag (c : Sim.Montecarlo.check) =
-        { c with Sim.Montecarlo.label = s.name ^ " " ^ c.Sim.Montecarlo.label }
-      in
-      (* One simulation pass per scenario; the three checks are
-         projections of the same outcome set (previously each check
-         re-simulated from its own seed, tripling the cost). *)
-      let c =
-        Sim.Montecarlo.checks ?pool ~replicas ~seed ~model:s.model
-          ~power:s.power ~w:s.w ~sigma1:s.sigma1 ~sigma2:s.sigma2 ()
-      in
-      [
-        tag c.Sim.Montecarlo.pattern_time;
-        tag c.Sim.Montecarlo.pattern_energy;
-        tag c.Sim.Montecarlo.re_executions;
-      ])
-    scenarios
+let run ?(replicas = 4000) ?(seed = 42) ?pool ?journal ?on_resume scenarios =
+  let many = List.length scenarios > 1 in
+  List.concat
+    (List.mapi
+       (fun idx s ->
+         let tag (c : Sim.Montecarlo.check) =
+           {
+             c with
+             Sim.Montecarlo.label = s.name ^ " " ^ c.Sim.Montecarlo.label;
+           }
+         in
+         (* Each scenario is its own replica array, so a multi-scenario
+            suite journals into one file per scenario (suffix [.sN]);
+            the fingerprint always names the scenario, so files can
+            never be crossed. *)
+         let journal =
+           Option.map
+             (fun (j : Resilience.Checkpointed.journal) ->
+               {
+                 j with
+                 Resilience.Checkpointed.path =
+                   (if many then Printf.sprintf "%s.s%d" j.path idx
+                    else j.path);
+                 description =
+                   Printf.sprintf "%s scenario=%s" j.description s.name;
+               })
+             journal
+         in
+         (* One simulation pass per scenario; the three checks are
+            projections of the same outcome set (previously each check
+            re-simulated from its own seed, tripling the cost). *)
+         let c =
+           Sim.Montecarlo.checks ?pool ?journal ?on_resume ~replicas ~seed
+             ~model:s.model ~power:s.power ~w:s.w ~sigma1:s.sigma1
+             ~sigma2:s.sigma2 ()
+         in
+         [
+           tag c.Sim.Montecarlo.pattern_time;
+           tag c.Sim.Montecarlo.pattern_energy;
+           tag c.Sim.Montecarlo.re_executions;
+         ])
+       scenarios)
 
 let all_ok checks = List.for_all (fun (c : Sim.Montecarlo.check) -> c.ok) checks

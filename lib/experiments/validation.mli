@@ -33,10 +33,19 @@ val default_suite : unit -> scenario list
     synthetic silent/mixed/fail-stop-heavy ones. *)
 
 val run :
-  ?replicas:int -> ?seed:int -> ?pool:Parallel.Pool.t -> scenario list ->
+  ?replicas:int -> ?seed:int -> ?pool:Parallel.Pool.t ->
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> scenario list ->
   Sim.Montecarlo.check list
 (** All three checks per scenario — time, energy and re-execution
     count projected from a single simulation pass per scenario —
-    default 4000 replicas, seed 42, ambient pool. *)
+    default 4000 replicas, seed 42, ambient pool.
+
+    With [journal], each scenario's replicas are checkpointed to disk
+    and a resumed run recomputes only the missing ones; suites with
+    more than one scenario write one file per scenario ([PATH.s0],
+    [PATH.s1], ...) and every fingerprint names its scenario. See
+    {!Resilience.Checkpointed.init_array}, which also documents
+    [on_resume]. *)
 
 val all_ok : Sim.Montecarlo.check list -> bool

@@ -7,6 +7,7 @@ let create ~domains =
 let sequential = { domains = 1 }
 let domains t = t.domains
 let env_var = "REXSPEED_DOMAINS"
+let retries_env_var = "REXSPEED_RETRIES"
 
 let default_domain_count () =
   let from_env =
@@ -31,6 +32,92 @@ let default () =
   let n = Atomic.get default_override in
   { domains = (if n >= 1 then n else default_domain_count ()) }
 
+(* ------------------------------------------------------------------ *)
+(* Task-level fault tolerance                                          *)
+
+type failure = { index : int; attempts : int; error : string }
+
+exception Tasks_failed of failure list
+
+exception Injected_fault of { index : int; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault { index; attempt } ->
+        Some
+          (Printf.sprintf "Parallel.Pool.Injected_fault (task %d, attempt %d)"
+             index attempt)
+    | Tasks_failed failures ->
+        Some
+          (Printf.sprintf "Parallel.Pool.Tasks_failed: %s"
+             (String.concat "; "
+                (List.map
+                   (fun f ->
+                     Printf.sprintf "task %d failed after %d attempt(s): %s"
+                       f.index f.attempts f.error)
+                   failures)))
+    | _ -> None)
+
+let default_max_attempts = 10
+
+(* 0 = unset; same Atomic discipline as [default_override]. *)
+let max_attempts_override = Atomic.make 0
+let set_max_attempts n = Atomic.set max_attempts_override (Int.max 1 n)
+
+let max_attempts () =
+  let n = Atomic.get max_attempts_override in
+  if n >= 1 then n
+  else
+    match Sys.getenv_opt retries_env_var with
+    | None -> default_max_attempts
+    | Some s -> begin
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> default_max_attempts
+      end
+
+let fault_injector : (index:int -> attempt:int -> bool) option Atomic.t =
+  Atomic.make None
+
+let set_fault_injector f = Atomic.set fault_injector f
+
+(* One task with bounded retries. [f] must be restartable: pure per
+   item, or failing before it mutates any state it owns. The injector
+   fires {e before} [f] is entered, so injected faults always satisfy
+   that contract regardless of what [f] does. *)
+let run_item ~attempts f i =
+  let attempt_once attempt =
+    (match Atomic.get fault_injector with
+    | Some inject when inject ~index:i ~attempt ->
+        raise (Injected_fault { index = i; attempt })
+    | Some _ | None -> ());
+    f i
+  in
+  let rec go attempt =
+    match attempt_once attempt with
+    | v -> Ok v
+    | exception e ->
+        if attempt >= attempts then
+          Error { index = i; attempts = attempt; error = Printexc.to_string e }
+        else go (attempt + 1)
+  in
+  go 1
+
+(* Failed slots stay [None]; the region still completes every other
+   task so the report lists all exhausted tasks, not just the first. *)
+let finalize results failures =
+  match failures with
+  | [] ->
+      Array.map
+        (function Some v -> v | None -> assert false (* no failure *))
+        results
+  | _ :: _ ->
+      raise
+        (Tasks_failed
+           (List.sort (fun a b -> Int.compare a.index b.index) failures))
+
+(* ------------------------------------------------------------------ *)
+
 (* True while this domain executes inside a parallel region — both in
    spawned workers and in the caller while it participates. Any pool
    call under the flag degrades to sequential, so composed layers
@@ -38,34 +125,36 @@ let default () =
    all be pool-aware without ever nesting domains. *)
 let in_region = Domain.DLS.new_key (fun () -> false)
 
-let sequential_init n f = Array.init n f
+let sequential_init ~attempts n f =
+  let results = Array.make n None in
+  let failures = ref [] in
+  for i = 0 to n - 1 do
+    match run_item ~attempts f i with
+    | Ok v -> results.(i) <- Some v
+    | Error failure -> failures := failure :: !failures
+  done;
+  finalize results !failures
 
-let parallel_init ~domains ~chunk n f =
+let parallel_init ~domains ~chunk ~attempts n f =
   Domain.DLS.set in_region true;
   Fun.protect ~finally:(fun () -> Domain.DLS.set in_region false) @@ fun () ->
-  (* Evaluate slot 0 up front: it seeds the result array with a value
-     of the right type, and any immediate exception from [f] escapes
-     before domains are spawned. *)
-  let results = Array.make n (f 0) in
-  let next = Atomic.make 1 in
-  let failure = Atomic.make None in
+  let results = Array.make n None in
+  let failures = Atomic.make [] in
+  let rec push failure =
+    let old = Atomic.get failures in
+    if not (Atomic.compare_and_set failures old (failure :: old)) then
+      push failure
+  in
+  let next = Atomic.make 0 in
   let work () =
     let rec loop () =
       let start = Atomic.fetch_and_add next chunk in
       if start < n then begin
-        let stop = Int.min n (start + chunk) in
-        (try
-           for i = start to stop - 1 do
-             results.(i) <- f i
-           done
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-           (* Drain the remaining chunks so every worker stops
-              promptly; slots they would have filled keep the seed
-              value, which is fine because the exception is re-raised
-              below and [results] never escapes. *)
-           Atomic.set next n);
+        for i = start to Int.min n (start + chunk) - 1 do
+          match run_item ~attempts f i with
+          | Ok v -> results.(i) <- Some v
+          | Error failure -> push failure
+        done;
         loop ()
       end
     in
@@ -77,34 +166,38 @@ let parallel_init ~domains ~chunk n f =
         work ())
   in
   let workers = Array.init (domains - 1) (fun _ -> spawn ()) in
-  (* [work] cannot raise: it traps [f]'s exceptions into [failure]. *)
+  (* [work] cannot raise: [run_item] traps every task exception. *)
   work ();
   Array.iter Domain.join workers;
-  match Atomic.get failure with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> results
+  finalize results (Atomic.get failures)
 
-let init_array ?chunk t n f =
+let init_array ?chunk ?attempts t n f =
   if n < 0 then invalid_arg "Pool.init_array: negative length";
   (match chunk with
   | Some c when c < 1 -> invalid_arg "Pool.init_array: chunk must be >= 1"
   | Some _ | None -> ());
+  (match attempts with
+  | Some a when a < 1 -> invalid_arg "Pool.init_array: attempts must be >= 1"
+  | Some _ | None -> ());
+  let attempts =
+    match attempts with Some a -> a | None -> max_attempts ()
+  in
   if n = 0 then [||]
   else if t.domains = 1 || n = 1 || Domain.DLS.get in_region then
-    sequential_init n f
+    sequential_init ~attempts n f
   else
     let chunk =
       match chunk with
       | Some c -> c
       | None -> Int.max 1 (n / (8 * t.domains))
     in
-    parallel_init ~domains:t.domains ~chunk n f
+    parallel_init ~domains:t.domains ~chunk ~attempts n f
 
-let map_array ?chunk t f a =
-  init_array ?chunk t (Array.length a) (fun i -> f a.(i))
+let map_array ?chunk ?attempts t f a =
+  init_array ?chunk ?attempts t (Array.length a) (fun i -> f a.(i))
 
-let map_list ?chunk t f l =
-  Array.to_list (map_array ?chunk t f (Array.of_list l))
+let map_list ?chunk ?attempts t f l =
+  Array.to_list (map_array ?chunk ?attempts t f (Array.of_list l))
 
-let map_reduce ?chunk t ~map ~reduce ~init a =
-  Array.fold_left reduce init (map_array ?chunk t map a)
+let map_reduce ?chunk ?attempts t ~map ~reduce ~init a =
+  Array.fold_left reduce init (map_array ?chunk ?attempts t map a)

@@ -1,4 +1,4 @@
-(** Deterministic multicore execution engine.
+(** Deterministic, fault-tolerant multicore execution engine.
 
     A fixed-size, [Domain]-backed worker pool with chunked scheduling
     and ordered result slots. Every mapping combinator writes the
@@ -14,11 +14,25 @@
     per replica from the root seed {e before} dispatch; the sweep and
     solver layers are purely functional already.
 
+    {2 Fault tolerance}
+
+    A task that raises no longer aborts the region: the task is
+    retried in place, up to {!max_attempts} attempts, and purity makes
+    the retried result identical to a first-try success. Only when a
+    task exhausts its attempts is it recorded as failed — the region
+    still completes every other task, then raises {!Tasks_failed}
+    carrying one structured report per exhausted task. Retries assume
+    [f] is {e restartable}: pure, or failing before it mutates state
+    it owns. Deterministic chaos testing (see [Resilience.Chaos])
+    injects faults through {!set_fault_injector}, which fires before
+    [f] is entered and therefore always satisfies that contract.
+
     Parallel regions never nest: a pool call issued from inside a
     worker (or from the caller while it participates in a region) runs
-    sequentially on the spot. This keeps the domain count bounded by
-    the pool size regardless of how the layers compose (e.g. a grid
-    sweep whose cells each invoke the BiCrit solver). *)
+    sequentially on the spot — with the same retry semantics — so the
+    domain count stays bounded by the pool size regardless of how the
+    layers compose (e.g. a grid sweep whose cells each invoke the
+    BiCrit solver). *)
 
 type t
 (** A pool configuration. Cheap to create; worker domains are spawned
@@ -57,25 +71,74 @@ val default : unit -> t
     default_domain_count ())]. Library entry points use this when no
     [?pool] is passed. *)
 
-val init_array : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** {2 Failure reports and retry policy} *)
+
+type failure = {
+  index : int;  (** The task (result slot) that exhausted its retries. *)
+  attempts : int;  (** Attempts made, = the bound in force. *)
+  error : string;  (** [Printexc.to_string] of the last exception. *)
+}
+
+exception Tasks_failed of failure list
+(** Raised by the combinators after the region has completed when at
+    least one task exhausted its retry budget; the reports are sorted
+    by ascending [index] and identical for any domain count. *)
+
+exception Injected_fault of { index : int; attempt : int }
+(** The synthetic failure raised when the installed fault injector
+    fires for [(index, attempt)] — before the task function runs, so
+    an injected fault never leaves partial state behind. *)
+
+val retries_env_var : string
+(** ["REXSPEED_RETRIES"] — environment override for the per-task
+    attempt bound. *)
+
+val default_max_attempts : int
+(** [10]: the attempt bound when neither {!set_max_attempts} nor
+    {!retries_env_var} is in effect. High enough that chaos testing at
+    failure probability 0.2 exhausts a task with probability [~1e-7]. *)
+
+val set_max_attempts : int -> unit
+(** Override the per-task attempt bound for this process (the CLI's
+    [--retries] flag); clamped to [>= 1]. [1] disables retrying. *)
+
+val max_attempts : unit -> int
+(** The attempt bound in force: the {!set_max_attempts} value if set,
+    else {!retries_env_var} if it parses as a positive integer, else
+    {!default_max_attempts}. *)
+
+val set_fault_injector : (index:int -> attempt:int -> bool) option -> unit
+(** Install (or clear, with [None]) the deterministic fault injector.
+    When present it is consulted before every task attempt, in every
+    pool path including sequential degradation; returning [true]
+    raises {!Injected_fault} for that attempt, which then follows the
+    normal retry path. The injector must be a pure function of
+    [(index, attempt)] — never of wall-clock or scheduling state — so
+    injected runs stay reproducible and bit-identical across domain
+    counts. *)
+
+(** {2 Combinators} *)
+
+val init_array : ?chunk:int -> ?attempts:int -> t -> int -> (int -> 'a) -> 'a array
 (** [init_array pool n f] is [Array.init n f] with the [n] evaluations
     distributed over the pool in chunks. [chunk] (default [max 1 (n /
     (8 * domains))]) is the number of consecutive indices a worker
-    claims at a time. If any [f i] raises, one such exception is
-    re-raised after all workers have stopped.
-    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+    claims at a time; [attempts] (default {!max_attempts}[ ()]) bounds
+    the per-task retries.
+    @raise Tasks_failed if any task exhausts its attempts.
+    @raise Invalid_argument if [n < 0], [chunk < 1] or [attempts < 1]. *)
 
-val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?chunk:int -> ?attempts:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f a] is [Array.map f a], parallelized as
     {!init_array}. *)
 
-val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?chunk:int -> ?attempts:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list pool f l] is [List.map f l] (same order), parallelized
     through an intermediate array. *)
 
 val map_reduce :
-  ?chunk:int -> t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) ->
-  init:'acc -> 'a array -> 'acc
+  ?chunk:int -> ?attempts:int -> t -> map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
 (** [map_reduce pool ~map ~reduce ~init a] maps in parallel, then folds
     the mapped values {e sequentially, left to right in index order}:
     [Array.fold_left reduce init (map_array pool map a)]. The ordered

@@ -54,6 +54,49 @@ let parse_speeds ~line_number raw =
   in
   go [] parts
 
+(* ------------------------------------------------------------------ *)
+(* Semantic validation. A file that parses but describes a meaningless
+   machine (negative error rate, zero-cost checkpoint, unsorted speed
+   ladder) would surface much later as NaN overheads or infeasible
+   solves; reject it here, with the line it came from. *)
+
+let positive ~line_number key value =
+  if value > 0. then Ok value
+  else
+    Error
+      (Printf.sprintf "line %d: key %s: must be positive, got %g" line_number
+         key value)
+
+let non_negative ~line_number key value =
+  if value >= 0. then Ok value
+  else
+    Error
+      (Printf.sprintf "line %d: key %s: must be non-negative, got %g"
+         line_number key value)
+
+let validate_speeds ~line_number speeds =
+  let rec go = function
+    | [] -> Ok speeds
+    | s :: _ when s <= 0. ->
+        Error
+          (Printf.sprintf "line %d: speeds: every speed must be positive, got %g"
+             line_number s)
+    | a :: b :: _ when a = b ->
+        Error (Printf.sprintf "line %d: speeds: duplicate speed %g" line_number a)
+    | a :: b :: _ when a > b ->
+        Error
+          (Printf.sprintf
+             "line %d: speeds: must be strictly increasing (%g listed before \
+              %g)"
+             line_number a b)
+    | _ :: rest -> go rest
+  in
+  if speeds = [] then
+    Error
+      (Printf.sprintf "line %d: speeds: at least one speed is required"
+         line_number)
+  else go speeds
+
 let parse contents =
   let table = Hashtbl.create 8 in
   let lines = String.split_on_char '\n' contents in
@@ -96,27 +139,30 @@ let parse contents =
         Error ("missing required keys: " ^ String.concat ", " missing)
       else
         let get key = Hashtbl.find table key in
-        let float_field key =
+        let ( let* ) = Result.bind in
+        let float_field check key =
           let line_number, raw = get key in
-          parse_float ~line_number key raw
+          let* value = parse_float ~line_number key raw in
+          check ~line_number key value
         in
-        let optional_float key =
+        let optional_float check key =
           match Hashtbl.find_opt table key with
           | None -> Ok None
           | Some (line_number, raw) ->
-              Result.map Option.some (parse_float ~line_number key raw)
+              let* value = parse_float ~line_number key raw in
+              Result.map Option.some (check ~line_number key value)
         in
-        let ( let* ) = Result.bind in
-        let* lambda = float_field "lambda" in
-        let* c = float_field "c" in
-        let* v = float_field "v" in
-        let* kappa = float_field "kappa" in
-        let* p_idle = float_field "p_idle" in
-        let* r = optional_float "r" in
-        let* p_io = optional_float "p_io" in
+        let* lambda = float_field positive "lambda" in
+        let* c = float_field positive "c" in
+        let* v = float_field positive "v" in
+        let* kappa = float_field positive "kappa" in
+        let* p_idle = float_field non_negative "p_idle" in
+        let* r = optional_float non_negative "r" in
+        let* p_io = optional_float non_negative "p_io" in
         let* speeds =
           let line_number, raw = get "speeds" in
-          parse_speeds ~line_number raw
+          let* speeds = parse_speeds ~line_number raw in
+          validate_speeds ~line_number speeds
         in
         Ok { lambda; c; r; v; kappa; p_idle; p_io; speeds }
     end

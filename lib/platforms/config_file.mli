@@ -17,7 +17,15 @@
     v}
 
     Keys are case-insensitive; whitespace is free; unknown keys are an
-    error (typos should not silently disappear). *)
+    error (typos should not silently disappear).
+
+    Values are validated semantically, not just lexically — a file
+    that parses but describes a meaningless machine would otherwise
+    surface much later as NaN overheads or infeasible solves:
+    [lambda], [c], [v] and [kappa] must be positive; [p_idle], [r] and
+    [p_io] non-negative; [speeds] non-empty, every speed positive, and
+    strictly increasing (duplicates get their own message). Every
+    rejection names the offending line. *)
 
 type t = {
   lambda : float;

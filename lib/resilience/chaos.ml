@@ -1,0 +1,79 @@
+let env_var = "REXSPEED_CHAOS"
+
+(* Each (index, attempt) pair gets its own decision, derived purely
+   from the chaos seed — no shared stream, no consumption order. Two
+   multiplies by odd 64-bit constants (SplitMix64's golden gamma and
+   its first mixing constant) spread index and attempt across the
+   word before the SplitMix64 finalizer scrambles the result, so
+   neighbouring tasks and successive attempts are decorrelated. *)
+let decision_word ~seed ~index ~attempt =
+  let open Int64 in
+  let key =
+    logxor (of_int seed)
+      (logxor
+         (mul (of_int index) 0x9E3779B97F4A7C15L)
+         (mul (of_int attempt) 0xBF58476D1CE4E5B9L))
+  in
+  Prng.Splitmix64.next (Prng.Splitmix64.create key)
+
+(* Top 53 bits -> [0, 1), exactly as Prng.Rng converts draws. *)
+let to_unit_float word =
+  Int64.to_float (Int64.shift_right_logical word 11) *. 0x1.0p-53
+
+let fires ~p ~seed ~index ~attempt =
+  to_unit_float (decision_word ~seed ~index ~attempt) < p
+
+type config = { p : float; seed : int }
+
+let current : config option Atomic.t = Atomic.make None
+
+let active () =
+  match Atomic.get current with
+  | None -> None
+  | Some { p; seed } -> Some (p, seed)
+
+let disable () =
+  Atomic.set current None;
+  Parallel.Pool.set_fault_injector None
+
+let configure ~p ~seed =
+  if not (p >= 0. && p < 1.) then
+    Error (Printf.sprintf "chaos probability must be in [0, 1), got %g" p)
+  else if p = 0. then begin
+    disable ();
+    Ok ()
+  end
+  else begin
+    Atomic.set current (Some { p; seed });
+    Parallel.Pool.set_fault_injector
+      (Some (fun ~index ~attempt -> fires ~p ~seed ~index ~attempt));
+    Ok ()
+  end
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok ()
+  | Some spec -> begin
+      let parsed =
+        match String.index_opt spec ':' with
+        | None -> Option.map (fun p -> (p, 0)) (float_of_string_opt spec)
+        | Some i ->
+            let p = String.sub spec 0 i in
+            let seed = String.sub spec (i + 1) (String.length spec - i - 1) in
+            begin
+              match (float_of_string_opt p, int_of_string_opt seed) with
+              | Some p, Some seed -> Some (p, seed)
+              | _ -> None
+            end
+      in
+      match parsed with
+      | None ->
+          Error
+            (Printf.sprintf "%s: expected \"P\" or \"P:SEED\", got %S" env_var
+               spec)
+      | Some (p, seed) -> begin
+          match configure ~p ~seed with
+          | Ok () -> Ok ()
+          | Error message -> Error (env_var ^ ": " ^ message)
+        end
+    end

@@ -1,0 +1,38 @@
+(** Deterministic chaos injection — scripted faults for the tool itself.
+
+    The simulator studies applications that survive injected faults;
+    chaos mode turns that lens on rexspeed's own execution engine. When
+    enabled, every task attempt run by {!Parallel.Pool} may be failed
+    {e before its body executes}, with probability [p], decided by a
+    pure function of [(seed, index, attempt)] — a dedicated SplitMix64
+    substream, independent of every workload RNG.
+
+    Because the decision depends on nothing else, chaos runs are fully
+    reproducible across domain counts and scheduling orders, and
+    because the injected fault fires before the task body, a retried
+    task re-runs from pristine state: with retries enabled, results
+    under chaos are bit-identical to a fault-free run. *)
+
+val env_var : string
+(** ["REXSPEED_CHAOS"] — set to ["P"] or ["P:SEED"] to enable chaos
+    without touching the command line. *)
+
+val configure : p:float -> seed:int -> (unit, string) result
+(** Enable chaos: install a fault injector into {!Parallel.Pool} that
+    fails each (task, attempt) independently with probability [p].
+    [p] must lie in [\[0, 1)]; [p = 0.] is equivalent to {!disable}. *)
+
+val disable : unit -> unit
+(** Remove any installed injector. *)
+
+val active : unit -> (float * int) option
+(** Currently configured [(p, seed)], if chaos is enabled. *)
+
+val of_env : unit -> (unit, string) result
+(** Read {!env_var} and {!configure} accordingly. [Ok ()] when the
+    variable is unset or empty; [Error _] on a malformed value. *)
+
+val fires : p:float -> seed:int -> index:int -> attempt:int -> bool
+(** The raw decision function (exposed for tests): does chaos with
+    probability [p] under [seed] fail attempt [attempt] of task
+    [index]? Pure — same arguments, same answer, forever. *)

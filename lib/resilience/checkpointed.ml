@@ -1,0 +1,91 @@
+exception Journal_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Journal_error message -> Some ("Checkpointed.Journal_error: " ^ message)
+    | _ -> None)
+
+type journal = { path : string; resume : bool; description : string }
+
+let default_batch = 64
+
+(* Marshal round-trips every OCaml value exactly (floats included),
+   and the journal's per-line checksum guards its integrity before we
+   ever call [from_string]. The fingerprint (description + slot count)
+   guards the type: a journal can only be decoded by the computation
+   that wrote it. *)
+let encode v = Marshal.to_string v []
+let decode payload = Marshal.from_string payload 0
+let fingerprint description n = Printf.sprintf "%s #slots=%d" description n
+let fail message = raise (Journal_error message)
+let ok_or_fail = function Ok v -> v | Error message -> fail message
+
+let open_journal ~path ~resume ~description ~recovered ~on_resume n =
+  if resume && Sys.file_exists path then begin
+    let r = ok_or_fail (Journal.read ~path ~description ~slots:n) in
+    Array.iteri
+      (fun i payload -> recovered.(i) <- Option.map decode payload)
+      r.Journal.payloads;
+    (match on_resume with
+    | Some notify -> notify ~entries:r.Journal.entries ~dropped:r.Journal.dropped
+    | None -> ());
+    ok_or_fail (Journal.reopen ~path ~valid_bytes:r.Journal.valid_bytes)
+  end
+  else ok_or_fail (Journal.create ~path ~description)
+
+let init_array ?pool ?journal ?(batch = default_batch) ?on_resume n f =
+  if batch < 1 then invalid_arg "Checkpointed.init_array: batch must be >= 1";
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.default ()
+  in
+  match journal with
+  | None -> Parallel.Pool.init_array pool n f
+  | Some { path; resume; description } ->
+      let description = fingerprint description n in
+      let recovered = Array.make n None in
+      let writer = open_journal ~path ~resume ~description ~recovered ~on_resume n in
+      Fun.protect ~finally:(fun () -> Journal.close writer) @@ fun () ->
+      let results = Array.make n None in
+      let lo = ref 0 in
+      while !lo < n do
+        let base = !lo in
+        let hi = min n (base + batch) in
+        let width = hi - base in
+        let fresh = ref 0 in
+        for i = base to hi - 1 do
+          if Option.is_none recovered.(i) then incr fresh
+        done;
+        let values =
+          if !fresh = 0 then
+            (* Fully recovered range: nothing to compute or append. *)
+            Array.init width (fun j -> Option.get recovered.(base + j))
+          else begin
+            match
+              Parallel.Pool.init_array pool width (fun j ->
+                  let i = base + j in
+                  match recovered.(i) with Some v -> v | None -> f i)
+            with
+            | values -> values
+            | exception Parallel.Pool.Tasks_failed failures ->
+                (* Report workload-global indices, not batch-local. *)
+                raise
+                  (Parallel.Pool.Tasks_failed
+                     (List.map
+                        (fun (fl : Parallel.Pool.failure) ->
+                          { fl with index = fl.index + base })
+                        failures))
+          end
+        in
+        Array.iteri
+          (fun j v ->
+            let i = base + j in
+            results.(i) <- Some v;
+            if Option.is_none recovered.(i) then
+              Journal.append writer ~index:i ~payload:(encode v))
+          values;
+        (* One durability point per batch: a crash between flushes
+           costs at most [batch] slots of recomputation. *)
+        if !fresh > 0 then Journal.flush writer;
+        lo := hi
+      done;
+      Array.map Option.get results

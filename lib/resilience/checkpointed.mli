@@ -1,0 +1,51 @@
+(** Checkpointed parallel execution: {!Parallel.Pool.init_array} with
+    a verified on-disk {!Journal} underneath.
+
+    Work proceeds in contiguous batches of slots; after each batch the
+    newly computed results are appended to the journal and flushed, so
+    a crash at any point loses at most one batch of work. Resuming
+    validates the journal's fingerprint, recovers every verified
+    record, recomputes only the missing slots, and — because each
+    slot's value is a pure function of its index — produces an array
+    bit-identical to an uninterrupted run. *)
+
+exception Journal_error of string
+(** Raised when a journal cannot be created, read, or resumed — e.g. a
+    fingerprint mismatch or an unreadable file. Record-level damage is
+    not an error (recovery degrades to the last verified record). *)
+
+type journal = {
+  path : string;  (** Journal file location. *)
+  resume : bool;
+      (** [true]: recover verified records from an existing file
+          (a missing file starts fresh). [false]: truncate and start
+          a new journal. *)
+  description : string;
+      (** Run fingerprint — workload name, configuration and root
+          seed. The slot count is appended automatically; a resumed
+          journal must match exactly. *)
+}
+
+val default_batch : int
+(** Slots computed between journal flushes when [?batch] is omitted. *)
+
+val init_array :
+  ?pool:Parallel.Pool.t ->
+  ?journal:journal ->
+  ?batch:int ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) ->
+  int ->
+  (int -> 'a) ->
+  'a array
+(** [init_array ?pool ?journal n f] behaves exactly like
+    {!Parallel.Pool.init_array} — same values, same order, same
+    fault-tolerance contract — and additionally journals completed
+    slots when [?journal] is given. [f] must be pure per index (the
+    standard pool contract); recovered slots do not call [f] at all.
+
+    [on_resume] is invoked (at most once, before any computation) with
+    the number of recovered slots and whether a corrupted tail was
+    discarded — useful for progress notes on stderr.
+
+    @raise Journal_error on journal create/read/resume failure.
+    @raise Invalid_argument if [batch < 1]. *)

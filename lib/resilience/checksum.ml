@@ -1,0 +1,17 @@
+(* FNV-1a, 64-bit: one multiply and one xor per byte, excellent
+   dispersion for short ASCII records, and trivially portable — the
+   journal needs tamper/tear detection, not cryptography. *)
+
+let fnv_offset_basis = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let string s =
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let to_hex = Printf.sprintf "%016Lx"
+let hex_of_string s = to_hex (string s)

@@ -1,0 +1,17 @@
+(** 64-bit FNV-1a checksums for journal records.
+
+    Every journal line carries its own checksum so that torn writes
+    (a crash mid-append) and bit corruption are detected on load and
+    degrade gracefully to the last verified record. FNV-1a is not
+    cryptographic — it guards against accidents, not adversaries —
+    which matches the journal's threat model (SIGKILL, OOM, power
+    loss). *)
+
+val string : string -> int64
+(** FNV-1a 64-bit hash of a byte string. *)
+
+val to_hex : int64 -> string
+(** Fixed-width (16 character) lowercase hex rendering. *)
+
+val hex_of_string : string -> string
+(** [to_hex (string s)]. *)

@@ -107,20 +107,33 @@ let run_pattern ?trace ?(verifications = 1) ?fail_process ?silent_process
   in
   go ~speed:sigma1 ~re_executions:0 ~silent:0 ~fail_stop:0
 
-let run_application ?trace ?verifications ~model ~power ~rng ~w_base
-    ~pattern_w ~sigma1 ~sigma2 () =
+let run_application ?trace ?verifications ?fail_process ?silent_process
+    ~model ~power ~rng ~w_base ~pattern_w ~sigma1 ~sigma2 () =
   if w_base <= 0. then
     invalid_arg "Executor.run_application: non-positive w_base";
   if pattern_w <= 0. then
     invalid_arg "Executor.run_application: non-positive pattern_w";
+  (* Injected processes are shared across patterns (a scripted schedule
+     spans the whole application); the Poisson defaults are memoryless,
+     so sharing them is equivalent to per-pattern creation. *)
+  let fail_process =
+    match fail_process with
+    | Some p -> p
+    | None -> Fault.create ~rate:model.Core.Mixed.lambda_f
+  in
+  let silent_process =
+    match silent_process with
+    | Some p -> p
+    | None -> Fault.create ~rate:model.Core.Mixed.lambda_s
+  in
   let machine = Machine.create power in
   let rec go remaining acc =
     if remaining <= 0. then acc
     else
       let w = Float.min remaining pattern_w in
       let p =
-        run_pattern ?trace ?verifications ~model ~machine ~rng ~w ~sigma1
-          ~sigma2 ()
+        run_pattern ?trace ?verifications ~fail_process ~silent_process
+          ~model ~machine ~rng ~w ~sigma1 ~sigma2 ()
       in
       go (remaining -. w)
         {

@@ -46,9 +46,12 @@ val run_pattern :
     [verifications < 1]. *)
 
 val run_application :
-  ?trace:Trace.builder -> ?verifications:int -> model:Core.Mixed.t ->
-  power:Core.Power.t -> rng:Prng.Rng.t -> w_base:float -> pattern_w:float ->
-  sigma1:float -> sigma2:float -> unit -> outcome
+  ?trace:Trace.builder -> ?verifications:int -> ?fail_process:Fault.t ->
+  ?silent_process:Fault.t -> model:Core.Mixed.t -> power:Core.Power.t ->
+  rng:Prng.Rng.t -> w_base:float -> pattern_w:float -> sigma1:float ->
+  sigma2:float -> unit -> outcome
 (** Execute a divisible application of [w_base] total work split into
     patterns of [pattern_w] (the last pattern takes the remainder).
+    Injected [fail_process] / [silent_process] are shared across all
+    patterns, so one scripted schedule can span the application.
     @raise Invalid_argument on non-positive [w_base] or [pattern_w]. *)

@@ -18,22 +18,24 @@ type pattern_checks = {
   re_executions : check;
 }
 
-let replicate ?pool ~replicas ~seed run =
+let replicate ?pool ?journal ?on_resume ~replicas ~seed run =
   if replicas < 1 then invalid_arg "Montecarlo: replicas must be >= 1";
-  let pool =
-    match pool with Some p -> p | None -> Parallel.Pool.default ()
-  in
   (* The streams are pre-split from the root seed before any work is
      dispatched: replica i always sees the i-th 2^128-jump
      subsequence, so the domain count can never change what a replica
-     draws — parallel results are bit-identical to sequential ones. *)
+     draws — parallel results are bit-identical to sequential ones.
+     The same property makes each replica a pure function of its slot,
+     so journaled runs recover replicas verbatim and recompute only
+     the missing ones. *)
   let root = Prng.Rng.create ~seed in
   let rngs = Prng.Rng.split root replicas in
-  Parallel.Pool.map_array pool run rngs
+  Resilience.Checkpointed.init_array ?pool ?journal ?on_resume replicas
+    (fun i -> run rngs.(i))
 
-let pattern_estimate ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 () =
+let pattern_estimate ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w
+    ~sigma1 ~sigma2 () =
   let outcomes =
-    replicate ?pool ~replicas ~seed (fun rng ->
+    replicate ?pool ?journal ?on_resume ~replicas ~seed (fun rng ->
         let machine = Machine.create power in
         Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
   in
@@ -52,10 +54,10 @@ let pattern_estimate ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 () =
            outcomes);
   }
 
-let application_estimate ?pool ~replicas ~seed ~model ~power ~w_base ~pattern_w
-    ~sigma1 ~sigma2 () =
+let application_estimate ?pool ?journal ?on_resume ~replicas ~seed ~model
+    ~power ~w_base ~pattern_w ~sigma1 ~sigma2 () =
   let outcomes =
-    replicate ?pool ~replicas ~seed (fun rng ->
+    replicate ?pool ?journal ?on_resume ~replicas ~seed (fun rng ->
         Executor.run_application ~model ~power ~rng ~w_base ~pattern_w ~sigma1
           ~sigma2 ())
   in
@@ -82,18 +84,20 @@ let make_check ~label ~z ~expected (observed : Numerics.Stats.summary) =
   in
   { label; expected; observed; z = score; ok = score <= z }
 
-let samples_of ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 () =
-  replicate ?pool ~replicas ~seed (fun rng ->
+let samples_of ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w
+    ~sigma1 ~sigma2 () =
+  replicate ?pool ?journal ?on_resume ~replicas ~seed (fun rng ->
       let machine = Machine.create power in
       Executor.run_pattern ~model ~machine ~rng ~w ~sigma1 ~sigma2 ())
 
-let checks ?(z = 3.89) ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2
-    () =
+let checks ?(z = 3.89) ?pool ?journal ?on_resume ~replicas ~seed ~model ~power
+    ~w ~sigma1 ~sigma2 () =
   (* One simulation pass feeds all three comparisons; the time, energy
      and re-execution checks are different projections of the same
      outcomes, not reasons to pay the simulation cost three times. *)
   let outcomes =
-    samples_of ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ()
+    samples_of ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w
+      ~sigma1 ~sigma2 ()
   in
   let summarize f = Numerics.Stats.summarize (Array.map f outcomes) in
   let time =
@@ -115,19 +119,22 @@ let checks ?(z = 3.89) ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2
   in
   { pattern_time = time; pattern_energy = energy; re_executions }
 
-let check_pattern_time ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
-    ~sigma2 () =
-  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+let check_pattern_time ?z ?pool ?journal ?on_resume ~replicas ~seed ~model
+    ~power ~w ~sigma1 ~sigma2 () =
+  (checks ?z ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w ~sigma1
+     ~sigma2 ())
     .pattern_time
 
-let check_pattern_energy ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
-    ~sigma2 () =
-  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+let check_pattern_energy ?z ?pool ?journal ?on_resume ~replicas ~seed ~model
+    ~power ~w ~sigma1 ~sigma2 () =
+  (checks ?z ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w ~sigma1
+     ~sigma2 ())
     .pattern_energy
 
-let check_reexecutions ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1
-    ~sigma2 () =
-  (checks ?z ?pool ~replicas ~seed ~model ~power ~w ~sigma1 ~sigma2 ())
+let check_reexecutions ?z ?pool ?journal ?on_resume ~replicas ~seed ~model
+    ~power ~w ~sigma1 ~sigma2 () =
+  (checks ?z ?pool ?journal ?on_resume ~replicas ~seed ~model ~power ~w ~sigma1
+     ~sigma2 ())
     .re_executions
 
 let pp_check ppf c =

@@ -32,29 +32,39 @@ type pattern_checks = {
 (** The three projections of one simulated outcome set. *)
 
 val replicate :
-  ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
-  (Prng.Rng.t -> 'a) -> 'a array
+  ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int ->
+  seed:int -> (Prng.Rng.t -> 'a) -> 'a array
 (** [replicate ~replicas ~seed run] pre-splits [replicas] independent
     streams from [seed] and maps [run] over them on [pool] (default:
     the ambient pool); slot [i] always holds the outcome of stream
-    [i]. @raise Invalid_argument if [replicas < 1]. *)
+    [i].
+
+    With [journal], completed replicas are checkpointed to disk and a
+    resumed run recomputes only the missing ones (see
+    {!Resilience.Checkpointed.init_array}, which also documents
+    [on_resume]); journaled, resumed and plain runs of the same seed
+    are bit-identical. @raise Invalid_argument if [replicas < 1]. *)
 
 val pattern_estimate :
-  ?pool:Parallel.Pool.t -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int -> model:Core.Mixed.t ->
   power:Core.Power.t -> w:float -> sigma1:float -> sigma2:float -> unit ->
   estimate
 (** Simulate one pattern [replicas] times.
     @raise Invalid_argument if [replicas < 1]. *)
 
 val application_estimate :
-  ?pool:Parallel.Pool.t -> replicas:int -> seed:int -> model:Core.Mixed.t ->
+  ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int -> model:Core.Mixed.t ->
   power:Core.Power.t -> w_base:float -> pattern_w:float -> sigma1:float ->
   sigma2:float -> unit -> estimate
 (** Simulate the full divisible application [replicas] times; [time]
     summarizes makespans and [energy] total energies. *)
 
 val checks :
-  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  ?z:float -> ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int ->
   model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
   sigma2:float -> unit -> pattern_checks
 (** All three closed-form comparisons from a {e single} simulation
@@ -63,7 +73,8 @@ val checks :
     ~1e-4 two-sided) sets the acceptance width. *)
 
 val check_pattern_time :
-  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  ?z:float -> ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int ->
   model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
   sigma2:float -> unit -> check
 (** [(checks ...).pattern_time] — compare the simulated mean pattern
@@ -71,14 +82,16 @@ val check_pattern_time :
     pass; prefer {!checks} when more than one projection is needed. *)
 
 val check_pattern_energy :
-  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  ?z:float -> ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int ->
   model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
   sigma2:float -> unit -> check
 (** [(checks ...).pattern_energy] — same comparison for
     {!Core.Mixed.expected_energy}. *)
 
 val check_reexecutions :
-  ?z:float -> ?pool:Parallel.Pool.t -> replicas:int -> seed:int ->
+  ?z:float -> ?pool:Parallel.Pool.t -> ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> replicas:int -> seed:int ->
   model:Core.Mixed.t -> power:Core.Power.t -> w:float -> sigma1:float ->
   sigma2:float -> unit -> check
 (** [(checks ...).re_executions] — compare the simulated mean number

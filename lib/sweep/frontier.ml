@@ -11,17 +11,18 @@ let default_rhos env =
   let min_rho = Core.Bicrit.min_feasible_rho env in
   Numerics.Axis.linspace ~lo:(min_rho *. 1.001) ~hi:(Float.max 8. (min_rho *. 2.)) ~n:160
 
-let compute ?(label = "") ?pool ?rhos (env : Core.Env.t) =
-  let pool =
-    match pool with Some p -> p | None -> Parallel.Pool.default ()
-  in
+let compute ?(label = "") ?pool ?journal ?on_resume ?rhos (env : Core.Env.t) =
   let rhos = match rhos with Some r -> r | None -> default_rhos env in
-  (* One BiCrit solve per bound on the pool; the Pareto filter below
-     stays sequential over the rho-ordered results, so the frontier is
-     independent of the domain count. *)
+  (* One BiCrit solve per bound on the pool — slot i is always bound
+     rhos.(i), so journaled runs resume bound by bound; the Pareto
+     filter below stays sequential over the rho-ordered results, so
+     the frontier is independent of the domain count. *)
+  let rhos = Array.of_list rhos in
   let raw =
-    Parallel.Pool.map_list pool
-      (fun rho ->
+    Resilience.Checkpointed.init_array ?pool ?journal ?on_resume
+      (Array.length rhos)
+      (fun i ->
+        let rho = rhos.(i) in
         match Core.Bicrit.solve env ~rho with
         | None -> None
         | Some { best; _ } ->
@@ -32,7 +33,7 @@ let compute ?(label = "") ?pool ?rhos (env : Core.Env.t) =
                 energy_overhead = best.Core.Optimum.energy_overhead;
                 solution = best;
               })
-      rhos
+    |> Array.to_list
     |> List.filter_map Fun.id
   in
   (* Keep the Pareto-efficient subset: scanning by ascending time,

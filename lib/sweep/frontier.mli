@@ -21,13 +21,19 @@ type t = {
 }
 
 val compute :
-  ?label:string -> ?pool:Parallel.Pool.t -> ?rhos:float list -> Core.Env.t -> t
+  ?label:string -> ?pool:Parallel.Pool.t ->
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> ?rhos:float list ->
+  Core.Env.t -> t
 (** [compute env] sweeps rho (default: 160 points from just above the
     minimum feasible bound to 8) and keeps the non-dominated points.
     One solve per bound runs on [pool] (default: the ambient
     {!Parallel.Pool.default}); the dominance filter is sequential over
     the ordered results, so the frontier is bit-identical for any
-    domain count. *)
+    domain count. With [journal], completed bounds are checkpointed
+    and a resumed sweep recomputes only the missing ones (see
+    {!Resilience.Checkpointed.init_array}, which also documents
+    [on_resume]). *)
 
 val knee : t -> point option
 (** The knee of the frontier: the point maximizing the normalized

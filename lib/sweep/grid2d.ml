@@ -13,14 +13,11 @@ type t = {
   cells : cell array array;
 }
 
-let run ?(label = "") ?pool ~env ~rho ~x:(x_parameter, xs) ~y:(y_parameter, ys)
-    () =
+let run ?(label = "") ?pool ?journal ?on_resume ~env ~rho
+    ~x:(x_parameter, xs) ~y:(y_parameter, ys) () =
   if x_parameter = y_parameter then
     invalid_arg "Grid2d.run: the two axes must differ";
   if xs = [] || ys = [] then invalid_arg "Grid2d.run: empty axis";
-  let pool =
-    match pool with Some p -> p | None -> Parallel.Pool.default ()
-  in
   let solve x y =
     let env, rho = Parameter.apply x_parameter ~env ~rho x in
     let env, rho = Parameter.apply y_parameter ~env ~rho y in
@@ -38,12 +35,14 @@ let run ?(label = "") ?pool ~env ~rho ~x:(x_parameter, xs) ~y:(y_parameter, ys)
   in
   (* One task per cell, flattened row-major onto the pool; slot i is
      always cell (i / nx, i mod nx), so the reassembled grid is
-     bit-identical to the nested-List.map sequential construction. *)
+     bit-identical to the nested-List.map sequential construction —
+     and each cell a pure function of its slot, so journaled runs
+     resume cell by cell. *)
   let xs = Array.of_list xs and ys = Array.of_list ys in
   let nx = Array.length xs and ny = Array.length ys in
   let flat =
-    Parallel.Pool.init_array pool (nx * ny) (fun i ->
-        solve xs.(i mod nx) ys.(i / nx))
+    Resilience.Checkpointed.init_array ?pool ?journal ?on_resume (nx * ny)
+      (fun i -> solve xs.(i mod nx) ys.(i / nx))
   in
   let cells = Array.init ny (fun row -> Array.sub flat (row * nx) nx) in
   { label; rho; x_parameter; y_parameter; cells }

@@ -23,13 +23,22 @@ type t = {
 }
 
 val run :
-  ?label:string -> ?pool:Parallel.Pool.t -> env:Core.Env.t -> rho:float ->
-  x:Parameter.t * float list -> y:Parameter.t * float list -> unit -> t
+  ?label:string -> ?pool:Parallel.Pool.t ->
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) -> env:Core.Env.t ->
+  rho:float -> x:Parameter.t * float list -> y:Parameter.t * float list ->
+  unit -> t
 (** Solve the grid, one task per cell on [pool] (default: the ambient
     {!Parallel.Pool.default}); cells land in fixed row-major slots, so
     the grid is bit-identical for any domain count. The two axes must
     be different parameters; [Rho] on an axis overrides the [rho]
     argument along that axis.
+
+    With [journal], completed cells are checkpointed to disk and a
+    resumed run recomputes only the missing ones (see
+    {!Resilience.Checkpointed.init_array}, which also documents
+    [on_resume]); the resumed grid is bit-identical to an
+    uninterrupted one.
     @raise Invalid_argument if the axes repeat a parameter or either
     axis is empty. *)
 

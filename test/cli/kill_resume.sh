@@ -1,0 +1,104 @@
+# Crash-safety integration test: SIGKILL a journaled run mid-flight,
+# resume it, and require stdout byte-identical to an uninterrupted run
+# — for the Monte-Carlo validation and the Hera/XScale grid sweep, at
+# 1, 2 and 4 domains. Also: resume across a corrupted trailing record,
+# and chaos-injection identity for all four parallelized workloads.
+#
+# Usage: sh kill_resume.sh path/to/rexspeed.exe
+set -eu
+
+exe=$1
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+fail() {
+  echo "kill_resume.sh: $*" >&2
+  exit 1
+}
+
+# Workload sizes are calibrated so a journaled single-domain run takes
+# a large fraction of a second — long enough for the kill below to
+# land mid-run, short enough to keep the suite fast.
+simulate_args="simulate --replicas 24000"
+heatmap_args="heatmap c lambda --points 240"
+
+# Reference outputs from uninterrupted, unjournaled runs.
+# shellcheck disable=SC2086
+$exe $simulate_args --domains 1 >"$tmp/simulate.fresh"
+# shellcheck disable=SC2086
+$exe $heatmap_args --domains 1 >"$tmp/heatmap.fresh"
+
+# Start a journaled run, SIGKILL it mid-flight, then --resume and
+# compare against the fresh output. The kill waits until the journal
+# holds some records (startup cost varies with machine load), so it
+# lands mid-run; if the run still finishes first, resume recovers
+# every slot from the complete journal — the byte-identity requirement
+# is the same either way.
+kill_resume() { # $1 = workload name, $2 = domains
+  name=$1 domains=$2
+  eval "args=\$${name}_args"
+  journal="$tmp/$name.d$domains.journal"
+  # shellcheck disable=SC2086
+  $exe $args --domains "$domains" --journal "$journal" >/dev/null 2>&1 &
+  pid=$!
+  tries=0
+  while [ ! -f "$journal" ] || [ "$(wc -c <"$journal")" -lt 4096 ]; do
+    kill -0 "$pid" 2>/dev/null || break # finished before we could kill it
+    tries=$((tries + 1))
+    [ "$tries" -lt 200 ] || fail "$name d=$domains: journal never grew"
+    sleep 0.05
+  done
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  [ -f "$journal" ] || fail "$name d=$domains: no journal on disk"
+  # shellcheck disable=SC2086
+  $exe $args --domains "$domains" --journal "$journal" --resume \
+    >"$tmp/$name.d$domains.out" 2>"$tmp/$name.d$domains.err" ||
+    fail "$name d=$domains: resume exited non-zero"
+  cmp -s "$tmp/$name.fresh" "$tmp/$name.d$domains.out" ||
+    fail "$name d=$domains: resumed output differs from fresh run"
+}
+
+for d in 1 2 4; do
+  kill_resume simulate "$d"
+  kill_resume heatmap "$d"
+done
+
+# A torn trailing record (partial write, no newline) must be discarded
+# on resume; everything before it is recovered and the output is still
+# byte-identical.
+journal="$tmp/torn.journal"
+# shellcheck disable=SC2086
+$exe $simulate_args --domains 2 --journal "$journal" >/dev/null
+printf 'R 23999 deadbeef' >>"$journal"
+# shellcheck disable=SC2086
+$exe $simulate_args --domains 2 --journal "$journal" --resume \
+  >"$tmp/torn.out" 2>/dev/null ||
+  fail "torn-record resume exited non-zero"
+cmp -s "$tmp/simulate.fresh" "$tmp/torn.out" ||
+  fail "torn-record resume output differs from fresh run"
+
+# Chaos smoke: injected task faults at p = 0.2 are absorbed by pool
+# retries, so every parallelized workload stays bit-identical to its
+# fault-free run.
+chaos="--chaos 0.2 --chaos-seed 7"
+# shellcheck disable=SC2086
+$exe $simulate_args --domains 1 $chaos >"$tmp/simulate.chaos"
+cmp -s "$tmp/simulate.fresh" "$tmp/simulate.chaos" ||
+  fail "simulate under chaos differs from fault-free run"
+# shellcheck disable=SC2086
+$exe $heatmap_args --domains 1 $chaos >"$tmp/heatmap.chaos"
+cmp -s "$tmp/heatmap.fresh" "$tmp/heatmap.chaos" ||
+  fail "heatmap under chaos differs from fault-free run"
+$exe frontier -c hera/xscale >"$tmp/frontier.fresh"
+# shellcheck disable=SC2086
+$exe frontier -c hera/xscale $chaos >"$tmp/frontier.chaos"
+cmp -s "$tmp/frontier.fresh" "$tmp/frontier.chaos" ||
+  fail "frontier under chaos differs from fault-free run"
+$exe optimize >"$tmp/optimize.fresh"
+# shellcheck disable=SC2086
+$exe optimize $chaos >"$tmp/optimize.chaos"
+cmp -s "$tmp/optimize.fresh" "$tmp/optimize.chaos" ||
+  fail "optimize under chaos differs from fault-free run"
+
+echo "kill_resume.sh: all crash-safety checks passed"

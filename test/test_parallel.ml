@@ -75,16 +75,97 @@ let test_map_reduce_ordered () =
           (Parallel.Pool.domains pool) expected got)
     pools
 
-let test_exceptions_propagate () =
+let test_exhausted_tasks_reported () =
+  (* A permanently failing task no longer aborts the region: the
+     region completes, then raises [Tasks_failed] with one report per
+     exhausted task, sorted by index — identically for every domain
+     count. *)
   List.iter
     (fun pool ->
       match
-        Parallel.Pool.init_array pool 1000 (fun i ->
-            if i = 997 then failwith "boom" else i)
+        Parallel.Pool.init_array ~attempts:3 pool 1000 (fun i ->
+            if i = 997 || i = 3 then failwith "boom" else i)
       with
-      | exception Failure m -> Alcotest.(check string) "message" "boom" m
-      | _ -> Alcotest.fail "expected the worker exception to propagate")
+      | exception Parallel.Pool.Tasks_failed failures ->
+          Alcotest.(check (list int))
+            "failed indices, ascending" [ 3; 997 ]
+            (List.map (fun f -> f.Parallel.Pool.index) failures);
+          List.iter
+            (fun (f : Parallel.Pool.failure) ->
+              Alcotest.(check int) "attempts exhausted" 3 f.attempts;
+              Alcotest.(check bool)
+                "error mentions the exception" true
+                (Astring_contains.contains f.error "boom"))
+            failures
+      | _ -> Alcotest.fail "expected Tasks_failed")
     pools
+
+let with_injector injector f =
+  Parallel.Pool.set_fault_injector (Some injector);
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_fault_injector None) f
+
+let test_injected_faults_retried () =
+  (* Inject failures on the first two attempts of every 7th task: with
+     the default attempt budget each retried task succeeds on attempt
+     3, the result is exactly [Array.init n succ], and — because the
+     injector fires before the task body — each body runs once. *)
+  let n = 100 in
+  with_injector
+    (fun ~index ~attempt -> index mod 7 = 0 && attempt <= 2)
+    (fun () ->
+      List.iter
+        (fun pool ->
+          let body_runs = Array.init n (fun _ -> Atomic.make 0) in
+          let got =
+            Parallel.Pool.init_array pool n (fun i ->
+                Atomic.incr body_runs.(i);
+                i + 1)
+          in
+          Alcotest.(check (array int)) "values" (Array.init n succ) got;
+          Array.iteri
+            (fun i c ->
+              Alcotest.(check int)
+                (Printf.sprintf "task %d body runs once" i)
+                1 (Atomic.get c))
+            body_runs)
+        pools)
+
+let test_injected_faults_exhaust () =
+  (* An injector that always fires for one index exhausts that task's
+     budget; the report carries the attempt bound and the injected
+     fault's description. *)
+  with_injector
+    (fun ~index ~attempt:_ -> index = 5)
+    (fun () ->
+      List.iter
+        (fun pool ->
+          match Parallel.Pool.init_array ~attempts:4 pool 10 succ with
+          | exception Parallel.Pool.Tasks_failed [ f ] ->
+              Alcotest.(check int) "index" 5 f.Parallel.Pool.index;
+              Alcotest.(check int) "attempts" 4 f.Parallel.Pool.attempts;
+              Alcotest.(check bool)
+                "injected fault named" true
+                (Astring_contains.contains f.Parallel.Pool.error
+                   "Injected_fault")
+          | _ -> Alcotest.fail "expected Tasks_failed with one report")
+        pools)
+
+let test_attempts_one_disables_retry () =
+  with_injector
+    (fun ~index ~attempt -> index = 2 && attempt = 1)
+    (fun () ->
+      List.iter
+        (fun pool ->
+          (* One attempt: the injected first-attempt failure is final. *)
+          (match Parallel.Pool.init_array ~attempts:1 pool 5 succ with
+          | exception Parallel.Pool.Tasks_failed [ f ] ->
+              Alcotest.(check int) "index" 2 f.Parallel.Pool.index
+          | _ -> Alcotest.fail "expected Tasks_failed");
+          (* Two attempts: the retry recovers the same region. *)
+          Alcotest.(check (array int))
+            "recovered with a second attempt" (Array.init 5 succ)
+            (Parallel.Pool.init_array ~attempts:2 pool 5 succ))
+        pools)
 
 let test_nested_regions_degrade () =
   (* A pool call from inside a worker must run sequentially (bounded
@@ -240,8 +321,14 @@ let () =
             test_init_and_list;
           Alcotest.test_case "map_reduce ordered fold" `Quick
             test_map_reduce_ordered;
-          Alcotest.test_case "exception propagation" `Quick
-            test_exceptions_propagate;
+          Alcotest.test_case "exhausted tasks reported" `Quick
+            test_exhausted_tasks_reported;
+          Alcotest.test_case "injected faults retried" `Quick
+            test_injected_faults_retried;
+          Alcotest.test_case "injected faults exhaust" `Quick
+            test_injected_faults_exhaust;
+          Alcotest.test_case "attempts=1 disables retry" `Quick
+            test_attempts_one_disables_retry;
           Alcotest.test_case "nested regions degrade" `Quick
             test_nested_regions_degrade;
           Alcotest.test_case "validation" `Quick test_validation;

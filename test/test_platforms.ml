@@ -198,6 +198,71 @@ let test_config_file_errors () =
       (Astring_contains.contains e "line 8")
   | Ok _ -> Alcotest.fail "expected error")
 
+let test_config_file_semantic_validation () =
+  (* One rejection per rule, each naming the offending line. The base
+     file puts every required key on a known line (lambda 2, c 3, v 4,
+     kappa 5, p_idle 6, speeds 7). *)
+  let file ?(lambda = "5.2e-6") ?(c = "450") ?(v = "30") ?(kappa = "2000")
+      ?(p_idle = "80") ?(speeds = "0.2, 0.5, 0.8, 1.0") ?(extra = "") () =
+    Printf.sprintf
+      "# semantic probe\n\
+       lambda = %s\n\
+       c = %s\n\
+       v = %s\n\
+       kappa = %s\n\
+       p_idle = %s\n\
+       speeds = %s\n\
+       %s"
+      lambda c v kappa p_idle speeds extra
+  in
+  let expect_rejection label contents ~line ~needle =
+    match Platforms.Config_file.parse contents with
+    | Ok _ -> Alcotest.failf "%s: expected a validation error" label
+    | Error e ->
+        check_bool
+          (Printf.sprintf "%s: names line %d (got %S)" label line e)
+          true
+          (Astring_contains.contains e (Printf.sprintf "line %d" line));
+        check_bool
+          (Printf.sprintf "%s: message mentions %S (got %S)" label needle e)
+          true
+          (Astring_contains.contains e needle)
+  in
+  expect_rejection "zero lambda" (file ~lambda:"0" ()) ~line:2
+    ~needle:"must be positive";
+  expect_rejection "negative lambda" (file ~lambda:"-1e-6" ()) ~line:2
+    ~needle:"must be positive";
+  expect_rejection "zero c" (file ~c:"0" ()) ~line:3 ~needle:"must be positive";
+  expect_rejection "negative v" (file ~v:"-30" ()) ~line:4
+    ~needle:"must be positive";
+  expect_rejection "zero kappa" (file ~kappa:"0" ()) ~line:5
+    ~needle:"must be positive";
+  expect_rejection "negative p_idle" (file ~p_idle:"-80" ()) ~line:6
+    ~needle:"must be non-negative";
+  expect_rejection "negative r" (file ~extra:"r = -400\n" ()) ~line:8
+    ~needle:"must be non-negative";
+  expect_rejection "negative p_io" (file ~extra:"p_io = -25\n" ()) ~line:8
+    ~needle:"must be non-negative";
+  expect_rejection "zero speed" (file ~speeds:"0, 0.5, 1.0" ()) ~line:7
+    ~needle:"must be positive";
+  expect_rejection "negative speed" (file ~speeds:"-0.2, 0.5" ()) ~line:7
+    ~needle:"must be positive";
+  expect_rejection "duplicate speed" (file ~speeds:"0.2, 0.5, 0.5, 1.0" ())
+    ~line:7 ~needle:"duplicate speed";
+  expect_rejection "unsorted speeds" (file ~speeds:"0.5, 0.2, 1.0" ()) ~line:7
+    ~needle:"strictly increasing";
+  (* Boundary values that must still be accepted. *)
+  (match Platforms.Config_file.parse (file ~p_idle:"0" ()) with
+  | Ok t -> checkf "p_idle = 0 accepted" 0. t.Platforms.Config_file.p_idle
+  | Error e -> Alcotest.failf "p_idle = 0 rejected: %s" e);
+  match
+    Platforms.Config_file.parse (file ~speeds:"1.0" ~extra:"r = 0\n" ())
+  with
+  | Ok t ->
+      check_bool "single speed and r = 0 accepted" true
+        (t.Platforms.Config_file.speeds = [ 1.0 ] && t.r = Some 0.)
+  | Error e -> Alcotest.failf "single speed / r = 0 rejected: %s" e
+
 let test_config_file_roundtrip () =
   match Platforms.Config_file.parse sample_file with
   | Error e -> Alcotest.failf "parse failed: %s" e
@@ -262,6 +327,8 @@ let () =
           Alcotest.test_case "optional keys" `Quick
             test_config_file_optional_keys;
           Alcotest.test_case "errors" `Quick test_config_file_errors;
+          Alcotest.test_case "semantic validation" `Quick
+            test_config_file_semantic_validation;
           Alcotest.test_case "roundtrip" `Quick test_config_file_roundtrip;
           Alcotest.test_case "load" `Quick test_config_file_load;
           Alcotest.test_case "to environment" `Quick test_env_of_config_file;

@@ -66,6 +66,25 @@ let test_fault_scripted () =
   check_raises_invalid "no closed form" (fun () ->
       Sim.Fault.strike_probability f ~duration:1.)
 
+let test_fault_scripted_exhaustion () =
+  (* Once the schedule runs dry the process behaves exactly like a
+     zero-rate one, forever: every further query yields infinity /
+     None, not an error, and does not resurrect earlier entries. *)
+  let f = Sim.Fault.scripted ~arrivals:[ 3. ] in
+  let rng = Prng.Rng.create ~seed:7 in
+  (match Sim.Fault.strikes_within f rng ~duration:10. with
+  | Some t -> checkf "scheduled arrival" 3. t
+  | None -> Alcotest.fail "scheduled arrival expected");
+  for _ = 1 to 5 do
+    checkf "exhausted first_arrival" infinity (Sim.Fault.first_arrival f rng);
+    Alcotest.(check bool) "exhausted strikes_within" true
+      (Sim.Fault.strikes_within f rng ~duration:1e15 = None)
+  done;
+  (* An empty schedule is exhausted from the start. *)
+  let empty = Sim.Fault.scripted ~arrivals:[] in
+  checkf "empty schedule never fires" infinity
+    (Sim.Fault.first_arrival empty rng)
+
 (* ------------------------------------------------------------------ *)
 (* Machine                                                             *)
 
@@ -313,6 +332,103 @@ let test_scripted_failure_injection () =
   Alcotest.(check bool) "trace well formed" true
     (Sim.Trace.is_well_formed (Sim.Trace.finish trace))
 
+(* Shared fixture for the scripted-schedule tests below: small numbers
+   so every duration can be checked by hand. W = 100, C = 10, R = 7,
+   V = 5, first attempt at sigma1 = 1, re-executions at sigma2 = 2. *)
+let scripted_model =
+  Core.Mixed.make ~c:10. ~r:7. ~v:5. ~lambda_f:1e-9 ~lambda_s:1e-9 ()
+
+let test_scripted_silent_only () =
+  (* Silent-only schedule: the fail-stop process never fires; the
+     silent process strikes during attempt 1's compute, then stays
+     quiet. *)
+  let fail_process = Sim.Fault.scripted ~arrivals:[ infinity; infinity ] in
+  let silent_process = Sim.Fault.scripted ~arrivals:[ 50.; infinity ] in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:0 in
+  let o =
+    Sim.Executor.run_pattern ~fail_process ~silent_process
+      ~model:scripted_model ~machine ~rng ~w:100. ~sigma1:1. ~sigma2:2. ()
+  in
+  Alcotest.(check int) "one re-execution" 1 o.Sim.Executor.re_executions;
+  Alcotest.(check int) "one silent" 1 o.Sim.Executor.silent_errors;
+  Alcotest.(check int) "no fail-stop" 0 o.Sim.Executor.fail_stop_errors;
+  (* Attempt 1 at speed 1: compute 100 + verify 5 (fails) + R.
+     Attempt 2 at speed 2: compute 50 + verify 2.5 + C. *)
+  check_close "hand-computed time"
+    (100. +. 5. +. 7. +. 50. +. 2.5 +. 10.)
+    o.Sim.Executor.time;
+  let cp s = Core.Power.compute_total power s in
+  let io = Core.Power.io_total power in
+  check_close "hand-computed energy"
+    ((105. *. cp 1.) +. (7. *. io) +. (52.5 *. cp 2.) +. (10. *. io))
+    o.Sim.Executor.energy
+
+let test_scripted_failstop_mid_attempt () =
+  (* A fail-stop 30 s into attempt 1 cuts it short: only the elapsed
+     compute is paid, then recovery; the retry at sigma2 is clean.
+     The silent process is only consulted on the surviving attempt. *)
+  let fail_process = Sim.Fault.scripted ~arrivals:[ 30.; infinity ] in
+  let silent_process = Sim.Fault.scripted ~arrivals:[ infinity ] in
+  let machine = Sim.Machine.create power in
+  let rng = Prng.Rng.create ~seed:0 in
+  let o =
+    Sim.Executor.run_pattern ~fail_process ~silent_process
+      ~model:scripted_model ~machine ~rng ~w:100. ~sigma1:1. ~sigma2:2. ()
+  in
+  Alcotest.(check int) "one re-execution" 1 o.Sim.Executor.re_executions;
+  Alcotest.(check int) "one fail-stop" 1 o.Sim.Executor.fail_stop_errors;
+  Alcotest.(check int) "no silent" 0 o.Sim.Executor.silent_errors;
+  (* Attempt 1: 30 s at speed 1 + R. Attempt 2 at speed 2: compute 50
+     + verify 2.5 + C. *)
+  check_close "hand-computed time"
+    (30. +. 7. +. 50. +. 2.5 +. 10.)
+    o.Sim.Executor.time;
+  let cp s = Core.Power.compute_total power s in
+  let io = Core.Power.io_total power in
+  check_close "hand-computed energy"
+    ((30. *. cp 1.) +. (7. *. io) +. (52.5 *. cp 2.) +. (10. *. io))
+    o.Sim.Executor.energy
+
+let test_scripted_application_mixed () =
+  (* A 250-unit application split into 100-unit patterns (so 100, 100
+     and a 50-unit remainder). Pattern 1 eats a silent error on
+     attempt 1, then a fail-stop 40 s into attempt 2; patterns 2-3 are
+     clean. Each query consumes one arrival from its process, in
+     pattern order — the schedules below are aligned query by query. *)
+  let fail_process =
+    (* attempt 1 of p1 (clean), attempt 2 of p1 (strikes at 40),
+       attempt 3 of p1, p2, p3. *)
+    Sim.Fault.scripted ~arrivals:[ infinity; 40.; infinity; infinity; infinity ]
+  in
+  let silent_process =
+    (* Queried only on attempts that survive fail-stop: attempt 1 of
+       p1 (strikes at 5), attempt 3 of p1, p2, p3. *)
+    Sim.Fault.scripted ~arrivals:[ 5.; infinity; infinity; infinity ]
+  in
+  let rng = Prng.Rng.create ~seed:0 in
+  let o =
+    Sim.Executor.run_application ~fail_process ~silent_process
+      ~model:scripted_model ~power ~rng ~w_base:250. ~pattern_w:100.
+      ~sigma1:1. ~sigma2:2. ()
+  in
+  Alcotest.(check int) "three patterns" 3 o.Sim.Executor.patterns;
+  Alcotest.(check int) "two re-executions" 2 o.Sim.Executor.re_executions;
+  Alcotest.(check int) "one silent" 1 o.Sim.Executor.silent_errors;
+  Alcotest.(check int) "one fail-stop" 1 o.Sim.Executor.fail_stop_errors;
+  (* Pattern 1: (100 + 5 + R) + (40 + R) + (50 + 2.5 + C) = 221.5.
+     Pattern 2: 100 + 5 + C = 115. Pattern 3 (remainder, W = 50):
+     50 + 5 + C = 65. *)
+  check_close "hand-computed makespan" (221.5 +. 115. +. 65.)
+    o.Sim.Executor.makespan;
+  (* Compute at speed 1: 105 + 105 + 55; at speed 2: 40 + 52.5;
+     io: recoveries 7 + 7, checkpoints 10 + 10 + 10. *)
+  let cp s = Core.Power.compute_total power s in
+  let io = Core.Power.io_total power in
+  check_close "hand-computed energy"
+    ((265. *. cp 1.) +. (92.5 *. cp 2.) +. (44. *. io))
+    o.Sim.Executor.total_energy
+
 let test_multi_verification_pattern () =
   (* m = 4 verifications, error-free: time and energy follow the
      multi-verification formula exactly. *)
@@ -474,6 +590,8 @@ let () =
           Alcotest.test_case "zero rate" `Quick test_fault_zero_rate;
           Alcotest.test_case "empirical rate" `Slow test_fault_empirical_rate;
           Alcotest.test_case "scripted" `Quick test_fault_scripted;
+          Alcotest.test_case "scripted exhaustion" `Quick
+            test_fault_scripted_exhaustion;
         ] );
       ( "machine",
         [ Alcotest.test_case "accounting" `Quick test_machine_accounting ] );
@@ -498,6 +616,12 @@ let () =
             test_application_remainder_pattern;
           Alcotest.test_case "scripted failure injection" `Quick
             test_scripted_failure_injection;
+          Alcotest.test_case "scripted silent-only schedule" `Quick
+            test_scripted_silent_only;
+          Alcotest.test_case "scripted fail-stop mid-attempt" `Quick
+            test_scripted_failstop_mid_attempt;
+          Alcotest.test_case "scripted mixed application schedule" `Quick
+            test_scripted_application_mixed;
           Alcotest.test_case "multi-verification pattern" `Quick
             test_multi_verification_pattern;
           Alcotest.test_case "multi-verification early detection" `Quick
