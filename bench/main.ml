@@ -466,6 +466,149 @@ let reproduce_resilience () =
 
 (* ------------------------------------------------------------------ *)
 
+let reproduce_serve () =
+  section "Serve daemon — req/s and cache-hit speedup over a Unix socket";
+  let n = 64 in
+  let requests =
+    List.init n (fun i ->
+        Printf.sprintf {|{"route":"optimize","id":%d,"params":{"rho":%g}}|} i
+          (2.5 +. (0.01 *. float_of_int i)))
+  in
+  (* One daemon per domain count, on its own socket: pipeline the batch
+     cold (all misses), again hot (all hits), read back stats, and keep
+     the first response's output bytes for the cross-domain identity
+     check. *)
+  let bench_at domains =
+    let dir = Filename.temp_file "rexspeed-serve-bench" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let socket_path = Filename.concat dir "bench.sock" in
+    let pool = Parallel.Pool.create ~domains in
+    let options =
+      {
+        Server.Daemon.default_options with
+        socket_path = Some socket_path;
+        handle_signals = false;
+      }
+    in
+    let ready = Atomic.make false in
+    let daemon =
+      Domain.spawn (fun () ->
+          Server.Daemon.run ~pool
+            ~on_ready:(fun () -> Atomic.set ready true)
+            options)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.Daemon.stop ();
+        (match Domain.join daemon with
+        | Ok () -> ()
+        | Error e -> Printf.printf "  daemon error: %s\n" e);
+        (try Sys.remove socket_path with Sys_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.01
+    done;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let send lines =
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let bytes = Bytes.of_string payload in
+      let len = Bytes.length bytes in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write fd bytes !off (len - !off)
+      done
+    in
+    (* Streaming line reader: the responses of a pipelined batch come
+       back in request order. *)
+    let pending = Buffer.create 65536 in
+    let chunk = Bytes.create 65536 in
+    let rec read_line () =
+      match String.index_opt (Buffer.contents pending) '\n' with
+      | Some i ->
+          let all = Buffer.contents pending in
+          let line = String.sub all 0 i in
+          Buffer.clear pending;
+          Buffer.add_substring pending all (i + 1)
+            (String.length all - i - 1);
+          line
+      | None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> failwith "serve bench: connection closed mid-batch"
+          | n ->
+              Buffer.add_subbytes pending chunk 0 n;
+              read_line ())
+    in
+    let first_output = ref "" in
+    let round ~expect_cached =
+      let t0 = Unix.gettimeofday () in
+      send requests;
+      let ok = ref true in
+      for i = 1 to n do
+        match Server.Json.decode (read_line ()) with
+        | Error _ -> ok := false
+        | Ok response ->
+            let member key = Server.Json.member key response in
+            if
+              Option.bind (member "status") Server.Json.to_string_opt
+                <> Some "ok"
+              || Option.bind (member "cached") Server.Json.to_bool_opt
+                 <> Some expect_cached
+            then ok := false;
+            if i = 1 && not expect_cached then
+              first_output :=
+                Option.value ~default:""
+                  (Option.bind (member "output") Server.Json.to_string_opt)
+      done;
+      (Unix.gettimeofday () -. t0, !ok)
+    in
+    let t_cold, cold_ok = round ~expect_cached:false in
+    let t_hot, hot_ok = round ~expect_cached:true in
+    let hits =
+      send [ {|{"route":"stats"}|} ];
+      match Server.Json.decode (read_line ()) with
+      | Error _ -> 0
+      | Ok response ->
+          Option.value ~default:0
+            (Option.bind
+               (Option.bind
+                  (Option.bind (Server.Json.member "result" response)
+                     (Server.Json.member "cache"))
+                  (Server.Json.member "hits"))
+               Server.Json.to_int_opt)
+    in
+    let speedup = t_cold /. Float.max t_hot 1e-9 in
+    Printf.printf
+      "  %d domain(s): cold %6.3f s (%5.0f req/s)  hot %6.3f s (%5.0f \
+       req/s)  speedup %4.1fx  hits %d\n"
+      domains t_cold
+      (float_of_int n /. Float.max t_cold 1e-9)
+      t_hot
+      (float_of_int n /. Float.max t_hot 1e-9)
+      speedup hits;
+    (cold_ok && hot_ok && hits >= n && speedup >= 1., !first_output)
+  in
+  Printf.printf "  %d distinct optimize queries per round, pipelined:\n" n;
+  let results = List.map bench_at [ 1; 2; 4 ] in
+  let identical =
+    match results with
+    | (_, reference) :: rest ->
+        reference <> "" && List.for_all (fun (_, o) -> o = reference) rest
+    | [] -> false
+  in
+  Printf.printf "  served bytes identical across 1/2/4 domains: %b\n" identical;
+  (* Timings vary with the machine; the verdict gates on correct
+     responses, non-zero hit accounting, hits not slower than misses,
+     and cross-domain byte identity. *)
+  List.for_all fst results && identical
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let points = if quick then 21 else 41 in
@@ -481,16 +624,17 @@ let () =
   let validation_ok = reproduce_validation () in
   let parallel_ok = reproduce_parallel () in
   let resilience_ok = reproduce_resilience () in
+  let serve_ok = reproduce_serve () in
   if not quick then run_benchmarks ();
   section "Verdict";
   Printf.printf
     "tables: %b | claims: %b | theorem2: %b | extensions: %b | ablations: %b \
-     | monte-carlo: %b | parallel: %b | resilience: %b\n"
+     | monte-carlo: %b | parallel: %b | resilience: %b | serve: %b\n"
     tables_ok claims_ok theorem2_ok extensions_ok ablations_ok validation_ok
-    parallel_ok resilience_ok;
+    parallel_ok resilience_ok serve_ok;
   if
     tables_ok && claims_ok && theorem2_ok && extensions_ok && ablations_ok
-    && validation_ok && parallel_ok && resilience_ok
+    && validation_ok && parallel_ok && resilience_ok && serve_ok
   then
     print_endline "REPRODUCTION: OK"
   else begin

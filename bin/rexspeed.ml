@@ -17,7 +17,8 @@ open Cmdliner
 
      1  infeasible bound, failed reproduction/validation check, or
         tasks that exhausted their retry budget
-     2  unreadable or invalid configuration/environment/journal file *)
+     2  unreadable or invalid configuration/environment/journal file,
+        or a serve listener that cannot be bound *)
 
 let exit_infeasible = 1
 let exit_config = 2
@@ -34,7 +35,7 @@ let exits =
   :: Cmd.Exit.info exit_config
        ~doc:
          "on an unreadable or invalid configuration, environment or journal \
-          file."
+          file, or a $(b,serve) listener that cannot be bound."
   :: Cmd.Exit.defaults
 
 let envs =
@@ -200,36 +201,6 @@ let resume_note ~entries ~dropped =
   Printf.eprintf "rexspeed: journal resume: %d slot(s) recovered%s\n%!" entries
     (if dropped then "; corrupted tail discarded" else "")
 
-let print_solutions (result : Core.Bicrit.result) =
-  let table =
-    Report.Table.create
-      ~header:
-        [ "sigma1"; "sigma2"; "Wopt"; "We"; "window"; "E/W"; "T/W"; "bound" ]
-      ()
-  in
-  List.iter
-    (fun (s : Core.Optimum.solution) ->
-      Report.Table.add_row table
-        [
-          Printf.sprintf "%g" s.sigma1;
-          Printf.sprintf "%g" s.sigma2;
-          Printf.sprintf "%.1f" s.w_opt;
-          Printf.sprintf "%.1f" s.w_energy;
-          Printf.sprintf "[%.0f, %.0f]" s.window.Core.Feasibility.w_min
-            s.window.Core.Feasibility.w_max;
-          Printf.sprintf "%.2f" s.energy_overhead;
-          Printf.sprintf "%.4f" s.time_overhead;
-          (if s.bound_active then "active" else "-");
-        ])
-    result.candidates;
-  Report.Table.print table;
-  let best = result.best in
-  Printf.printf
-    "\nbest pair: (%g, %g), Wopt = %.1f, energy overhead = %.2f mW, time \
-     overhead = %.4f s/unit\n"
-    best.sigma1 best.sigma2 best.w_opt best.energy_overhead
-    best.time_overhead
-
 let env_file_arg =
   Arg.(
     value
@@ -267,25 +238,12 @@ let optimize_cmd =
           (Printf.sprintf "optimize config=%s rho=%g mode=%s" name rho
              (if single then "single-speed" else "two-speeds"))
     in
-    Printf.printf "configuration: %s\n" name;
-    Format.printf "%a@.@." Core.Env.pp env;
-    match
-      Core.Bicrit.solve ~mode ?journal ~on_resume:resume_note env ~rho
-    with
-    | None ->
-        Printf.printf
-          "no feasible speed pair for rho = %g (minimum feasible rho: %.4f)\n"
-          rho
-          (Core.Bicrit.min_feasible_rho env);
-        exit_infeasible
-    | Some result ->
-        print_solutions result;
-        (match Core.Bicrit.energy_saving_vs_single env ~rho with
-        | Some saving when not single ->
-            Printf.printf "saving vs best single speed: %.1f%%\n"
-              (100. *. saving)
-        | Some _ | None -> ());
-        0
+    let r =
+      Server.Render.optimize ~mode ?journal ~on_resume:resume_note ~env ~name
+        ~rho ()
+    in
+    print_string r.output;
+    if r.ok then 0 else exit_infeasible
   in
   let term =
     with_domains
@@ -685,41 +643,8 @@ let evaluate_cmd =
               die exit_config ("cannot load " ^ path ^ ": " ^ message)
         end
     in
-    let params = env.Core.Env.params and power = env.Core.Env.power in
-    Printf.printf "pattern: W = %g at (%g, %g)\n\n" w sigma1 sigma2;
-    let fo_time =
-      Core.First_order.eval (Core.First_order.time params ~sigma1 ~sigma2) ~w
-    in
-    let fo_energy =
-      Core.First_order.eval
-        (Core.First_order.energy params power ~sigma1 ~sigma2)
-        ~w
-    in
-    Printf.printf "first-order:  T/W = %.6f s/unit,  E/W = %.4f mW\n" fo_time
-      fo_energy;
-    Printf.printf "exact:        T/W = %.6f s/unit,  E/W = %.4f mW\n"
-      (Core.Exact.time_overhead params ~w ~sigma1 ~sigma2)
-      (Core.Exact.energy_overhead params power ~w ~sigma1 ~sigma2);
-    let d = Core.Distribution.make params ~w ~sigma1 ~sigma2 in
-    Printf.printf
-      "distribution: P(no re-execution) = %.4f, stddev(T) = %.2f s, p99(T) \
-       = %.1f s\n"
-      (Core.Distribution.pmf d 0)
-      (Core.Distribution.stddev_time d)
-      (Core.Distribution.quantile_time d 0.99);
-    if replicas > 0 then begin
-      let model = Core.Mixed.of_params params ~fail_stop_fraction:0. in
-      let est =
-        Sim.Montecarlo.pattern_estimate ~replicas ~seed:42 ~model ~power ~w
-          ~sigma1 ~sigma2 ()
-      in
-      Printf.printf
-        "simulated:    mean T = %.2f +/- %.2f s over %d replicas (model \
-         says %.2f)\n"
-        est.Sim.Montecarlo.time.Numerics.Stats.mean
-        est.Sim.Montecarlo.time.Numerics.Stats.std_error replicas
-        (Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
-    end;
+    let r = Server.Render.evaluate ~env ~w ~sigma1 ~sigma2 ~replicas () in
+    print_string r.output;
     0
   in
   Cmd.v
@@ -920,45 +845,15 @@ let report_cmd =
 let frontier_cmd =
   let run config jspec =
     guarded @@ fun () ->
+    let name = Platforms.Config.name config in
     let env = Core.Env.of_config config in
     let journal =
-      journal_of jspec
-        ~description:
-          (Printf.sprintf "frontier config=%s" (Platforms.Config.name config))
+      journal_of jspec ~description:(Printf.sprintf "frontier config=%s" name)
     in
-    let f =
-      Sweep.Frontier.compute
-        ~label:(Platforms.Config.name config)
-        ?journal ~on_resume:resume_note env
+    let r =
+      Server.Render.frontier ?journal ~on_resume:resume_note ~env ~name ()
     in
-    Printf.printf
-      "time/energy Pareto frontier for %s (%d non-dominated points)\n\n"
-      (Platforms.Config.name config)
-      (List.length f.Sweep.Frontier.points);
-    let table =
-      Report.Table.create
-        ~header:[ "rho"; "T/W"; "E/W (mW)"; "sigma1"; "sigma2"; "Wopt" ]
-        ()
-    in
-    List.iter
-      (fun (p : Sweep.Frontier.point) ->
-        Report.Table.add_row table
-          [
-            Printf.sprintf "%.3f" p.rho;
-            Printf.sprintf "%.4f" p.time_overhead;
-            Printf.sprintf "%.1f" p.energy_overhead;
-            Printf.sprintf "%g" p.solution.Core.Optimum.sigma1;
-            Printf.sprintf "%g" p.solution.Core.Optimum.sigma2;
-            Printf.sprintf "%.0f" p.solution.Core.Optimum.w_opt;
-          ])
-      f.Sweep.Frontier.points;
-    Report.Table.print table;
-    (match Sweep.Frontier.knee f with
-    | Some k ->
-        Printf.printf
-          "\nknee (diminishing returns): rho = %.3f, T/W = %.4f, E/W = %.1f\n"
-          k.rho k.time_overhead k.energy_overhead
-    | None -> ());
+    print_string r.output;
     0
   in
   Cmd.v
@@ -1063,17 +958,111 @@ let verif_cmd =
        ~doc:"Patterns with m intermediate verifications per checkpoint (extension).")
     Term.(const run $ config_arg $ rho_arg $ scale)
 
+let serve_cmd =
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Accept TCP connections on 127.0.0.1:$(docv).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Accept connections on a Unix-domain socket at $(docv) (a stale \
+             socket file is replaced). At least one of $(b,--port) and \
+             $(b,--socket) is required.")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Capacity of the LRU result cache, in entries; 0 disables \
+             caching. Cached answers are the stored bytes of the first \
+             computation, so hits are byte-identical to misses.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request lines longer than $(docv) with a structured \
+             $(i,too-large) error instead of buffering them.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Maximum requests dispatched to the worker pool per round; \
+             excess pipelined requests wait in order.")
+  in
+  let log_every =
+    Arg.(
+      value & opt int 0
+      & info [ "log-every" ] ~docv:"N"
+          ~doc:
+            "Log a stats line (requests, req/s, cache hit rate, p99) to \
+             stderr every $(docv) completed requests; 0 disables.")
+  in
+  let run port socket cache_entries max_request_bytes max_inflight log_every =
+    if port = None && socket = None then
+      die Cmd.Exit.cli_error "serve needs a listener: pass --port and/or --socket";
+    (match port with
+    | Some p when p < 1 || p > 65535 ->
+        die Cmd.Exit.cli_error "--port must be in 1..65535"
+    | Some _ | None -> ());
+    if cache_entries < 0 then
+      die Cmd.Exit.cli_error "--cache-entries must be >= 0";
+    if max_request_bytes < 2 then
+      die Cmd.Exit.cli_error "--max-request-bytes must be at least 2";
+    if max_inflight < 1 then die Cmd.Exit.cli_error "--max-inflight must be >= 1";
+    if log_every < 0 then die Cmd.Exit.cli_error "--log-every must be >= 0";
+    let options =
+      {
+        Server.Daemon.port;
+        socket_path = socket;
+        cache_entries;
+        max_request_bytes;
+        max_inflight;
+        log_every;
+        handle_signals = true;
+      }
+    in
+    match Server.Daemon.run options with
+    | Ok () -> 0
+    | Error message -> die exit_config message
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Serve optimize/frontier/evaluate queries over TCP or a Unix \
+          socket: newline-delimited JSON in and out, an LRU result cache \
+          keyed by the request fingerprint, live $(i,stats)/$(i,health) \
+          routes, and graceful drain on SIGINT/SIGTERM. Answers are \
+          byte-identical to the one-shot subcommands for any $(b,--domains).")
+    (with_domains
+       Term.(
+         const run $ port $ socket $ cache_entries $ max_request_bytes
+         $ max_inflight $ log_every))
+
 let main =
   let doc =
     "reproduction of 'A different re-execution speed can help' (Benoit et \
      al., 2016)"
   in
   Cmd.group
-    (Cmd.info "rexspeed" ~version:"1.0.0" ~doc ~exits ~envs)
+    (Cmd.info "rexspeed" ~version:Server.Version.current ~doc ~exits ~envs)
     [
       optimize_cmd; tables_cmd; figure_cmd; sweep_cmd; simulate_cmd;
       theorem2_cmd; claims_cmd; mixed_cmd; verif_cmd; frontier_cmd; report_cmd;
       ablation_cmd; baselines_cmd; heatmap_cmd; evaluate_cmd; sensitivity_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -32,8 +32,19 @@ let of_float_rows ~header ~rows =
   to_string ~header
     ~rows:(List.map (fun row -> List.map cell (Array.to_list row)) rows)
 
+(* Crash-atomic: stage into a .tmp sibling, flush, then rename over
+   the destination — POSIX rename is atomic within a filesystem, so a
+   run killed mid-write never leaves a torn file behind, only either
+   the previous complete version or the new one (the same guarantee
+   the run journal gives its records). *)
 let write_file ~path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -14,4 +14,7 @@ val of_float_rows : header:string list -> rows:float array list -> string
     as an empty field. *)
 
 val write_file : path:string -> string -> unit
-(** Write a document to [path] (truncating). *)
+(** Write a document to [path], crash-atomically: the contents are
+    staged into a [.tmp] sibling and renamed into place, so a killed
+    run leaves either the previous complete file or the new one —
+    never a torn write. *)

@@ -36,8 +36,4 @@ let script ~output ~title ~xlabel ~ylabel ?(logx = false) ~data_file ~series
   add ("plot " ^ String.concat ", \\\n     " plots);
   Buffer.contents buffer
 
-let write_file ~path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+let write_file = Csv.write_file

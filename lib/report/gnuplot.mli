@@ -17,3 +17,4 @@ val script :
     writing a PNG to [output]. *)
 
 val write_file : path:string -> string -> unit
+(** [Csv.write_file]: crash-atomic tmp-then-rename write. *)

@@ -1,0 +1,579 @@
+type options = {
+  port : int option;
+  socket_path : string option;
+  cache_entries : int;
+  max_request_bytes : int;
+  max_inflight : int;
+  log_every : int;
+  handle_signals : bool;
+}
+
+let default_options =
+  {
+    port = None;
+    socket_path = None;
+    cache_entries = 256;
+    max_request_bytes = 1024 * 1024;
+    max_inflight = 64;
+    log_every = 0;
+    handle_signals = true;
+  }
+
+let stop_requested = Atomic.make false
+let stop () = Atomic.set stop_requested true
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type conn = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes read but not yet line-terminated *)
+  mutable eof : bool;  (* peer closed its writing end *)
+  mutable dead : bool;  (* drop after the current round's responses *)
+}
+
+(* Blocking-ish write on a non-blocking fd: wait for writability when
+   the kernel buffer is full, give up (and drop the connection) after
+   a stuck 30 s — a reader that slow is not coming back. *)
+let write_all conn s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  let give_up_at = Unix.gettimeofday () +. 30. in
+  (try
+     while !off < len && not conn.dead do
+       match Unix.write conn.fd bytes !off (len - !off) with
+       | written -> off := !off + written
+       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+           if Unix.gettimeofday () > give_up_at then conn.dead <- true
+           else ignore (Unix.select [] [ conn.fd ] [] 1.)
+       | exception Unix.Unix_error (EINTR, _, _) -> ()
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+     conn.dead <- true);
+  not conn.dead
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let float_or_null v = if Float.is_finite v then Json.Float v else Json.Null
+
+let error_response ?(extra = []) ~id ~code message =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "error");
+      ( "error",
+        Json.Obj
+          ((("code", Json.String code) :: extra)
+          @ [ ("message", Json.String message) ]) );
+    ]
+
+let result_response ~id ~route ~fingerprint ~cached ~(rendering : Render.rendering) =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("route", Json.String route);
+      ("fingerprint", Json.String fingerprint);
+      ("cached", Json.Bool cached);
+      ("exit", Json.Int (if rendering.ok then 0 else 1));
+      ("output", Json.String rendering.output);
+    ]
+
+let health_response ~id ~metrics =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("route", Json.String "health");
+      ( "result",
+        Json.Obj
+          [
+            ("status", Json.String "serving");
+            ("version", Json.String Version.current);
+            ("uptime_s", float_or_null (Metrics.uptime_s metrics));
+          ] );
+    ]
+
+let latency_json (s : Metrics.route_stats) =
+  let ms v = float_or_null (1000. *. v) in
+  Json.Obj
+    [
+      ("min", ms s.latency_min_s);
+      ("mean", ms s.latency_mean_s);
+      ("max", ms s.latency_max_s);
+      ("p99", ms s.latency_p99_s);
+    ]
+
+let stats_response ~id ~metrics ~cache =
+  let route_json (s : Metrics.route_stats) =
+    Json.Obj
+      [
+        ("route", Json.String s.route);
+        ("requests", Json.Int s.requests);
+        ("errors", Json.Int s.errors);
+        ("latency_ms", latency_json s);
+      ]
+  in
+  let totals = Metrics.totals metrics in
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("route", Json.String "stats");
+      ( "result",
+        Json.Obj
+          [
+            ("version", Json.String Version.current);
+            ("uptime_s", float_or_null (Metrics.uptime_s metrics));
+            ("requests", Json.Int totals.requests);
+            ("errors", Json.Int totals.errors);
+            ("latency_ms", latency_json totals);
+            ("routes", Json.List (List.map route_json (Metrics.routes metrics)));
+            ( "cache",
+              Json.Obj
+                [
+                  ("capacity", Json.Int (Lru.capacity cache));
+                  ("entries", Json.Int (Lru.length cache));
+                  ("hits", Json.Int (Lru.hits cache));
+                  ("misses", Json.Int (Lru.misses cache));
+                  ("hit_rate", Json.Float (Lru.hit_rate cache));
+                ] );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+(* Solver work, executed on a pool worker (or inline for a singleton
+   batch). Never raises: a handler exception becomes an [internal]
+   error response, not a dead daemon. *)
+let compute request =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match
+      match request with
+      | Protocol.Optimize { config; rho; single_speed } ->
+          let mode =
+            if single_speed then Core.Bicrit.Single_speed
+            else Core.Bicrit.Two_speeds
+          in
+          Render.optimize ~mode
+            ~env:(Core.Env.of_config config)
+            ~name:(Platforms.Config.name config)
+            ~rho ()
+      | Protocol.Frontier { config } ->
+          Render.frontier
+            ~env:(Core.Env.of_config config)
+            ~name:(Platforms.Config.name config)
+            ()
+      | Protocol.Evaluate { config; w; sigma1; sigma2; replicas } ->
+          Render.evaluate
+            ~env:(Core.Env.of_config config)
+            ~w ~sigma1 ~sigma2 ~replicas ()
+      | Protocol.Health | Protocol.Stats ->
+          invalid_arg "Daemon.compute: live route"
+    with
+    | rendering -> Ok rendering
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (outcome, Unix.gettimeofday () -. t0)
+
+(* One parsed-and-classified request line. *)
+type job =
+  | Immediate of { route : string; ok : bool; response : Json.t; latency_s : float }
+  | Solve of {
+      id : Json.t;
+      request : Protocol.request;
+      fingerprint : string;
+      cached : Render.rendering option;
+    }
+
+let classify ~cache ~metrics line =
+  let started = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. started in
+  match Json.decode line with
+  | Error e ->
+      Immediate
+        {
+          route = "invalid";
+          ok = false;
+          response =
+            error_response ~id:Json.Null ~code:"parse"
+              ~extra:[ ("position", Json.Int e.position) ]
+              e.message;
+          latency_s = elapsed ();
+        }
+  | Ok json -> (
+      let id = Option.value (Json.member "id" json) ~default:Json.Null in
+      match Protocol.parse json with
+      | Error reason ->
+          Immediate
+            {
+              route = "invalid";
+              ok = false;
+              response = error_response ~id ~code:"bad-request" reason;
+              latency_s = elapsed ();
+            }
+      | Ok Protocol.Health ->
+          Immediate
+            {
+              route = "health";
+              ok = true;
+              response = health_response ~id ~metrics;
+              latency_s = elapsed ();
+            }
+      | Ok Protocol.Stats ->
+          Immediate
+            {
+              route = "stats";
+              ok = true;
+              response = stats_response ~id ~metrics ~cache;
+              latency_s = elapsed ();
+            }
+      | Ok request ->
+          let fingerprint = Protocol.fingerprint request in
+          let cached =
+            if Protocol.cacheable request then Lru.find cache fingerprint
+            else None
+          in
+          Solve { id; request; fingerprint; cached })
+
+(* ------------------------------------------------------------------ *)
+(* Listeners                                                           *)
+
+let bind_listeners options =
+  let tcp port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      Ok (fd, Printf.sprintf "tcp:127.0.0.1:%d" port)
+    with Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf "cannot listen on 127.0.0.1:%d: %s" port
+           (Unix.error_message err))
+  in
+  let unix path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      (match Unix.stat path with
+      | { st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (ENOENT, _, _) -> ());
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Ok (fd, "unix:" ^ path)
+    with Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf "cannot listen on socket %s: %s" path
+           (Unix.error_message err))
+  in
+  let collect acc = function
+    | None -> acc
+    | Some listener -> (
+        match acc with
+        | Error _ -> acc
+        | Ok listeners -> (
+            match listener with
+            | Ok l -> Ok (l :: listeners)
+            | Error e -> Error e))
+  in
+  match
+    List.fold_left collect (Ok [])
+      [ Option.map tcp options.port; Option.map unix options.socket_path ]
+  with
+  | Error _ as e -> e
+  | Ok [] -> Error "serve needs a listener: pass --port and/or --socket"
+  | Ok listeners -> Ok (List.rev listeners)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let run ?pool ?on_ready options =
+  if options.cache_entries < 0 then Error "--cache-entries must be >= 0"
+  else if options.max_request_bytes < 2 then
+    Error "--max-request-bytes must be at least 2"
+  else if options.max_inflight < 1 then Error "--max-inflight must be >= 1"
+  else if options.log_every < 0 then Error "--log-every must be >= 0"
+  else
+    match bind_listeners options with
+    | Error _ as e -> e
+    | Ok listeners ->
+        Atomic.set stop_requested false;
+        let pool =
+          match pool with Some p -> p | None -> Parallel.Pool.default ()
+        in
+        let previous_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        if options.handle_signals then begin
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop ()));
+          Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop ()))
+        end;
+        let cache = Lru.create ~capacity:options.cache_entries in
+        let metrics = Metrics.create () in
+        let conns = ref [] in
+        let served = ref 0 in
+        let log_line () =
+          let totals = Metrics.totals metrics in
+          let uptime = Metrics.uptime_s metrics in
+          Printf.eprintf
+            "rexspeed serve: %d request(s), %.1f req/s, cache hit rate \
+             %.1f%%, p99 %.1f ms\n\
+             %!"
+            totals.requests
+            (float_of_int totals.requests /. Float.max uptime 1e-9)
+            (100. *. Lru.hit_rate cache)
+            (1000. *. totals.latency_p99_s)
+        in
+        let respond conn job =
+          let route, ok, response, latency_s =
+            match job with
+            | Immediate { route; ok; response; latency_s } ->
+                (route, ok, response, latency_s)
+            | Solve { id; request; fingerprint; cached = Some rendering } ->
+                ( Protocol.route request,
+                  true,
+                  result_response ~id
+                    ~route:(Protocol.route request)
+                    ~fingerprint ~cached:true ~rendering,
+                  0. )
+            | Solve { cached = None; _ } ->
+                invalid_arg "Daemon.respond: unsolved job"
+          in
+          Metrics.record metrics ~route ~ok ~latency_s;
+          incr served;
+          ignore (write_all conn (Json.encode response ^ "\n"));
+          if options.log_every > 0 && !served mod options.log_every = 0 then
+            log_line ()
+        in
+        (* Resolve up to [max_inflight] queued (conn, line) pairs:
+           classify on the dispatcher (cache lookups included), fan
+           the misses out over the pool, answer in order. *)
+        let process queue =
+          let batch, rest =
+            let rec split n = function
+              | [] -> ([], [])
+              | l when n = 0 -> ([], l)
+              | x :: tl ->
+                  let taken, left = split (n - 1) tl in
+                  (x :: taken, left)
+            in
+            split options.max_inflight queue
+          in
+          let classified =
+            List.map
+              (fun (conn, line) -> (conn, classify ~cache ~metrics line))
+              batch
+          in
+          let misses =
+            List.filter_map
+              (function
+                | _, Solve { request; cached = None; _ } -> Some request
+                | _, (Immediate _ | Solve _) -> None)
+              classified
+          in
+          (* A singleton miss keeps the dispatcher as the caller so
+             the solver's own pool region still parallelizes; real
+             batches trade that for inter-request parallelism. *)
+          let solved =
+            match misses with
+            | [] -> []
+            | [ request ] -> [ compute request ]
+            | _ -> Parallel.Pool.map_list pool compute misses
+          in
+          let remaining = ref solved in
+          List.iter
+            (fun (conn, job) ->
+              match job with
+              | Immediate _ | Solve { cached = Some _; _ } ->
+                  if not conn.dead then respond conn job
+              | Solve { id; request; fingerprint; cached = None } ->
+                  let outcome, latency_s =
+                    match !remaining with
+                    | x :: tl ->
+                        remaining := tl;
+                        x
+                    | [] -> (Error "dispatch underflow", 0.)
+                  in
+                  let route = Protocol.route request in
+                  let response, ok =
+                    match outcome with
+                    | Ok rendering ->
+                        if Protocol.cacheable request then
+                          Lru.add cache fingerprint rendering;
+                        ( result_response ~id ~route ~fingerprint ~cached:false
+                            ~rendering,
+                          true )
+                    | Error message ->
+                        (error_response ~id ~code:"internal" message, false)
+                  in
+                  if not conn.dead then
+                    respond conn
+                      (Immediate { route; ok; response; latency_s }))
+            classified;
+          rest
+        in
+        (* Pull complete lines out of a connection's pending buffer. *)
+        let extract_lines conn =
+          let data = Buffer.contents conn.pending in
+          Buffer.clear conn.pending;
+          let lines = ref [] in
+          let start = ref 0 in
+          String.iteri
+            (fun i c ->
+              if c = '\n' then begin
+                lines := String.sub data !start (i - !start) :: !lines;
+                start := i + 1
+              end)
+            data;
+          let remainder = String.sub data !start (String.length data - !start) in
+          if String.length remainder > options.max_request_bytes then begin
+            (* No line boundary within the limit: no way to resync. *)
+            ignore
+              (write_all conn
+                 (Json.encode
+                    (error_response ~id:Json.Null ~code:"too-large"
+                       (Printf.sprintf "request exceeds %d bytes"
+                          options.max_request_bytes))
+                 ^ "\n"));
+            conn.dead <- true
+          end
+          else Buffer.add_string conn.pending remainder;
+          List.rev !lines
+        in
+        let line_jobs conn =
+          List.filter_map
+            (fun line ->
+              if String.trim line = "" then None
+              else if String.length line > options.max_request_bytes then
+                Some
+                  ( conn,
+                    (* Oversize but line-delimited: answer and resync. *)
+                    `Oversize )
+              else Some (conn, `Line line))
+            (extract_lines conn)
+        in
+        let read_conn conn =
+          let chunk = Bytes.create 4096 in
+          let rec loop () =
+            match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> conn.eof <- true
+            | n ->
+                Buffer.add_subbytes conn.pending chunk 0 n;
+                loop ()
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
+                conn.eof <- true;
+                conn.dead <- true
+          in
+          loop ()
+        in
+        let accept listener =
+          match Unix.accept listener with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              conns :=
+                !conns
+                @ [ { fd; pending = Buffer.create 256; eof = false; dead = false } ]
+          | exception
+              Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _)
+            ->
+              ()
+        in
+        let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+        let listener_fds = List.map fst listeners in
+        List.iter
+          (fun (_, name) ->
+            Printf.eprintf "rexspeed serve: listening on %s\n%!" name)
+          listeners;
+        Option.iter (fun f -> f ()) on_ready;
+        let queue = ref [] in
+        let sweep ~timeout =
+          (match
+             Unix.select (listener_fds @ List.map (fun c -> c.fd) !conns) [] []
+               timeout
+           with
+          | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  if List.mem fd listener_fds then accept fd
+                  else
+                    match List.find_opt (fun c -> c.fd = fd) !conns with
+                    | Some conn -> read_conn conn
+                    | None -> ())
+                readable
+          | exception Unix.Unix_error (EINTR, _, _) -> ());
+          List.iter
+            (fun conn ->
+              if not conn.dead then
+                List.iter
+                  (fun (conn, entry) ->
+                    match entry with
+                    | `Line line -> queue := !queue @ [ (conn, line) ]
+                    | `Oversize ->
+                        ignore
+                          (write_all conn
+                             (Json.encode
+                                (error_response ~id:Json.Null ~code:"too-large"
+                                   (Printf.sprintf "request exceeds %d bytes"
+                                      options.max_request_bytes))
+                             ^ "\n")))
+                  (line_jobs conn))
+            !conns;
+          while !queue <> [] do
+            queue := process !queue
+          done;
+          (* Reap connections: EOF after their answers are out. *)
+          let live, gone =
+            List.partition (fun c -> not (c.dead || c.eof)) !conns
+          in
+          List.iter (fun c -> close_fd c.fd) gone;
+          conns := live
+        in
+        while not (Atomic.get stop_requested) do
+          sweep ~timeout:0.2
+        done;
+        (* Drain: stop accepting, pick up bytes already in flight,
+           answer every fully-received request, then close. *)
+        List.iter close_fd listener_fds;
+        let drain_sweep () =
+          (match
+             Unix.select (List.map (fun c -> c.fd) !conns) [] [] 0.
+           with
+          | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  match List.find_opt (fun c -> c.fd = fd) !conns with
+                  | Some conn -> read_conn conn
+                  | None -> ())
+                readable
+          | exception Unix.Unix_error (EINTR, _, _) -> ());
+          List.iter
+            (fun conn ->
+              if not conn.dead then
+                List.iter
+                  (fun (conn, entry) ->
+                    match entry with
+                    | `Line line -> queue := !queue @ [ (conn, line) ]
+                    | `Oversize -> ())
+                  (line_jobs conn))
+            !conns;
+          while !queue <> [] do
+            queue := process !queue
+          done
+        in
+        if !conns <> [] then drain_sweep ();
+        List.iter (fun c -> close_fd c.fd) !conns;
+        conns := [];
+        (match options.socket_path with
+        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | None -> ());
+        Printf.eprintf "rexspeed serve: drained, %d request(s) served\n%!"
+          !served;
+        ignore (Sys.signal Sys.sigpipe previous_sigpipe);
+        Ok ()

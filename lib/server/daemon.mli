@@ -1,0 +1,64 @@
+(** The [rexspeed serve] daemon: a long-lived, cache-fronted query
+    front end over the BiCrit solvers.
+
+    Listens on TCP (loopback) and/or a Unix-domain socket, speaks
+    newline-delimited JSON (see [Server.Protocol]), and amortizes the
+    per-invocation fixed costs of the one-shot CLI — process start,
+    configuration lookup, and above all the O(K^2) speed-pair
+    enumeration — across requests via an LRU result cache keyed by the
+    request fingerprint.
+
+    {2 Concurrency model}
+
+    One dispatcher domain owns every socket, the cache and the
+    metrics; solver work fans out over a [Parallel.Pool]. Each
+    iteration drains readable sockets, extracts complete request
+    lines, answers cache hits and [health]/[stats] inline, and maps
+    the batch of cache misses over the pool (a single miss runs on the
+    dispatcher so the solver's own internal parallelism is
+    preserved). Responses go back in request order per connection.
+    Because the solvers are bit-identical for any domain count and the
+    cache stores rendered bytes, a served [output] equals the one-shot
+    CLI stdout at any [--domains], cache on or off.
+
+    {2 Shutdown}
+
+    SIGINT/SIGTERM (or {!stop}) triggers a graceful drain: listeners
+    close, fully-received requests are answered, then connections
+    close and {!run} returns. Malformed input never kills the daemon —
+    it is answered with a structured JSON error (and the connection
+    dropped only when a request overruns the size limit mid-line,
+    where no message boundary is left to resynchronize on). *)
+
+type options = {
+  port : int option;  (** TCP listener on 127.0.0.1, if given. *)
+  socket_path : string option;
+      (** Unix-domain listener, if given; a stale socket file is
+          replaced. At least one listener is required. *)
+  cache_entries : int;  (** LRU capacity; [0] disables caching. *)
+  max_request_bytes : int;  (** Reject request lines longer than this. *)
+  max_inflight : int;
+      (** Cap on requests handed to the pool per dispatch round. *)
+  log_every : int;
+      (** Emit a stderr stats line every N completed requests;
+          [0] disables. *)
+  handle_signals : bool;
+      (** Install SIGINT/SIGTERM drain handlers ([true] from the CLI;
+          in-process harnesses use {!stop} instead). *)
+}
+
+val default_options : options
+(** No listeners, 256 cache entries, 1 MiB request limit, 64 in
+    flight, no periodic log, signals handled. *)
+
+val stop : unit -> unit
+(** Request a graceful drain of the running daemon; safe to call from
+    a signal handler or another domain. *)
+
+val run :
+  ?pool:Parallel.Pool.t -> ?on_ready:(unit -> unit) -> options ->
+  (unit, string) result
+(** Serve until drained. [on_ready] fires once listeners are bound
+    (test/bench synchronization). [Error message] reports an invalid
+    option or a listener that could not be bound; [Ok ()] is a clean
+    drain. *)

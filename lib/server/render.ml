@@ -1,0 +1,133 @@
+type rendering = { output : string; ok : bool }
+
+(* All output is accumulated in a buffer so the daemon can ship it as
+   a JSON string; the CLI prints the buffer verbatim. *)
+
+let print_solutions buffer (result : Core.Bicrit.result) =
+  let table =
+    Report.Table.create
+      ~header:
+        [ "sigma1"; "sigma2"; "Wopt"; "We"; "window"; "E/W"; "T/W"; "bound" ]
+      ()
+  in
+  List.iter
+    (fun (s : Core.Optimum.solution) ->
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%g" s.sigma1;
+          Printf.sprintf "%g" s.sigma2;
+          Printf.sprintf "%.1f" s.w_opt;
+          Printf.sprintf "%.1f" s.w_energy;
+          Printf.sprintf "[%.0f, %.0f]" s.window.Core.Feasibility.w_min
+            s.window.Core.Feasibility.w_max;
+          Printf.sprintf "%.2f" s.energy_overhead;
+          Printf.sprintf "%.4f" s.time_overhead;
+          (if s.bound_active then "active" else "-");
+        ])
+    result.candidates;
+  Buffer.add_string buffer (Report.Table.render table);
+  let best = result.best in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "\nbest pair: (%g, %g), Wopt = %.1f, energy overhead = %.2f mW, time \
+        overhead = %.4f s/unit\n"
+       best.sigma1 best.sigma2 best.w_opt best.energy_overhead
+       best.time_overhead)
+
+let optimize ?(mode = Core.Bicrit.Two_speeds) ?journal ?on_resume ~env ~name
+    ~rho () =
+  let buffer = Buffer.create 2048 in
+  Buffer.add_string buffer (Printf.sprintf "configuration: %s\n" name);
+  let ppf = Format.formatter_of_buffer buffer in
+  Format.fprintf ppf "%a@.@." Core.Env.pp env;
+  Format.pp_print_flush ppf ();
+  match Core.Bicrit.solve ~mode ?journal ?on_resume env ~rho with
+  | None ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "no feasible speed pair for rho = %g (minimum feasible rho: %.4f)\n"
+           rho
+           (Core.Bicrit.min_feasible_rho env));
+      { output = Buffer.contents buffer; ok = false }
+  | Some result ->
+      print_solutions buffer result;
+      (match Core.Bicrit.energy_saving_vs_single env ~rho with
+      | Some saving when mode = Core.Bicrit.Two_speeds ->
+          Buffer.add_string buffer
+            (Printf.sprintf "saving vs best single speed: %.1f%%\n"
+               (100. *. saving))
+      | Some _ | None -> ());
+      { output = Buffer.contents buffer; ok = true }
+
+let frontier ?journal ?on_resume ~env ~name () =
+  let buffer = Buffer.create 2048 in
+  let f = Sweep.Frontier.compute ~label:name ?journal ?on_resume env in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "time/energy Pareto frontier for %s (%d non-dominated points)\n\n" name
+       (List.length f.Sweep.Frontier.points));
+  let table =
+    Report.Table.create
+      ~header:[ "rho"; "T/W"; "E/W (mW)"; "sigma1"; "sigma2"; "Wopt" ]
+      ()
+  in
+  List.iter
+    (fun (p : Sweep.Frontier.point) ->
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%.3f" p.rho;
+          Printf.sprintf "%.4f" p.time_overhead;
+          Printf.sprintf "%.1f" p.energy_overhead;
+          Printf.sprintf "%g" p.solution.Core.Optimum.sigma1;
+          Printf.sprintf "%g" p.solution.Core.Optimum.sigma2;
+          Printf.sprintf "%.0f" p.solution.Core.Optimum.w_opt;
+        ])
+    f.Sweep.Frontier.points;
+  Buffer.add_string buffer (Report.Table.render table);
+  (match Sweep.Frontier.knee f with
+  | Some k ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "\nknee (diminishing returns): rho = %.3f, T/W = %.4f, E/W = %.1f\n"
+           k.rho k.time_overhead k.energy_overhead)
+  | None -> ());
+  { output = Buffer.contents buffer; ok = true }
+
+let evaluate ~env ~w ~sigma1 ~sigma2 ~replicas () =
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let params = env.Core.Env.params and power = env.Core.Env.power in
+  add "pattern: W = %g at (%g, %g)\n\n" w sigma1 sigma2;
+  let fo_time =
+    Core.First_order.eval (Core.First_order.time params ~sigma1 ~sigma2) ~w
+  in
+  let fo_energy =
+    Core.First_order.eval
+      (Core.First_order.energy params power ~sigma1 ~sigma2)
+      ~w
+  in
+  add "first-order:  T/W = %.6f s/unit,  E/W = %.4f mW\n" fo_time fo_energy;
+  add "exact:        T/W = %.6f s/unit,  E/W = %.4f mW\n"
+    (Core.Exact.time_overhead params ~w ~sigma1 ~sigma2)
+    (Core.Exact.energy_overhead params power ~w ~sigma1 ~sigma2);
+  let d = Core.Distribution.make params ~w ~sigma1 ~sigma2 in
+  add
+    "distribution: P(no re-execution) = %.4f, stddev(T) = %.2f s, p99(T) = \
+     %.1f s\n"
+    (Core.Distribution.pmf d 0)
+    (Core.Distribution.stddev_time d)
+    (Core.Distribution.quantile_time d 0.99);
+  if replicas > 0 then begin
+    let model = Core.Mixed.of_params params ~fail_stop_fraction:0. in
+    let est =
+      Sim.Montecarlo.pattern_estimate ~replicas ~seed:42 ~model ~power ~w
+        ~sigma1 ~sigma2 ()
+    in
+    add
+      "simulated:    mean T = %.2f +/- %.2f s over %d replicas (model says \
+       %.2f)\n"
+      est.Sim.Montecarlo.time.Numerics.Stats.mean
+      est.Sim.Montecarlo.time.Numerics.Stats.std_error replicas
+      (Core.Mixed.expected_time model ~w ~sigma1 ~sigma2)
+  end;
+  { output = Buffer.contents buffer; ok = true }

@@ -1,0 +1,52 @@
+(** Shared result renderers for the CLI and the query daemon.
+
+    The daemon's bit-identity guarantee — a [serve] answer's [output]
+    field equals the one-shot CLI stdout for the same query — is not
+    checked after the fact but established by construction: the
+    [optimize], [frontier] and [evaluate] subcommands and the
+    corresponding daemon routes all render through these functions.
+    Anything that would change the CLI output changes the served
+    output identically, and the smoke test only has to confirm the
+    plumbing. *)
+
+type rendering = {
+  output : string;
+      (** Exactly what the one-shot CLI writes to stdout. *)
+  ok : bool;
+      (** [false] on the infeasible-bound outcome (CLI exit code 1);
+          [output] still carries the diagnostic text. *)
+}
+
+val optimize :
+  ?mode:Core.Bicrit.mode ->
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) ->
+  env:Core.Env.t ->
+  name:string ->
+  rho:float ->
+  unit ->
+  rendering
+(** The [optimize] subcommand body: configuration banner, environment
+    dump, candidate table, best pair and (in two-speed mode) the
+    saving versus the best single speed. *)
+
+val frontier :
+  ?journal:Resilience.Checkpointed.journal ->
+  ?on_resume:(entries:int -> dropped:bool -> unit) ->
+  env:Core.Env.t ->
+  name:string ->
+  unit ->
+  rendering
+(** The [frontier] subcommand body: Pareto table plus the knee point. *)
+
+val evaluate :
+  env:Core.Env.t ->
+  w:float ->
+  sigma1:float ->
+  sigma2:float ->
+  replicas:int ->
+  unit ->
+  rendering
+(** The [evaluate] subcommand body: first-order, exact and
+    distributional overheads of one pattern, plus a Monte-Carlo
+    estimate when [replicas > 0]. *)

@@ -1,0 +1,1 @@
+let current = "1.1.0"

@@ -1,0 +1,7 @@
+(** The single source of the rexspeed version string.
+
+    Both the CLI ([Cmd.info ~version], the [--version] flag) and the
+    daemon's [stats]/[health] routes read this constant, so the two
+    surfaces can never drift apart. *)
+
+val current : string

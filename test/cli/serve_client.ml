@@ -1,0 +1,71 @@
+(* One-shot client for the serve smoke test: send one request line to
+   a daemon on a Unix-domain socket, read one response line, and print
+   either the raw response or a single member extracted by dotted path
+   — string members print raw, so a served "output" can be
+   byte-compared (cmp) against one-shot CLI stdout. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve_client: " ^ s);
+      exit 2)
+    fmt
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let read_line_fd fd =
+  let buffer = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> die "connection closed before a full response line"
+    | n -> (
+        match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+        | Some i -> Buffer.add_subbytes buffer chunk 0 i
+        | None ->
+            Buffer.add_subbytes buffer chunk 0 n;
+            loop ())
+  in
+  loop ();
+  Buffer.contents buffer
+
+let () =
+  let socket_path, request, field =
+    match Array.to_list Sys.argv with
+    | [ _; socket; request ] -> (socket, request, None)
+    | [ _; socket; request; field ] -> (socket, request, Some field)
+    | _ -> die "usage: serve_client SOCKET REQUEST [FIELD.PATH]"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (err, _, _) ->
+     die "cannot connect to %s: %s" socket_path (Unix.error_message err));
+  write_all fd (request ^ "\n");
+  let response = read_line_fd fd in
+  Unix.close fd;
+  match field with
+  | None -> print_endline response
+  | Some path -> (
+      match Server.Json.decode response with
+      | Error e -> die "bad response JSON: %s" (Server.Json.error_to_string e)
+      | Ok json -> (
+          let v =
+            List.fold_left
+              (fun acc key -> Option.bind acc (Server.Json.member key))
+              (Some json)
+              (String.split_on_char '.' path)
+          in
+          match v with
+          | None ->
+              prerr_endline
+                ("serve_client: response has no member " ^ path ^ ": "
+               ^ response);
+              exit 3
+          | Some (Server.Json.String s) -> print_string s
+          | Some j -> print_string (Server.Json.encode j)))

@@ -1,0 +1,108 @@
+# End-to-end smoke test of `rexspeed serve` on a Unix-domain socket:
+# served answers must be byte-identical to the one-shot CLI at 1, 2
+# and 4 domains, with the result cache on and off; repeated identical
+# queries must register cache hits in `stats`; malformed requests get
+# a structured error without killing the daemon; SIGTERM drains with
+# exit code 0 and removes the socket file.
+#
+# Usage: sh serve_smoke.sh path/to/rexspeed.exe path/to/serve_client.exe
+set -eu
+
+exe=$1
+client=$2
+# Under dune the executables arrive as bare file names relative to the
+# rule's working directory; qualify them so sh does not do a PATH lookup.
+case $exe in */*) ;; *) exe="./$exe" ;; esac
+case $client in */*) ;; *) client="./$client" ;; esac
+tmp=$(mktemp -d)
+server_pid=
+cleanup() {
+  [ -z "$server_pid" ] || kill "$server_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "serve_smoke.sh: $*" >&2
+  exit 1
+}
+
+sock="$tmp/serve.sock"
+opt_req='{"route":"optimize","params":{"rho":3}}'
+fr_req='{"route":"frontier","params":{"config":"hera/xscale"}}'
+ev_req='{"route":"evaluate","params":{"w":2764,"s1":0.4,"s2":1}}'
+
+start_server() { # $@ = extra serve flags
+  "$exe" serve --socket "$sock" "$@" 2>"$tmp/serve.err" &
+  server_pid=$!
+  tries=0
+  until "$client" "$sock" '{"route":"health"}' status >/dev/null 2>&1; do
+    kill -0 "$server_pid" 2>/dev/null || {
+      cat "$tmp/serve.err" >&2
+      fail "server died during startup"
+    }
+    tries=$((tries + 1))
+    [ "$tries" -lt 200 ] || fail "server never became healthy"
+    sleep 0.05
+  done
+}
+
+stop_server() {
+  kill -TERM "$server_pid"
+  wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+  server_pid=
+  [ ! -e "$sock" ] || fail "socket file not removed on drain"
+}
+
+# References: one-shot CLI output per domain count (evaluate is
+# pool-free at replicas = 0, but --domains must still be accepted).
+for d in 1 2 4; do
+  "$exe" optimize --domains "$d" >"$tmp/optimize.d$d"
+  "$exe" frontier -c hera/xscale --domains "$d" >"$tmp/frontier.d$d"
+  "$exe" evaluate -w 2764 --s1 0.4 --s2 1 --domains "$d" >"$tmp/evaluate.d$d"
+done
+
+# Byte-identity, cache enabled: the second optimize exercises the
+# cache-hit path and must serve the same bytes as the miss.
+for d in 1 2 4; do
+  start_server --domains "$d"
+  "$client" "$sock" "$opt_req" output >"$tmp/served.opt.miss"
+  "$client" "$sock" "$opt_req" output >"$tmp/served.opt.hit"
+  "$client" "$sock" "$fr_req" output >"$tmp/served.fr"
+  "$client" "$sock" "$ev_req" output >"$tmp/served.ev"
+  cmp -s "$tmp/optimize.d$d" "$tmp/served.opt.miss" ||
+    fail "d=$d: served optimize differs from CLI"
+  cmp -s "$tmp/optimize.d$d" "$tmp/served.opt.hit" ||
+    fail "d=$d: cached optimize differs from CLI"
+  cmp -s "$tmp/frontier.d$d" "$tmp/served.fr" ||
+    fail "d=$d: served frontier differs from CLI"
+  cmp -s "$tmp/evaluate.d$d" "$tmp/served.ev" ||
+    fail "d=$d: served evaluate differs from CLI"
+
+  hits=$("$client" "$sock" '{"route":"stats"}' result.cache.hits)
+  [ "$hits" -gt 0 ] || fail "d=$d: no cache hits after a repeated query"
+
+  status=$("$client" "$sock" '{oops' status)
+  [ "$status" = "error" ] || fail "d=$d: malformed request not rejected"
+  code=$("$client" "$sock" '{oops' error.code)
+  [ "$code" = "parse" ] || fail "d=$d: expected a parse error, got $code"
+  health=$("$client" "$sock" '{"route":"health"}' result.status)
+  [ "$health" = "serving" ] || fail "d=$d: daemon down after malformed request"
+
+  stop_server
+done
+
+# Byte-identity with the cache disabled: every query recomputes, the
+# answers still match, and stats reports zero hits.
+start_server --domains 2 --cache-entries 0
+"$client" "$sock" "$opt_req" output >"$tmp/served.nocache.1"
+"$client" "$sock" "$opt_req" output >"$tmp/served.nocache.2"
+cmp -s "$tmp/optimize.d2" "$tmp/served.nocache.1" ||
+  fail "cache off: served optimize differs from CLI"
+cmp -s "$tmp/optimize.d2" "$tmp/served.nocache.2" ||
+  fail "cache off: repeated optimize differs from CLI"
+hits=$("$client" "$sock" '{"route":"stats"}' result.cache.hits)
+[ "$hits" -eq 0 ] || fail "cache off: stats reports $hits hits"
+stop_server
+
+echo "serve_smoke.sh: all serve checks passed"

@@ -1,0 +1,579 @@
+(* Tests for the query-daemon subsystem: the hand-rolled JSON codec
+   (round-trip identity, precise error positions), the LRU result
+   cache, the metrics core, the request protocol with its canonical
+   fingerprints, the shared renderers, and an in-process end-to-end
+   pass over a Unix-domain socket. *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let expect_ok label = function
+  | Ok v -> v
+  | Error (e : Server.Json.error) ->
+      Alcotest.failf "%s: unexpected decode error: %s" label
+        (Server.Json.error_to_string e)
+
+let expect_error label = function
+  | Ok _ -> Alcotest.failf "%s: expected a decode error" label
+  | Error (e : Server.Json.error) -> e
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let rec json_equal (a : Server.Json.t) (b : Server.Json.t) =
+  match (a, b) with
+  | Server.Json.Null, Server.Json.Null -> true
+  | Server.Json.Bool x, Server.Json.Bool y -> x = y
+  | Server.Json.Int x, Server.Json.Int y -> x = y
+  | Server.Json.Float x, Server.Json.Float y -> Float.compare x y = 0
+  | Server.Json.String x, Server.Json.String y -> String.equal x y
+  | Server.Json.List x, Server.Json.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Server.Json.Obj x, Server.Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+(* Generator of arbitrary JSON values: escape-heavy strings (quotes,
+   control characters, raw high bytes), full-range ints, finite
+   floats, bounded nesting. *)
+let gen_json =
+  let open QCheck.Gen in
+  let gen_string =
+    let char =
+      frequency
+        [
+          (8, char_range 'a' 'z');
+          (2, char_range '0' '9');
+          (1, oneofl [ '"'; '\\'; '\n'; '\t'; '\r'; '\b'; '\012'; ' '; '\001' ]);
+          (1, map Char.chr (int_range 0x80 0xff));
+        ]
+    in
+    string_size ~gen:char (int_range 0 12)
+  in
+  let gen_float =
+    map
+      (fun (mantissa, exponent) ->
+        let v = mantissa *. (10. ** float_of_int exponent) in
+        if Float.is_finite v then v else 0.)
+      (pair (float_range (-1000.) 1000.) (int_range (-12) 12))
+  in
+  let leaf =
+    frequency
+      [
+        (1, return Server.Json.Null);
+        (2, map (fun b -> Server.Json.Bool b) bool);
+        (4, map (fun i -> Server.Json.Int i) int);
+        (4, map (fun v -> Server.Json.Float v) gen_float);
+        (4, map (fun s -> Server.Json.String s) gen_string);
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 1,
+            map
+              (fun l -> Server.Json.List l)
+              (list_size (int_range 0 4) (node (depth - 1))) );
+          ( 1,
+            map
+              (fun members -> Server.Json.Obj members)
+              (list_size (int_range 0 4) (pair gen_string (node (depth - 1))))
+          );
+        ]
+  in
+  node 3
+
+let test_json_roundtrip =
+  Testutil.qcheck
+  @@ QCheck.Test.make ~count:500
+       ~name:"JSON decode(encode v) = v on arbitrary nested values"
+       (QCheck.make gen_json ~print:Server.Json.encode)
+       (fun v ->
+         match Server.Json.decode (Server.Json.encode v) with
+         | Ok v' -> json_equal v v'
+         | Error _ -> false)
+
+let test_json_encode () =
+  let check label expected v =
+    Alcotest.(check string) label expected (Server.Json.encode v)
+  in
+  check "canonical object"
+    {|{"a":1,"b":[true,null,"x"]}|}
+    (Server.Json.Obj
+       [
+         ("a", Server.Json.Int 1);
+         ( "b",
+           Server.Json.List
+             [ Server.Json.Bool true; Server.Json.Null; Server.Json.String "x" ]
+         );
+       ]);
+  check "floats keep a marker" "2.0" (Server.Json.Float 2.);
+  check "shortest round-trip float" "0.1" (Server.Json.Float 0.1);
+  check "control characters escape" {|"a\u0001\n"|}
+    (Server.Json.String "a\001\n");
+  Testutil.check_raises_invalid "non-finite floats are rejected" (fun () ->
+      Server.Json.encode (Server.Json.Float Float.nan))
+
+let test_json_decode () =
+  let ok label expected input =
+    let v = expect_ok label (Server.Json.decode input) in
+    if not (json_equal expected v) then
+      Alcotest.failf "%s: decoded %s" label (Server.Json.encode v)
+  in
+  ok "whitespace tolerated"
+    (Server.Json.Obj [ ("k", Server.Json.Int 1) ])
+    " { \"k\" :\t1 } ";
+  ok "numbers split int/float"
+    (Server.Json.List
+       [ Server.Json.Int (-3); Server.Json.Float 2.5; Server.Json.Float 1e3 ])
+    "[-3, 2.5, 1e3]";
+  ok "escapes" (Server.Json.String "a\"\\\n\t") {|"a\"\\\n\t"|};
+  ok "\\u BMP escape decodes to UTF-8" (Server.Json.String "A\xc3\xa9")
+    {|"Aé"|};
+  ok "surrogate pair" (Server.Json.String "\xf0\x9f\x98\x80")
+    {|"😀"|};
+  ok "duplicate keys preserved"
+    (Server.Json.Obj [ ("k", Server.Json.Int 1); ("k", Server.Json.Int 2) ])
+    {|{"k":1,"k":2}|};
+  Alcotest.(check bool)
+    "member returns the first duplicate" true
+    (Server.Json.member "k"
+       (expect_ok "dup" (Server.Json.decode {|{"k":1,"k":2}|}))
+    = Some (Server.Json.Int 1))
+
+let test_json_error_positions () =
+  let check label input expected_position fragment =
+    let e = expect_error label (Server.Json.decode input) in
+    Alcotest.(check int) (label ^ ": position") expected_position e.position;
+    if not (contains ~affix:fragment (Server.Json.error_to_string e)) then
+      Alcotest.failf "%s: error %S does not mention %S" label
+        (Server.Json.error_to_string e)
+        fragment
+  in
+  check "empty input" "" 0 "end of input";
+  check "missing value" {|{"a":}|} 5 "unexpected character '}'";
+  check "truncated object" {|{"a": 1|} 7 "unterminated object";
+  check "missing colon" {|{"a" 1}|} 5 "expected ':'";
+  check "bad literal" "nul" 0 "invalid literal";
+  check "trailing garbage" "{} x" 3 "trailing garbage";
+  check "unterminated string" {|"abc|} 4 "unterminated string";
+  check "bad escape" {|"a\q"|} 3 "invalid escape";
+  check "unpaired surrogate" {|"\ud83d"|} 1 "unpaired high surrogate";
+  check "control character" "\"a\001\"" 2 "unescaped control character";
+  (* 65 opening brackets: the depth guard fires entering level 65 with
+     max_depth = 64, after the 65th '[' has been consumed. *)
+  check "nesting too deep"
+    (String.concat "" (List.init 65 (fun _ -> "[")))
+    65 "nesting too deep"
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+
+let test_lru () =
+  let c = Server.Lru.create ~capacity:2 in
+  Alcotest.(check (option string)) "miss on empty" None (Server.Lru.find c "a");
+  Server.Lru.add c "a" "1";
+  Server.Lru.add c "b" "2";
+  Alcotest.(check (option string)) "hit a" (Some "1") (Server.Lru.find c "a");
+  (* "b" is now least recently used; inserting "c" evicts it. *)
+  Server.Lru.add c "c" "3";
+  Alcotest.(check (option string)) "b evicted" None (Server.Lru.find c "b");
+  Alcotest.(check (option string)) "a kept" (Some "1") (Server.Lru.find c "a");
+  Alcotest.(check (option string)) "c kept" (Some "3") (Server.Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Server.Lru.length c);
+  Alcotest.(check int) "hits" 3 (Server.Lru.hits c);
+  Alcotest.(check int) "misses" 2 (Server.Lru.misses c);
+  Testutil.checkf "hit rate" 0.6 (Server.Lru.hit_rate c);
+  (* Replacing a key keeps the size bounded and updates the value. *)
+  Server.Lru.add c "c" "3'";
+  Alcotest.(check int) "replace keeps length" 2 (Server.Lru.length c);
+  Alcotest.(check (option string))
+    "replace updates" (Some "3'")
+    (Server.Lru.find c "c")
+
+let test_lru_disabled () =
+  let c = Server.Lru.create ~capacity:0 in
+  Server.Lru.add c "a" "1";
+  Alcotest.(check (option string))
+    "capacity 0 never stores" None (Server.Lru.find c "a");
+  Alcotest.(check int) "still counts the miss" 1 (Server.Lru.misses c);
+  Alcotest.(check int) "length stays 0" 0 (Server.Lru.length c);
+  Testutil.check_raises_invalid "negative capacity" (fun () ->
+      ignore (Server.Lru.create ~capacity:(-1)))
+
+let test_lru_eviction_order =
+  (* Model check: an LRU of capacity k holds exactly the k most
+     recently touched distinct keys, where both hits and inserts count
+     as touches. *)
+  Testutil.qcheck
+  @@ QCheck.Test.make ~count:200 ~name:"LRU agrees with a naive model"
+       QCheck.(list (int_range 0 9))
+       (fun touches ->
+         let capacity = 4 in
+         let c = Server.Lru.create ~capacity in
+         let model = ref [] in
+         List.iter
+           (fun k ->
+             let key = string_of_int k in
+             (match Server.Lru.find c key with
+             | Some _ -> ()
+             | None -> Server.Lru.add c key k);
+             model := key :: List.filter (( <> ) key) !model;
+             if List.length !model > capacity then
+               model := List.filteri (fun i _ -> i < capacity) !model)
+           touches;
+         List.for_all (fun key -> Server.Lru.find c key <> None) !model)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics () =
+  let m = Server.Metrics.create () in
+  for i = 1 to 100 do
+    Server.Metrics.record m ~route:"optimize" ~ok:(i mod 10 <> 0)
+      ~latency_s:(float_of_int i /. 1000.)
+  done;
+  Server.Metrics.record m ~route:"stats" ~ok:true ~latency_s:0.5;
+  (match Server.Metrics.routes m with
+  | [ opt; st ] ->
+      let opt : Server.Metrics.route_stats = opt in
+      let st : Server.Metrics.route_stats = st in
+      Alcotest.(check string) "sorted by name" "optimize" opt.route;
+      Alcotest.(check int) "requests" 100 opt.requests;
+      Alcotest.(check int) "errors" 10 opt.errors;
+      Testutil.checkf "min" 0.001 opt.latency_min_s;
+      Testutil.checkf "max" 0.1 opt.latency_max_s;
+      Testutil.checkf ~eps:1e-6 "mean" 0.0505 opt.latency_mean_s;
+      Testutil.checkf "p99 (nearest rank of 1..100 ms)" 0.099 opt.latency_p99_s;
+      Alcotest.(check string) "second route" "stats" st.route
+  | routes -> Alcotest.failf "expected 2 routes, got %d" (List.length routes));
+  let totals : Server.Metrics.route_stats = Server.Metrics.totals m in
+  Alcotest.(check string) "totals route name" "total" totals.route;
+  Alcotest.(check int) "total requests" 101 totals.requests;
+  Alcotest.(check int) "total errors" 10 totals.errors;
+  Testutil.checkf "total max" 0.5 totals.latency_max_s;
+  Alcotest.(check int)
+    "total_requests agrees" 101
+    (Server.Metrics.total_requests m);
+  Alcotest.(check bool) "uptime advances" true (Server.Metrics.uptime_s m >= 0.)
+
+let test_metrics_empty () =
+  let m = Server.Metrics.create () in
+  Alcotest.(check int) "no routes" 0 (List.length (Server.Metrics.routes m));
+  let totals : Server.Metrics.route_stats = Server.Metrics.totals m in
+  Alcotest.(check int) "no requests" 0 totals.requests;
+  Alcotest.(check bool)
+    "latencies are NaN before any sample" true
+    (Float.is_nan totals.latency_min_s && Float.is_nan totals.latency_p99_s)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let decode_request label line =
+  match Server.Json.decode line with
+  | Error e -> Alcotest.failf "%s: %s" label (Server.Json.error_to_string e)
+  | Ok json -> Server.Protocol.parse json
+
+let test_protocol_parse () =
+  let parse label line =
+    match decode_request label line with
+    | Ok r -> r
+    | Error reason -> Alcotest.failf "%s: rejected: %s" label reason
+  in
+  (match parse "defaults" {|{"route":"optimize"}|} with
+  | Server.Protocol.Optimize { config; rho; single_speed } ->
+      Alcotest.(check string)
+        "default config" "Hera/XScale"
+        (Platforms.Config.name config);
+      Testutil.checkf "default rho" 3. rho;
+      Alcotest.(check bool) "default mode" false single_speed
+  | _ -> Alcotest.fail "expected Optimize");
+  (match
+     parse "evaluate"
+       {|{"route":"evaluate","params":{"w":2764,"s1":0.4,"s2":1,"replicas":5}}|}
+   with
+  | Server.Protocol.Evaluate { w; sigma1; sigma2; replicas; _ } ->
+      Testutil.checkf "w" 2764. w;
+      Testutil.checkf "s1" 0.4 sigma1;
+      Testutil.checkf "s2" 1. sigma2;
+      Alcotest.(check int) "replicas" 5 replicas
+  | _ -> Alcotest.fail "expected Evaluate");
+  let reject label line fragment =
+    match decode_request label line with
+    | Ok _ -> Alcotest.failf "%s: unexpectedly accepted" label
+    | Error reason ->
+        if not (contains ~affix:fragment reason) then
+          Alcotest.failf "%s: error %S does not mention %S" label reason
+            fragment
+  in
+  reject "unknown route" {|{"route":"shutdown"}|} "unknown route";
+  reject "missing route" {|{"id":1}|} "\"route\" member";
+  reject "bad config" {|{"route":"frontier","params":{"config":"zeus/apollo"}}|}
+    "unknown configuration";
+  reject "negative rho" {|{"route":"optimize","params":{"rho":-1}}|}
+    "positive number";
+  reject "missing w" {|{"route":"evaluate","params":{"s1":0.4,"s2":1}}|}
+    "missing required parameter";
+  reject "bad replicas"
+    {|{"route":"evaluate","params":{"w":1,"s1":0.4,"s2":1,"replicas":-2}}|}
+    "non-negative integer";
+  reject "params not object" {|{"route":"optimize","params":3}|}
+    "must be an object"
+
+let test_protocol_fingerprint () =
+  let request label line =
+    match decode_request label line with
+    | Ok r -> r
+    | Error reason -> Alcotest.failf "%s: rejected: %s" label reason
+  in
+  let a = request "a" {|{"route":"optimize","params":{"rho":3}}|} in
+  (* Different spelling, same query: explicit defaults, case-folded
+     config, float-typed rho, an id — all normalize away. *)
+  let b =
+    request "b"
+      {|{"id":9,"route":"optimize","params":{"config":"HERA/xscale","rho":3.0,"single_speed":false}}|}
+  in
+  let c = request "c" {|{"route":"optimize","params":{"rho":3.25}}|} in
+  Alcotest.(check string)
+    "equivalent requests share a fingerprint"
+    (Server.Protocol.fingerprint a)
+    (Server.Protocol.fingerprint b);
+  Alcotest.(check bool)
+    "distinct rho, distinct fingerprint" false
+    (Server.Protocol.fingerprint a = Server.Protocol.fingerprint c);
+  Alcotest.(check string)
+    "fingerprint is FNV-1a of the canonical form"
+    (Resilience.Checksum.hex_of_string (Server.Protocol.canonical a))
+    (Server.Protocol.fingerprint a);
+  Alcotest.(check string)
+    "canonical form is journal-style"
+    "optimize config=Hera/XScale rho=3 mode=two-speeds"
+    (Server.Protocol.canonical a);
+  Alcotest.(check bool)
+    "solver routes cacheable" true
+    (Server.Protocol.cacheable a);
+  Alcotest.(check bool)
+    "stats is live" false
+    (Server.Protocol.cacheable Server.Protocol.Stats)
+
+(* ------------------------------------------------------------------ *)
+(* Render                                                              *)
+
+let test_render () =
+  let env = Testutil.hera_xscale () in
+  let r = Server.Render.optimize ~env ~name:"Hera/XScale" ~rho:3. () in
+  Alcotest.(check bool) "optimize feasible" true r.ok;
+  List.iter
+    (fun fragment ->
+      if not (contains ~affix:fragment r.output) then
+        Alcotest.failf "optimize output lacks %S" fragment)
+    [
+      "configuration: Hera/XScale"; "best pair:"; "saving vs best single speed:";
+    ];
+  let r' = Server.Render.optimize ~env ~name:"Hera/XScale" ~rho:3. () in
+  Alcotest.(check string) "rendering is deterministic" r.output r'.output;
+  let single =
+    Server.Render.optimize ~mode:Core.Bicrit.Single_speed ~env
+      ~name:"Hera/XScale" ~rho:3. ()
+  in
+  Alcotest.(check bool)
+    "single-speed omits the saving line" false
+    (contains ~affix:"saving vs best single speed" single.output);
+  let infeasible =
+    Server.Render.optimize ~env ~name:"Hera/XScale" ~rho:0.5 ()
+  in
+  Alcotest.(check bool) "infeasible bound flagged" false infeasible.ok;
+  Alcotest.(check bool)
+    "infeasible output explains" true
+    (contains ~affix:"no feasible speed pair" infeasible.output)
+
+(* ------------------------------------------------------------------ *)
+(* End to end over a Unix socket                                       *)
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let read_line_fd fd =
+  let buffer = Buffer.create 1024 in
+  let chunk = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd chunk 0 1 with
+    | 0 -> Alcotest.fail "connection closed before a full response line"
+    | _ ->
+        if Bytes.get chunk 0 = '\n' then Buffer.contents buffer
+        else begin
+          Buffer.add_char buffer (Bytes.get chunk 0);
+          loop ()
+        end
+  in
+  loop ()
+
+let rpc fd line =
+  write_all fd (line ^ "\n");
+  expect_ok "response" (Server.Json.decode (read_line_fd fd))
+
+let member_exn label key json =
+  match Server.Json.member key json with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: response lacks %S" label key
+
+(* The daemon binds the socket asynchronously; retry with a fresh
+   client socket until it accepts. *)
+let rec connect_retry socket_path tries =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when tries > 0
+    ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      connect_retry socket_path (tries - 1)
+
+let test_daemon_end_to_end () =
+  let dir = Filename.temp_file "rexspeed-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "serve.sock" in
+  let options =
+    {
+      Server.Daemon.default_options with
+      socket_path = Some socket_path;
+      cache_entries = 8;
+      max_request_bytes = 4096;
+      handle_signals = false;
+    }
+  in
+  let pool = Parallel.Pool.create ~domains:2 in
+  let daemon = Domain.spawn (fun () -> Server.Daemon.run ~pool options) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop ();
+      (match Domain.join daemon with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "daemon failed: %s" e);
+      (try Sys.remove socket_path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let fd = connect_retry socket_path 100 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let health = rpc fd {|{"route":"health","id":1}|} in
+  Alcotest.(check (option string))
+    "health ok" (Some "ok")
+    (Option.bind (Server.Json.member "status" health) Server.Json.to_string_opt);
+  (* An optimize answer must byte-match the shared renderer (and hence
+     the one-shot CLI); asking twice must hit the cache with identical
+     bytes. *)
+  let ask () =
+    let response = rpc fd {|{"route":"optimize","id":2,"params":{"rho":3}}|} in
+    let output =
+      match
+        Server.Json.to_string_opt (member_exn "optimize" "output" response)
+      with
+      | Some s -> s
+      | None -> Alcotest.fail "output is not a string"
+    in
+    let cached =
+      match
+        Server.Json.to_bool_opt (member_exn "optimize" "cached" response)
+      with
+      | Some b -> b
+      | None -> Alcotest.fail "cached is not a boolean"
+    in
+    (output, cached)
+  in
+  let first, first_cached = ask () in
+  let second, second_cached = ask () in
+  let reference =
+    Server.Render.optimize
+      ~env:(Testutil.hera_xscale ())
+      ~name:"Hera/XScale" ~rho:3. ()
+  in
+  Alcotest.(check bool) "first is a miss" false first_cached;
+  Alcotest.(check bool) "second is a hit" true second_cached;
+  Alcotest.(check string) "served = rendered" reference.output first;
+  Alcotest.(check string) "hit = miss bytes" first second;
+  (* Malformed input answers with a structured error, then the
+     connection keeps serving. *)
+  let bad = rpc fd "{broken" in
+  Alcotest.(check (option string))
+    "malformed is an error" (Some "error")
+    (Option.bind (Server.Json.member "status" bad) Server.Json.to_string_opt);
+  Alcotest.(check bool)
+    "parse error code" true
+    (Option.bind (Server.Json.member "error" bad) (Server.Json.member "code")
+    = Some (Server.Json.String "parse"));
+  let oversize = rpc fd (String.make 5000 ' ' ^ "{}") in
+  Alcotest.(check bool)
+    "oversize line rejected" true
+    (Option.bind (Server.Json.member "error" oversize)
+       (Server.Json.member "code")
+    = Some (Server.Json.String "too-large"));
+  (* Stats reflect the traffic: a non-zero hit rate after the repeat
+     query, and the version single-sourced with the CLI's. *)
+  let stats = rpc fd {|{"route":"stats","id":3}|} in
+  let result = member_exn "stats" "result" stats in
+  let cache = member_exn "stats" "cache" result in
+  let hits =
+    Option.bind (Server.Json.member "hits" cache) Server.Json.to_int_opt
+  in
+  Alcotest.(check bool)
+    "cache hits non-zero" true
+    (match hits with Some h -> h > 0 | None -> false);
+  (match
+     Option.bind (Server.Json.member "hit_rate" cache) Server.Json.to_float_opt
+   with
+  | Some rate -> Alcotest.(check bool) "hit rate positive" true (rate > 0.)
+  | None -> Alcotest.fail "hit_rate missing");
+  match
+    Option.bind (Server.Json.member "version" result) Server.Json.to_string_opt
+  with
+  | Some v ->
+      Alcotest.(check string)
+        "stats version single-sourced" Server.Version.current v
+  | None -> Alcotest.fail "stats version missing"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          test_json_roundtrip;
+          Alcotest.test_case "encode" `Quick test_json_encode;
+          Alcotest.test_case "decode" `Quick test_json_decode;
+          Alcotest.test_case "error positions" `Quick test_json_error_positions;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction and accounting" `Quick test_lru;
+          Alcotest.test_case "disabled cache" `Quick test_lru_disabled;
+          test_lru_eviction_order;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "latency stats" `Quick test_metrics;
+          Alcotest.test_case "empty" `Quick test_metrics_empty;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "fingerprint" `Quick test_protocol_fingerprint;
+        ] );
+      ("render", [ Alcotest.test_case "optimize" `Quick test_render ]);
+      ( "daemon",
+        [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+    ]
