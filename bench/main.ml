@@ -368,6 +368,7 @@ let run_benchmarks () =
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
+    (* rexspeed-lint: allow RX004 order normalised by the sort below *)
     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in

@@ -455,28 +455,48 @@ let simulate_cmd =
       & info [ "lambda-scale" ] ~docv:"X"
           ~doc:"Error-rate inflation so errors occur within the replica budget.")
   in
-  let run config rho replicas seed fraction scale jspec =
+  let suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:
+            "Run the full validation suite (every Table 3 configuration plus \
+             the synthetic scenarios) instead of a single configuration; \
+             $(b,--config), $(b,--fail-stop-fraction) and $(b,--lambda-scale) \
+             are ignored.")
+  in
+  let run config rho replicas seed fraction scale suite jspec =
     guarded @@ fun () ->
     ignore rho;
-    let scenario =
-      Experiments.Validation.of_config ~fail_stop_fraction:fraction
-        ~lambda_scale:scale config
+    let scenarios =
+      if suite then Experiments.Validation.default_suite ()
+      else
+        [
+          Experiments.Validation.of_config ~fail_stop_fraction:fraction
+            ~lambda_scale:scale config;
+        ]
     in
     let journal =
       journal_of jspec
         ~description:
-          (Printf.sprintf
-             "simulate config=%s fail-stop-fraction=%g lambda-scale=%g \
-              replicas=%d seed=%d"
-             (Platforms.Config.name config)
-             fraction scale replicas seed)
+          (if suite then
+             Printf.sprintf "simulate suite replicas=%d seed=%d" replicas seed
+           else
+             Printf.sprintf
+               "simulate config=%s fail-stop-fraction=%g lambda-scale=%g \
+                replicas=%d seed=%d"
+               (Platforms.Config.name config)
+               fraction scale replicas seed)
     in
-    Printf.printf
-      "simulating %s: W=%.1f, (s1, s2)=(%g, %g), %d replicas, seed %d\n"
-      scenario.name scenario.w scenario.sigma1 scenario.sigma2 replicas seed;
+    List.iter
+      (fun (s : Experiments.Validation.scenario) ->
+        Printf.printf
+          "simulating %s: W=%.1f, (s1, s2)=(%g, %g), %d replicas, seed %d\n"
+          s.name s.w s.sigma1 s.sigma2 replicas seed)
+      scenarios;
     let checks =
       Experiments.Validation.run ~replicas ~seed ?journal
-        ~on_resume:resume_note [ scenario ]
+        ~on_resume:resume_note scenarios
     in
     List.iter (fun c -> Format.printf "%a@." Sim.Montecarlo.pp_check c) checks;
     if Experiments.Validation.all_ok checks then 0 else exit_infeasible
@@ -487,7 +507,7 @@ let simulate_cmd =
     (with_domains
        Term.(
          const run $ config_arg $ rho_arg $ replicas $ seed $ fraction $ scale
-         $ journal_args))
+         $ suite $ journal_args))
 
 let theorem2_cmd =
   let run () =

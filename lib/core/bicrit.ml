@@ -71,5 +71,5 @@ let energy_saving_vs_single env ~rho =
       (* A zero single-speed overhead (possible with an all-zero power
          model) would turn the ratio into nan/inf and poison CSV rows
          downstream; report "no meaningful saving" instead. *)
-      if e1 = 0. then None else Some ((e1 -. e2) /. e1)
+      if Float.equal e1 0. then None else Some ((e1 -. e2) /. e1)
   | None, _ | _, None -> None

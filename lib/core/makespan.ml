@@ -69,7 +69,7 @@ let normal_quantile p =
     in
     num /. den
   else if p > 1. -. p_low then
-    let q = sqrt (-2. *. log (1. -. p)) in
+    let q = sqrt (-2. *. Float.log1p (-.p)) in
     let num =
       ((((((c.(0) *. q) +. c.(1)) *. q) +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
       *. q
@@ -100,7 +100,7 @@ let quantile t p = mean t +. (normal_quantile p *. stddev t)
 (* Standard-normal survival via erfc. *)
 let tail_probability t ~deadline =
   let sd = stddev t in
-  if sd = 0. then if deadline >= mean t then 0. else 1.
+  if Float.equal sd 0. then if deadline >= mean t then 0. else 1.
   else
     let z = (deadline -. mean t) /. sd in
     (* 1 - Phi(z) = erfc(z / sqrt 2) / 2; erfc via Abramowitz-Stegun

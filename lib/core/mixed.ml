@@ -17,7 +17,7 @@ let make ~c ?r ~v ~lambda_f ~lambda_s () =
   check_non_negative "v" v;
   check_non_negative "lambda_f" lambda_f;
   check_non_negative "lambda_s" lambda_s;
-  if lambda_f = 0. && lambda_s = 0. then
+  if Float.equal lambda_f 0. && Float.equal lambda_s 0. then
     invalid_arg "Mixed: at least one error rate must be positive";
   { c; r; v; lambda_f; lambda_s }
 
@@ -33,8 +33,8 @@ let total_rate t = t.lambda_f +. t.lambda_s
 
 let t_lost t ~exposure =
   if exposure < 0. then invalid_arg "Mixed.t_lost: negative exposure";
-  if exposure = 0. then 0.
-  else if t.lambda_f = 0. then exposure /. 2.
+  if Float.equal exposure 0. then 0.
+  else if Float.equal t.lambda_f 0. then exposure /. 2.
   else (1. /. t.lambda_f) -. (exposure /. Float.expm1 (t.lambda_f *. exposure))
 
 let check_pattern ~w ~sigma1 ~sigma2 =
@@ -58,7 +58,7 @@ let success_probability t ~w ~sigma =
    lambda_f -> 0 limit (w+v)/sigma. *)
 let attempt_time t ~w ~sigma =
   let exposure = (w +. t.v) /. sigma in
-  if t.lambda_f = 0. then exposure
+  if Float.equal t.lambda_f 0. then exposure
   else -.Float.expm1 (-.t.lambda_f *. exposure) /. t.lambda_f
 
 let expected_time t ~w ~sigma1 ~sigma2 =
@@ -84,41 +84,44 @@ let expected_energy t (pw : Power.t) ~w ~sigma1 ~sigma2 =
   +. ((1. -. p1) /. p2
       *. ((g2 *. Power.compute_total pw sigma2) +. (t.r *. io)))
 
-let require_failstop name t =
-  if t.lambda_f = 0. then
-    invalid_arg ("Mixed." ^ name ^ ": printed form requires lambda_f > 0")
-
-(* Proposition 4 verbatim, extra V/sigma2 term included. *)
+(* Proposition 4 verbatim, extra V/sigma2 term included. The printed
+   forms divide by lambda_f, so the lambda_f > 0 precondition is an
+   explicit branch around the whole formula. *)
 let expected_time_printed t ~w ~sigma1 ~sigma2 =
   check_pattern ~w ~sigma1 ~sigma2;
-  require_failstop "expected_time_printed" t;
-  let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
-  let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
-  t.c
-  +. (fail1 *. exp (mixed_exposure sigma2) *. t.r)
-  +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2)
-  +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f)
-  +. (fail1 /. t.lambda_f
-      *. exp (t.lambda_s *. w /. sigma2)
-      *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2))
+  if Float.equal t.lambda_f 0. then
+    invalid_arg "Mixed.expected_time_printed: printed form requires lambda_f > 0"
+  else
+    let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
+    let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
+    t.c
+    +. (fail1 *. exp (mixed_exposure sigma2) *. t.r)
+    +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2)
+    +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f)
+    +. (fail1 /. t.lambda_f
+        *. exp (t.lambda_s *. w /. sigma2)
+        *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2))
 
 (* Proposition 5 verbatim. *)
 let expected_energy_printed t (pw : Power.t) ~w ~sigma1 ~sigma2 =
   check_pattern ~w ~sigma1 ~sigma2;
-  require_failstop "expected_energy_printed" t;
-  let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
-  let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
-  let io = Power.io_total pw in
-  let p2 = Power.compute_total pw sigma2 in
-  (t.c *. io)
-  +. (fail1 *. exp (mixed_exposure sigma2) *. t.r *. io)
-  +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2 *. p2)
-  +. (fail1 /. t.lambda_f
-      *. exp (t.lambda_s *. w /. sigma2)
-      *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2)
-      *. p2)
-  +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f
-      *. Power.compute_total pw sigma1)
+  if Float.equal t.lambda_f 0. then
+    invalid_arg
+      "Mixed.expected_energy_printed: printed form requires lambda_f > 0"
+  else
+    let mixed_exposure sigma = ((t.lambda_f *. (w +. t.v)) +. (t.lambda_s *. w)) /. sigma in
+    let fail1 = -.Float.expm1 (-.mixed_exposure sigma1) in
+    let io = Power.io_total pw in
+    let p2 = Power.compute_total pw sigma2 in
+    (t.c *. io)
+    +. (fail1 *. exp (mixed_exposure sigma2) *. t.r *. io)
+    +. (fail1 *. exp (t.lambda_s *. w /. sigma2) *. t.v /. sigma2 *. p2)
+    +. (fail1 /. t.lambda_f
+        *. exp (t.lambda_s *. w /. sigma2)
+        *. Float.expm1 (t.lambda_f *. (w +. t.v) /. sigma2)
+        *. p2)
+    +. (-.Float.expm1 (-.t.lambda_f *. (w +. t.v) /. sigma1) /. t.lambda_f
+        *. Power.compute_total pw sigma1)
 
 let check_speeds sigma1 sigma2 =
   if sigma1 <= 0. || sigma2 <= 0. then
@@ -159,7 +162,7 @@ let first_order_energy t (pw : Power.t) ~sigma1 ~sigma2 =
   }
 
 let validity_ratio_bounds t =
-  if t.lambda_f = 0. then
+  if Float.equal t.lambda_f 0. then
     invalid_arg "Mixed.validity_ratio_bounds: requires lambda_f > 0"
   else
     let hi = 2. *. (1. +. (t.lambda_s /. t.lambda_f)) in

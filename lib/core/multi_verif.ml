@@ -16,7 +16,7 @@ let check_pattern ~w ~sigma1 ~sigma2 =
    per-segment survival probability. *)
 let expected_units (p : Params.t) ~m ~w ~sigma =
   let exponent = p.lambda *. w /. (float_of_int m *. sigma) in
-  if exponent = 0. then float_of_int m
+  if Float.equal exponent 0. then float_of_int m
   else
     -.Float.expm1 (-.float_of_int m *. exponent) /. -.Float.expm1 (-.exponent)
 

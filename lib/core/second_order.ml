@@ -44,8 +44,8 @@ let w_opt_order2 ~c ~r ~lambda ~sigma1 ~sigma2 =
   let q = quadratic_coefficient ~lambda ~sigma1 ~sigma2 in
   if y <= 0. && q <= 0. then
     invalid_arg "Second_order.w_opt_order2: no interior minimum"
-  else if y > 0. && q = 0. then sqrt (c /. y)
-  else if y = 0. then
+  else if y > 0. && Float.equal q 0. then sqrt (c /. y)
+  else if Float.equal y 0. then
     (* Theorem 2 shape: derivative -c/W^2 + 2qW = 0. *)
     Numerics.Float_utils.cbrt (c /. (2. *. q))
   else begin

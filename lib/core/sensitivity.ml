@@ -58,7 +58,7 @@ let derivative (p : Params.t) (pw : Power.t) ~sigma1 ~sigma2 parameter =
 let elasticity p pw ~sigma1 ~sigma2 parameter =
   let g = derivative p pw ~sigma1 ~sigma2 parameter in
   let value = parameter_value p pw parameter in
-  if value = 0. then { d_w_energy = 0.; d_min_energy = 0. }
+  if Float.equal value 0. then { d_w_energy = 0.; d_min_energy = 0. }
   else
     let o = First_order.energy p pw ~sigma1 ~sigma2 in
     let we = First_order.unconstrained_minimizer o in

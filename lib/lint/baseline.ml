@@ -1,0 +1,61 @@
+type entry = { file : string; line : int; rule : Diagnostic.rule }
+type t = entry list
+
+let parse_line ~path ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then Ok None
+  else
+    let err msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+    match String.split_on_char ':' line with
+    | [] | [ _ ] | [ _; _ ] -> err "expected file:line:RXnnn"
+    | parts -> (
+        let rec split_last2 acc = function
+          | [ a; b ] -> (List.rev acc, a, b)
+          | x :: tl -> split_last2 (x :: acc) tl
+          | [] -> assert false
+        in
+        let file_parts, line_s, rule_s = split_last2 [] parts in
+        let file = String.concat ":" file_parts in
+        match (int_of_string_opt line_s, Diagnostic.rule_of_id rule_s) with
+        | None, _ -> err ("invalid line number " ^ line_s)
+        | _, None -> err ("unknown rule " ^ rule_s)
+        | Some line, Some rule -> Ok (Some { file; line; rule }))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: tl -> (
+            match parse_line ~path ~lineno l with
+            | Error _ as e -> e
+            | Ok None -> go (lineno + 1) acc tl
+            | Ok (Some entry) -> go (lineno + 1) (entry :: acc) tl)
+      in
+      go 1 [] (String.split_on_char '\n' contents)
+
+let save path findings =
+  let entries =
+    findings
+    |> List.sort Diagnostic.compare
+    |> List.map (fun (d : Diagnostic.t) ->
+           Printf.sprintf "%s:%d:%s" d.file d.line (Diagnostic.rule_id d.rule))
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        "# rexspeed lint baseline — file:line:RXnnn per entry.\n\
+         # Keep empty on the merged tree; justify any entry in DESIGN.md \
+         \xc2\xa711.\n";
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) entries)
+
+let mem t (d : Diagnostic.t) =
+  List.exists
+    (fun e ->
+      String.equal e.file d.file && e.line = d.line && e.rule = d.rule)
+    t

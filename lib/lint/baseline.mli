@@ -1,0 +1,23 @@
+(** Checked-in baseline of known findings.
+
+    One entry per line, [file:line:RXnnn]; [#] starts a comment. A
+    finding matching a baseline entry is reported separately and does
+    not fail the run, so the pass can land before its last fix. The
+    merged tree keeps this file empty — any entry must be justified in
+    DESIGN.md §11. *)
+
+type entry = { file : string; line : int; rule : Diagnostic.rule }
+type t = entry list
+
+val load : string -> (t, string) result
+(** [Error] carries a [file:line]-prefixed parse message. A missing
+    file is an error — pass the checked-in (possibly empty) baseline
+    explicitly. *)
+
+val save : string -> Diagnostic.t list -> unit
+(** Overwrite [path] with one entry per finding, sorted, with a
+    header comment. *)
+
+val mem : t -> Diagnostic.t -> bool
+(** Path comparison is textual: run the linter from the repository
+    root so baseline and scan paths agree. *)

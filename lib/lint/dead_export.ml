@@ -1,0 +1,127 @@
+open Parsetree
+
+type export = {
+  modname : string;
+  value : string;
+  file : string;
+  line : int;
+  col : int;
+}
+
+type uses = {
+  unit_name : string;  (* capitalized unit of the using file *)
+  qualified : (string * string) list;  (* (module, value), alias-expanded *)
+  bare : string list;
+  opened : string list;  (* opened/included module names, alias-expanded *)
+}
+
+let unit_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let exports_of_signature ~file sg =
+  let modname = unit_name_of_file file in
+  List.filter_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_value vd ->
+          let p = vd.pval_loc.Location.loc_start in
+          Some
+            {
+              modname;
+              value = vd.pval_name.Asttypes.txt;
+              file;
+              line = p.Lexing.pos_lnum;
+              col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+            }
+      | _ -> None)
+    sg
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply (a, b) -> flatten_lid a @ flatten_lid b
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+let uses_of_structure ~file str =
+  let qualified = ref [] in
+  let bare = ref [] in
+  let opened = ref [] in
+  let aliases = ref [] in
+  let record_ident lid =
+    match flatten_lid lid with
+    | [] -> ()
+    | [ v ] -> bare := v :: !bare
+    | path -> (
+        match (last path, List.nth_opt path (List.length path - 2)) with
+        | Some v, Some m -> qualified := (m, v) :: !qualified
+        | _ -> ())
+  in
+  let record_module_expr_open me =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } ->
+        Option.iter (fun m -> opened := m :: !opened) (last (flatten_lid txt))
+    | _ -> ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> record_ident txt
+          | Pexp_open (od, _) -> record_module_expr_open od.popen_expr
+          | _ -> ());
+          super.expr it e);
+      structure_item =
+        (fun it item ->
+          (match item.pstr_desc with
+          | Pstr_open od -> record_module_expr_open od.popen_expr
+          | Pstr_include incl -> record_module_expr_open incl.pincl_mod
+          | _ -> ());
+          super.structure_item it item);
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.Asttypes.txt, mb.pmb_expr.pmod_desc) with
+          | Some alias, Pmod_ident { txt; _ } ->
+              Option.iter
+                (fun target -> aliases := (alias, target) :: !aliases)
+                (last (flatten_lid txt))
+          | _ -> ());
+          super.module_binding it mb);
+    }
+  in
+  it.structure it str;
+  (* Expand one level of module aliasing: [module F = Frontier] makes
+     [F.next] count as a use of [Frontier.next]. *)
+  let resolve m =
+    match List.assoc_opt m !aliases with Some target -> target | None -> m
+  in
+  {
+    unit_name = unit_name_of_file file;
+    qualified =
+      List.concat_map (fun (m, v) -> [ (m, v); (resolve m, v) ]) !qualified;
+    opened = List.concat_map (fun m -> [ m; resolve m ]) !opened;
+    bare = !bare;
+  }
+
+let check ~exports ~uses =
+  let used e =
+    List.exists
+      (fun u ->
+        (not (String.equal u.unit_name e.modname))
+        && (List.mem (e.modname, e.value) u.qualified
+           || (List.mem e.modname u.opened && List.mem e.value u.bare)))
+      uses
+  in
+  exports
+  |> List.filter (fun e -> not (used e))
+  |> List.map (fun e ->
+         Diagnostic.make Diagnostic.RX009 ~file:e.file ~line:e.line
+           ~col:e.col
+           (Printf.sprintf
+              "%s.%s is exported but never referenced outside %s; drop it \
+               from the interface or mark it as intentional API"
+              e.modname e.value
+              (String.uncapitalize_ascii e.modname ^ ".ml")))

@@ -1,0 +1,30 @@
+(** RX009: values exported in a [.mli] but never referenced from any
+    other file under the linted roots.
+
+    Resolution is syntactic: a use of [M.v] (or [Lib.M.v]) matches an
+    export [v] of the compilation unit [m.ml]; a bare [v] matches when
+    the using file [open]s or [include]s [M] (module aliases are
+    expanded one level). This under-approximates uses through functors
+    and first-class modules — suppress those exports with a
+    [rexspeed-lint: allow RX009] comment line in the [.mli]. *)
+
+type export = {
+  modname : string;  (** capitalized unit name, e.g. ["Feasibility"] *)
+  value : string;
+  file : string;
+  line : int;
+  col : int;
+}
+
+type uses
+
+val exports_of_signature : file:string -> Parsetree.signature -> export list
+(** Exported values ([val …]) of one interface; [file] must be the
+    [.mli] path, from which the unit name is derived. *)
+
+val uses_of_structure : file:string -> Parsetree.structure -> uses
+(** Identifier references, opens/includes and module aliases of one
+    implementation. *)
+
+val check : exports:export list -> uses:uses list -> Diagnostic.t list
+(** Diagnostics for every export with no use outside its own unit. *)

@@ -1,0 +1,110 @@
+type rule =
+  | RX001
+  | RX002
+  | RX003
+  | RX004
+  | RX005
+  | RX006
+  | RX007
+  | RX008
+  | RX009
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let all_rules =
+  [ RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009 ]
+
+let rule_id = function
+  | RX001 -> "RX001"
+  | RX002 -> "RX002"
+  | RX003 -> "RX003"
+  | RX004 -> "RX004"
+  | RX005 -> "RX005"
+  | RX006 -> "RX006"
+  | RX007 -> "RX007"
+  | RX008 -> "RX008"
+  | RX009 -> "RX009"
+
+let rule_of_id s =
+  List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
+
+let severity_of = function
+  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 -> Error
+  | RX006 | RX007 | RX009 -> Warning
+
+let description = function
+  | RX001 -> "use of the global Random module"
+  | RX002 -> "wall-clock read outside the metrics allowlist"
+  | RX003 -> "Domain.self-keyed logic"
+  | RX004 -> "Hashtbl iteration order reaching results"
+  | RX005 -> "structural equality/compare/hash on floats"
+  | RX006 -> "unguarded division by a zero-allowed parameter"
+  | RX007 -> "exp/log composition losing precision"
+  | RX008 -> "catch-all exception handler that never re-raises"
+  | RX009 -> "exported value never referenced outside its module"
+
+let make rule ~file ~line ~col message =
+  { rule; severity = severity_of rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let to_text t =
+  Printf.sprintf "%s:%d:%d: %s %s %s" t.file t.line t.col
+    (severity_name t.severity) (rule_id t.rule) t.message
+
+(* Minimal JSON string escaping — file paths and messages are ASCII
+   in practice, but stay correct on control characters and quotes. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (rule_id t.rule)
+    (severity_name t.severity)
+    (escape t.file) t.line t.col (escape t.message)
+
+let report_json findings =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b {|{"version":1,"findings":[|};
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (to_json f))
+    findings;
+  Buffer.add_string b
+    (Printf.sprintf {|],"count":%d}|} (List.length findings));
+  Buffer.contents b

@@ -1,0 +1,55 @@
+(** Structured lint findings.
+
+    Every finding carries a stable rule ID, a severity, and a precise
+    [file:line:col] address so diagnostics can be suppressed per line,
+    baselined, and diffed across runs. *)
+
+type rule =
+  | RX001  (** determinism: [Random.*] *)
+  | RX002  (** determinism: wall clock ([Unix.gettimeofday], [Sys.time]) *)
+  | RX003  (** determinism: [Domain.self]-keyed logic *)
+  | RX004  (** determinism: [Hashtbl.iter]/[Hashtbl.fold] ordering *)
+  | RX005  (** numeric: [=]/[<>]/[compare]/[Hashtbl.hash] on floats *)
+  | RX006  (** numeric: unguarded division by a zero-allowed parameter *)
+  | RX007  (** numeric: exp/log composition losing precision *)
+  | RX008  (** robustness: catch-all exception handler that never re-raises *)
+  | RX009  (** robustness: exported value never referenced outside its module *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** ["RX001"] … ["RX009"]. *)
+
+val rule_of_id : string -> rule option
+val severity_of : rule -> severity
+val description : rule -> string
+
+val make : rule -> file:string -> line:int -> col:int -> string -> t
+(** [make rule ~file ~line ~col message] with the rule's default
+    severity. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule ID — the stable report order. *)
+
+val to_text : t -> string
+(** [file:line:col: severity RXnnn message] — one line, no trailing
+    newline. *)
+
+val to_json : t -> string
+(** One JSON object with [rule], [severity], [file], [line], [col],
+    [message] fields, deterministic field order. *)
+
+val report_json : t list -> string
+(** The full report: a JSON object with [version], [findings] and
+    [count] fields. *)

@@ -1,0 +1,123 @@
+type report = {
+  findings : Diagnostic.t list;
+  suppressed : int;
+  files_scanned : int;
+  errors : string list;
+}
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let skip_dir name =
+  String.equal name "_build"
+  || String.equal name "lint_fixtures"
+  || (String.length name > 0 && name.[0] = '.')
+
+let source_kind file =
+  if Filename.check_suffix file ".ml" then Some `Ml
+  else if Filename.check_suffix file ".mli" then Some `Mli
+  else None
+
+let rec walk acc path =
+  match (Sys.is_directory path, source_kind path) with
+  | true, _ ->
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if skip_dir entry then acc
+          else walk acc (Filename.concat path entry))
+        acc entries
+  | false, Some kind -> (path, kind) :: acc
+  | false, None -> acc
+  | exception Sys_error _ -> acc
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Broken of string
+
+let parse_file path kind =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> (Broken msg, "")
+  | source -> (
+      let lexbuf = Lexing.from_string source in
+      Lexing.set_filename lexbuf path;
+      match
+        match kind with
+        | `Ml -> Structure (Parse.implementation lexbuf)
+        | `Mli -> Signature (Parse.interface lexbuf)
+      with
+      | parsed -> (parsed, source)
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception exn ->
+          ( Broken
+              (Printf.sprintf "%s: syntax error (%s)" path
+                 (Printexc.to_string exn)),
+            source ))
+
+let scan ~roots =
+  let errors = ref [] in
+  let files =
+    List.concat_map
+      (fun root ->
+        if Sys.file_exists root then List.rev (walk [] root)
+        else begin
+          errors :=
+            Printf.sprintf "%s: no such file or directory" root :: !errors;
+          []
+        end)
+      roots
+  in
+  let suppressed = ref 0 in
+  let exports = ref [] in
+  let uses = ref [] in
+  let suppressions : (string, Suppress.t) Hashtbl.t = Hashtbl.create 64 in
+  let keep_unsuppressed (d : Diagnostic.t) =
+    match Hashtbl.find_opt suppressions d.file with
+    | Some sup when Suppress.active sup ~line:d.line d.rule ->
+        incr suppressed;
+        false
+    | _ -> true
+  in
+  (* Pass 1: per-file rules, plus the export/use sides of RX009. *)
+  let per_file =
+    List.concat_map
+      (fun (path, kind) ->
+        let parsed, source = parse_file path kind in
+        let sup = Suppress.of_source source in
+        Hashtbl.replace suppressions path sup;
+        List.iter
+          (fun (line, token) ->
+            errors :=
+              Printf.sprintf "%s:%d: bad suppression directive (%s)" path
+                line token
+              :: !errors)
+          (Suppress.bad_directives sup);
+        match parsed with
+        | Structure str ->
+            uses := Dead_export.uses_of_structure ~file:path str :: !uses;
+            Rules.check_structure ~file:path str
+        | Signature sg ->
+            exports :=
+              Dead_export.exports_of_signature ~file:path sg @ !exports;
+            Rules.check_signature ~file:path sg
+        | Broken msg ->
+            errors := msg :: !errors;
+            [])
+      files
+  in
+  (* Pass 2: dead exports need every implementation's uses. *)
+  let dead = Dead_export.check ~exports:!exports ~uses:!uses in
+  let findings =
+    List.filter keep_unsuppressed (per_file @ dead)
+    |> List.sort Diagnostic.compare
+  in
+  {
+    findings;
+    suppressed = !suppressed;
+    files_scanned = List.length files;
+    errors = List.rev !errors;
+  }
+
+let apply_baseline baseline findings =
+  List.partition (fun d -> not (Baseline.mem baseline d)) findings

@@ -1,0 +1,27 @@
+(** Walk source roots, parse every [.ml]/[.mli], run all rules.
+
+    Directories named [_build], [lint_fixtures] or starting with a
+    dot are skipped: the first two hold build artifacts and the
+    linter's own deliberately-violating test corpus. Files are
+    visited in sorted order so reports are byte-stable. *)
+
+type report = {
+  findings : Diagnostic.t list;
+      (** suppression-filtered, sorted; baseline not yet applied *)
+  suppressed : int;  (** findings silenced by per-line comments *)
+  files_scanned : int;
+  errors : string list;
+      (** parse failures and malformed suppression directives — these
+          fail the run independently of [findings] *)
+}
+
+val default_roots : string list
+(** [["lib"; "bin"; "bench"; "test"]] *)
+
+val scan : roots:string list -> report
+(** [roots] may mix files and directories; nonexistent roots are
+    reported in [errors]. *)
+
+val apply_baseline :
+  Baseline.t -> Diagnostic.t list -> Diagnostic.t list * Diagnostic.t list
+(** [(kept, baselined)]. *)

@@ -1,0 +1,28 @@
+(** Per-file AST checks (rules RX001–RX008).
+
+    All rules work on the {e Parsetree} — no typing pass — so the
+    float rules are syntactic heuristics: an operand counts as a
+    float when it is a float literal, a float-arithmetic application
+    ([+.], [exp], [Float.max], …) or carries a [: float] constraint.
+    The dead-export rule (RX009) needs a whole-project view and lives
+    in {!Dead_export}. *)
+
+val allowlisted : Diagnostic.rule -> string -> bool
+(** [allowlisted rule file] is true when [file] (matched by path
+    suffix) is exempt from [rule]. Built-in entries: the wall-clock
+    and Hashtbl-order rules (RX002/RX004) in [lib/server/metrics.ml]
+    — the metrics module is the one place the daemon is allowed to
+    observe real time, and its folds are sorted before rendering —
+    and RX002 in [bench/main.ml], which measures wall time by
+    definition and never feeds the readings back into results.
+    Everything else must use a per-line [rexspeed-lint: allow RXnnn]
+    suppression comment. *)
+
+val check_structure : file:string -> Parsetree.structure -> Diagnostic.t list
+(** Run RX001–RX008 over one implementation. Findings are returned in
+    source order; allowlisted files produce no findings for their
+    allowlisted rules. *)
+
+val check_signature : file:string -> Parsetree.signature -> Diagnostic.t list
+(** Interfaces carry no executable code; today this only exists so a
+    future attribute-based rule has a seam, and returns []. *)

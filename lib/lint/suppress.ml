@@ -1,0 +1,89 @@
+type t = {
+  by_line : (int, Diagnostic.rule list) Hashtbl.t;
+  mutable bad : (int * string) list;
+}
+
+(* The marker must open a comment, and the literal is split so the
+   scanner does not match its own source. *)
+let marker = "(* rexspeed" ^ "-lint: allow"
+
+let find_sub ~start hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i =
+    if i + ln > lh then None
+    else if String.equal (String.sub hay i ln) needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* The directive body: everything after the marker up to the comment
+   close (or end of line). *)
+let directive_body line =
+  match find_sub ~start:0 line marker with
+  | None -> None
+  | Some i ->
+      let after = i + String.length marker in
+      let stop =
+        match find_sub ~start:after line "*)" with
+        | Some j -> j
+        | None -> String.length line
+      in
+      Some (i, String.sub line after (stop - after))
+
+(* A comment alone on its line suppresses the next line; one sharing a
+   line with code suppresses that line. *)
+let target_line ~lineno ~marker_at line =
+  if String.trim (String.sub line 0 marker_at) = "" then lineno + 1
+  else lineno
+
+(* IDs come first, optional prose after: "allow RX002 RX004 metrics
+   clock" suppresses two rules. A token that looks like an ID but is
+   not one is an error, so a typo cannot silently disable nothing. *)
+let parse_ids tokens =
+  let rec go acc = function
+    | [] -> (List.rev acc, None)
+    | tok :: tl -> (
+        match Diagnostic.rule_of_id tok with
+        | Some rule -> go (rule :: acc) tl
+        | None ->
+            if String.length tok >= 2 && String.equal (String.sub tok 0 2) "RX"
+            then (List.rev acc, Some tok)
+            else (List.rev acc, None))
+  in
+  go [] tokens
+
+let of_source source =
+  let t = { by_line = Hashtbl.create 8; bad = [] } in
+  List.iteri
+    (fun idx line ->
+      match directive_body line with
+      | None -> ()
+      | Some (marker_at, body) -> (
+          let lineno = idx + 1 in
+          let tokens =
+            String.split_on_char ' ' (String.trim body)
+            |> List.filter (fun s -> s <> "")
+          in
+          match parse_ids tokens with
+          | [], bad ->
+              t.bad <-
+                (lineno, Option.value bad ~default:"missing rule ids")
+                :: t.bad
+          | rules, bad ->
+              (match bad with
+              | Some tok -> t.bad <- (lineno, tok) :: t.bad
+              | None -> ());
+              let target = target_line ~lineno ~marker_at line in
+              let prev =
+                Option.value (Hashtbl.find_opt t.by_line target) ~default:[]
+              in
+              Hashtbl.replace t.by_line target (rules @ prev)))
+    (String.split_on_char '\n' source);
+  t
+
+let active t ~line rule =
+  match Hashtbl.find_opt t.by_line line with
+  | Some rules -> List.mem rule rules
+  | None -> false
+
+let bad_directives t = List.rev t.bad

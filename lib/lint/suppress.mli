@@ -1,0 +1,21 @@
+(** Per-line suppressions: a comment opening with the marker
+    [rexspeed-lint: allow] followed by one or more rule IDs (and
+    optional trailing prose).
+
+    A suppression comment sharing a line with code silences the listed
+    rules on that line; a comment alone on its line silences them on
+    the {e next} line (so a justification can sit above the code it
+    excuses). Unknown rule IDs in a directive are reported so typos
+    cannot silently disable nothing. *)
+
+type t
+
+val of_source : string -> t
+(** Parse one file's contents. *)
+
+val active : t -> line:int -> Diagnostic.rule -> bool
+(** Is [rule] suppressed on [line]? *)
+
+val bad_directives : t -> (int * string) list
+(** [(line, token)] for every token after [allow] that is not a known
+    rule ID. *)

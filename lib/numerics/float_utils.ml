@@ -1,5 +1,3 @@
-let is_finite x = Float.is_finite x
-
 let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
   if Float.is_nan a || Float.is_nan b then false
   else if a = b then true

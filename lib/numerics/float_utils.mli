@@ -4,9 +4,6 @@
     finite floats; these helpers centralize the comparisons and guards
     used to keep the rest of the code free of ad-hoc epsilon logic. *)
 
-val is_finite : float -> bool
-(** [is_finite x] is [true] iff [x] is neither NaN nor infinite. *)
-
 val approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
 (** [approx_equal ~rtol ~atol a b] tests |a - b| <= atol + rtol * max(|a|,|b|).
     Defaults: [rtol = 1e-9], [atol = 1e-12]. NaN is never approximately

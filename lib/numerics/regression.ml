@@ -10,7 +10,8 @@ let linear_fit pts =
     Summation.sum_by (fun (x, _) -> Float_utils.square (x -. sx)) pts
   in
   let sxy = Summation.sum_by (fun (x, y) -> (x -. sx) *. (y -. sy)) pts in
-  if sxx = 0. then invalid_arg "Regression.linear_fit: all xs coincide";
+  if Float.equal sxx 0. then
+    invalid_arg "Regression.linear_fit: all xs coincide";
   let slope = sxy /. sxx in
   let intercept = sy -. (slope *. sx) in
   let ss_tot =
@@ -21,7 +22,9 @@ let linear_fit pts =
       (fun (x, y) -> Float_utils.square (y -. ((slope *. x) +. intercept)))
       pts
   in
-  let r_squared = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  let r_squared =
+    if Float.equal ss_tot 0. then 1. else 1. -. (ss_res /. ss_tot)
+  in
   { slope; intercept; r_squared }
 
 let log_log_fit pts =

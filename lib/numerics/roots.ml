@@ -4,9 +4,10 @@ type quadratic_roots =
   | Two_roots of float * float
 
 let quadratic ~a ~b ~c =
-  if a = 0. then
-    if b = 0. then
-      if c = 0. then invalid_arg "Roots.quadratic: 0 = 0 is degenerate"
+  if Float.equal a 0. then
+    if Float.equal b 0. then
+      if Float.equal c 0. then
+        invalid_arg "Roots.quadratic: 0 = 0 is degenerate"
       else No_real_root
     else Double_root (-.c /. b)
   else
@@ -31,8 +32,8 @@ let check_bracket name flo fhi =
 
 let bisection ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if Float.equal flo 0. then lo
+  else if Float.equal fhi 0. then hi
   else begin
     check_bracket "Roots.bisection" flo fhi;
     let rec go lo hi flo iter =
@@ -40,7 +41,7 @@ let bisection ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
       if iter = 0 || hi -. lo <= tol *. Float.max 1. (Float.abs mid) then mid
       else
         let fmid = f mid in
-        if fmid = 0. then mid
+        if Float.equal fmid 0. then mid
         else if flo *. fmid < 0. then go lo mid flo (iter - 1)
         else go mid hi fmid (iter - 1)
     in
@@ -52,8 +53,8 @@ let bisection ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
    secant steps, falls back to bisection when the step is not trusted. *)
 let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let fa = f lo and fb = f hi in
-  if fa = 0. then lo
-  else if fb = 0. then hi
+  if Float.equal fa 0. then lo
+  else if Float.equal fb 0. then hi
   else begin
     check_bracket "Roots.brent" fa fb;
     let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
@@ -61,7 +62,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
     let d = ref (!b -. !a) and e = ref (!b -. !a) in
     let result = ref None in
     let iter = ref 0 in
-    while !result = None && !iter < max_iter do
+    while Option.is_none !result && !iter < max_iter do
       incr iter;
       if Float.abs !fc < Float.abs !fb then begin
         a := !b; b := !c; c := !a;
@@ -71,12 +72,12 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
         (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol)
       in
       let xm = 0.5 *. (!c -. !b) in
-      if Float.abs xm <= tol1 || !fb = 0. then result := Some !b
+      if Float.abs xm <= tol1 || Float.equal !fb 0. then result := Some !b
       else begin
         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
           let s = !fb /. !fa in
           let p, q =
-            if !a = !c then
+            if Float.equal !a !c then
               (* secant *)
               (2. *. xm *. s, 1. -. s)
             else

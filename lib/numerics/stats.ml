@@ -46,7 +46,7 @@ let confidence_interval ?(z = 2.5758) s =
 
 let within_confidence ?(z = 3.2905) ~expected samples =
   let s = summarize samples in
-  if s.std_error = 0. then Float_utils.approx_equal s.mean expected
+  if Float.equal s.std_error 0. then Float_utils.approx_equal s.mean expected
   else
     let lo, hi = confidence_interval ~z s in
     expected >= lo && expected <= hi

@@ -96,6 +96,7 @@ let run_item ~attempts f i =
   let rec go attempt =
     match attempt_once attempt with
     | v -> Ok v
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e ->
         if attempt >= attempts then
           Error { index = i; attempts = attempt; error = Printexc.to_string e }

@@ -1,7 +1,6 @@
 type t = { gen : Xoshiro256.t }
 
 let create ~seed = { gen = Xoshiro256.of_seed (Int64.of_int seed) }
-let of_xoshiro gen = { gen }
 
 let split t n =
   if n < 0 then invalid_arg "Rng.split: negative count";

@@ -10,9 +10,6 @@ type t
 val create : seed:int -> t
 (** [create ~seed] builds a deterministic source from an integer seed. *)
 
-val of_xoshiro : Xoshiro256.t -> t
-(** Wrap an existing generator (shares its state). *)
-
 val split : t -> int -> t array
 (** [split t n] derives [n] sources on non-overlapping subsequences of
     the parent stream (successive 2^128-step jumps); the parent must not

@@ -39,7 +39,7 @@ let disable () =
 let configure ~p ~seed =
   if not (p >= 0. && p < 1.) then
     Error (Printf.sprintf "chaos probability must be in [0, 1), got %g" p)
-  else if p = 0. then begin
+  else if Float.equal p 0. then begin
     disable ();
     Ok ()
   end

@@ -26,9 +26,6 @@ type journal = {
           journal must match exactly. *)
 }
 
-val default_batch : int
-(** Slots computed between journal flushes when [?batch] is omitted. *)
-
 val init_array :
   ?pool:Parallel.Pool.t ->
   ?journal:journal ->

@@ -39,13 +39,13 @@ let write_all conn s =
   let bytes = Bytes.of_string s in
   let len = Bytes.length bytes in
   let off = ref 0 in
-  let give_up_at = Unix.gettimeofday () +. 30. in
+  let give_up_at = Metrics.now_s () +. 30. in
   (try
      while !off < len && not conn.dead do
        match Unix.write conn.fd bytes !off (len - !off) with
        | written -> off := !off + written
        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-           if Unix.gettimeofday () > give_up_at then conn.dead <- true
+           if Metrics.now_s () > give_up_at then conn.dead <- true
            else ignore (Unix.select [] [ conn.fd ] [] 1.)
        | exception Unix.Unix_error (EINTR, _, _) -> ()
      done
@@ -150,7 +150,7 @@ let stats_response ~id ~metrics ~cache =
    batch). Never raises: a handler exception becomes an [internal]
    error response, not a dead daemon. *)
 let compute request =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Metrics.now_s () in
   let outcome =
     match
       match request with
@@ -176,9 +176,10 @@ let compute request =
           invalid_arg "Daemon.compute: live route"
     with
     | rendering -> Ok rendering
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e -> Error (Printexc.to_string e)
   in
-  (outcome, Unix.gettimeofday () -. t0)
+  (outcome, Metrics.now_s () -. t0)
 
 (* One parsed-and-classified request line. *)
 type job =
@@ -191,8 +192,8 @@ type job =
     }
 
 let classify ~cache ~metrics line =
-  let started = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. started in
+  let started = Metrics.now_s () in
+  let elapsed () = Metrics.now_s () -. started in
   match Json.decode line with
   | Error e ->
       Immediate

@@ -20,7 +20,7 @@ let float_repr v =
   let shortest =
     let try_digits d =
       let s = Printf.sprintf "%.*g" d v in
-      if float_of_string s = v then Some s else None
+      if Float.equal (float_of_string s) v then Some s else None
     in
     match try_digits 15 with
     | Some s -> s

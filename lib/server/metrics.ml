@@ -21,7 +21,9 @@ type t = {
   table : (string, route_acc) Hashtbl.t;
 }
 
-let create () = { started_at = Unix.gettimeofday (); table = Hashtbl.create 8 }
+let now_s () = Unix.gettimeofday ()
+
+let create () = { started_at = now_s (); table = Hashtbl.create 8 }
 
 let acc_for t route =
   match Hashtbl.find_opt t.table route with

@@ -8,6 +8,12 @@
 
 type t
 
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch. The daemon's only clock:
+    every latency or timeout measurement goes through here so that
+    wall-time reads stay confined to this observability module and
+    never leak into solver results. *)
+
 val create : unit -> t
 (** Starts the uptime clock. *)
 

@@ -67,11 +67,11 @@ let total_time b = b.productive +. b.wasted +. b.checkpoint +. b.recovery
 
 let utilization b =
   let total = total_time b in
-  if total = 0. then 0. else b.productive /. total
+  if Float.equal total 0. then 0. else b.productive /. total
 
 let waste_ratio b =
   let total = total_time b in
-  if total = 0. then 0. else (b.wasted +. b.recovery) /. total
+  if Float.equal total 0. then 0. else (b.wasted +. b.recovery) /. total
 
 let pp ppf b =
   Format.fprintf ppf

@@ -77,7 +77,7 @@ let application_estimate ?pool ?journal ?on_resume ~replicas ~seed ~model
 
 let make_check ~label ~z ~expected (observed : Numerics.Stats.summary) =
   let score =
-    if observed.std_error = 0. then
+    if Float.equal observed.std_error 0. then
       if Numerics.Float_utils.approx_equal observed.mean expected then 0.
       else infinity
     else Float.abs (observed.mean -. expected) /. observed.std_error

@@ -15,7 +15,8 @@ let sum = Array.fold_left ( +. ) 0.
 let validate t =
   Array.iter (check_non_negative "node_lambda_f") t.node_lambda_f;
   Array.iter (check_non_negative "node_lambda_s") t.node_lambda_s;
-  if sum t.node_lambda_f = 0. && sum t.node_lambda_s = 0. then
+  if Float.equal (sum t.node_lambda_f) 0. && Float.equal (sum t.node_lambda_s) 0.
+  then
     invalid_arg "Platform_sim: at least one error rate must be positive";
   check_non_negative "c" t.c;
   check_non_negative "r" t.r;

@@ -53,7 +53,7 @@ let saving cell =
       let e1 = one.Core.Optimum.energy_overhead in
       (* e1 = 0 (all-zero power model) would make the ratio nan/inf
          and leak silently into CSV rows and heatmaps. *)
-      if e1 = 0. then None
+      if Float.equal e1 0. then None
       else Some ((e1 -. two.Core.Optimum.energy_overhead) /. e1)
   | None, _ | _, None -> None
 

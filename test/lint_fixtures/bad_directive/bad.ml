@@ -1,0 +1,2 @@
+(* rexspeed-lint: allow RX0999 not a rule the linter knows *)
+let x = 1

@@ -1,0 +1,3 @@
+(* RX001 fixture: global PRNG use. *)
+let roll () = Random.int 6
+let seeded () = Random.self_init ()

@@ -1,0 +1,3 @@
+(* RX002 fixture: wall-clock reads. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

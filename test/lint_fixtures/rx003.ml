@@ -1,0 +1,2 @@
+(* RX003 fixture: domain-identity-keyed logic. *)
+let me () = Domain.self ()

@@ -1,0 +1,3 @@
+(* RX004 fixture: unordered hash-table traversal. *)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let dump t = Hashtbl.iter (fun _ _ -> ()) t

@@ -1,0 +1,6 @@
+(* RX005 fixture: exact float comparisons. *)
+let is_zero x = x = 0.
+let differs x = x <> 1.5
+let same a b = (a : float) == b
+let order a b = compare (a : float) b
+let bucket x = Hashtbl.hash (x +. 1.)

@@ -1,0 +1,3 @@
+(* RX006 fixture: division by zero-allowed model parameters. *)
+let unguarded t ~w = w /. t.lambda_f
+let guarded t ~w = if t.lambda_f > 0. then w /. t.lambda_f else 0.

@@ -1,0 +1,4 @@
+(* RX007 fixture: exp/log compositions that lose precision. *)
+let p x = 1. -. exp x
+let l x = log (1. +. x)
+let prod a b = exp a *. exp b

@@ -1,0 +1,3 @@
+(* RX008 fixture: catch-alls that can swallow everything. *)
+let swallow f = try f () with _ -> ()
+let rethrows f = try f () with Not_found -> () | e -> raise e

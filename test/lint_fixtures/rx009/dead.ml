@@ -1,0 +1,2 @@
+let used x = x + 1
+let unused x = x - 1

@@ -1,0 +1,2 @@
+val used : int -> int
+val unused : int -> int

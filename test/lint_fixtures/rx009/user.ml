@@ -1,0 +1,1 @@
+let twice x = Dead.used (Dead.used x)

@@ -1,0 +1,3 @@
+(* Suppression fixture: the violation below is excused. *)
+(* rexspeed-lint: allow RX001 fixture exercising the suppression path *)
+let roll () = Random.int 6

@@ -106,6 +106,13 @@ let test_breakdown_hand_values () =
   check_close "waste ratio" ((1010. +. 25.) /. 2095.)
     (Sim.Analysis.waste_ratio b)
 
+let test_breakdown_printer () =
+  let b = Sim.Analysis.breakdown (scripted_trace ()) in
+  let rendered = Format.asprintf "%a" Sim.Analysis.pp b in
+  Alcotest.(check bool) "printer names every bucket" true
+    (Astring_contains.contains rendered "productive"
+    && Astring_contains.contains rendered "recovery")
+
 let test_breakdown_empty_and_truncated () =
   let b = Sim.Analysis.breakdown [] in
   check_close "empty total" 0. (Sim.Analysis.total_time b);
@@ -149,7 +156,7 @@ let test_breakdown_matches_trace_total () =
 let finite_difference f x =
   (* Relative step: lambda is ~1e-6, powers are ~1e3 — an absolute step
      would be grossly wrong for one of them. *)
-  let h = if x = 0. then 1e-8 else 1e-5 *. Float.abs x in
+  let h = if Float.equal x 0. then 1e-8 else 1e-5 *. Float.abs x in
   (f (x +. h) -. f (x -. h)) /. (2. *. h)
 
 let perturbed (p : Core.Params.t) (pw : Core.Power.t) parameter value =
@@ -270,6 +277,7 @@ let () =
             test_breakdown_empty_and_truncated;
           Alcotest.test_case "partitions the makespan" `Quick
             test_breakdown_matches_trace_total;
+          Alcotest.test_case "printer" `Quick test_breakdown_printer;
         ] );
       ( "sensitivity",
         [

@@ -17,6 +17,25 @@ let heavy_params = Core.Params.make ~lambda:2e-4 ~c:120. ~r:60. ~v:20. ()
 let heavy ?(w = 3000.) ?(sigma1 = 0.5) ?(sigma2 = 1.0) () =
   Core.Distribution.make heavy_params ~w ~sigma1 ~sigma2
 
+let test_attempt_probabilities () =
+  (* The exported per-attempt probabilities are the closed forms the
+     rest of the law is assembled from. *)
+  let w = 3000. and sigma1 = 0.5 and sigma2 = 1.0 in
+  let d = heavy ~w ~sigma1 ~sigma2 () in
+  let lambda = heavy_params.Core.Params.lambda in
+  check_close "p = 1 - e^(-lW/s1)"
+    (-.Float.expm1 (-.lambda *. w /. sigma1))
+    (Core.Distribution.failure_probability d);
+  check_close "q = e^(-lW/s2)"
+    (exp (-.lambda *. w /. sigma2))
+    (Core.Distribution.reexecution_success d);
+  check_close "pmf 0 = 1 - p"
+    (1. -. Core.Distribution.failure_probability d)
+    (Core.Distribution.pmf d 0);
+  (* Every re-execution adds the same energy increment. *)
+  let e k = Core.Distribution.energy_of_count d power k in
+  check_close "energy affine in the count" (e 1 -. e 0) (e 2 -. e 1)
+
 let test_pmf_sums_to_one () =
   let d = heavy () in
   let k_max = Core.Distribution.tail_count d ~epsilon:1e-12 in
@@ -300,6 +319,8 @@ let () =
           Testutil.qcheck prop_variance_nonnegative;
           Testutil.qcheck prop_cdf_monotone;
           Alcotest.test_case "validation" `Quick test_validation_errors;
+          Alcotest.test_case "attempt probabilities" `Quick
+            test_attempt_probabilities;
         ] );
       ( "simulator",
         [

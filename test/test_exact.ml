@@ -26,14 +26,14 @@ let test_hand_checked_time () =
 
 let test_error_probability () =
   checkf ~eps:1e-12 "p(T) formula"
-    (1. -. exp (-3.38e-6 *. 1000. /. 0.5))
+    (-.Float.expm1 (-3.38e-6 *. 1000. /. 0.5))
     (Core.Exact.error_probability params ~w:1000. ~sigma:0.5);
   let tiny = Core.Exact.error_probability params ~w:1e-6 ~sigma:1. in
   check_close ~rtol:1e-6 "tiny probability keeps precision" (3.38e-12) tiny
 
 let test_reexecutions_formula () =
   let w = 5000. and sigma1 = 0.8 and sigma2 = 0.4 in
-  let p1 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma1) in
+  let p1 = -.Float.expm1 (-.params.Core.Params.lambda *. w /. sigma1) in
   let growth = exp (params.Core.Params.lambda *. w /. sigma2) in
   check_close "re-execution count" (p1 *. growth)
     (Core.Exact.expected_reexecutions params ~w ~sigma1 ~sigma2)

@@ -120,6 +120,29 @@ let test_figure_env () =
 let test_all_claims () =
   check_entries "claims" (Experiments.Claims.all ~points:26 ())
 
+let test_claims_all_is_every_claim () =
+  (* [all] must stay the concatenation of the individual claims, in
+     order — a new claim that is exported but forgotten in [all] would
+     silently drop out of EXPERIMENTS.md. *)
+  let points = 10 in
+  let key (e : Report.Compare.entry) = e.experiment ^ " / " ^ e.metric in
+  let parts =
+    List.concat
+      [
+        Experiments.Claims.headline_saving ~points ();
+        Experiments.Claims.fig2_pair_motion ~points ();
+        Experiments.Claims.fig3_stabilizes ~points ();
+        Experiments.Claims.fig4_lambda_shape ~points ();
+        Experiments.Claims.fig5_rho_shape ~points ();
+        Experiments.Claims.fig7_pio_invariance ~points ();
+        Experiments.Claims.fig11_pio_sensitivity ~points ();
+        Experiments.Claims.crusoe_c_insensitivity ~points ();
+      ]
+  in
+  Alcotest.(check (list string))
+    "all = the claims, concatenated" (List.map key parts)
+    (List.map key (Experiments.Claims.all ~points ()))
+
 (* ------------------------------------------------------------------ *)
 (* Theorem 2                                                           *)
 
@@ -195,7 +218,12 @@ let () =
           Alcotest.test_case "run panel" `Quick test_figure_run_panel;
           Alcotest.test_case "environment" `Quick test_figure_env;
         ] );
-      ( "claims", [ Alcotest.test_case "section 4.3" `Slow test_all_claims ] );
+      ( "claims",
+        [
+          Alcotest.test_case "section 4.3" `Slow test_all_claims;
+          Alcotest.test_case "all is every claim" `Slow
+            test_claims_all_is_every_claim;
+        ] );
       ( "theorem 2",
         [
           Alcotest.test_case "scaling exponents" `Slow test_theorem2_scaling;

@@ -57,7 +57,7 @@ let prop_minimizer_is_minimum =
     QCheck.(
       pair arb_params_pattern (float_range 0.2 5.))
     (fun ((p, (_, sigma1, sigma2)), factor) ->
-      QCheck.assume (factor <> 1.);
+      QCheck.assume (not (Float.equal factor 1.));
       let o = Core.First_order.time p ~sigma1 ~sigma2 in
       let w_star = Core.First_order.unconstrained_minimizer o in
       Core.First_order.eval o ~w:w_star

@@ -1,0 +1,282 @@
+(* Golden tests for the rexspeed lint pass: one fixture per rule with
+   exact file:line:rule assertions, plus the suppression, baseline and
+   rendering machinery. Fixtures live in lint_fixtures/, which the
+   driver's directory walk skips — they are only linted when passed as
+   explicit roots, as here. *)
+
+open Lint
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* The suppression marker, split so the linter does not read this test
+   as a directive when scanning its own source. *)
+let marker = "rexspeed" ^ "-lint: allow"
+
+let key (d : Diagnostic.t) =
+  (Filename.basename d.file, d.line, Diagnostic.rule_id d.rule)
+
+let scan_fixture name = Driver.scan ~roots:[ fixture name ]
+
+let check_findings what (report : Driver.report) expected =
+  Alcotest.(check (list string)) (what ^ ": no errors") [] report.errors;
+  Alcotest.(check (list (triple string int string)))
+    (what ^ ": findings")
+    expected
+    (List.map key report.findings)
+
+(* ------------------------------------------------------------------ *)
+(* One fixture per rule                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rx001 () =
+  check_findings "rx001" (scan_fixture "rx001.ml")
+    [ ("rx001.ml", 2, "RX001"); ("rx001.ml", 3, "RX001") ]
+
+let test_rx002 () =
+  check_findings "rx002" (scan_fixture "rx002.ml")
+    [ ("rx002.ml", 2, "RX002"); ("rx002.ml", 3, "RX002") ]
+
+let test_rx003 () =
+  check_findings "rx003" (scan_fixture "rx003.ml")
+    [ ("rx003.ml", 2, "RX003") ]
+
+let test_rx004 () =
+  check_findings "rx004" (scan_fixture "rx004.ml")
+    [ ("rx004.ml", 2, "RX004"); ("rx004.ml", 3, "RX004") ]
+
+let test_rx005 () =
+  check_findings "rx005" (scan_fixture "rx005.ml")
+    [
+      ("rx005.ml", 2, "RX005");
+      ("rx005.ml", 3, "RX005");
+      ("rx005.ml", 4, "RX005");
+      ("rx005.ml", 5, "RX005");
+      ("rx005.ml", 6, "RX005");
+    ]
+
+let test_rx006 () =
+  (* Line 2 divides unguarded; line 3 guards the same field and must
+     stay silent. *)
+  check_findings "rx006" (scan_fixture "rx006.ml")
+    [ ("rx006.ml", 2, "RX006") ]
+
+let test_rx007 () =
+  check_findings "rx007" (scan_fixture "rx007.ml")
+    [
+      ("rx007.ml", 2, "RX007");
+      ("rx007.ml", 3, "RX007");
+      ("rx007.ml", 4, "RX007");
+    ]
+
+let test_rx008 () =
+  (* Line 2 swallows everything; line 3 has a re-raising sibling and
+     must stay silent. *)
+  check_findings "rx008" (scan_fixture "rx008.ml")
+    [ ("rx008.ml", 2, "RX008") ]
+
+let test_rx009 () =
+  let report = scan_fixture "rx009" in
+  Alcotest.(check int) "three files in the fixture project" 3
+    report.files_scanned;
+  check_findings "rx009" report [ ("dead.mli", 2, "RX009") ]
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppressed_fixture () =
+  let report = scan_fixture "suppressed.ml" in
+  check_findings "suppressed" report [];
+  Alcotest.(check int) "one suppression counted" 1 report.suppressed
+
+let test_bad_directive_fixture () =
+  let report = Driver.scan ~roots:[ fixture "bad_directive" ] in
+  Alcotest.(check bool) "run has errors" true (report.errors <> []);
+  Alcotest.(check bool) "error names the bad token" true
+    (List.exists
+       (fun e ->
+         let contains s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         contains e "bad suppression directive" && contains e "RX0999")
+       report.errors)
+
+let test_suppress_module () =
+  (* Same-line directive silences that line only. *)
+  let s = Suppress.of_source ("let x = 1 (* " ^ marker ^ " RX005 *)\n") in
+  Alcotest.(check bool) "RX005 active on line 1" true
+    (Suppress.active s ~line:1 Diagnostic.RX005);
+  Alcotest.(check bool) "RX001 untouched" false
+    (Suppress.active s ~line:1 Diagnostic.RX001);
+  Alcotest.(check bool) "line 2 untouched" false
+    (Suppress.active s ~line:2 Diagnostic.RX005);
+  (* Comment alone on its line covers the next line. *)
+  let s = Suppress.of_source ("(* " ^ marker ^ " RX001 RX002 why *)\ncode\n") in
+  Alcotest.(check bool) "RX001 pushed to line 2" true
+    (Suppress.active s ~line:2 Diagnostic.RX001);
+  Alcotest.(check bool) "RX002 pushed to line 2" true
+    (Suppress.active s ~line:2 Diagnostic.RX002);
+  Alcotest.(check (list (pair int string))) "no bad tokens" []
+    (Suppress.bad_directives s);
+  (* RX-shaped unknown tokens are reported with their line. *)
+  let s = Suppress.of_source ("x\n(* " ^ marker ^ " RX0999 *)\ny\n") in
+  Alcotest.(check (list (pair int string)))
+    "bad token located"
+    [ (2, "RX0999") ]
+    (Suppress.bad_directives s)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline round trip                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_round_trip () =
+  let report = scan_fixture "rx001.ml" in
+  Alcotest.(check int) "fixture has findings" 2 (List.length report.findings);
+  let path = Filename.temp_file "rexspeed_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save path report.findings;
+      match Baseline.load path with
+      | Error e -> Alcotest.failf "baseline did not load back: %s" e
+      | Ok baseline ->
+          Alcotest.(check int) "one entry per finding"
+            (List.length report.findings)
+            (List.length baseline);
+          List.iter
+            (fun d ->
+              Alcotest.(check bool) "finding is baselined" true
+                (Baseline.mem baseline d))
+            report.findings;
+          let kept, baselined = Driver.apply_baseline baseline report.findings in
+          Alcotest.(check int) "nothing kept" 0 (List.length kept);
+          Alcotest.(check int) "all baselined" 2 (List.length baselined);
+          (* An empty baseline keeps everything. *)
+          let kept, baselined = Driver.apply_baseline [] report.findings in
+          Alcotest.(check int) "all kept" 2 (List.length kept);
+          Alcotest.(check int) "none baselined" 0 (List.length baselined))
+
+let test_baseline_errors () =
+  (match Baseline.load "no-such-baseline-file.txt" with
+  | Ok _ -> Alcotest.fail "missing baseline file must be an error"
+  | Error _ -> ());
+  let path = Filename.temp_file "rexspeed_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# comment is fine\nnot a valid entry\n";
+      close_out oc;
+      match Baseline.load path with
+      | Ok _ -> Alcotest.fail "malformed baseline must be an error"
+      | Error e ->
+          Alcotest.(check bool) "error is line-addressed" true
+            (String.length e > 0
+            && List.exists
+                 (fun sub ->
+                   let n = String.length sub in
+                   let rec go i =
+                     i + n <= String.length e
+                     && (String.sub e i n = sub || go (i + 1))
+                   in
+                   go 0)
+                 [ ":2" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics: metadata and rendering                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_metadata () =
+  Alcotest.(check int) "nine rules" 9 (List.length Diagnostic.all_rules);
+  List.iter
+    (fun r ->
+      let id = Diagnostic.rule_id r in
+      Alcotest.(check bool) (id ^ " round-trips") true
+        (Diagnostic.rule_of_id id = Some r);
+      Alcotest.(check bool) (id ^ " is described") true
+        (String.length (Diagnostic.description r) > 0))
+    Diagnostic.all_rules;
+  Alcotest.(check bool) "unknown ID rejected" true
+    (Diagnostic.rule_of_id "RX999" = None);
+  Alcotest.(check bool) "RX001 is an error" true
+    (Diagnostic.severity_of RX001 = Diagnostic.Error);
+  Alcotest.(check bool) "RX008 is an error" true
+    (Diagnostic.severity_of RX008 = Diagnostic.Error);
+  Alcotest.(check bool) "RX006 is a warning" true
+    (Diagnostic.severity_of RX006 = Diagnostic.Warning);
+  Alcotest.(check bool) "RX009 is a warning" true
+    (Diagnostic.severity_of RX009 = Diagnostic.Warning)
+
+let test_rendering () =
+  let d = Diagnostic.make RX001 ~file:"f.ml" ~line:2 ~col:4 "msg" in
+  Alcotest.(check string) "text form" "f.ml:2:4: error RX001 msg"
+    (Diagnostic.to_text d);
+  Alcotest.(check string) "json form"
+    {|{"rule":"RX001","severity":"error","file":"f.ml","line":2,"col":4,"message":"msg"}|}
+    (Diagnostic.to_json d);
+  let tricky =
+    Diagnostic.make RX009 ~file:{|a"b.mli|} ~line:1 ~col:0 "back\\slash\nnl"
+  in
+  Alcotest.(check string) "json escaping"
+    {|{"rule":"RX009","severity":"warning","file":"a\"b.mli","line":1,"col":0,"message":"back\\slash\nnl"}|}
+    (Diagnostic.to_json tricky);
+  Alcotest.(check string) "empty report"
+    {|{"version":1,"findings":[],"count":0}|}
+    (Diagnostic.report_json []);
+  let two = Diagnostic.report_json [ d; d ] in
+  Alcotest.(check string) "report wraps findings"
+    ({|{"version":1,"findings":[|} ^ Diagnostic.to_json d ^ ","
+   ^ Diagnostic.to_json d ^ {|],"count":2}|})
+    two
+
+let test_allowlist () =
+  Alcotest.(check bool) "metrics.ml may read the clock" true
+    (Rules.allowlisted Diagnostic.RX002 "lib/server/metrics.ml");
+  Alcotest.(check bool) "bench may read the clock" true
+    (Rules.allowlisted Diagnostic.RX002 "bench/main.ml");
+  Alcotest.(check bool) "metrics.ml may fold its table" true
+    (Rules.allowlisted Diagnostic.RX004 "lib/server/metrics.ml");
+  Alcotest.(check bool) "no RX001 exemptions" false
+    (Rules.allowlisted Diagnostic.RX001 "lib/server/metrics.ml");
+  Alcotest.(check bool) "the daemon is not exempt" false
+    (Rules.allowlisted Diagnostic.RX002 "lib/server/daemon.ml")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "RX001 global PRNG" `Quick test_rx001;
+          Alcotest.test_case "RX002 wall clock" `Quick test_rx002;
+          Alcotest.test_case "RX003 domain identity" `Quick test_rx003;
+          Alcotest.test_case "RX004 hashtbl order" `Quick test_rx004;
+          Alcotest.test_case "RX005 float comparison" `Quick test_rx005;
+          Alcotest.test_case "RX006 zero-allowed division" `Quick test_rx006;
+          Alcotest.test_case "RX007 exp/log composition" `Quick test_rx007;
+          Alcotest.test_case "RX008 catch-all handler" `Quick test_rx008;
+          Alcotest.test_case "RX009 dead export" `Quick test_rx009;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "fixture is silenced" `Quick
+            test_suppressed_fixture;
+          Alcotest.test_case "bad directive fails the run" `Quick
+            test_bad_directive_fixture;
+          Alcotest.test_case "directive scoping" `Quick test_suppress_module;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "load errors" `Quick test_baseline_errors;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "rule metadata" `Quick test_rule_metadata;
+          Alcotest.test_case "text and json rendering" `Quick test_rendering;
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+        ] );
+    ]

@@ -168,7 +168,7 @@ let test_success_probability () =
   let m = Core.Mixed.make ~c:100. ~v:50. ~lambda_f:1e-4 ~lambda_s:2e-4 () in
   let w = 1000. and sigma = 0.5 in
   check_close "product of survivals"
-    (exp (-1e-4 *. 1050. /. 0.5) *. exp (-2e-4 *. 1000. /. 0.5))
+    (exp ((-1e-4 *. 1050. /. 0.5) +. (-2e-4 *. 1000. /. 0.5)))
     (Core.Mixed.success_probability m ~w ~sigma);
   Alcotest.(check bool) "monotone in w" true
     (Core.Mixed.success_probability m ~w:2000. ~sigma

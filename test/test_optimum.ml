@@ -113,6 +113,21 @@ let test_exact_overheads_close () =
       check_close ~rtol:1e-3 "exact energy close to first-order"
         s.Core.Optimum.energy_overhead e_exact
 
+let test_env_with_params () =
+  let p2 = Core.Params.with_v params 99. in
+  let env2 = Core.Env.with_params env p2 in
+  checkf "params swapped" 99. env2.Core.Env.params.Core.Params.v;
+  checkf "power kept" power.Core.Power.kappa
+    env2.Core.Env.power.Core.Power.kappa
+
+let test_pp_solution () =
+  match Core.Optimum.solve_pair params power ~rho:3. ~sigma1:0.4 ~sigma2:0.4 with
+  | None -> Alcotest.fail "pair (0.4, 0.4) must be feasible at rho = 3"
+  | Some s ->
+      let rendered = Format.asprintf "%a" Core.Optimum.pp_solution s in
+      Alcotest.(check bool) "printer renders the solution" true
+        (String.length rendered > 0)
+
 let () =
   Alcotest.run "core-optimum"
     [
@@ -127,6 +142,8 @@ let () =
             test_solve_pair_infeasible;
           Alcotest.test_case "exact overheads" `Quick
             test_exact_overheads_close;
+          Alcotest.test_case "env with_params" `Quick test_env_with_params;
+          Alcotest.test_case "solution printer" `Quick test_pp_solution;
         ] );
       ( "theorem 1 invariants",
         [

@@ -308,6 +308,15 @@ let test_default_domain_count () =
   Alcotest.(check int) "clamped to 1" 1
     (Parallel.Pool.domains (Parallel.Pool.default ()))
 
+let test_retry_budget () =
+  Alcotest.(check int) "default bound" 10 Parallel.Pool.default_max_attempts;
+  Parallel.Pool.set_max_attempts 3;
+  Alcotest.(check int) "override in force" 3 (Parallel.Pool.max_attempts ());
+  Parallel.Pool.set_max_attempts Parallel.Pool.default_max_attempts;
+  Alcotest.(check int) "back to the default"
+    Parallel.Pool.default_max_attempts
+    (Parallel.Pool.max_attempts ())
+
 let () =
   Alcotest.run "parallel"
     [
@@ -347,5 +356,6 @@ let () =
       ( "defaults",
         [
           Alcotest.test_case "domain count" `Quick test_default_domain_count;
+          Alcotest.test_case "retry budget" `Quick test_retry_budget;
         ] );
     ]

@@ -188,6 +188,16 @@ let test_config_file_errors () =
   expect_error "unknown key" (sample_file ^ "bogus = 3\n");
   expect_error "duplicate key" (sample_file ^ "c = 1\n");
   expect_error "missing required" "lambda = 1e-6\n";
+  (match Platforms.Config_file.parse "lambda = 1e-6\n" with
+  | Error e ->
+      List.iter
+        (fun k ->
+          check_bool ("missing-key error names " ^ k) true
+            (Astring_contains.contains e k))
+        (List.filter
+           (fun k -> k <> "lambda")
+           Platforms.Config_file.required_keys)
+  | Ok _ -> Alcotest.fail "expected a missing-key error");
   expect_error "bad number" "lambda = abc\nc=1\nv=1\nkappa=1\np_idle=1\nspeeds=1\n";
   expect_error "no equals sign" (sample_file ^ "just words\n");
   expect_error "empty speeds entry"
@@ -296,6 +306,29 @@ let test_env_of_config_file () =
       check_bool "solvable" true
         (Option.is_some (Core.Bicrit.solve env ~rho:3.))
 
+let test_power_of_processor () =
+  let pr = Platforms.Processor.xscale in
+  let pw = Core.Power.of_processor pr in
+  checkf "p_io defaults to the paper's rule (Pcpu at the slowest speed)"
+    (Platforms.Processor.default_p_io pr)
+    pw.Core.Power.p_io;
+  checkf "kappa carried over" pr.Platforms.Processor.kappa pw.Core.Power.kappa;
+  let pw2 = Core.Power.of_processor ~p_io:7. pr in
+  checkf "explicit p_io wins" 7. pw2.Core.Power.p_io
+
+let test_printers () =
+  (* Smoke the debug printers: they must render every built-in value
+     without raising, and say which one they rendered. *)
+  let proc = Format.asprintf "%a" Platforms.Processor.pp Platforms.Processor.xscale in
+  check_bool "processor printer non-empty" true (String.length proc > 0);
+  let plat = Format.asprintf "%a" Platforms.Platform.pp Platforms.Platform.hera in
+  check_bool "platform printer non-empty" true (String.length plat > 0);
+  List.iter
+    (fun c ->
+      let rendered = Format.asprintf "%a" Platforms.Config.pp c in
+      check_bool "config printer non-empty" true (String.length rendered > 0))
+    Platforms.Config.all
+
 let () =
   Alcotest.run "platforms"
     [
@@ -333,4 +366,7 @@ let () =
           Alcotest.test_case "load" `Quick test_config_file_load;
           Alcotest.test_case "to environment" `Quick test_env_of_config_file;
         ] );
+      ( "power model",
+        [ Alcotest.test_case "of_processor" `Quick test_power_of_processor ] );
+      ("printers", [ Alcotest.test_case "smoke" `Quick test_printers ]);
     ]

@@ -85,8 +85,8 @@ let test_truncation_tight_at_low_rates () =
 
 let test_risk_formula () =
   let w = 3000. and sigma1 = 0.5 and sigma2 = 1.0 in
-  let p1 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma1) in
-  let p2 = 1. -. exp (-.params.Core.Params.lambda *. w /. sigma2) in
+  let p1 = -.Float.expm1 (-.params.Core.Params.lambda *. w /. sigma1) in
+  let p2 = -.Float.expm1 (-.params.Core.Params.lambda *. w /. sigma2) in
   check_close "product of failures" (p1 *. p2)
     (Core.Related_work.Single_reexecution.risk params ~w ~sigma1 ~sigma2)
 

@@ -357,6 +357,24 @@ let test_checkpointed_slot_count_mismatch () =
   | _ -> Alcotest.fail "slot-count mismatch must raise Journal_error"
   | exception Resilience.Checkpointed.Journal_error _ -> ()
 
+let test_journal_header_and_hex () =
+  (* The format hooks the tamper tests build on: the hex codec must
+     round-trip arbitrary bytes (and reject odd-length input), and a
+     fresh journal's first line must be the advertised magic. *)
+  let payload = "tamper\x00\xffprobe" in
+  Alcotest.(check (option string))
+    "hex round-trip" (Some payload)
+    (Resilience.Journal.hex_decode (Resilience.Journal.hex_encode payload));
+  Alcotest.(check (option string))
+    "odd-length rejected" None
+    (Resilience.Journal.hex_decode "abc");
+  let path = temp_path () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_journal ~path ~description:"header" 1;
+  let first_line = In_channel.with_open_text path input_line in
+  Alcotest.(check string) "header is Journal.magic" Resilience.Journal.magic
+    first_line
+
 let () =
   Alcotest.run "resilience"
     [
@@ -371,6 +389,8 @@ let () =
           Alcotest.test_case "fingerprint mismatch" `Quick
             test_journal_fingerprint_mismatch;
           Alcotest.test_case "bad magic" `Quick test_journal_bad_magic;
+          Alcotest.test_case "header and hex codec" `Quick
+            test_journal_header_and_hex;
         ] );
       ( "chaos",
         [

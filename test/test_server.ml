@@ -547,6 +547,21 @@ let test_daemon_end_to_end () =
         "stats version single-sourced" Server.Version.current v
   | None -> Alcotest.fail "stats version missing"
 
+let test_metrics_window () =
+  let m = Server.Metrics.create () in
+  (* An early spike must age out of the bounded p99 window once a full
+     window of fresh samples lands — but the all-time max keeps it. *)
+  Server.Metrics.record m ~route:"solve" ~ok:true ~latency_s:9.;
+  for _ = 1 to Server.Metrics.window do
+    Server.Metrics.record m ~route:"solve" ~ok:true ~latency_s:0.001
+  done;
+  match Server.Metrics.routes m with
+  | [ r ] ->
+      let r : Server.Metrics.route_stats = r in
+      Testutil.checkf "spike aged out of the p99" 0.001 r.latency_p99_s;
+      Testutil.checkf "still the all-time max" 9. r.latency_max_s
+  | routes -> Alcotest.failf "expected 1 route, got %d" (List.length routes)
+
 let () =
   Alcotest.run "server"
     [
@@ -567,6 +582,7 @@ let () =
         [
           Alcotest.test_case "latency stats" `Quick test_metrics;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
+          Alcotest.test_case "bounded window" `Quick test_metrics_window;
         ] );
       ( "protocol",
         [

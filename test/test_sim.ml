@@ -13,7 +13,7 @@ let test_fault_basic () =
   let f = Sim.Fault.create ~rate:1e-3 in
   checkf "rate accessor" 1e-3 (Sim.Fault.rate f);
   check_close "strike probability"
-    (1. -. exp (-1e-3 *. 500.))
+    (-.Float.expm1 (-1e-3 *. 500.))
     (Sim.Fault.strike_probability f ~duration:500.);
   check_raises_invalid "negative rate" (fun () ->
       Sim.Fault.create ~rate:(-1.));
@@ -581,6 +581,42 @@ let test_application_estimate_matches_model () =
   in
   Alcotest.(check bool) "makespan within 4 sigma" true (z < 4.)
 
+let test_machine_power_accessor () =
+  let machine = Sim.Machine.create power in
+  Alcotest.(check bool) "the model handed to create" true
+    (Sim.Machine.power machine == power)
+
+let test_trace_segments_and_printers () =
+  let b = Sim.Trace.builder () in
+  Sim.Trace.record b ~at:0.
+    (Sim.Trace.Compute { speed = 0.5; duration = 10.; work = 5. });
+  Sim.Trace.record b ~at:10.
+    (Sim.Trace.Verify { speed = 0.5; duration = 2.; passed = true });
+  Sim.Trace.record b ~at:12. (Sim.Trace.Checkpoint { duration = 1. });
+  let t = Sim.Trace.finish b in
+  Alcotest.(check int) "segments, in order" 3
+    (List.length (Sim.Trace.segments t));
+  (match Sim.Trace.segments t with
+  | Sim.Trace.Compute _ :: _ -> ()
+  | _ -> Alcotest.fail "first segment must be the compute");
+  let rendered = Format.asprintf "%a" Sim.Trace.pp t in
+  Alcotest.(check bool) "trace printer non-empty" true
+    (String.length rendered > 0);
+  let seg =
+    Format.asprintf "%a" Sim.Trace.pp_segment
+      (Sim.Trace.Checkpoint { duration = 1. })
+  in
+  Alcotest.(check bool) "segment printer non-empty" true
+    (String.length seg > 0)
+
+let test_replicate_deterministic () =
+  let draw rng = Prng.Rng.exponential rng ~rate:1e-3 in
+  let a = Sim.Montecarlo.replicate ~replicas:8 ~seed:5 draw in
+  let b = Sim.Montecarlo.replicate ~replicas:8 ~seed:5 draw in
+  Alcotest.(check int) "one slot per replica" 8 (Array.length a);
+  Alcotest.(check bool) "bit-identical across runs" true
+    (Array.for_all2 Float.equal a b)
+
 let () =
   Alcotest.run "sim"
     [
@@ -594,12 +630,18 @@ let () =
             test_fault_scripted_exhaustion;
         ] );
       ( "machine",
-        [ Alcotest.test_case "accounting" `Quick test_machine_accounting ] );
+        [
+          Alcotest.test_case "accounting" `Quick test_machine_accounting;
+          Alcotest.test_case "power accessor" `Quick
+            test_machine_power_accessor;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "builder" `Quick test_trace_builder;
           Alcotest.test_case "ill-formed detection" `Quick
             test_trace_ill_formed;
+          Alcotest.test_case "segments and printers" `Quick
+            test_trace_segments_and_printers;
         ] );
       ( "executor",
         [
@@ -640,5 +682,7 @@ let () =
           Alcotest.test_case "estimates" `Quick test_montecarlo_estimates;
           Alcotest.test_case "application estimate" `Slow
             test_application_estimate_matches_model;
+          Alcotest.test_case "replicate deterministic" `Quick
+            test_replicate_deterministic;
         ] );
     ]

@@ -339,6 +339,28 @@ let test_grid_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty axis must raise"
 
+let test_shape_single_speed_projection () =
+  let s = small_series () in
+  let pts = Sweep.Shape.project s Sweep.Shape.single_speed_wopt in
+  (* Wopt and energy come from the same single-speed solution option,
+     so their projections must cover exactly the same axis points. *)
+  Alcotest.(check int) "matches the energy projection"
+    (List.length (Sweep.Shape.project s Sweep.Shape.single_speed_energy))
+    (List.length pts);
+  List.iter
+    (fun (_, w) -> Alcotest.(check bool) "positive Wopt" true (w > 0.))
+    pts
+
+let test_projection_matches_bicrit () =
+  let x = 450. in
+  match Sweep.Crossover.optimal_sigma1 env ~rho:3. Sweep.Parameter.C x with
+  | None -> Alcotest.fail "C = 450 must be feasible at rho = 3"
+  | Some s1 -> (
+      let env', rho' = Sweep.Parameter.apply Sweep.Parameter.C ~env ~rho:3. x in
+      match Core.Bicrit.solve ~mode:Core.Bicrit.Two_speeds env' ~rho:rho' with
+      | None -> Alcotest.fail "BiCrit disagrees on feasibility"
+      | Some r -> checkf "sigma1 projection" r.Core.Bicrit.best.Core.Optimum.sigma1 s1)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -363,6 +385,8 @@ let () =
           Alcotest.test_case "never_above" `Quick test_shape_never_above;
           Alcotest.test_case "gap ratio" `Quick test_shape_gap_ratio;
           Alcotest.test_case "project" `Quick test_shape_project;
+          Alcotest.test_case "single-speed projection" `Quick
+            test_shape_single_speed_projection;
         ] );
       ( "crossover",
         [
@@ -370,6 +394,8 @@ let () =
           Alcotest.test_case "feasibility edge" `Quick
             test_scan_feasibility_edge;
           Alcotest.test_case "no switch" `Quick test_scan_no_switch;
+          Alcotest.test_case "sigma1 projection matches BiCrit" `Quick
+            test_projection_matches_bicrit;
           Alcotest.test_case "figure 2 switch points" `Slow
             test_fig2_switch_points;
         ] );

@@ -85,4 +85,5 @@ let arb_mixed_pattern =
 (* Deterministic qcheck registration: property tests always run with
    the same PRNG state, so the suite cannot flake across runs. *)
 let qcheck test =
+  (* rexspeed-lint: allow RX001 fixed seed is what makes qcheck deterministic *)
   QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED |]) test
