@@ -38,12 +38,23 @@ let exits =
           file, or a $(b,serve) listener that cannot be bound."
   :: Cmd.Exit.defaults
 
+let trace_env_var = "REXSPEED_TRACE"
+let trace_sample_env_var = "REXSPEED_TRACE_SAMPLE"
+
 let envs =
   [
     Cmd.Env.info Resilience.Chaos.env_var
       ~doc:
         "Deterministic chaos injection, $(b,P) or $(b,P:SEED): fail each \
          task attempt with probability P (overridden by $(b,--chaos)).";
+    Cmd.Env.info trace_env_var
+      ~doc:
+        "Write a Chrome trace_event profile of the run to this file \
+         (overridden by $(b,--trace)).";
+    Cmd.Env.info trace_sample_env_var
+      ~doc:
+        "Paper-phase span sampling stride for tracing (overridden by \
+         $(b,--trace-sample)).";
   ]
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits ~envs
@@ -136,12 +147,54 @@ let runtime_setup =
     let doc = "Seed of the chaos decision stream (with $(b,--chaos))." in
     Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
   in
-  let setup domains retries chaos chaos_seed =
+  let trace =
+    let doc =
+      "Profile the run and write a Chrome trace_event JSON file to $(docv) \
+       (loadable in Perfetto / chrome://tracing); an ASCII flame summary \
+       goes to stderr. Span identities derive from task indices, never the \
+       clock, so traces of identical runs differ only in their timestamp \
+       columns."
+    in
+    let env = Cmd.Env.info trace_env_var in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~env ~doc)
+  in
+  let trace_sample =
+    let doc =
+      "With $(b,--trace): record the paper-phase spans \
+       (work/verify/checkpoint/recover/reexec) of every $(docv)-th task \
+       only, bounding tracing overhead on Monte-Carlo hot paths. Task 0 is \
+       always sampled."
+    in
+    let env = Cmd.Env.info trace_sample_env_var in
+    Arg.(value & opt int 64 & info [ "trace-sample" ] ~docv:"N" ~env ~doc)
+  in
+  let setup domains retries chaos chaos_seed trace trace_sample =
     Option.iter Parallel.Pool.set_default domains;
     (match retries with
     | Some n when n < 1 -> die Cmd.Exit.cli_error "--retries must be at least 1"
     | Some n -> Parallel.Pool.set_max_attempts n
     | None -> ());
+    (match trace with
+    | None -> ()
+    | Some path ->
+        if trace_sample < 1 then
+          die Cmd.Exit.cli_error "--trace-sample must be at least 1";
+        Tracing.Tracer.start ~sample_every:trace_sample ();
+        (* Exported at exit so every subcommand — including ones that
+           exit through [die] — leaves a complete, crash-atomically
+           written trace; the summary goes to stderr because stdout is
+           golden-tested byte-for-byte. *)
+        at_exit (fun () ->
+            match Tracing.Tracer.finish () with
+            | None -> ()
+            | Some dump ->
+                (try
+                   Report.Csv.write_file ~path
+                     (Tracing.Export.chrome_json dump)
+                 with Sys_error message ->
+                   Printf.eprintf "rexspeed: trace: %s\n%!" message);
+                prerr_string (Tracing.Export.summary dump)));
     match chaos with
     | Some p -> begin
         match Resilience.Chaos.configure ~p ~seed:chaos_seed with
@@ -154,7 +207,8 @@ let runtime_setup =
         | Error message -> die Cmd.Exit.cli_error message
       end
   in
-  Term.(const setup $ domains $ retries $ chaos $ chaos_seed)
+  Term.(
+    const setup $ domains $ retries $ chaos $ chaos_seed $ trace $ trace_sample)
 
 (* Evaluates [runtime_setup] (left argument, so before the command's own
    [run] fires) and passes the command's exit code through. *)
@@ -193,7 +247,7 @@ let journal_args =
 
 let journal_of ~description =
   Option.map (fun (path, resume) ->
-      { Resilience.Checkpointed.path; resume; description })
+      { Resilience.Checkpointed.path; resume; description; durable = true })
 
 (* Resume/progress notes go to stderr: stdout must stay byte-identical
    between resumed and uninterrupted runs. *)
@@ -290,7 +344,7 @@ let tables_cmd =
   in
   Cmd.v
     (cmd_info "tables" ~doc:"Regenerate the four Section 4.2 tables and diff against the paper.")
-    (Term.(const run $ const ()))
+    (with_domains Term.(const run $ const ()))
 
 let figure_cmd =
   let id =
@@ -539,7 +593,7 @@ let theorem2_cmd =
   in
   Cmd.v
     (cmd_info "theorem2" ~doc:"Theta(lambda^(-2/3)) scaling experiment (Theorem 2).")
-    Term.(const run $ const ())
+    (with_domains Term.(const run $ const ()))
 
 let claims_cmd =
   let run points =
@@ -581,7 +635,7 @@ let ablation_cmd =
     (cmd_info "ablation"
        ~doc:"Quantify the paper's design choices: speed discreteness, \
              first-order optimization, verification cost.")
-    Term.(const run $ rho_arg)
+    (with_domains Term.(const run $ rho_arg))
 
 let sensitivity_cmd =
   let run config rho =
@@ -625,7 +679,7 @@ let sensitivity_cmd =
   Cmd.v
     (cmd_info "sensitivity"
        ~doc:"Closed-form parameter elasticities of the optimal pattern.")
-    Term.(const run $ config_arg $ rho_arg)
+    (with_domains Term.(const run $ config_arg $ rho_arg))
 
 let evaluate_cmd =
   let w_arg =
@@ -762,7 +816,7 @@ let baselines_cmd =
   Cmd.v
     (cmd_info "baselines"
        ~doc:"Compare against the Section 6 related-work models.")
-    Term.(const run $ rho_arg)
+    (with_domains Term.(const run $ rho_arg))
 
 let report_cmd =
   let output =
@@ -927,7 +981,7 @@ let mixed_cmd =
   Cmd.v
     (cmd_info "mixed"
        ~doc:"Exact BiCrit with both error sources across the error mix (extension).")
-    Term.(const run $ config_arg $ rho_arg)
+    (with_domains Term.(const run $ config_arg $ rho_arg))
 
 let verif_cmd =
   let scale =
@@ -976,7 +1030,7 @@ let verif_cmd =
   Cmd.v
     (cmd_info "verif"
        ~doc:"Patterns with m intermediate verifications per checkpoint (extension).")
-    Term.(const run $ config_arg $ rho_arg $ scale)
+    (with_domains Term.(const run $ config_arg $ rho_arg $ scale))
 
 let serve_cmd =
   let port =

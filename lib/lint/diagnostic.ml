@@ -8,6 +8,7 @@ type rule =
   | RX007
   | RX008
   | RX009
+  | RX010
 
 type severity = Error | Warning
 
@@ -21,7 +22,7 @@ type t = {
 }
 
 let all_rules =
-  [ RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009 ]
+  [ RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009; RX010 ]
 
 let rule_id = function
   | RX001 -> "RX001"
@@ -33,12 +34,13 @@ let rule_id = function
   | RX007 -> "RX007"
   | RX008 -> "RX008"
   | RX009 -> "RX009"
+  | RX010 -> "RX010"
 
 let rule_of_id s =
   List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
 
 let severity_of = function
-  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 -> Error
+  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 | RX010 -> Error
   | RX006 | RX007 | RX009 -> Warning
 
 let description = function
@@ -51,6 +53,7 @@ let description = function
   | RX007 -> "exp/log composition losing precision"
   | RX008 -> "catch-all exception handler that never re-raises"
   | RX009 -> "exported value never referenced outside its module"
+  | RX010 -> "wall-clock or Random use inside a tracing emission path"
 
 let make rule ~file ~line ~col message =
   { rule; severity = severity_of rule; file; line; col; message }

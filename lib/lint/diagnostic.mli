@@ -14,6 +14,9 @@ type rule =
   | RX007  (** numeric: exp/log composition losing precision *)
   | RX008  (** robustness: catch-all exception handler that never re-raises *)
   | RX009  (** robustness: exported value never referenced outside its module *)
+  | RX010
+      (** determinism: wall-clock or [Random.*] use inside a tracing
+          emission path (only [lib/trace/clock.ml] may read the clock) *)
 
 type severity = Error | Warning
 
@@ -29,7 +32,7 @@ type t = {
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["RX001"] … ["RX009"]. *)
+(** ["RX001"] … ["RX010"]. *)
 
 val rule_of_id : string -> rule option
 val severity_of : rule -> severity

@@ -8,15 +8,28 @@ let has_suffix ~suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
 
+(* A file lives in a tracing emission path when any *directory*
+   component of its path is exactly "trace" (the basename keeps its
+   extension, so lib/sim/trace.ml does not qualify). Emission code
+   must derive span identities from task indices only — RX010. *)
+let in_trace_dir file =
+  match List.rev (String.split_on_char '/' file) with
+  | [] | [ _ ] -> false
+  | _basename :: dirs -> List.mem "trace" dirs
+
 let allowlisted (rule : Diagnostic.rule) file =
   match rule with
   | Diagnostic.RX002 ->
       (* metrics.ml is the one sanctioned clock; bench/main.ml measures
          wall time by definition — its readings are reported, never fed
-         back into results. *)
+         back into results; trace/clock.ml is the tracing subsystem's
+         single timestamp source (everything else in lib/trace falls
+         under RX010). *)
       has_suffix ~suffix:"lib/server/metrics.ml" file
       || has_suffix ~suffix:"bench/main.ml" file
+      || has_suffix ~suffix:"trace/clock.ml" file
   | Diagnostic.RX004 -> has_suffix ~suffix:"lib/server/metrics.ml" file
+  | Diagnostic.RX010 -> has_suffix ~suffix:"trace/clock.ml" file
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -135,15 +148,28 @@ let binop op e =
 (* ------------------------------------------------------------------ *)
 (* Per-expression checks                                               *)
 
-(* RX001–RX004: identifier denylists. Flagging the identifier itself
-   (not the application) also catches first-class uses like
-   [List.map Random.float xs]. *)
-let check_ident add loc lid =
+(* RX001–RX004, RX010: identifier denylists. Flagging the identifier
+   itself (not the application) also catches first-class uses like
+   [List.map Random.float xs]. Inside a tracing emission path the
+   wall-clock and Random denylists escalate to RX010: span identities
+   must derive from task indices, and timestamps must be confined to
+   trace/clock.ml, or two identical runs stop producing identical
+   traces. *)
+let check_ident add ~in_trace loc lid =
   match flatten_lid lid with
+  | "Random" :: _ :: _ when in_trace ->
+      add Diagnostic.RX010 loc
+        "Random inside a tracing emission path makes span identities \
+         nondeterministic; derive ids from task indices"
   | "Random" :: _ :: _ ->
       add Diagnostic.RX001 loc
         "Random is process-global and seed-order dependent; draw from the \
          deterministic Prng substreams instead"
+  | ([ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ]) when in_trace
+    ->
+      add Diagnostic.RX010 loc
+        "wall-clock read inside a tracing emission path; timestamps are \
+         confined to trace/clock.ml (Tracing.Clock.now_s)"
   | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
       add Diagnostic.RX002 loc
         "wall-clock reads make output depend on when the run happened; \
@@ -308,9 +334,10 @@ let check_structure ~file str =
     end
   in
   let super = Ast_iterator.default_iterator in
+  let in_trace = in_trace_dir file in
   let check_expr e =
     (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> check_ident add e.pexp_loc txt
+    | Pexp_ident { txt; _ } -> check_ident add ~in_trace e.pexp_loc txt
     | _ -> ());
     check_apply add ~guards:!guards e;
     check_catch_all add e

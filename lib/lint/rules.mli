@@ -1,4 +1,4 @@
-(** Per-file AST checks (rules RX001–RX008).
+(** Per-file AST checks (rules RX001–RX008 and RX010).
 
     All rules work on the {e Parsetree} — no typing pass — so the
     float rules are syntactic heuristics: an operand counts as a
@@ -15,13 +15,15 @@ val allowlisted : Diagnostic.rule -> string -> bool
     observe real time, and its folds are sorted before rendering —
     and RX002 in [bench/main.ml], which measures wall time by
     definition and never feeds the readings back into results.
-    Everything else must use a per-line [rexspeed-lint: allow RXnnn]
-    suppression comment. *)
+    RX002/RX010 exempt [trace/clock.ml] — the tracing subsystem's one
+    sanctioned timestamp source. Everything else must use a per-line
+    [rexspeed-lint: allow RXnnn] suppression comment. *)
 
 val check_structure : file:string -> Parsetree.structure -> Diagnostic.t list
-(** Run RX001–RX008 over one implementation. Findings are returned in
-    source order; allowlisted files produce no findings for their
-    allowlisted rules. *)
+(** Run RX001–RX008 (plus RX010 for files under a [trace/] directory)
+    over one implementation. Findings are returned in source order;
+    allowlisted files produce no findings for their allowlisted
+    rules. *)
 
 val check_signature : file:string -> Parsetree.signature -> Diagnostic.t list
 (** Interfaces carry no executable code; today this only exists so a

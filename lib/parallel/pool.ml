@@ -86,6 +86,7 @@ let set_fault_injector f = Atomic.set fault_injector f
    fires {e before} [f] is entered, so injected faults always satisfy
    that contract regardless of what [f] does. *)
 let run_item ~attempts f i =
+  Tracing.Tracer.with_task ~index:i @@ fun () ->
   let attempt_once attempt =
     (match Atomic.get fault_injector with
     | Some inject when inject ~index:i ~attempt ->
@@ -93,8 +94,16 @@ let run_item ~attempts f i =
     | Some _ | None -> ());
     f i
   in
+  let first_attempt () = attempt_once 1 in
+  (* Retries are rare by construction, so each one affords a span of
+     its own on top of the counter bump. *)
+  let retry_attempt attempt =
+    Tracing.Tracer.count Tracing.Span.Retries;
+    Tracing.Tracer.with_span ~id:i Tracing.Span.Pool_retry (fun () ->
+        attempt_once attempt)
+  in
   let rec go attempt =
-    match attempt_once attempt with
+    match if attempt = 1 then first_attempt () else retry_attempt attempt with
     | v -> Ok v
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e ->
@@ -184,15 +193,21 @@ let init_array ?chunk ?attempts t n f =
     match attempts with Some a -> a | None -> max_attempts ()
   in
   if n = 0 then [||]
-  else if t.domains = 1 || n = 1 || Domain.DLS.get in_region then
-    sequential_init ~attempts n f
-  else
-    let chunk =
-      match chunk with
-      | Some c -> c
-      | None -> Int.max 1 (n / (8 * t.domains))
-    in
-    parallel_init ~domains:t.domains ~chunk ~attempts n f
+  else if Domain.DLS.get in_region then sequential_init ~attempts n f
+  else begin
+    (* Top-level regions run one after another from the caller, so the
+       tracer's region ordinal is deterministic; nested regions (the
+       branch above) stay inside their enclosing task's spans. *)
+    Tracing.Tracer.new_region ();
+    if t.domains = 1 || n = 1 then sequential_init ~attempts n f
+    else
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> Int.max 1 (n / (8 * t.domains))
+      in
+      parallel_init ~domains:t.domains ~chunk ~attempts n f
+  end
 
 let map_array ?chunk ?attempts t f a =
   init_array ?chunk ?attempts t (Array.length a) (fun i -> f a.(i))

@@ -46,7 +46,11 @@ let configure ~p ~seed =
   else begin
     Atomic.set current (Some { p; seed });
     Parallel.Pool.set_fault_injector
-      (Some (fun ~index ~attempt -> fires ~p ~seed ~index ~attempt));
+      (Some
+         (fun ~index ~attempt ->
+           let fire = fires ~p ~seed ~index ~attempt in
+           if fire then Tracing.Tracer.count Tracing.Span.Chaos_injections;
+           fire));
     Ok ()
   end
 

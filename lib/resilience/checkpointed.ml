@@ -5,7 +5,12 @@ let () =
     | Journal_error message -> Some ("Checkpointed.Journal_error: " ^ message)
     | _ -> None)
 
-type journal = { path : string; resume : bool; description : string }
+type journal = {
+  path : string;
+  resume : bool;
+  description : string;
+  durable : bool;
+}
 
 let default_batch = 64
 
@@ -20,8 +25,11 @@ let fingerprint description n = Printf.sprintf "%s #slots=%d" description n
 let fail message = raise (Journal_error message)
 let ok_or_fail = function Ok v -> v | Error message -> fail message
 
-let open_journal ~path ~resume ~description ~recovered ~on_resume n =
-  if resume && Sys.file_exists path then begin
+let open_journal ~path ~resume ~description ~sync ~recovered ~on_resume n =
+  if resume && Sys.file_exists path then
+    Tracing.Tracer.with_span ~id:0 ~label:"journal.resume"
+      Tracing.Span.Recover
+    @@ fun () ->
     let r = ok_or_fail (Journal.read ~path ~description ~slots:n) in
     Array.iteri
       (fun i payload -> recovered.(i) <- Option.map decode payload)
@@ -29,9 +37,8 @@ let open_journal ~path ~resume ~description ~recovered ~on_resume n =
     (match on_resume with
     | Some notify -> notify ~entries:r.Journal.entries ~dropped:r.Journal.dropped
     | None -> ());
-    ok_or_fail (Journal.reopen ~path ~valid_bytes:r.Journal.valid_bytes)
-  end
-  else ok_or_fail (Journal.create ~path ~description)
+    ok_or_fail (Journal.reopen ~sync ~path ~valid_bytes:r.Journal.valid_bytes ())
+  else ok_or_fail (Journal.create ~sync ~path ~description ())
 
 let init_array ?pool ?journal ?(batch = default_batch) ?on_resume n f =
   if batch < 1 then invalid_arg "Checkpointed.init_array: batch must be >= 1";
@@ -40,10 +47,13 @@ let init_array ?pool ?journal ?(batch = default_batch) ?on_resume n f =
   in
   match journal with
   | None -> Parallel.Pool.init_array pool n f
-  | Some { path; resume; description } ->
+  | Some { path; resume; description; durable } ->
       let description = fingerprint description n in
       let recovered = Array.make n None in
-      let writer = open_journal ~path ~resume ~description ~recovered ~on_resume n in
+      let writer =
+        open_journal ~path ~resume ~description ~sync:durable ~recovered
+          ~on_resume n
+      in
       Fun.protect ~finally:(fun () -> Journal.close writer) @@ fun () ->
       let results = Array.make n None in
       let lo = ref 0 in
@@ -85,7 +95,11 @@ let init_array ?pool ?journal ?(batch = default_batch) ?on_resume n f =
           values;
         (* One durability point per batch: a crash between flushes
            costs at most [batch] slots of recomputation. *)
-        if !fresh > 0 then Journal.flush writer;
+        if !fresh > 0 then begin
+          Tracing.Tracer.count Tracing.Span.Journal_flushes;
+          Tracing.Tracer.with_span ~id:base Tracing.Span.Journal_flush
+            (fun () -> Journal.flush writer)
+        end;
         lo := hi
       done;
       Array.map Option.get results

@@ -24,6 +24,11 @@ type journal = {
       (** Run fingerprint — workload name, configuration and root
           seed. The slot count is appended automatically; a resumed
           journal must match exactly. *)
+  durable : bool;
+      (** [true]: every batch flush (and the header) is [fsync]ed, so
+          completed batches survive power loss and kernel panics, not
+          just a killed process. [false] keeps the page-cache-only
+          guarantee — measurably cheaper, meant for benchmarks. *)
 }
 
 val init_array :

@@ -36,23 +36,33 @@ let hex_decode s =
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
 
-type writer = { oc : Out_channel.t }
+type writer = { oc : Out_channel.t; sync : bool }
 
 let checksummed_line body = body ^ " " ^ Checksum.hex_of_string body ^ "\n"
 
-let create ~path ~description =
+(* [Out_channel.flush] survives a killed process (the data is in the
+   kernel page cache) but not power loss or a kernel panic; [fsync]
+   covers those too. Durability points route through here so the two
+   levels of guarantee live in one place. *)
+let flush w =
+  Out_channel.flush w.oc;
+  if w.sync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let create ?(sync = true) ~path ~description () =
   match Out_channel.open_text path with
   | exception Sys_error message -> Error message
   | oc ->
+      let w = { oc; sync } in
       Out_channel.output_string oc (magic ^ "\n");
       Out_channel.output_string oc
         (checksummed_line ("H " ^ hex_encode description));
-      (* The header must survive an immediate SIGKILL: flush before
-         any work runs so a resumed run can always verify it. *)
-      Out_channel.flush oc;
-      Ok { oc }
+      (* The header must survive an immediate crash: flush (and, when
+         durable, fsync) before any work runs so a resumed run can
+         always verify it. *)
+      flush w;
+      Ok w
 
-let reopen ~path ~valid_bytes =
+let reopen ?(sync = true) ~path ~valid_bytes () =
   (* Drop any torn/corrupted tail first, so new records append after
      the last verified one rather than after garbage. *)
   match
@@ -61,13 +71,12 @@ let reopen ~path ~valid_bytes =
   with
   | exception Sys_error message -> Error message
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | oc -> Ok { oc }
+  | oc -> Ok { oc; sync }
 
 let append w ~index ~payload =
   Out_channel.output_string w.oc
     (checksummed_line (Printf.sprintf "R %d %s" index (hex_encode payload)))
 
-let flush w = Out_channel.flush w.oc
 let close w = Out_channel.close w.oc
 
 (* ------------------------------------------------------------------ *)

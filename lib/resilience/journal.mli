@@ -28,15 +28,23 @@ val magic : string
 type writer
 (** An open journal being appended to. *)
 
-val create : path:string -> description:string -> (writer, string) result
+val create :
+  ?sync:bool -> path:string -> description:string -> unit ->
+  (writer, string) result
 (** Truncate/create [path] and write the verified header; the header
     is flushed before returning, so even an immediately-killed run
-    leaves a resumable (empty) journal. *)
+    leaves a resumable (empty) journal. With [sync] (the default) the
+    header is also [fsync]ed, extending the guarantee from
+    process-crash durability to power-loss durability; [~sync:false]
+    keeps the kernel-page-cache guarantee only (for benchmarks). *)
 
-val reopen : path:string -> valid_bytes:int -> (writer, string) result
+val reopen :
+  ?sync:bool -> path:string -> valid_bytes:int -> unit ->
+  (writer, string) result
 (** Reopen an existing journal for appending after truncating it to
     [valid_bytes] (from {!read}) — dropping any torn or corrupted tail
-    so new records follow the last verified one. *)
+    so new records follow the last verified one. [sync] as in
+    {!create}. *)
 
 val append : writer -> index:int -> payload:string -> unit
 (** Buffer one record: slot [index] completed with [payload] (raw
@@ -44,6 +52,15 @@ val append : writer -> index:int -> payload:string -> unit
     appends crash-durable. *)
 
 val flush : writer -> unit
+(** Push buffered records to the OS ([Out_channel.flush]: survives
+    SIGKILL), then — for a writer opened with [sync] — [Unix.fsync]
+    them to stable storage (survives power loss or a kernel panic, up
+    to what the device honours). The directory entry of a {e freshly
+    created} journal is not fsynced, so a power cut racing the very
+    first batch may lose the whole file but never leaves a torn one:
+    recovery then simply starts from scratch. *)
+
+
 val close : writer -> unit
 
 type recovered = {

@@ -191,7 +191,7 @@ type job =
       cached : Render.rendering option;
     }
 
-let classify ~cache ~metrics line =
+let classify ~ordinal ~cache ~metrics line =
   let started = Metrics.now_s () in
   let elapsed () = Metrics.now_s () -. started in
   match Json.decode line with
@@ -236,7 +236,18 @@ let classify ~cache ~metrics line =
       | Ok request ->
           let fingerprint = Protocol.fingerprint request in
           let cached =
-            if Protocol.cacheable request then Lru.find cache fingerprint
+            if Protocol.cacheable request then begin
+              let hit =
+                Tracing.Tracer.with_span ~id:ordinal
+                  Tracing.Span.Cache_lookup (fun () ->
+                    Lru.find cache fingerprint)
+              in
+              Tracing.Tracer.count
+                (match hit with
+                | Some _ -> Tracing.Span.Cache_hits
+                | None -> Tracing.Span.Cache_misses);
+              hit
+            end
             else None
           in
           Solve { id; request; fingerprint; cached })
@@ -330,7 +341,10 @@ let run ?pool ?on_ready options =
             (100. *. Lru.hit_rate cache)
             (1000. *. totals.latency_p99_s)
         in
-        let respond conn job =
+        (* Deterministic request ordinal: assigned at admission by the
+           single dispatcher, so it doubles as the trace span id. *)
+        let admitted = ref 0 in
+        let respond conn ~ordinal job =
           let route, ok, response, latency_s =
             match job with
             | Immediate { route; ok; response; latency_s } ->
@@ -345,9 +359,14 @@ let run ?pool ?on_ready options =
             | Solve { cached = None; _ } ->
                 invalid_arg "Daemon.respond: unsolved job"
           in
-          Metrics.record metrics ~route ~ok ~latency_s;
+          (* Write before recording: a response that never reached its
+             client is a failed request, whatever the solver said. *)
+          let wrote = write_all conn (Json.encode response ^ "\n") in
+          Metrics.record metrics ~route ~ok:(ok && wrote) ~latency_s;
           incr served;
-          ignore (write_all conn (Json.encode response ^ "\n"));
+          Tracing.Tracer.complete ~id:ordinal ~label:route
+            Tracing.Span.Daemon_request
+            ~since:(Tracing.Tracer.now_s () -. latency_s);
           if options.log_every > 0 && !served mod options.log_every = 0 then
             log_line ()
         in
@@ -367,14 +386,17 @@ let run ?pool ?on_ready options =
           in
           let classified =
             List.map
-              (fun (conn, line) -> (conn, classify ~cache ~metrics line))
+              (fun (conn, line) ->
+                let ordinal = !admitted in
+                incr admitted;
+                (conn, ordinal, classify ~ordinal ~cache ~metrics line))
               batch
           in
           let misses =
             List.filter_map
               (function
-                | _, Solve { request; cached = None; _ } -> Some request
-                | _, (Immediate _ | Solve _) -> None)
+                | _, _, Solve { request; cached = None; _ } -> Some request
+                | _, _, (Immediate _ | Solve _) -> None)
               classified
           in
           (* A singleton miss keeps the dispatcher as the caller so
@@ -388,10 +410,10 @@ let run ?pool ?on_ready options =
           in
           let remaining = ref solved in
           List.iter
-            (fun (conn, job) ->
+            (fun (conn, ordinal, job) ->
               match job with
               | Immediate _ | Solve { cached = Some _; _ } ->
-                  if not conn.dead then respond conn job
+                  if not conn.dead then respond conn ~ordinal job
               | Solve { id; request; fingerprint; cached = None } ->
                   let outcome, latency_s =
                     match !remaining with
@@ -413,7 +435,7 @@ let run ?pool ?on_ready options =
                         (error_response ~id ~code:"internal" message, false)
                   in
                   if not conn.dead then
-                    respond conn
+                    respond conn ~ordinal
                       (Immediate { route; ok; response; latency_s }))
             classified;
           rest
@@ -434,13 +456,16 @@ let run ?pool ?on_ready options =
           let remainder = String.sub data !start (String.length data - !start) in
           if String.length remainder > options.max_request_bytes then begin
             (* No line boundary within the limit: no way to resync. *)
-            ignore
-              (write_all conn
-                 (Json.encode
-                    (error_response ~id:Json.Null ~code:"too-large"
-                       (Printf.sprintf "request exceeds %d bytes"
-                          options.max_request_bytes))
-                 ^ "\n"));
+            let wrote =
+              write_all conn
+                (Json.encode
+                   (error_response ~id:Json.Null ~code:"too-large"
+                      (Printf.sprintf "request exceeds %d bytes"
+                         options.max_request_bytes))
+                ^ "\n")
+            in
+            ignore (wrote : bool);
+            Metrics.record metrics ~route:"invalid" ~ok:false ~latency_s:0.;
             conn.dead <- true
           end
           else Buffer.add_string conn.pending remainder;
@@ -517,13 +542,17 @@ let run ?pool ?on_ready options =
                     match entry with
                     | `Line line -> queue := !queue @ [ (conn, line) ]
                     | `Oversize ->
-                        ignore
-                          (write_all conn
-                             (Json.encode
-                                (error_response ~id:Json.Null ~code:"too-large"
-                                   (Printf.sprintf "request exceeds %d bytes"
-                                      options.max_request_bytes))
-                             ^ "\n")))
+                        let wrote =
+                          write_all conn
+                            (Json.encode
+                               (error_response ~id:Json.Null ~code:"too-large"
+                                  (Printf.sprintf "request exceeds %d bytes"
+                                     options.max_request_bytes))
+                            ^ "\n")
+                        in
+                        ignore (wrote : bool);
+                        Metrics.record metrics ~route:"invalid" ~ok:false
+                          ~latency_s:0.)
                   (line_jobs conn))
             !conns;
           while !queue <> [] do
@@ -568,7 +597,9 @@ let run ?pool ?on_ready options =
             queue := process !queue
           done
         in
-        if !conns <> [] then drain_sweep ();
+        if !conns <> [] then
+          Tracing.Tracer.with_span ~id:0 ~label:"daemon.drain"
+            Tracing.Span.Daemon_request drain_sweep;
         List.iter (fun c -> close_fd c.fd) !conns;
         conns := [];
         (match options.socket_path with

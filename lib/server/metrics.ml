@@ -74,17 +74,23 @@ let p99 samples =
 
 let ring_samples acc = Array.sub acc.ring 0 acc.ring_len
 
+(* Empty unions (no samples yet) and NaN-poisoned extrema must both
+   surface as [nan], never as the +/-infinity seeds of the running
+   min/max — JSON rendering and operators treat [nan] as "no data",
+   while an infinity leaks into comparisons silently. *)
+let finite_or_nan x = if Float.is_finite x then x else nan
+
 let stats_of route (acc : route_acc) extra_samples =
   let samples = Array.concat (ring_samples acc :: extra_samples) in
   {
     route;
     requests = acc.requests;
     errors = acc.errors;
-    latency_min_s = (if acc.requests = 0 then nan else acc.lat_min);
+    latency_min_s = (if acc.requests = 0 then nan else finite_or_nan acc.lat_min);
     latency_mean_s =
       (if acc.requests = 0 then nan
-       else acc.lat_sum /. float_of_int acc.requests);
-    latency_max_s = (if acc.requests = 0 then nan else acc.lat_max);
+       else finite_or_nan (acc.lat_sum /. float_of_int acc.requests));
+    latency_max_s = (if acc.requests = 0 then nan else finite_or_nan acc.lat_max);
     latency_p99_s = (if Array.length samples = 0 then nan else p99 samples);
   }
 

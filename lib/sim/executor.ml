@@ -33,13 +33,20 @@ let attempt ~trace ~(model : Core.Mixed.t) ~machine ~rng ~fail_process
   let compute_time = segment_work /. speed in
   let verify_time = model.v /. speed in
   let exposure = compute_time +. verify_time in
+  (* Paper-phase spans mirror the [Trace] segments one-to-one; the
+     tracer gates them on the ambient (sampled) replication, so the
+     unsampled hot path pays one atomic load per call. *)
   let rec segment i =
     match Fault.strikes_within fail_process rng ~duration:exposure with
     | Some elapsed ->
         record trace machine (Trace.Fail_stop { elapsed });
+        Tracing.Tracer.phase_begin Tracing.Span.Work;
         Machine.advance_compute machine ~speed ~duration:elapsed;
+        Tracing.Tracer.phase_end Tracing.Span.Work;
         record trace machine (Trace.Recovery { duration = model.r });
+        Tracing.Tracer.phase_begin Tracing.Span.Recover;
         Machine.advance_io machine ~duration:model.r;
+        Tracing.Tracer.phase_end Tracing.Span.Recover;
         Fail_stop_struck
     | None ->
         let silent =
@@ -48,19 +55,27 @@ let attempt ~trace ~(model : Core.Mixed.t) ~machine ~rng ~fail_process
         in
         record trace machine
           (Trace.Compute { speed; duration = compute_time; work = segment_work });
+        Tracing.Tracer.phase_begin Tracing.Span.Work;
         Machine.advance_compute machine ~speed ~duration:compute_time;
+        Tracing.Tracer.phase_end Tracing.Span.Work;
         record trace machine
           (Trace.Verify { speed; duration = verify_time; passed = not silent });
+        Tracing.Tracer.phase_begin Tracing.Span.Verify;
         Machine.advance_compute machine ~speed ~duration:verify_time;
+        Tracing.Tracer.phase_end Tracing.Span.Verify;
         if silent then begin
           record trace machine (Trace.Recovery { duration = model.r });
+          Tracing.Tracer.phase_begin Tracing.Span.Recover;
           Machine.advance_io machine ~duration:model.r;
+          Tracing.Tracer.phase_end Tracing.Span.Recover;
           Silent_detected
         end
         else if i < verifications then segment (i + 1)
         else begin
           record trace machine (Trace.Checkpoint { duration = model.c });
+          Tracing.Tracer.phase_begin Tracing.Span.Checkpoint;
           Machine.advance_io machine ~duration:model.c;
+          Tracing.Tracer.phase_end Tracing.Span.Checkpoint;
           Success
         end
   in
@@ -86,10 +101,23 @@ let run_pattern ?trace ?(verifications = 1) ?fail_process ?silent_process
   let t0 = Machine.clock machine in
   let e0 = Machine.energy machine in
   let rec go ~speed ~re_executions ~silent ~fail_stop =
-    match
+    let one_attempt () =
       attempt ~trace ~model ~machine ~rng ~fail_process ~silent_process
         ~verifications ~w ~speed
-    with
+    in
+    let result =
+      (* Re-executions (the paper's sigma2 attempts) get their own
+         phase span so the flame view separates first-try work from
+         re-executed work. *)
+      if re_executions > 0 then begin
+        Tracing.Tracer.phase_begin Tracing.Span.Reexec;
+        let r = one_attempt () in
+        Tracing.Tracer.phase_end Tracing.Span.Reexec;
+        r
+      end
+      else one_attempt ()
+    in
+    match result with
     | Success ->
         {
           time = Machine.clock machine -. t0;

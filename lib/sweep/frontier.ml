@@ -22,6 +22,7 @@ let compute ?(label = "") ?pool ?journal ?on_resume ?rhos (env : Core.Env.t) =
     Resilience.Checkpointed.init_array ?pool ?journal ?on_resume
       (Array.length rhos)
       (fun i ->
+        Tracing.Tracer.with_span ~id:i Tracing.Span.Sweep_cell @@ fun () ->
         let rho = rhos.(i) in
         match Core.Bicrit.solve env ~rho with
         | None -> None

@@ -42,7 +42,9 @@ let run ?(label = "") ?pool ?journal ?on_resume ~env ~rho
   let nx = Array.length xs and ny = Array.length ys in
   let flat =
     Resilience.Checkpointed.init_array ?pool ?journal ?on_resume (nx * ny)
-      (fun i -> solve xs.(i mod nx) ys.(i / nx))
+      (fun i ->
+        Tracing.Tracer.with_span ~id:i Tracing.Span.Sweep_cell (fun () ->
+            solve xs.(i mod nx) ys.(i / nx)))
   in
   let cells = Array.init ny (fun row -> Array.sub flat (row * nx) nx) in
   { label; rho; x_parameter; y_parameter; cells }

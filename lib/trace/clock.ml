@@ -1,0 +1,4 @@
+(* The only wall-clock read in lib/trace; every other module in the
+   subsystem must call [now_s]. The lint allowlists exactly this file
+   for RX002/RX010. *)
+let now_s () = Unix.gettimeofday ()

@@ -1,0 +1,10 @@
+(** The one sanctioned wall-clock read of the tracing subsystem.
+
+    Everything in [lib/trace] must obtain timestamps through this
+    module (the clock-confinement rule, enforced by lint rule RX010):
+    timestamps are the only nondeterministic column of a trace, so
+    confining the clock keeps every other field reproducible and lets
+    identical runs diff cleanly. *)
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch, with microsecond granularity. *)

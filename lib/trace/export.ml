@@ -1,0 +1,179 @@
+type span = {
+  id : int;
+  epoch : int;
+  category : Span.category;
+  label : string;
+  t0 : float;
+  t1 : float;
+  self_s : float;
+}
+
+(* Pair the begin/end events of one buffer with a stack. A task runs
+   on exactly one domain, so its events are contiguous in one buffer
+   and nest properly; anything that fails to pair is counted instead
+   of guessed at. Closing a span charges its duration to the parent,
+   which is what makes self time = duration - children. *)
+let pair_buffer events =
+  let spans = ref [] in
+  let stack = ref [] in
+  let unmatched = ref 0 in
+  Array.iter
+    (fun (e : Store.event) ->
+      match e.Store.kind with
+      | Store.B -> stack := (e, ref 0.) :: !stack
+      | Store.E -> (
+          match !stack with
+          | (b, children) :: rest
+            when b.Store.category = e.Store.category && b.Store.id = e.Store.id
+            ->
+              stack := rest;
+              let duration = e.Store.t -. b.Store.t in
+              (match rest with
+              | (_, parent_children) :: _ ->
+                  parent_children := !parent_children +. duration
+              | [] -> ());
+              spans :=
+                {
+                  id = b.Store.id;
+                  epoch = b.Store.epoch;
+                  category = b.Store.category;
+                  label = b.Store.label;
+                  t0 = b.Store.t;
+                  t1 = e.Store.t;
+                  self_s = Float.max 0. (duration -. !children);
+                }
+                :: !spans
+          | _ -> incr unmatched))
+    events;
+  (List.rev !spans, !unmatched + List.length !stack)
+
+(* (epoch, id, lane) is a deterministic unique key up to spans of one
+   task, and those live in one buffer in deterministic order — so a
+   stable sort yields the same span order for identical runs no
+   matter how tasks were scheduled across domains. *)
+let compare_span a b =
+  let c = Int.compare a.epoch b.epoch in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.id b.id in
+    if c <> 0 then c
+    else Int.compare (Span.lane a.category) (Span.lane b.category)
+
+let paired (dump : Tracer.dump) =
+  let spans, unmatched =
+    List.fold_left
+      (fun (spans, unmatched) buffer ->
+        let s, u = pair_buffer buffer in
+        (s :: spans, unmatched + u))
+      ([], 0) dump.buffers
+  in
+  (List.stable_sort compare_span (List.concat (List.rev spans)), unmatched)
+
+let spans_of dump = fst (paired dump)
+let unmatched dump = snd (paired dump)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_json dump =
+  let spans, _ = paired dump in
+  let base =
+    List.fold_left (fun acc s -> Float.min acc s.t0) infinity spans
+  in
+  let base = if Float.is_finite base then base else 0. in
+  let micros t = (t -. base) *. 1e6 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let event line =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b line
+  in
+  List.iter
+    (fun c ->
+      event
+        (Printf.sprintf
+           {|{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"%s"}}|}
+           (Span.lane c)
+           (json_escape (Span.category_name c))))
+    Span.all_categories;
+  List.iter
+    (fun s ->
+      event
+        (Printf.sprintf
+           {|{"ph":"X","pid":1,"tid":%d,"name":"%s","cat":"%s","ts":%.3f,"dur":%.3f,"args":{"id":%d,"epoch":%d}}|}
+           (Span.lane s.category) (json_escape s.label)
+           (json_escape (Span.category_name s.category))
+           (micros s.t0)
+           (micros s.t1 -. micros s.t0)
+           s.id s.epoch))
+    spans;
+  let trace_end =
+    List.fold_left (fun acc s -> Float.max acc (micros s.t1)) 0. spans
+  in
+  event
+    (Printf.sprintf {|{"ph":"C","pid":1,"tid":0,"name":"counters","ts":%.3f,"args":{%s}}|}
+       trace_end
+       (String.concat ","
+          (List.map
+             (fun (c, n) ->
+               Printf.sprintf {|"%s":%d|} (Span.counter_name c) n)
+             dump.counters)));
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let summary dump =
+  let spans, unmatched = paired dump in
+  let table =
+    Report.Table.create
+      ~aligns:[ Report.Table.Left; Report.Table.Right; Report.Table.Right;
+                Report.Table.Right ]
+      ~header:[ "category"; "spans"; "total s"; "self s" ]
+      ()
+  in
+  List.iter
+    (fun c ->
+      let count, total, self =
+        List.fold_left
+          (fun (count, total, self) s ->
+            if s.category = c then
+              (count + 1, total +. (s.t1 -. s.t0), self +. s.self_s)
+            else (count, total, self))
+          (0, 0., 0.) spans
+      in
+      if count > 0 then
+        Report.Table.add_row table
+          [
+            Span.category_name c;
+            string_of_int count;
+            Printf.sprintf "%.6f" total;
+            Printf.sprintf "%.6f" self;
+          ])
+    Span.all_categories;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "trace summary\n";
+  Buffer.add_string b (Report.Table.render table);
+  Buffer.add_string b
+    (Printf.sprintf "counters: %s\n"
+       (String.concat " "
+          (List.map
+             (fun (c, n) -> Printf.sprintf "%s=%d" (Span.counter_name c) n)
+             dump.counters)));
+  if unmatched > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "warning: %d unbalanced span event(s) — was the session finished \
+          while work was still running?\n"
+         unmatched);
+  Buffer.contents b

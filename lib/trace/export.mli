@@ -1,0 +1,35 @@
+(** Exporters for a finished trace session.
+
+    Both exporters first pair begin/end events into spans (per buffer,
+    with a stack, so imbalance is detectable) and sort them by the
+    deterministic key (epoch, id, lane, within-task order). The
+    timestamp and duration fields are the only columns that vary
+    between identical runs. *)
+
+type span = {
+  id : int;
+  epoch : int;
+  category : Span.category;
+  label : string;
+  t0 : float;  (** begin, seconds (absolute {!Clock.now_s} reading) *)
+  t1 : float;  (** end, seconds *)
+  self_s : float;  (** duration minus the duration of child spans *)
+}
+
+val spans_of : Tracer.dump -> span list
+(** All paired spans, deterministically ordered. *)
+
+val unmatched : Tracer.dump -> int
+(** Number of begin/end events that could not be paired — 0 for any
+    session finished after its work settled. *)
+
+val chrome_json : Tracer.dump -> string
+(** Chrome [trace_event] JSON (one event per line): a metadata event
+    naming each category lane, an "X" complete event per span with
+    [ts]/[dur] in microseconds rebased to the earliest span, and one
+    "C" counter event. Loadable in Perfetto / [chrome://tracing]. *)
+
+val summary : Tracer.dump -> string
+(** ASCII flame summary: per category the span count, total and self
+    time, followed by the counters and an imbalance warning when
+    {!unmatched} is non-zero. *)

@@ -1,0 +1,70 @@
+type category =
+  | Work
+  | Verify
+  | Checkpoint
+  | Recover
+  | Reexec
+  | Pool_task
+  | Pool_retry
+  | Journal_flush
+  | Daemon_request
+  | Cache_lookup
+  | Sweep_cell
+
+let all_categories =
+  [
+    Work; Verify; Checkpoint; Recover; Reexec; Pool_task; Pool_retry;
+    Journal_flush; Daemon_request; Cache_lookup; Sweep_cell;
+  ]
+
+let category_name = function
+  | Work -> "work"
+  | Verify -> "verify"
+  | Checkpoint -> "checkpoint"
+  | Recover -> "recover"
+  | Reexec -> "reexec"
+  | Pool_task -> "pool.task"
+  | Pool_retry -> "pool.retry"
+  | Journal_flush -> "journal.flush"
+  | Daemon_request -> "daemon.request"
+  | Cache_lookup -> "cache.lookup"
+  | Sweep_cell -> "sweep.cell"
+
+let lane = function
+  | Work -> 0
+  | Verify -> 1
+  | Checkpoint -> 2
+  | Recover -> 3
+  | Reexec -> 4
+  | Pool_task -> 5
+  | Pool_retry -> 6
+  | Journal_flush -> 7
+  | Daemon_request -> 8
+  | Cache_lookup -> 9
+  | Sweep_cell -> 10
+
+type counter =
+  | Cache_hits
+  | Cache_misses
+  | Retries
+  | Chaos_injections
+  | Journal_flushes
+
+let all_counters =
+  [ Cache_hits; Cache_misses; Retries; Chaos_injections; Journal_flushes ]
+
+let counter_name = function
+  | Cache_hits -> "cache.hits"
+  | Cache_misses -> "cache.misses"
+  | Retries -> "pool.retries"
+  | Chaos_injections -> "chaos.injections"
+  | Journal_flushes -> "journal.flushes"
+
+let counter_index = function
+  | Cache_hits -> 0
+  | Cache_misses -> 1
+  | Retries -> 2
+  | Chaos_injections -> 3
+  | Journal_flushes -> 4
+
+let counter_count = List.length all_counters

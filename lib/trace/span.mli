@@ -1,0 +1,51 @@
+(** Span taxonomy for the tracing subsystem.
+
+    The first five categories are the paper's pattern phases (work at
+    the first speed, verification, checkpoint, recovery, re-execution
+    at the second speed); the rest are runtime phases of the engine
+    itself. Counters are monotonic event tallies that have no
+    duration. *)
+
+type category =
+  | Work  (** pattern work segments at speed sigma1 *)
+  | Verify  (** verification after each work segment *)
+  | Checkpoint  (** checkpoint at the end of a successful pattern *)
+  | Recover  (** recovery after a detected error, or a journal resume *)
+  | Reexec  (** re-execution of a pattern at speed sigma2 *)
+  | Pool_task  (** one task slot executed by the domain pool *)
+  | Pool_retry  (** a retry attempt after a task failure *)
+  | Journal_flush  (** a journal batch reaching the OS (and the disk) *)
+  | Daemon_request  (** one daemon request, admission to response *)
+  | Cache_lookup  (** a result-cache probe in the daemon *)
+  | Sweep_cell  (** one cell of a parameter sweep *)
+
+val all_categories : category list
+(** Every category, in lane order. *)
+
+val category_name : category -> string
+(** Dotted lowercase name, e.g. ["pool.task"]; used as the Chrome
+    [cat] field and as the default span label. *)
+
+val lane : category -> int
+(** Stable small integer for the category, used as the Chrome [tid] so
+    each category renders as its own track, and as a deterministic
+    sort component. *)
+
+type counter =
+  | Cache_hits
+  | Cache_misses
+  | Retries
+  | Chaos_injections
+  | Journal_flushes
+
+val all_counters : counter list
+(** Every counter, in index order. *)
+
+val counter_name : counter -> string
+(** Dotted lowercase name, e.g. ["cache.hits"]. *)
+
+val counter_index : counter -> int
+(** Dense index of the counter in [0, counter_count). *)
+
+val counter_count : int
+(** Number of counters; sizes the tracer's accumulator array. *)

@@ -1,0 +1,34 @@
+(* Per-domain growable event buffer. Each domain owns exactly one
+   store per trace session and is the only writer; the exporter reads
+   it after the session is finished, so no synchronization is needed
+   beyond the registration list kept by the tracer. *)
+
+type kind = B | E
+
+type event = {
+  kind : kind;
+  epoch : int;  (* top-level pool region ordinal, for deterministic sort *)
+  id : int;  (* task index / request ordinal — never clock-derived *)
+  category : Span.category;
+  label : string;
+  t : float;  (* Clock.now_s at emission *)
+}
+
+type t = { mutable events : event array; mutable len : int }
+
+let dummy =
+  { kind = E; epoch = 0; id = 0; category = Span.Work; label = ""; t = 0. }
+
+let create () = { events = Array.make 256 dummy; len = 0 }
+
+let push s e =
+  let capacity = Array.length s.events in
+  if s.len = capacity then begin
+    let grown = Array.make (2 * capacity) dummy in
+    Array.blit s.events 0 grown 0 capacity;
+    s.events <- grown
+  end;
+  s.events.(s.len) <- e;
+  s.len <- s.len + 1
+
+let snapshot s = Array.sub s.events 0 s.len

@@ -105,4 +105,27 @@ hits=$("$client" "$sock" '{"route":"stats"}' result.cache.hits)
 [ "$hits" -eq 0 ] || fail "cache off: stats reports $hits hits"
 stop_server
 
+# Tracing: a traced round must serve the same bytes and, on drain,
+# leave a Chrome trace_event file with daemon.request spans. CI can
+# set SERVE_SMOKE_TRACE_OUT to keep the file as an artifact.
+trace="$tmp/trace.json"
+start_server --domains 2 --trace "$trace"
+"$client" "$sock" "$opt_req" output >"$tmp/served.traced.miss"
+"$client" "$sock" "$opt_req" output >"$tmp/served.traced.hit"
+cmp -s "$tmp/optimize.d2" "$tmp/served.traced.miss" ||
+  fail "trace on: served optimize differs from CLI"
+cmp -s "$tmp/optimize.d2" "$tmp/served.traced.hit" ||
+  fail "trace on: cached optimize differs from CLI"
+stop_server
+[ -s "$trace" ] || fail "trace file missing or empty after drain"
+grep -q '"traceEvents"' "$trace" || fail "trace file lacks traceEvents"
+grep -q '"ph":"X"' "$trace" || fail "trace file has no complete events"
+grep -q '"cat":"daemon.request"' "$trace" ||
+  fail "trace file has no daemon.request spans"
+grep -q '"cat":"cache.lookup"' "$trace" ||
+  fail "trace file has no cache.lookup spans"
+if [ -n "${SERVE_SMOKE_TRACE_OUT:-}" ]; then
+  cp "$trace" "$SERVE_SMOKE_TRACE_OUT"
+fi
+
 echo "serve_smoke.sh: all serve checks passed"

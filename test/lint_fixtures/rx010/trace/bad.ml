@@ -1,0 +1,4 @@
+(* Emission code under trace/ may not read the clock or Random. *)
+let t () = Unix.gettimeofday ()
+let r () = Random.float 1.0
+let s () = Sys.time ()

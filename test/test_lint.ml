@@ -80,6 +80,19 @@ let test_rx009 () =
     report.files_scanned;
   check_findings "rx009" report [ ("dead.mli", 2, "RX009") ]
 
+let test_rx010 () =
+  (* bad.ml sits under a trace/ directory, so its clock and Random
+     reads escalate to RX010; clock.ml is the sanctioned timestamp
+     source and must stay silent. *)
+  let report = scan_fixture (Filename.concat "rx010" "trace") in
+  Alcotest.(check int) "two files in the fixture" 2 report.files_scanned;
+  check_findings "rx010" report
+    [
+      ("bad.ml", 2, "RX010");
+      ("bad.ml", 3, "RX010");
+      ("bad.ml", 4, "RX010");
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -191,7 +204,7 @@ let test_baseline_errors () =
 (* ------------------------------------------------------------------ *)
 
 let test_rule_metadata () =
-  Alcotest.(check int) "nine rules" 9 (List.length Diagnostic.all_rules);
+  Alcotest.(check int) "ten rules" 10 (List.length Diagnostic.all_rules);
   List.iter
     (fun r ->
       let id = Diagnostic.rule_id r in
@@ -209,7 +222,9 @@ let test_rule_metadata () =
   Alcotest.(check bool) "RX006 is a warning" true
     (Diagnostic.severity_of RX006 = Diagnostic.Warning);
   Alcotest.(check bool) "RX009 is a warning" true
-    (Diagnostic.severity_of RX009 = Diagnostic.Warning)
+    (Diagnostic.severity_of RX009 = Diagnostic.Warning);
+  Alcotest.(check bool) "RX010 is an error" true
+    (Diagnostic.severity_of RX010 = Diagnostic.Error)
 
 let test_rendering () =
   let d = Diagnostic.make RX001 ~file:"f.ml" ~line:2 ~col:4 "msg" in
@@ -243,7 +258,13 @@ let test_allowlist () =
   Alcotest.(check bool) "no RX001 exemptions" false
     (Rules.allowlisted Diagnostic.RX001 "lib/server/metrics.ml");
   Alcotest.(check bool) "the daemon is not exempt" false
-    (Rules.allowlisted Diagnostic.RX002 "lib/server/daemon.ml")
+    (Rules.allowlisted Diagnostic.RX002 "lib/server/daemon.ml");
+  Alcotest.(check bool) "trace clock may read the clock" true
+    (Rules.allowlisted Diagnostic.RX002 "lib/trace/clock.ml");
+  Alcotest.(check bool) "trace clock is exempt from RX010" true
+    (Rules.allowlisted Diagnostic.RX010 "lib/trace/clock.ml");
+  Alcotest.(check bool) "the tracer is not exempt" false
+    (Rules.allowlisted Diagnostic.RX010 "lib/trace/tracer.ml")
 
 let () =
   Alcotest.run "lint"
@@ -259,6 +280,7 @@ let () =
           Alcotest.test_case "RX007 exp/log composition" `Quick test_rx007;
           Alcotest.test_case "RX008 catch-all handler" `Quick test_rx008;
           Alcotest.test_case "RX009 dead export" `Quick test_rx009;
+          Alcotest.test_case "RX010 trace emission purity" `Quick test_rx010;
         ] );
       ( "suppressions",
         [

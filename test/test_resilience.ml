@@ -44,7 +44,7 @@ let payload_of_index i = Printf.sprintf "payload %d \x00\xff\nwith noise" i
 
 let write_journal ~path ~description n =
   let w =
-    expect_ok "create" (Resilience.Journal.create ~path ~description)
+    expect_ok "create" (Resilience.Journal.create ~path ~description ())
   in
   for i = 0 to n - 1 do
     Resilience.Journal.append w ~index:i ~payload:(payload_of_index i)
@@ -89,7 +89,7 @@ let test_journal_torn_tail () =
   let w =
     expect_ok "reopen"
       (Resilience.Journal.reopen ~path
-         ~valid_bytes:r.Resilience.Journal.valid_bytes)
+         ~valid_bytes:r.Resilience.Journal.valid_bytes ())
   in
   Resilience.Journal.append w ~index:5 ~payload:(payload_of_index 5);
   Resilience.Journal.close w;
@@ -243,7 +243,9 @@ let counting_f calls i =
   (float_of_int i /. 7., i * 3)
 
 let journal ~path ?(resume = false) description =
-  { Resilience.Checkpointed.path; resume; description }
+  (* [durable = true] so the test suite exercises the fsync path the
+     CLI uses by default. *)
+  { Resilience.Checkpointed.path; resume; description; durable = true }
 
 let test_checkpointed_fresh_and_resume () =
   let path = temp_path () in

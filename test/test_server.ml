@@ -265,6 +265,28 @@ let test_metrics () =
     (Server.Metrics.total_requests m);
   Alcotest.(check bool) "uptime advances" true (Server.Metrics.uptime_s m >= 0.)
 
+let test_metrics_nan_poison () =
+  (* A NaN latency must not leak the +/-infinity seeds of the running
+     min/max into the stats (NaN fails every comparison, so the seeds
+     would otherwise survive a non-empty route). *)
+  let m = Server.Metrics.create () in
+  Server.Metrics.record m ~route:"solve" ~ok:true ~latency_s:nan;
+  (match Server.Metrics.routes m with
+  | [ r ] ->
+      let r : Server.Metrics.route_stats = r in
+      Alcotest.(check int) "request counted" 1 r.requests;
+      Alcotest.(check bool) "min is NaN, not +infinity" true
+        (Float.is_nan r.latency_min_s);
+      Alcotest.(check bool) "max is NaN, not -infinity" true
+        (Float.is_nan r.latency_max_s);
+      Alcotest.(check bool) "mean is NaN" true (Float.is_nan r.latency_mean_s)
+  | routes -> Alcotest.failf "expected 1 route, got %d" (List.length routes));
+  let totals : Server.Metrics.route_stats = Server.Metrics.totals m in
+  Alcotest.(check bool) "union min is NaN" true
+    (Float.is_nan totals.latency_min_s);
+  Alcotest.(check bool) "union max is NaN" true
+    (Float.is_nan totals.latency_max_s)
+
 let test_metrics_empty () =
   let m = Server.Metrics.create () in
   Alcotest.(check int) "no routes" 0 (List.length (Server.Metrics.routes m));
@@ -539,13 +561,40 @@ let test_daemon_end_to_end () =
    with
   | Some rate -> Alcotest.(check bool) "hit rate positive" true (rate > 0.)
   | None -> Alcotest.fail "hit_rate missing");
-  match
-    Option.bind (Server.Json.member "version" result) Server.Json.to_string_opt
-  with
+  (match
+     Option.bind (Server.Json.member "version" result) Server.Json.to_string_opt
+   with
   | Some v ->
       Alcotest.(check string)
         "stats version single-sourced" Server.Version.current v
-  | None -> Alcotest.fail "stats version missing"
+  | None -> Alcotest.fail "stats version missing");
+  (* A client that sends a request and hangs up before the answer is
+     written must be accounted as an error, not a success: the daemon
+     records [ok && wrote]. The write can race the close, so provoke
+     until the errors counter moves. *)
+  let total_errors () =
+    let stats = rpc fd {|{"route":"stats","id":11}|} in
+    let result = member_exn "stats" "result" stats in
+    match Server.Json.to_int_opt (member_exn "stats" "errors" result) with
+    | Some n -> n
+    | None -> Alcotest.fail "stats errors missing"
+  in
+  let before = total_errors () in
+  let provoke () =
+    let dead = connect_retry socket_path 100 in
+    write_all dead "{\"route\":\"health\",\"id\":12}\n";
+    Unix.close dead
+  in
+  let rec await_error tries =
+    if tries = 0 then
+      Alcotest.fail "dead-client response never recorded as an error"
+    else begin
+      provoke ();
+      Unix.sleepf 0.05;
+      if total_errors () <= before then await_error (tries - 1)
+    end
+  in
+  await_error 50
 
 let test_metrics_window () =
   let m = Server.Metrics.create () in
@@ -582,6 +631,7 @@ let () =
         [
           Alcotest.test_case "latency stats" `Quick test_metrics;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
+          Alcotest.test_case "NaN latency" `Quick test_metrics_nan_poison;
           Alcotest.test_case "bounded window" `Quick test_metrics_window;
         ] );
       ( "protocol",
