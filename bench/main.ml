@@ -455,6 +455,28 @@ let reproduce_resilience () =
           t_plain;
         under_chaos = reference
   in
+  (* Worker supervision under kill chaos: domain deaths abandon whole
+     claimed chunks, so this measures the recovery-round cost on top
+     of the per-task retry cost above — and the recovered run must
+     still be bit-identical. *)
+  let supervised_ok =
+    let io_cfg =
+      { Resilience.Chaos.default_io_config with kill_p = 0.002; io_seed = 5 }
+    in
+    match Resilience.Chaos.configure_io io_cfg with
+    | Error e ->
+        Printf.printf "  io chaos configure failed: %s\n" e;
+        false
+    | Ok () ->
+        Fun.protect ~finally:Resilience.Chaos.disable_io @@ fun () ->
+        let before = Parallel.Pool.worker_restarts () in
+        let under_kill, t_kill = time (fun () -> estimate ()) in
+        let restarted = Parallel.Pool.worker_restarts () - before in
+        Printf.printf
+          "  kill p=0.002:         %6.3f s (%d supervised worker restart(s))\n"
+          t_kill restarted;
+        under_kill = reference && restarted > 0
+  in
   Printf.printf
     "  MC validation, 20k replicas, %d domains:\n\
     \  plain:                %6.3f s\n\
@@ -467,10 +489,11 @@ let reproduce_resilience () =
     journaled = reference && resumed = reference && half_resumed = reference
   in
   Printf.printf
-    "  identity (journaled = resumed = half-resumed = chaos = plain): %b\n"
-    (identity && chaos_ok);
+    "  identity (journaled = resumed = half-resumed = chaos = killed = \
+     plain): %b\n"
+    (identity && chaos_ok && supervised_ok);
   (* Timings vary with the machine; the verdict gates on identity. *)
-  identity && chaos_ok
+  identity && chaos_ok && supervised_ok
 
 (* ------------------------------------------------------------------ *)
 

@@ -47,6 +47,13 @@ let envs =
       ~doc:
         "Deterministic chaos injection, $(b,P) or $(b,P:SEED): fail each \
          task attempt with probability P (overridden by $(b,--chaos)).";
+    Cmd.Env.info Resilience.Chaos.io_env_var
+      ~doc:
+        "Deterministic I/O-layer chaos, \
+         $(b,drop=P,torn=P,corrupt=P,kill=P,seed=N) (any subset): drop \
+         connections, tear response writes, corrupt computed responses \
+         before verification, kill pool worker domains (overridden by \
+         $(b,--chaos-io)).";
     Cmd.Env.info trace_env_var
       ~doc:
         "Write a Chrome trace_event profile of the run to this file \
@@ -147,6 +154,21 @@ let runtime_setup =
     let doc = "Seed of the chaos decision stream (with $(b,--chaos))." in
     Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
   in
+  let chaos_io =
+    let doc =
+      "Deterministic I/O-layer chaos, \
+       $(b,drop=P,torn=P,corrupt=P,kill=P,seed=N) (any subset of the keys): \
+       drop connections instead of answering, tear response writes \
+       byte-by-byte, corrupt computed responses before verified \
+       re-execution, kill pool worker domains (recovered by the pool \
+       supervisor). Decisions are pure in the seed and the request ordinal \
+       or task index, so chaos runs replay bit-identically."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-io" ] ~docv:"SPEC" ~doc)
+  in
   let trace =
     let doc =
       "Profile the run and write a Chrome trace_event JSON file to $(docv) \
@@ -169,7 +191,7 @@ let runtime_setup =
     let env = Cmd.Env.info trace_sample_env_var in
     Arg.(value & opt int 64 & info [ "trace-sample" ] ~docv:"N" ~env ~doc)
   in
-  let setup domains retries chaos chaos_seed trace trace_sample =
+  let setup domains retries chaos chaos_seed chaos_io trace trace_sample =
     Option.iter Parallel.Pool.set_default domains;
     (match retries with
     | Some n when n < 1 -> die Cmd.Exit.cli_error "--retries must be at least 1"
@@ -195,7 +217,7 @@ let runtime_setup =
                  with Sys_error message ->
                    Printf.eprintf "rexspeed: trace: %s\n%!" message);
                 prerr_string (Tracing.Export.summary dump)));
-    match chaos with
+    (match chaos with
     | Some p -> begin
         match Resilience.Chaos.configure ~p ~seed:chaos_seed with
         | Ok () -> ()
@@ -205,10 +227,25 @@ let runtime_setup =
         match Resilience.Chaos.of_env () with
         | Ok () -> ()
         | Error message -> die Cmd.Exit.cli_error message
+      end);
+    match chaos_io with
+    | Some spec -> begin
+        match
+          Result.bind (Resilience.Chaos.io_of_spec spec)
+            Resilience.Chaos.configure_io
+        with
+        | Ok () -> ()
+        | Error message -> die Cmd.Exit.cli_error ("--chaos-io: " ^ message)
+      end
+    | None -> begin
+        match Resilience.Chaos.of_io_env () with
+        | Ok () -> ()
+        | Error message -> die Cmd.Exit.cli_error message
       end
   in
   Term.(
-    const setup $ domains $ retries $ chaos $ chaos_seed $ trace $ trace_sample)
+    const setup $ domains $ retries $ chaos $ chaos_seed $ chaos_io $ trace
+    $ trace_sample)
 
 (* Evaluates [runtime_setup] (left argument, so before the command's own
    [run] fires) and passes the command's exit code through. *)
@@ -1084,7 +1121,51 @@ let serve_cmd =
             "Log a stats line (requests, req/s, cache hit rate, p99) to \
              stderr every $(docv) completed requests; 0 disables.")
   in
-  let run port socket cache_entries max_request_bytes max_inflight log_every =
+  let deadline_ms =
+    let env = Cmd.Env.info "REXSPEED_DEADLINE_MS" in
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS" ~env
+          ~doc:
+            "Per-request compute deadline: a request still queued past \
+             $(docv) milliseconds, or whose computation finishes past it, is \
+             answered with a structured $(i,deadline_exceeded) error instead \
+             of a late result. 0 disables.")
+  in
+  let io_timeout_ms =
+    let env = Cmd.Env.info "REXSPEED_IO_TIMEOUT_MS" in
+    Arg.(
+      value & opt int 30_000
+      & info [ "io-timeout-ms" ] ~docv:"MS" ~env
+          ~doc:
+            "Socket read/write timeout: a response that cannot be written \
+             within $(docv) milliseconds drops the connection, as does a \
+             connection stalled mid-request for longer (slow-client \
+             protection). 0 waits forever.")
+  in
+  let max_queue =
+    let env = Cmd.Env.info "REXSPEED_MAX_QUEUE" in
+    Arg.(
+      value & opt int 0
+      & info [ "max-queue" ] ~docv:"N" ~env
+          ~doc:
+            "Bound the admission queue at $(docv) requests; the overflow is \
+             shed immediately with a structured $(i,shed) error carrying a \
+             $(i,retry_after_ms) hint. 0 means unbounded.")
+  in
+  let verify_sample =
+    let env = Cmd.Env.info "REXSPEED_VERIFY_SAMPLE" in
+    Arg.(
+      value & opt int 0
+      & info [ "verify-sample" ] ~docv:"N" ~env
+          ~doc:
+            "Verified re-execution: recompute every $(docv)-th computed \
+             cache miss and compare response fingerprints before committing \
+             the response; a mismatch counts as a $(i,verify.divergence) and \
+             triggers one authoritative re-execution. 0 disables.")
+  in
+  let run port socket cache_entries max_request_bytes max_inflight log_every
+      deadline_ms io_timeout_ms max_queue verify_sample =
     if port = None && socket = None then
       die Cmd.Exit.cli_error "serve needs a listener: pass --port and/or --socket";
     (match port with
@@ -1097,6 +1178,12 @@ let serve_cmd =
       die Cmd.Exit.cli_error "--max-request-bytes must be at least 2";
     if max_inflight < 1 then die Cmd.Exit.cli_error "--max-inflight must be >= 1";
     if log_every < 0 then die Cmd.Exit.cli_error "--log-every must be >= 0";
+    if deadline_ms < 0 then die Cmd.Exit.cli_error "--deadline-ms must be >= 0";
+    if io_timeout_ms < 0 then
+      die Cmd.Exit.cli_error "--io-timeout-ms must be >= 0";
+    if max_queue < 0 then die Cmd.Exit.cli_error "--max-queue must be >= 0";
+    if verify_sample < 0 then
+      die Cmd.Exit.cli_error "--verify-sample must be >= 0";
     let options =
       {
         Server.Daemon.port;
@@ -1106,6 +1193,10 @@ let serve_cmd =
         max_inflight;
         log_every;
         handle_signals = true;
+        deadline_ms;
+        io_timeout_ms;
+        max_queue;
+        verify_sample;
       }
     in
     match Server.Daemon.run options with
@@ -1118,12 +1209,18 @@ let serve_cmd =
          "Serve optimize/frontier/evaluate queries over TCP or a Unix \
           socket: newline-delimited JSON in and out, an LRU result cache \
           keyed by the request fingerprint, live $(i,stats)/$(i,health) \
-          routes, and graceful drain on SIGINT/SIGTERM. Answers are \
-          byte-identical to the one-shot subcommands for any $(b,--domains).")
+          routes, and graceful drain on SIGINT/SIGTERM. Hardened for \
+          adversarial conditions: request deadlines ($(b,--deadline-ms)), \
+          socket timeouts ($(b,--io-timeout-ms)), load shedding \
+          ($(b,--max-queue)), supervised worker restarts, and verified \
+          re-execution of sampled requests ($(b,--verify-sample)). Answers \
+          are byte-identical to the one-shot subcommands for any \
+          $(b,--domains).")
     (with_domains
        Term.(
          const run $ port $ socket $ cache_entries $ max_request_bytes
-         $ max_inflight $ log_every))
+         $ max_inflight $ log_every $ deadline_ms $ io_timeout_ms $ max_queue
+         $ verify_sample))
 
 let main =
   let doc =

@@ -9,6 +9,7 @@ type rule =
   | RX008
   | RX009
   | RX010
+  | RX011
 
 type severity = Error | Warning
 
@@ -22,7 +23,10 @@ type t = {
 }
 
 let all_rules =
-  [ RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009; RX010 ]
+  [
+    RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009; RX010;
+    RX011;
+  ]
 
 let rule_id = function
   | RX001 -> "RX001"
@@ -35,12 +39,13 @@ let rule_id = function
   | RX008 -> "RX008"
   | RX009 -> "RX009"
   | RX010 -> "RX010"
+  | RX011 -> "RX011"
 
 let rule_of_id s =
   List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
 
 let severity_of = function
-  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 | RX010 -> Error
+  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 | RX010 | RX011 -> Error
   | RX006 | RX007 | RX009 -> Warning
 
 let description = function
@@ -54,6 +59,7 @@ let description = function
   | RX008 -> "catch-all exception handler that never re-raises"
   | RX009 -> "exported value never referenced outside its module"
   | RX010 -> "wall-clock or Random use inside a tracing emission path"
+  | RX011 -> "unbounded blocking Unix.read/Unix.write outside the I/O allowlist"
 
 let make rule ~file ~line ~col message =
   { rule; severity = severity_of rule; file; line; col; message }

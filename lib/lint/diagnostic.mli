@@ -17,6 +17,11 @@ type rule =
   | RX010
       (** determinism: wall-clock or [Random.*] use inside a tracing
           emission path (only [lib/trace/clock.ml] may read the clock) *)
+  | RX011
+      (** robustness: [Unix.read]/[Unix.write] outside the allowlisted
+          I/O modules — raw socket I/O blocks forever on a slow peer
+          unless the fd is non-blocking and the wait is deadline-bounded,
+          which only the audited daemon I/O layer guarantees *)
 
 type severity = Error | Warning
 
@@ -32,7 +37,7 @@ type t = {
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["RX001"] … ["RX010"]. *)
+(** ["RX001"] … ["RX011"]. *)
 
 val rule_of_id : string -> rule option
 val severity_of : rule -> severity

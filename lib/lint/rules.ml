@@ -30,6 +30,15 @@ let allowlisted (rule : Diagnostic.rule) file =
       || has_suffix ~suffix:"trace/clock.ml" file
   | Diagnostic.RX004 -> has_suffix ~suffix:"lib/server/metrics.ml" file
   | Diagnostic.RX010 -> has_suffix ~suffix:"trace/clock.ml" file
+  | Diagnostic.RX011 ->
+      (* daemon.ml is the audited I/O layer: every fd is non-blocking
+         and every wait is bounded by --io-timeout-ms; the test clients
+         and the bench talk to a daemon they also control, so a stuck
+         read fails the run rather than hanging a service. *)
+      has_suffix ~suffix:"lib/server/daemon.ml" file
+      || has_suffix ~suffix:"test/cli/serve_client.ml" file
+      || has_suffix ~suffix:"test/test_server.ml" file
+      || has_suffix ~suffix:"bench/main.ml" file
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -183,6 +192,12 @@ let check_ident add ~in_trace loc lid =
         (Printf.sprintf
            "Hashtbl.%s order is seed- and history-dependent; sort the \
             bindings before they can reach results or rendered output"
+           fn)
+  | [ "Unix"; (("read" | "write" | "single_write") as fn) ] ->
+      add Diagnostic.RX011 loc
+        (Printf.sprintf
+           "Unix.%s blocks forever on a slow or dead peer; route socket \
+            I/O through the daemon's non-blocking, timeout-bounded layer"
            fn)
   | _ -> ()
 

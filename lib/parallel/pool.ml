@@ -41,12 +41,18 @@ exception Tasks_failed of failure list
 
 exception Injected_fault of { index : int; attempt : int }
 
+exception Worker_crash of { index : int; round : int }
+
 let () =
   Printexc.register_printer (function
     | Injected_fault { index; attempt } ->
         Some
           (Printf.sprintf "Parallel.Pool.Injected_fault (task %d, attempt %d)"
              index attempt)
+    | Worker_crash { index; round } ->
+        Some
+          (Printf.sprintf "Parallel.Pool.Worker_crash (task %d, round %d)"
+             index round)
     | Tasks_failed failures ->
         Some
           (Printf.sprintf "Parallel.Pool.Tasks_failed: %s"
@@ -81,11 +87,36 @@ let fault_injector : (index:int -> attempt:int -> bool) option Atomic.t =
 
 let set_fault_injector f = Atomic.set fault_injector f
 
+(* ------------------------------------------------------------------ *)
+(* Worker supervision                                                  *)
+
+(* Domain-death injection: unlike a task fault (trapped and retried in
+   place), a fired domain fault kills the whole worker, abandoning the
+   rest of its claimed chunk. The supervisor below detects the
+   abandoned slots after the joins and re-executes them in a recovery
+   round. Keyed on (index, round) — not attempt — because the retry
+   loop never sees the crash. *)
+let domain_fault_injector : (index:int -> round:int -> bool) option Atomic.t =
+  Atomic.make None
+
+let set_domain_fault_injector f = Atomic.set domain_fault_injector f
+
+let max_recovery_rounds = 8
+
+(* Process-lifetime total of supervised worker restarts; the daemon's
+   [health] route reports it as worker liveness. *)
+let restarts = Atomic.make 0
+let worker_restarts () = Atomic.get restarts
+
 (* One task with bounded retries. [f] must be restartable: pure per
    item, or failing before it mutates any state it owns. The injector
    fires {e before} [f] is entered, so injected faults always satisfy
    that contract regardless of what [f] does. *)
-let run_item ~attempts f i =
+let run_item ~attempts ~round f i =
+  (match Atomic.get domain_fault_injector with
+  | Some kill when kill ~index:i ~round ->
+      raise (Worker_crash { index = i; round })
+  | Some _ | None -> ());
   Tracing.Tracer.with_task ~index:i @@ fun () ->
   let attempt_once attempt =
     (match Atomic.get fault_injector with
@@ -105,7 +136,8 @@ let run_item ~attempts f i =
   let rec go attempt =
     match if attempt = 1 then first_attempt () else retry_attempt attempt with
     | v -> Ok v
-    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception ((Out_of_memory | Stack_overflow | Worker_crash _) as e) ->
+        raise e
     | exception e ->
         if attempt >= attempts then
           Error { index = i; attempts = attempt; error = Printexc.to_string e }
@@ -135,51 +167,122 @@ let finalize results failures =
    all be pool-aware without ever nesting domains. *)
 let in_region = Domain.DLS.new_key (fun () -> false)
 
-let sequential_init ~attempts n f =
+(* Supervised execution: schedule passes over a shrinking set of
+   unfinished task indices until every slot is either computed or
+   recorded as failed. A worker that dies (a {!Worker_crash} escaping
+   the retry loop) abandons the rest of its claimed chunk; after the
+   joins the supervisor collects the abandoned slots and re-executes
+   them in a recovery round. Slots are keyed by the original task
+   index, so a recovered run is bit-identical to an unfaulted one —
+   supervision, like scheduling, only decides {e who} computes a slot.
+   [extra_workers = 0] is the sequential path (nested regions, single
+   domain, singleton batches); crashes there follow the exact same
+   recovery rounds, keeping faulted runs identical across domain
+   counts. *)
+let run_rounds ~extra_workers ~chunk ~attempts n f =
   let results = Array.make n None in
-  let failures = ref [] in
-  for i = 0 to n - 1 do
-    match run_item ~attempts f i with
-    | Ok v -> results.(i) <- Some v
-    | Error failure -> failures := failure :: !failures
-  done;
-  finalize results !failures
-
-let parallel_init ~domains ~chunk ~attempts n f =
-  Domain.DLS.set in_region true;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set in_region false) @@ fun () ->
-  let results = Array.make n None in
+  let failed = Array.make n false in
   let failures = Atomic.make [] in
-  let rec push failure =
-    let old = Atomic.get failures in
-    if not (Atomic.compare_and_set failures old (failure :: old)) then
-      push failure
-  in
-  let next = Atomic.make 0 in
-  let work () =
-    let rec loop () =
-      let start = Atomic.fetch_and_add next chunk in
-      if start < n then begin
-        for i = start to Int.min n (start + chunk) - 1 do
-          match run_item ~attempts f i with
-          | Ok v -> results.(i) <- Some v
-          | Error failure -> push failure
-        done;
-        loop ()
-      end
+  let push failure =
+    failed.(failure.index) <- true;
+    let rec cas () =
+      let old = Atomic.get failures in
+      if not (Atomic.compare_and_set failures old (failure :: old)) then cas ()
     in
-    loop ()
+    cas ()
   in
-  let spawn () =
-    Domain.spawn (fun () ->
-        Domain.DLS.set in_region true;
-        work ())
+  (* One scheduling pass over [todo]; returns how many workers died
+     (and were immediately replaced) mid-pass. A crash abandons the
+     unstarted remainder of the dying worker's claimed chunk — those
+     slots wait for the next recovery round — but the replacement
+     worker resumes claiming fresh chunks at once, so a pass always
+     drives every chunk to either completion or abandonment no matter
+     how many workers die along the way. *)
+  let round_pass ~round ~chunk todo =
+    let m = Array.length todo in
+    let next = Atomic.make 0 in
+    let crashed = Atomic.make 0 in
+    let work () =
+      let rec claim () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < m then begin
+          (try
+             for k = start to Int.min m (start + chunk) - 1 do
+               let i = todo.(k) in
+               match run_item ~attempts ~round f i with
+               | Ok v -> results.(i) <- Some v
+               | Error failure -> push failure
+             done
+           with Worker_crash _ -> Atomic.incr crashed);
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let spawn () =
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_region true;
+          work ())
+    in
+    (* Never spawn more workers than there are spare tasks. *)
+    let workers =
+      Array.init (Int.max 0 (Int.min extra_workers (m - 1))) (fun _ -> spawn ())
+    in
+    work ();
+    Array.iter Domain.join workers;
+    Atomic.get crashed
   in
-  let workers = Array.init (domains - 1) (fun _ -> spawn ()) in
-  (* [work] cannot raise: [run_item] traps every task exception. *)
-  work ();
-  Array.iter Domain.join workers;
-  finalize results (Atomic.get failures)
+  let unfinished () =
+    let missing = ref [] in
+    for i = n - 1 downto 0 do
+      if Option.is_none results.(i) && not failed.(i) then
+        missing := i :: !missing
+    done;
+    Array.of_list !missing
+  in
+  let rec supervise ~round todo =
+    (* Recovery rounds claim one task at a time: a crash mid-chunk
+       abandons every unstarted task in that chunk, so with the
+       first-round chunking a kill-heavy region could shed tasks
+       faster than [max_recovery_rounds] passes reclaim them.
+       Single-task claims make a repeated crash abandon only itself,
+       which converges unless one index dies in every round. *)
+    let chunk = if round = 0 then chunk else 1 in
+    let crashed = round_pass ~round ~chunk todo in
+    let left = unfinished () in
+    if Array.length left > 0 then begin
+      (* An unfinished slot implies at least one dead worker. *)
+      let restarted = Int.max 1 crashed in
+      ignore (Atomic.fetch_and_add restarts restarted : int);
+      Tracing.Tracer.count ~n:restarted Tracing.Span.Worker_restarts;
+      if round + 1 >= max_recovery_rounds then
+        Array.iter
+          (fun i ->
+            push
+              {
+                index = i;
+                attempts;
+                error =
+                  Printf.sprintf
+                    "worker domain died repeatedly; %d recovery round(s) \
+                     exhausted"
+                    max_recovery_rounds;
+              })
+          left
+      else
+        Tracing.Tracer.with_span ~id:(round + 1) Tracing.Span.Pool_restart
+          (fun () -> supervise ~round:(round + 1) left)
+    end
+  in
+  let body () =
+    supervise ~round:0 (Array.init n Fun.id);
+    finalize results (Atomic.get failures)
+  in
+  if extra_workers > 0 then begin
+    Domain.DLS.set in_region true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_region false) body
+  end
+  else body ()
 
 let init_array ?chunk ?attempts t n f =
   if n < 0 then invalid_arg "Pool.init_array: negative length";
@@ -193,20 +296,22 @@ let init_array ?chunk ?attempts t n f =
     match attempts with Some a -> a | None -> max_attempts ()
   in
   if n = 0 then [||]
-  else if Domain.DLS.get in_region then sequential_init ~attempts n f
+  else if Domain.DLS.get in_region then
+    run_rounds ~extra_workers:0 ~chunk:n ~attempts n f
   else begin
     (* Top-level regions run one after another from the caller, so the
        tracer's region ordinal is deterministic; nested regions (the
        branch above) stay inside their enclosing task's spans. *)
     Tracing.Tracer.new_region ();
-    if t.domains = 1 || n = 1 then sequential_init ~attempts n f
+    if t.domains = 1 || n = 1 then
+      run_rounds ~extra_workers:0 ~chunk:n ~attempts n f
     else
       let chunk =
         match chunk with
         | Some c -> c
         | None -> Int.max 1 (n / (8 * t.domains))
       in
-      parallel_init ~domains:t.domains ~chunk ~attempts n f
+      run_rounds ~extra_workers:(t.domains - 1) ~chunk ~attempts n f
   end
 
 let map_array ?chunk ?attempts t f a =

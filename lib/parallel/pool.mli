@@ -32,7 +32,23 @@
     sequentially on the spot — with the same retry semantics — so the
     domain count stays bounded by the pool size regardless of how the
     layers compose (e.g. a grid sweep whose cells each invoke the
-    BiCrit solver). *)
+    BiCrit solver).
+
+    {2 Worker supervision}
+
+    A worker domain that dies mid-region (modelled by {!Worker_crash}
+    escaping the retry loop, injected deterministically through
+    {!set_domain_fault_injector}) no longer takes the region down: a
+    replacement worker resumes claiming work immediately, the
+    supervisor bumps {!worker_restarts}, and the tasks the dead worker
+    had claimed but not finished are re-executed in a recovery round —
+    so a crashed domain degrades throughput, never results. Because slots are keyed by the original
+    task index and [f] is pure, a recovered run is bit-identical to an
+    unfaulted one at any domain count. Recovery rounds claim one task
+    at a time, so a crash during recovery abandons only the crashed
+    task, not a whole chunk. Recovery is bounded: after
+    {!max_recovery_rounds} rounds the still-unfinished tasks are
+    reported through {!Tasks_failed} like any exhausted task. *)
 
 type t
 (** A pool configuration. Cheap to create; worker domains are spawned
@@ -89,6 +105,13 @@ exception Injected_fault of { index : int; attempt : int }
     fires for [(index, attempt)] — before the task function runs, so
     an injected fault never leaves partial state behind. *)
 
+exception Worker_crash of { index : int; round : int }
+(** The synthetic domain death raised when the domain fault injector
+    fires for [(index, round)]. Unlike {!Injected_fault} it is never
+    retried in place: it escapes the retry loop, kills the worker that
+    was about to run task [index], and leaves recovery to the region
+    supervisor. Raising it from task code has the same effect. *)
+
 val retries_env_var : string
 (** ["REXSPEED_RETRIES"] — environment override for the per-task
     attempt bound. *)
@@ -116,6 +139,30 @@ val set_fault_injector : (index:int -> attempt:int -> bool) option -> unit
     [(index, attempt)] — never of wall-clock or scheduling state — so
     injected runs stay reproducible and bit-identical across domain
     counts. *)
+
+val set_domain_fault_injector : (index:int -> round:int -> bool) option -> unit
+(** Install (or clear, with [None]) the deterministic domain-death
+    injector. When present it is consulted before every task
+    execution; returning [true] for [(index, round)] raises
+    {!Worker_crash}, killing the worker that claimed the task (the
+    caller counts as a worker — in sequential paths the pass is
+    abandoned and recovered the same way). [round] is the supervision
+    round: [0] for the initial pass, [1..] for recovery rounds, so an
+    injector that keys on it can let a recovery succeed (or keep
+    killing until {!max_recovery_rounds} is exhausted). Must be a pure
+    function of [(index, round)] for reproducibility, like
+    {!set_fault_injector}. *)
+
+val max_recovery_rounds : int
+(** [8]: scheduling passes the supervisor will run over one region
+    (one initial pass plus up to 7 recovery rounds) before reporting
+    the still-unfinished tasks as failures. *)
+
+val worker_restarts : unit -> int
+(** Process-lifetime total of supervised worker restarts — one per
+    worker death detected at the end of a scheduling pass. Monotonic;
+    callers interested in one region's restarts read it before and
+    after. *)
 
 (** {2 Combinators} *)
 

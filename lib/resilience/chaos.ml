@@ -81,3 +81,158 @@ let of_env () =
           | Error message -> Error (env_var ^ ": " ^ message)
         end
     end
+
+(* ------------------------------------------------------------------ *)
+(* I/O-layer chaos                                                     *)
+
+let io_env_var = "REXSPEED_CHAOS_IO"
+
+type io_kind = Drop | Torn | Corrupt | Kill
+
+type io_config = {
+  drop_p : float;
+  torn_p : float;
+  corrupt_p : float;
+  kill_p : float;
+  io_seed : int;
+}
+
+let default_io_config =
+  { drop_p = 0.; torn_p = 0.; corrupt_p = 0.; kill_p = 0.; io_seed = 0 }
+
+(* Distinct salts keep the four decision families independent of each
+   other and of the task-chaos stream under the same seed. *)
+let kind_salt = function
+  | Drop -> 0x64726f70
+  | Torn -> 0x746f726e
+  | Corrupt -> 0x636f7272
+  | Kill -> 0x6b696c6c
+
+let io_p cfg = function
+  | Drop -> cfg.drop_p
+  | Torn -> cfg.torn_p
+  | Corrupt -> cfg.corrupt_p
+  | Kill -> cfg.kill_p
+
+let io_fires cfg kind ~index ~attempt =
+  fires ~p:(io_p cfg kind)
+    ~seed:(cfg.io_seed lxor kind_salt kind)
+    ~index ~attempt
+
+(* Deterministically flip one bit of [s]: byte position and bit index
+   come from the decision word, so the corruption is reproducible and
+   never a no-op on a non-empty string. *)
+let corrupt_string cfg ~index s =
+  if String.length s = 0 then s
+  else begin
+    let word =
+      decision_word
+        ~seed:(cfg.io_seed lxor kind_salt Corrupt)
+        ~index ~attempt:1
+    in
+    let pos =
+      Int64.to_int
+        (Int64.rem
+           (Int64.shift_right_logical word 8)
+           (Int64.of_int (String.length s)))
+    in
+    let bit = Int64.to_int (Int64.logand word 7L) in
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let io_current : io_config option Atomic.t = Atomic.make None
+let io_active () = Atomic.get io_current
+
+let disable_io () =
+  Atomic.set io_current None;
+  Parallel.Pool.set_domain_fault_injector None
+
+let io_quiet cfg =
+  Float.equal cfg.drop_p 0.
+  && Float.equal cfg.torn_p 0.
+  && Float.equal cfg.corrupt_p 0.
+  && Float.equal cfg.kill_p 0.
+
+let configure_io cfg =
+  let bad =
+    List.find_opt
+      (fun (_, p) -> not (p >= 0. && p < 1.))
+      [
+        ("drop", cfg.drop_p); ("torn", cfg.torn_p);
+        ("corrupt", cfg.corrupt_p); ("kill", cfg.kill_p);
+      ]
+  in
+  match bad with
+  | Some (name, p) ->
+      Error
+        (Printf.sprintf "chaos-io %s probability must be in [0, 1), got %g"
+           name p)
+  | None ->
+      if io_quiet cfg then begin
+        disable_io ();
+        Ok ()
+      end
+      else begin
+        Atomic.set io_current (Some cfg);
+        (if cfg.kill_p > 0. then
+           Parallel.Pool.set_domain_fault_injector
+             (Some
+                (fun ~index ~round ->
+                  let fire = io_fires cfg Kill ~index ~attempt:round in
+                  if fire then
+                    Tracing.Tracer.count Tracing.Span.Chaos_io_injections;
+                  fire))
+         else Parallel.Pool.set_domain_fault_injector None);
+        Ok ()
+      end
+
+(* "drop=P,torn=P,corrupt=P,kill=P,seed=N" — any subset, any order. *)
+let io_of_spec spec =
+  let fields = String.split_on_char ',' spec in
+  let parse acc field =
+    match acc with
+    | Error _ as e -> e
+    | Ok cfg -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "expected KEY=VALUE, got %S" field)
+        | Some i -> (
+            let key = String.trim (String.sub field 0 i) in
+            let value =
+              String.trim
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            let prob of_p =
+              match float_of_string_opt value with
+              | Some p -> Ok (of_p p)
+              | None -> Error (Printf.sprintf "%s: bad probability %S" key value)
+            in
+            match key with
+            | "drop" -> prob (fun p -> { cfg with drop_p = p })
+            | "torn" -> prob (fun p -> { cfg with torn_p = p })
+            | "corrupt" -> prob (fun p -> { cfg with corrupt_p = p })
+            | "kill" -> prob (fun p -> { cfg with kill_p = p })
+            | "seed" -> (
+                match int_of_string_opt value with
+                | Some s -> Ok { cfg with io_seed = s }
+                | None -> Error (Printf.sprintf "seed: bad integer %S" value))
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown chaos-io key %S (expected \
+                      drop/torn/corrupt/kill/seed)"
+                     key)))
+  in
+  List.fold_left parse (Ok default_io_config) fields
+
+let of_io_env () =
+  match Sys.getenv_opt io_env_var with
+  | None | Some "" -> Ok ()
+  | Some spec -> (
+      match io_of_spec spec with
+      | Error message -> Error (io_env_var ^ ": " ^ message)
+      | Ok cfg -> (
+          match configure_io cfg with
+          | Ok () -> Ok ()
+          | Error message -> Error (io_env_var ^ ": " ^ message)))

@@ -36,3 +36,69 @@ val fires : p:float -> seed:int -> index:int -> attempt:int -> bool
 (** The raw decision function (exposed for tests): does chaos with
     probability [p] under [seed] fail attempt [attempt] of task
     [index]? Pure — same arguments, same answer, forever. *)
+
+(** {2 I/O-layer chaos}
+
+    A second, independent fault family aimed at the serving stack
+    rather than the task engine: deterministic connection drops, torn
+    (byte-at-a-time) writes, response-byte corruption, and injected
+    worker-domain death. Decisions are pure in the seed, the fault
+    kind and the request ordinal (or task index), exactly like task
+    chaos, so a soak under I/O chaos replays bit-identically. The
+    daemon consumes {!io_active}/{!io_fires}/{!corrupt_string};
+    [kill_p] is wired straight into
+    {!Parallel.Pool.set_domain_fault_injector}. *)
+
+val io_env_var : string
+(** ["REXSPEED_CHAOS_IO"] — set to a
+    ["drop=P,torn=P,corrupt=P,kill=P,seed=N"] spec (any subset of the
+    keys) to enable I/O chaos without touching the command line. *)
+
+type io_kind =
+  | Drop  (** close a connection instead of writing its response *)
+  | Torn  (** write the response one byte at a time *)
+  | Corrupt  (** flip one bit of a computed response before commit *)
+  | Kill  (** kill the pool worker about to run a task *)
+
+type io_config = {
+  drop_p : float;
+  torn_p : float;
+  corrupt_p : float;
+  kill_p : float;
+  io_seed : int;
+}
+
+val default_io_config : io_config
+(** All probabilities 0, seed 0. *)
+
+val io_of_spec : string -> (io_config, string) result
+(** Parse a ["drop=P,torn=P,corrupt=P,kill=P,seed=N"] spec (keys in
+    any order, unmentioned keys default to 0). *)
+
+val configure_io : io_config -> (unit, string) result
+(** Enable I/O chaos: publish the config for the daemon and, when
+    [kill_p > 0], install the matching domain-death injector into
+    {!Parallel.Pool}. Probabilities must lie in [\[0, 1)]; an all-zero
+    config is equivalent to {!disable_io}. *)
+
+val disable_io : unit -> unit
+(** Forget the I/O chaos config and clear the domain-death injector. *)
+
+val io_active : unit -> io_config option
+(** The configured I/O chaos, if enabled. *)
+
+val of_io_env : unit -> (unit, string) result
+(** Read {!io_env_var} and {!configure_io} accordingly. [Ok ()] when
+    the variable is unset or empty; [Error _] on a malformed spec. *)
+
+val io_fires : io_config -> io_kind -> index:int -> attempt:int -> bool
+(** The raw I/O decision: does fault [kind] fire for [index] (a
+    request ordinal or task index) at [attempt] (a write attempt or
+    supervision round)? Pure; each kind draws from its own salted
+    decision stream. *)
+
+val corrupt_string : io_config -> index:int -> string -> string
+(** Deterministically flip one bit of the string (position and bit
+    derived from the [Corrupt] decision stream at [index]); the empty
+    string is returned unchanged. Models a silent computation error
+    for the daemon's verified re-execution to catch. *)

@@ -6,6 +6,10 @@ type options = {
   max_inflight : int;
   log_every : int;
   handle_signals : bool;
+  deadline_ms : int;
+  io_timeout_ms : int;
+  max_queue : int;
+  verify_sample : int;
 }
 
 let default_options =
@@ -17,10 +21,36 @@ let default_options =
     max_inflight = 64;
     log_every = 0;
     handle_signals = true;
+    deadline_ms = 0;
+    io_timeout_ms = 30_000;
+    max_queue = 0;
+    verify_sample = 0;
   }
 
 let stop_requested = Atomic.make false
 let stop () = Atomic.set stop_requested true
+
+(* Hardening counters, owned by the dispatcher and reported by the
+   [health] and [stats] routes. The matching trace counters are bumped
+   at the same points; these survive when tracing is off. *)
+type hardening = {
+  mutable shed : int;
+  mutable deadline_exceeded : int;
+  mutable io_timeouts : int;
+  mutable verify_checks : int;
+  mutable verify_divergences : int;
+  mutable chaos_io : int;
+}
+
+let fresh_hardening () =
+  {
+    shed = 0;
+    deadline_exceeded = 0;
+    io_timeouts = 0;
+    verify_checks = 0;
+    verify_divergences = 0;
+    chaos_io = 0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
@@ -30,28 +60,42 @@ type conn = {
   pending : Buffer.t;  (* bytes read but not yet line-terminated *)
   mutable eof : bool;  (* peer closed its writing end *)
   mutable dead : bool;  (* drop after the current round's responses *)
+  mutable last_activity : float;  (* [Metrics.now_s] of the last read *)
 }
+
+type write_outcome = Wrote | Write_dead | Write_timed_out
 
 (* Blocking-ish write on a non-blocking fd: wait for writability when
    the kernel buffer is full, give up (and drop the connection) after
-   a stuck 30 s — a reader that slow is not coming back. *)
-let write_all conn s =
+   a stuck [give_up_s] — a reader that slow is not coming back.
+   [torn] serves the bytes one at a time (chaos I/O), exercising every
+   partial-write path without changing what the peer reads. *)
+let write_all ~give_up_s ~torn conn s =
   let bytes = Bytes.of_string s in
   let len = Bytes.length bytes in
   let off = ref 0 in
-  let give_up_at = Metrics.now_s () +. 30. in
+  let timed_out = ref false in
+  let give_up_at = Metrics.now_s () +. give_up_s in
   (try
      while !off < len && not conn.dead do
-       match Unix.write conn.fd bytes !off (len - !off) with
+       let n = if torn then 1 else len - !off in
+       match Unix.write conn.fd bytes !off n with
        | written -> off := !off + written
        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-           if Metrics.now_s () > give_up_at then conn.dead <- true
-           else ignore (Unix.select [] [ conn.fd ] [] 1.)
+           if Metrics.now_s () > give_up_at then begin
+             conn.dead <- true;
+             timed_out := true
+           end
+           else
+             let wait =
+               Float.min 1. (Float.max 0.01 (give_up_at -. Metrics.now_s ()))
+             in
+             ignore (Unix.select [] [ conn.fd ] [] wait)
        | exception Unix.Unix_error (EINTR, _, _) -> ()
      done
    with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
      conn.dead <- true);
-  not conn.dead
+  if !timed_out then Write_timed_out else if conn.dead then Write_dead else Wrote
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -81,7 +125,27 @@ let result_response ~id ~route ~fingerprint ~cached ~(rendering : Render.renderi
       ("output", Json.String rendering.output);
     ]
 
-let health_response ~id ~metrics =
+let hardening_json ~hardening ~queue_depth ~domains =
+  [
+    ("queue_depth", Json.Int queue_depth);
+    ("shed", Json.Int hardening.shed);
+    ("deadline_exceeded", Json.Int hardening.deadline_exceeded);
+    ("io_timeouts", Json.Int hardening.io_timeouts);
+    ( "verify",
+      Json.Obj
+        [
+          ("checks", Json.Int hardening.verify_checks);
+          ("divergences", Json.Int hardening.verify_divergences);
+        ] );
+    ( "workers",
+      Json.Obj
+        [
+          ("domains", Json.Int domains);
+          ("restarts", Json.Int (Parallel.Pool.worker_restarts ()));
+        ] );
+  ]
+
+let health_response ~id ~metrics ~hardening ~queue_depth ~max_queue ~domains =
   Json.Obj
     [
       ("id", id);
@@ -89,11 +153,13 @@ let health_response ~id ~metrics =
       ("route", Json.String "health");
       ( "result",
         Json.Obj
-          [
-            ("status", Json.String "serving");
-            ("version", Json.String Version.current);
-            ("uptime_s", float_or_null (Metrics.uptime_s metrics));
-          ] );
+          ([
+             ("status", Json.String "serving");
+             ("version", Json.String Version.current);
+             ("uptime_s", float_or_null (Metrics.uptime_s metrics));
+             ("ready", Json.Bool (max_queue = 0 || queue_depth < max_queue));
+           ]
+          @ hardening_json ~hardening ~queue_depth ~domains) );
     ]
 
 let latency_json (s : Metrics.route_stats) =
@@ -106,7 +172,7 @@ let latency_json (s : Metrics.route_stats) =
       ("p99", ms s.latency_p99_s);
     ]
 
-let stats_response ~id ~metrics ~cache =
+let stats_response ~id ~metrics ~cache ~hardening ~queue_depth ~domains =
   let route_json (s : Metrics.route_stats) =
     Json.Obj
       [
@@ -140,6 +206,7 @@ let stats_response ~id ~metrics ~cache =
                   ("misses", Json.Int (Lru.misses cache));
                   ("hit_rate", Json.Float (Lru.hit_rate cache));
                 ] );
+            ("hardening", Json.Obj (hardening_json ~hardening ~queue_depth ~domains));
           ] );
     ]
 
@@ -181,6 +248,20 @@ let compute request =
   in
   (outcome, Metrics.now_s () -. t0)
 
+(* The response fingerprint compared by verified re-execution: the
+   rendered bytes plus the ok bit, hashed with the same checksum the
+   run journal uses. *)
+let response_fingerprint (rendering : Render.rendering) =
+  Resilience.Checksum.hex_of_string
+    ((if rendering.ok then "+" else "-") ^ rendering.output)
+
+(* Best-effort request id for responses emitted before (or instead of)
+   classification — shed and expired requests. *)
+let request_id line =
+  match Json.decode line with
+  | Ok json -> Option.value (Json.member "id" json) ~default:Json.Null
+  | Error _ -> Json.Null
+
 (* One parsed-and-classified request line. *)
 type job =
   | Immediate of { route : string; ok : bool; response : Json.t; latency_s : float }
@@ -191,7 +272,8 @@ type job =
       cached : Render.rendering option;
     }
 
-let classify ~ordinal ~cache ~metrics line =
+let classify ~ordinal ~cache ~metrics ~hardening ~queue_depth ~max_queue
+    ~domains line =
   let started = Metrics.now_s () in
   let elapsed () = Metrics.now_s () -. started in
   match Json.decode line with
@@ -222,7 +304,9 @@ let classify ~ordinal ~cache ~metrics line =
             {
               route = "health";
               ok = true;
-              response = health_response ~id ~metrics;
+              response =
+                health_response ~id ~metrics ~hardening ~queue_depth ~max_queue
+                  ~domains;
               latency_s = elapsed ();
             }
       | Ok Protocol.Stats ->
@@ -230,7 +314,9 @@ let classify ~ordinal ~cache ~metrics line =
             {
               route = "stats";
               ok = true;
-              response = stats_response ~id ~metrics ~cache;
+              response =
+                stats_response ~id ~metrics ~cache ~hardening ~queue_depth
+                  ~domains;
               latency_s = elapsed ();
             }
       | Ok request ->
@@ -269,21 +355,50 @@ let bind_listeners options =
         (Printf.sprintf "cannot listen on 127.0.0.1:%d: %s" port
            (Unix.error_message err))
   in
+  (* A leftover socket file is only removed after a liveness probe
+     proves no daemon owns it: connecting to a live listener succeeds
+     (or blocks on a full backlog), connecting to an abandoned path
+     fails with ECONNREFUSED. Anything other than a provably-dead
+     socket is left untouched. *)
+  let stale_socket_check path =
+    match Unix.stat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } ->
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let live =
+          Unix.set_nonblock probe;
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> false
+          | exception Unix.Unix_error (_, _, _) ->
+              (* EINPROGRESS, EAGAIN, EACCES...: assume live; never
+                 steal a path we cannot prove abandoned. *)
+              true
+        in
+        (try Unix.close probe with Unix.Unix_error _ -> ());
+        if live then
+          Error
+            (Printf.sprintf "socket %s is owned by a live daemon" path)
+        else begin
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Ok ()
+        end
+    | _ -> Ok () (* not a socket: leave it alone, bind will fail loudly *)
+    | exception Unix.Unix_error (ENOENT, _, _) -> Ok ()
+  in
   let unix path =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    try
-      (match Unix.stat path with
-      | { st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-      | _ -> ()
-      | exception Unix.Unix_error (ENOENT, _, _) -> ());
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
-      Ok (fd, "unix:" ^ path)
-    with Unix.Unix_error (err, _, _) ->
-      Unix.close fd;
-      Error
-        (Printf.sprintf "cannot listen on socket %s: %s" path
-           (Unix.error_message err))
+    match stale_socket_check path with
+    | Error _ as e -> e
+    | Ok () -> (
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        try
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64;
+          Ok (fd, "unix:" ^ path)
+        with Unix.Unix_error (err, _, _) ->
+          Unix.close fd;
+          Error
+            (Printf.sprintf "cannot listen on socket %s: %s" path
+               (Unix.error_message err)))
   in
   let collect acc = function
     | None -> acc
@@ -312,10 +427,24 @@ let run ?pool ?on_ready options =
     Error "--max-request-bytes must be at least 2"
   else if options.max_inflight < 1 then Error "--max-inflight must be >= 1"
   else if options.log_every < 0 then Error "--log-every must be >= 0"
+  else if options.deadline_ms < 0 then Error "--deadline-ms must be >= 0"
+  else if options.io_timeout_ms < 0 then Error "--io-timeout-ms must be >= 0"
+  else if options.max_queue < 0 then Error "--max-queue must be >= 0"
+  else if options.verify_sample < 0 then Error "--verify-sample must be >= 0"
   else
     match bind_listeners options with
     | Error _ as e -> e
     | Ok listeners ->
+        (* From here on the daemon owns the socket path: unlink it on
+           every exit, normal drain or escaping exception, so a crash
+           never leaves a stale file that blocks the next start. *)
+        Fun.protect
+          ~finally:(fun () ->
+            match options.socket_path with
+            | Some path -> (
+                try Unix.unlink path with Unix.Unix_error _ -> ())
+            | None -> ())
+        @@ fun () ->
         Atomic.set stop_requested false;
         let pool =
           match pool with Some p -> p | None -> Parallel.Pool.default ()
@@ -327,6 +456,27 @@ let run ?pool ?on_ready options =
         end;
         let cache = Lru.create ~capacity:options.cache_entries in
         let metrics = Metrics.create () in
+        let hardening = fresh_hardening () in
+        let domains = Parallel.Pool.domains pool in
+        let give_up_s =
+          if options.io_timeout_ms = 0 then infinity
+          else float_of_int options.io_timeout_ms /. 1000.
+        in
+        let deadline_s = float_of_int options.deadline_ms /. 1000. in
+        let chaos_io () = Resilience.Chaos.io_active () in
+        let io_fires kind ~ordinal =
+          match chaos_io () with
+          | None -> false
+          | Some io ->
+              let fire =
+                Resilience.Chaos.io_fires io kind ~index:ordinal ~attempt:0
+              in
+              if fire then begin
+                hardening.chaos_io <- hardening.chaos_io + 1;
+                Tracing.Tracer.count Tracing.Span.Chaos_io_injections
+              end;
+              fire
+        in
         let conns = ref [] in
         let served = ref 0 in
         let log_line () =
@@ -344,6 +494,11 @@ let run ?pool ?on_ready options =
         (* Deterministic request ordinal: assigned at admission by the
            single dispatcher, so it doubles as the trace span id. *)
         let admitted = ref 0 in
+        (* The admission queue: complete request lines accepted but not
+           yet dispatched. Bounded by [max_queue]; persists across
+           sweeps, so the drain path must empty it too. *)
+        let queue = ref [] in
+        let queue_depth = ref 0 in
         let respond conn ~ordinal job =
           let route, ok, response, latency_s =
             match job with
@@ -359,9 +514,22 @@ let run ?pool ?on_ready options =
             | Solve { cached = None; _ } ->
                 invalid_arg "Daemon.respond: unsolved job"
           in
+          (* Chaos: a deterministically chosen response is never
+             written — the connection drops instead, as if the network
+             gave out. The request still counts as failed. *)
+          if io_fires Resilience.Chaos.Drop ~ordinal then conn.dead <- true;
+          let torn = io_fires Resilience.Chaos.Torn ~ordinal in
           (* Write before recording: a response that never reached its
              client is a failed request, whatever the solver said. *)
-          let wrote = write_all conn (Json.encode response ^ "\n") in
+          let wrote =
+            match write_all ~give_up_s ~torn conn (Json.encode response ^ "\n") with
+            | Wrote -> true
+            | Write_dead -> false
+            | Write_timed_out ->
+                hardening.io_timeouts <- hardening.io_timeouts + 1;
+                Tracing.Tracer.count Tracing.Span.Io_timeouts;
+                false
+          in
           Metrics.record metrics ~route ~ok:(ok && wrote) ~latency_s;
           incr served;
           Tracing.Tracer.complete ~id:ordinal ~label:route
@@ -370,10 +538,100 @@ let run ?pool ?on_ready options =
           if options.log_every > 0 && !served mod options.log_every = 0 then
             log_line ()
         in
-        (* Resolve up to [max_inflight] queued (conn, line) pairs:
-           classify on the dispatcher (cache lookups included), fan
-           the misses out over the pool, answer in order. *)
-        let process queue =
+        (* Admission: assign the ordinal, stamp the arrival time, and
+           either enqueue or — when the bounded queue is full — shed
+           with a structured error carrying a retry hint. Shedding
+           answers immediately, out of request order; the id lets
+           pipelined clients correlate. *)
+        let admit ?(shedding = true) conn line =
+          let ordinal = !admitted in
+          incr admitted;
+          if shedding && options.max_queue > 0 && !queue_depth >= options.max_queue
+          then begin
+            hardening.shed <- hardening.shed + 1;
+            Tracing.Tracer.count Tracing.Span.Sheds;
+            let retry_after_ms =
+              50 * (1 + (!queue_depth / Int.max 1 options.max_inflight))
+            in
+            let response =
+              error_response ~id:(request_id line) ~code:"shed"
+                ~extra:[ ("retry_after_ms", Json.Int retry_after_ms) ]
+                (Printf.sprintf "admission queue full (%d queued)" !queue_depth)
+            in
+            if not conn.dead then
+              respond conn ~ordinal
+                (Immediate { route = "shed"; ok = false; response; latency_s = 0. })
+          end
+          else begin
+            queue := !queue @ [ (conn, line, Metrics.now_s (), ordinal) ];
+            incr queue_depth
+          end
+        in
+        (* Sampled dual execution: every [verify_sample]-th computed
+           miss is re-executed and its response fingerprint compared
+           before the response is committed. A mismatch is a detected
+           silent error: count it, trace it, and let one authoritative
+           re-execution decide. *)
+        let miss_count = ref 0 in
+        let verified ~ordinal ~request outcome =
+          match outcome with
+          | Error _ -> outcome
+          | Ok rendering ->
+              let sampled =
+                options.verify_sample > 0
+                && !miss_count mod options.verify_sample = 0
+              in
+              incr miss_count;
+              if not sampled then outcome
+              else begin
+                hardening.verify_checks <- hardening.verify_checks + 1;
+                Tracing.Tracer.count Tracing.Span.Verify_checks;
+                Tracing.Tracer.with_span ~id:ordinal ~label:"verify"
+                  Tracing.Span.Daemon_verify
+                @@ fun () ->
+                let confirmed =
+                  match fst (compute request) with
+                  | Ok second ->
+                      String.equal
+                        (response_fingerprint rendering)
+                        (response_fingerprint second)
+                  | Error _ -> false
+                in
+                if confirmed then outcome
+                else begin
+                  hardening.verify_divergences <-
+                    hardening.verify_divergences + 1;
+                  Tracing.Tracer.count Tracing.Span.Verify_divergences;
+                  Tracing.Tracer.with_span ~id:ordinal ~label:"reexec"
+                    Tracing.Span.Daemon_verify (fun () ->
+                      fst (compute request))
+                end
+              end
+        in
+        (* Chaos: corrupt a computed response before verification, so
+           the soak can prove divergences are caught, never shipped. *)
+        let maybe_corrupt ~ordinal outcome =
+          match outcome with
+          | Error _ -> outcome
+          | Ok (rendering : Render.rendering) -> (
+              match chaos_io () with
+              | Some io
+                when io.corrupt_p > 0.
+                     && io_fires Resilience.Chaos.Corrupt ~ordinal ->
+                  Ok
+                    {
+                      rendering with
+                      Render.output =
+                        Resilience.Chaos.corrupt_string io ~index:ordinal
+                          rendering.Render.output;
+                    }
+              | Some _ | None -> outcome)
+        in
+        (* Resolve up to [max_inflight] queued requests: expire the
+           ones already past their deadline, classify the rest on the
+           dispatcher (cache lookups included), fan the misses out
+           over the pool, answer in order. *)
+        let process q =
           let batch, rest =
             let rec split n = function
               | [] -> ([], [])
@@ -382,21 +640,52 @@ let run ?pool ?on_ready options =
                   let taken, left = split (n - 1) tl in
                   (x :: taken, left)
             in
-            split options.max_inflight queue
+            split options.max_inflight q
+          in
+          queue_depth := List.length rest;
+          let expired ~admitted_at line =
+            let age = Metrics.now_s () -. admitted_at in
+            if options.deadline_ms > 0 && age > deadline_s then begin
+              hardening.deadline_exceeded <- hardening.deadline_exceeded + 1;
+              Tracing.Tracer.count Tracing.Span.Deadline_timeouts;
+              Some
+                (Immediate
+                   {
+                     route = "deadline";
+                     ok = false;
+                     response =
+                       error_response ~id:(request_id line)
+                         ~code:"deadline_exceeded"
+                         ~extra:
+                           [
+                             ("elapsed_ms", Json.Int (int_of_float (1000. *. age)));
+                             ("deadline_ms", Json.Int options.deadline_ms);
+                           ]
+                         "request exceeded its deadline while queued";
+                     latency_s = age;
+                   })
+            end
+            else None
           in
           let classified =
             List.map
-              (fun (conn, line) ->
-                let ordinal = !admitted in
-                incr admitted;
-                (conn, ordinal, classify ~ordinal ~cache ~metrics line))
+              (fun (conn, line, admitted_at, ordinal) ->
+                let job =
+                  match expired ~admitted_at line with
+                  | Some job -> job
+                  | None ->
+                      classify ~ordinal ~cache ~metrics ~hardening
+                        ~queue_depth:!queue_depth ~max_queue:options.max_queue
+                        ~domains line
+                in
+                (conn, ordinal, admitted_at, job))
               batch
           in
           let misses =
             List.filter_map
               (function
-                | _, _, Solve { request; cached = None; _ } -> Some request
-                | _, _, (Immediate _ | Solve _) -> None)
+                | _, _, _, Solve { request; cached = None; _ } -> Some request
+                | _, _, _, (Immediate _ | Solve _) -> None)
               classified
           in
           (* A singleton miss keeps the dispatcher as the caller so
@@ -410,7 +699,7 @@ let run ?pool ?on_ready options =
           in
           let remaining = ref solved in
           List.iter
-            (fun (conn, ordinal, job) ->
+            (fun (conn, ordinal, admitted_at, job) ->
               match job with
               | Immediate _ | Solve { cached = Some _; _ } ->
                   if not conn.dead then respond conn ~ordinal job
@@ -422,15 +711,35 @@ let run ?pool ?on_ready options =
                         x
                     | [] -> (Error "dispatch underflow", 0.)
                   in
+                  let outcome = maybe_corrupt ~ordinal outcome in
+                  let outcome = verified ~ordinal ~request outcome in
                   let route = Protocol.route request in
                   let response, ok =
                     match outcome with
                     | Ok rendering ->
+                        (* Committed results only: a divergent primary
+                           never reaches the cache or the wire. *)
                         if Protocol.cacheable request then
                           Lru.add cache fingerprint rendering;
-                        ( result_response ~id ~route ~fingerprint ~cached:false
-                            ~rendering,
-                          true )
+                        let age = Metrics.now_s () -. admitted_at in
+                        if options.deadline_ms > 0 && age > deadline_s then begin
+                          hardening.deadline_exceeded <-
+                            hardening.deadline_exceeded + 1;
+                          Tracing.Tracer.count Tracing.Span.Deadline_timeouts;
+                          ( error_response ~id ~code:"deadline_exceeded"
+                              ~extra:
+                                [
+                                  ( "elapsed_ms",
+                                    Json.Int (int_of_float (1000. *. age)) );
+                                  ("deadline_ms", Json.Int options.deadline_ms);
+                                ]
+                              "request exceeded its deadline while computing",
+                            false )
+                        end
+                        else
+                          ( result_response ~id ~route ~fingerprint
+                              ~cached:false ~rendering,
+                            true )
                     | Error message ->
                         (error_response ~id ~code:"internal" message, false)
                   in
@@ -456,15 +765,15 @@ let run ?pool ?on_ready options =
           let remainder = String.sub data !start (String.length data - !start) in
           if String.length remainder > options.max_request_bytes then begin
             (* No line boundary within the limit: no way to resync. *)
-            let wrote =
-              write_all conn
+            let outcome =
+              write_all ~give_up_s ~torn:false conn
                 (Json.encode
                    (error_response ~id:Json.Null ~code:"too-large"
                       (Printf.sprintf "request exceeds %d bytes"
                          options.max_request_bytes))
                 ^ "\n")
             in
-            ignore (wrote : bool);
+            ignore (outcome : write_outcome);
             Metrics.record metrics ~route:"invalid" ~ok:false ~latency_s:0.;
             conn.dead <- true
           end
@@ -490,6 +799,7 @@ let run ?pool ?on_ready options =
             | 0 -> conn.eof <- true
             | n ->
                 Buffer.add_subbytes conn.pending chunk 0 n;
+                conn.last_activity <- Metrics.now_s ();
                 loop ()
             | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
             | exception Unix.Unix_error (EINTR, _, _) -> loop ()
@@ -505,11 +815,41 @@ let run ?pool ?on_ready options =
               Unix.set_nonblock fd;
               conns :=
                 !conns
-                @ [ { fd; pending = Buffer.create 256; eof = false; dead = false } ]
+                @ [
+                    {
+                      fd;
+                      pending = Buffer.create 256;
+                      eof = false;
+                      dead = false;
+                      last_activity = Metrics.now_s ();
+                    };
+                  ]
           | exception
               Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _)
             ->
               ()
+        in
+        (* Slow-client protection: a connection stalled mid-request —
+           bytes buffered but no line completed, nothing read for
+           longer than the I/O timeout — is holding daemon memory
+           hostage and is dropped. Idle connections with an empty
+           buffer keep their keepalive. *)
+        let reap_stalled () =
+          if options.io_timeout_ms > 0 then begin
+            let now = Metrics.now_s () in
+            List.iter
+              (fun conn ->
+                if
+                  (not conn.dead)
+                  && Buffer.length conn.pending > 0
+                  && now -. conn.last_activity > give_up_s
+                then begin
+                  hardening.io_timeouts <- hardening.io_timeouts + 1;
+                  Tracing.Tracer.count Tracing.Span.Io_timeouts;
+                  conn.dead <- true
+                end)
+              !conns
+          end
         in
         let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
         let listener_fds = List.map fst listeners in
@@ -518,8 +858,33 @@ let run ?pool ?on_ready options =
             Printf.eprintf "rexspeed serve: listening on %s\n%!" name)
           listeners;
         Option.iter (fun f -> f ()) on_ready;
-        let queue = ref [] in
+        let enqueue_ready ?shedding () =
+          List.iter
+            (fun conn ->
+              if not conn.dead then
+                List.iter
+                  (fun (conn, entry) ->
+                    match entry with
+                    | `Line line -> admit ?shedding conn line
+                    | `Oversize ->
+                        let outcome =
+                          write_all ~give_up_s ~torn:false conn
+                            (Json.encode
+                               (error_response ~id:Json.Null ~code:"too-large"
+                                  (Printf.sprintf "request exceeds %d bytes"
+                                     options.max_request_bytes))
+                            ^ "\n")
+                        in
+                        ignore (outcome : write_outcome);
+                        Metrics.record metrics ~route:"invalid" ~ok:false
+                          ~latency_s:0.)
+                  (line_jobs conn))
+            !conns
+        in
         let sweep ~timeout =
+          (* A backlog means there is work regardless of the sockets:
+             poll instead of sleeping. *)
+          let timeout = if !queue <> [] then 0. else timeout in
           (match
              Unix.select (listener_fds @ List.map (fun c -> c.fd) !conns) [] []
                timeout
@@ -534,33 +899,24 @@ let run ?pool ?on_ready options =
                     | None -> ())
                 readable
           | exception Unix.Unix_error (EINTR, _, _) -> ());
-          List.iter
-            (fun conn ->
-              if not conn.dead then
-                List.iter
-                  (fun (conn, entry) ->
-                    match entry with
-                    | `Line line -> queue := !queue @ [ (conn, line) ]
-                    | `Oversize ->
-                        let wrote =
-                          write_all conn
-                            (Json.encode
-                               (error_response ~id:Json.Null ~code:"too-large"
-                                  (Printf.sprintf "request exceeds %d bytes"
-                                     options.max_request_bytes))
-                            ^ "\n")
-                        in
-                        ignore (wrote : bool);
-                        Metrics.record metrics ~route:"invalid" ~ok:false
-                          ~latency_s:0.)
-                  (line_jobs conn))
-            !conns;
-          while !queue <> [] do
-            queue := process !queue
-          done;
-          (* Reap connections: EOF after their answers are out. *)
+          enqueue_ready ();
+          (* One dispatch batch per sweep: the queue persists across
+             sweeps, which is what makes [max_queue] a real bound and
+             keeps accepts responsive under a backlog. *)
+          queue := process !queue;
+          reap_stalled ();
+          (* Reap connections: EOF only after their answers are out —
+             the queue may still hold admitted requests from a peer
+             that half-closed, and those deserve their responses. *)
+          let queued conn =
+            List.exists (fun (c, _, _, _) -> c == conn) !queue
+          in
           let live, gone =
-            List.partition (fun c -> not (c.dead || c.eof)) !conns
+            List.partition
+              (fun c ->
+                (not c.dead)
+                && not (c.eof && Buffer.length c.pending = 0 && not (queued c)))
+              !conns
           in
           List.iter (fun c -> close_fd c.fd) gone;
           conns := live
@@ -568,43 +924,45 @@ let run ?pool ?on_ready options =
         while not (Atomic.get stop_requested) do
           sweep ~timeout:0.2
         done;
-        (* Drain: stop accepting, pick up bytes already in flight,
-           answer every fully-received request, then close. *)
+        (* Drain: stop accepting, then answer everything already
+           admitted — including queued-but-unstarted requests — plus
+           any fully-received request still sitting in a socket
+           buffer, then close. Shedding is off: a request the client
+           already sent gets an answer, not a retry hint. *)
         List.iter close_fd listener_fds;
         let drain_sweep () =
-          (match
-             Unix.select (List.map (fun c -> c.fd) !conns) [] [] 0.
-           with
-          | readable, _, _ ->
-              List.iter
-                (fun fd ->
-                  match List.find_opt (fun c -> c.fd = fd) !conns with
-                  | Some conn -> read_conn conn
-                  | None -> ())
-                readable
-          | exception Unix.Unix_error (EINTR, _, _) -> ());
-          List.iter
-            (fun conn ->
-              if not conn.dead then
+          let progress = ref true in
+          while !queue <> [] || !progress do
+            progress := false;
+            (* Only sockets that can still produce bytes: an EOF'd or
+               dead fd stays select-readable forever. *)
+            let readable_conns =
+              List.filter (fun c -> not (c.dead || c.eof)) !conns
+            in
+            (match
+               Unix.select (List.map (fun c -> c.fd) readable_conns) [] [] 0.
+             with
+            | readable, _, _ ->
                 List.iter
-                  (fun (conn, entry) ->
-                    match entry with
-                    | `Line line -> queue := !queue @ [ (conn, line) ]
-                    | `Oversize -> ())
-                  (line_jobs conn))
-            !conns;
-          while !queue <> [] do
-            queue := process !queue
+                  (fun fd ->
+                    match List.find_opt (fun c -> c.fd = fd) !conns with
+                    | Some conn -> read_conn conn
+                    | None -> ())
+                  readable
+            | exception Unix.Unix_error (EINTR, _, _) -> ());
+            let before = !admitted in
+            enqueue_ready ~shedding:false ();
+            if !admitted > before then progress := true;
+            while !queue <> [] do
+              queue := process !queue
+            done
           done
         in
-        if !conns <> [] then
+        if !conns <> [] || !queue <> [] then
           Tracing.Tracer.with_span ~id:0 ~label:"daemon.drain"
             Tracing.Span.Daemon_request drain_sweep;
         List.iter (fun c -> close_fd c.fd) !conns;
         conns := [];
-        (match options.socket_path with
-        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-        | None -> ());
         Printf.eprintf "rexspeed serve: drained, %d request(s) served\n%!"
           !served;
         ignore (Sys.signal Sys.sigpipe previous_sigpipe);

@@ -12,29 +12,59 @@
 
     One dispatcher domain owns every socket, the cache and the
     metrics; solver work fans out over a [Parallel.Pool]. Each
-    iteration drains readable sockets, extracts complete request
-    lines, answers cache hits and [health]/[stats] inline, and maps
-    the batch of cache misses over the pool (a single miss runs on the
-    dispatcher so the solver's own internal parallelism is
-    preserved). Responses go back in request order per connection.
-    Because the solvers are bit-identical for any domain count and the
-    cache stores rendered bytes, a served [output] equals the one-shot
-    CLI stdout at any [--domains], cache on or off.
+    iteration drains readable sockets, admits complete request lines
+    into a bounded queue, and dispatches one batch of at most
+    [max_inflight] requests: cache hits and [health]/[stats] answer
+    inline, the batch of cache misses maps over the pool (a single
+    miss runs on the dispatcher so the solver's own internal
+    parallelism is preserved). Responses go back in request order per
+    connection — except shed responses, which are written at admission
+    time; pipelined clients correlate by [id]. Because the solvers are
+    bit-identical for any domain count and the cache stores rendered
+    bytes, a served [output] equals the one-shot CLI stdout at any
+    [--domains], cache on or off.
+
+    {2 Hardening}
+
+    Four orthogonal guards keep an overloaded, attacked or faulty
+    daemon answering: {b deadlines} ([deadline_ms]) expire requests
+    that waited or computed too long with a structured
+    [deadline_exceeded] error; {b load shedding} ([max_queue]) bounds
+    the admission queue and answers the overflow immediately with a
+    [shed] error carrying [retry_after_ms]; {b I/O timeouts}
+    ([io_timeout_ms]) drop both unwritable response sockets and
+    connections stalled mid-request; {b verified re-execution}
+    ([verify_sample]) re-executes every Nth computed miss and compares
+    response fingerprints ([Resilience.Checksum]) before commit — on
+    divergence one authoritative re-execution decides, so a silently
+    corrupted computation is caught before it reaches the wire or the
+    cache. Worker-domain deaths below the daemon are handled by the
+    pool's supervisor ([Parallel.Pool]); restarts surface in the
+    [health] route. Every event counts into [health]/[stats]
+    ([shed], [deadline_exceeded], [io_timeouts], [verify.checks],
+    [verify.divergences], [workers.restarts]) and into the matching
+    trace counters.
 
     {2 Shutdown}
 
     SIGINT/SIGTERM (or {!stop}) triggers a graceful drain: listeners
-    close, fully-received requests are answered, then connections
-    close and {!run} returns. Malformed input never kills the daemon —
-    it is answered with a structured JSON error (and the connection
-    dropped only when a request overruns the size limit mid-line,
-    where no message boundary is left to resynchronize on). *)
+    close, every admitted request — queued-but-unstarted ones included
+    — and every fully-received request still in a socket buffer is
+    answered (shedding off), then connections close and {!run}
+    returns. The Unix socket path is unlinked on every exit, clean or
+    crashed, and at startup a leftover socket file is removed only
+    after a liveness probe proves no daemon owns it. Malformed input
+    never kills the daemon — it is answered with a structured JSON
+    error (and the connection dropped only when a request overruns the
+    size limit mid-line, where no message boundary is left to
+    resynchronize on). *)
 
 type options = {
   port : int option;  (** TCP listener on 127.0.0.1, if given. *)
   socket_path : string option;
       (** Unix-domain listener, if given; a stale socket file is
-          replaced. At least one listener is required. *)
+          replaced only after a liveness probe proves it abandoned.
+          At least one listener is required. *)
   cache_entries : int;  (** LRU capacity; [0] disables caching. *)
   max_request_bytes : int;  (** Reject request lines longer than this. *)
   max_inflight : int;
@@ -45,11 +75,29 @@ type options = {
   handle_signals : bool;
       (** Install SIGINT/SIGTERM drain handlers ([true] from the CLI;
           in-process harnesses use {!stop} instead). *)
+  deadline_ms : int;
+      (** Per-request compute deadline: a request older than this when
+          dispatched, or whose computation finishes past it, is
+          answered with a [deadline_exceeded] error. [0] disables. *)
+  io_timeout_ms : int;
+      (** Socket read/write timeout: responses that cannot be written
+          within it drop the connection, as do connections stalled
+          mid-request for longer. [0] disables (waits forever). *)
+  max_queue : int;
+      (** Bound on the admission queue; overflowing requests are shed
+          with a structured [shed] error carrying [retry_after_ms].
+          [0] means unbounded. *)
+  verify_sample : int;
+      (** Re-execute every Nth computed cache miss and compare
+          response fingerprints before committing; mismatches count as
+          [verify.divergences] and trigger one authoritative
+          re-execution. [0] disables. *)
 }
 
 val default_options : options
 (** No listeners, 256 cache entries, 1 MiB request limit, 64 in
-    flight, no periodic log, signals handled. *)
+    flight, no periodic log, signals handled; no deadline, 30 s I/O
+    timeout, unbounded queue, verification off. *)
 
 val stop : unit -> unit
 (** Request a graceful drain of the running daemon; safe to call from
@@ -60,5 +108,5 @@ val run :
   (unit, string) result
 (** Serve until drained. [on_ready] fires once listeners are bound
     (test/bench synchronization). [Error message] reports an invalid
-    option or a listener that could not be bound; [Ok ()] is a clean
-    drain. *)
+    option, a listener that could not be bound, or a socket path owned
+    by a live daemon; [Ok ()] is a clean drain. *)

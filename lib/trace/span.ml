@@ -10,11 +10,14 @@ type category =
   | Daemon_request
   | Cache_lookup
   | Sweep_cell
+  | Pool_restart
+  | Daemon_verify
 
 let all_categories =
   [
     Work; Verify; Checkpoint; Recover; Reexec; Pool_task; Pool_retry;
-    Journal_flush; Daemon_request; Cache_lookup; Sweep_cell;
+    Journal_flush; Daemon_request; Cache_lookup; Sweep_cell; Pool_restart;
+    Daemon_verify;
   ]
 
 let category_name = function
@@ -29,6 +32,8 @@ let category_name = function
   | Daemon_request -> "daemon.request"
   | Cache_lookup -> "cache.lookup"
   | Sweep_cell -> "sweep.cell"
+  | Pool_restart -> "pool.restart"
+  | Daemon_verify -> "daemon.verify"
 
 let lane = function
   | Work -> 0
@@ -42,6 +47,8 @@ let lane = function
   | Daemon_request -> 8
   | Cache_lookup -> 9
   | Sweep_cell -> 10
+  | Pool_restart -> 11
+  | Daemon_verify -> 12
 
 type counter =
   | Cache_hits
@@ -49,9 +56,20 @@ type counter =
   | Retries
   | Chaos_injections
   | Journal_flushes
+  | Sheds
+  | Deadline_timeouts
+  | Io_timeouts
+  | Verify_checks
+  | Verify_divergences
+  | Worker_restarts
+  | Chaos_io_injections
 
 let all_counters =
-  [ Cache_hits; Cache_misses; Retries; Chaos_injections; Journal_flushes ]
+  [
+    Cache_hits; Cache_misses; Retries; Chaos_injections; Journal_flushes;
+    Sheds; Deadline_timeouts; Io_timeouts; Verify_checks; Verify_divergences;
+    Worker_restarts; Chaos_io_injections;
+  ]
 
 let counter_name = function
   | Cache_hits -> "cache.hits"
@@ -59,6 +77,13 @@ let counter_name = function
   | Retries -> "pool.retries"
   | Chaos_injections -> "chaos.injections"
   | Journal_flushes -> "journal.flushes"
+  | Sheds -> "daemon.sheds"
+  | Deadline_timeouts -> "daemon.deadline_exceeded"
+  | Io_timeouts -> "daemon.io_timeouts"
+  | Verify_checks -> "verify.checks"
+  | Verify_divergences -> "verify.divergence"
+  | Worker_restarts -> "pool.worker_restarts"
+  | Chaos_io_injections -> "chaos.io_injections"
 
 let counter_index = function
   | Cache_hits -> 0
@@ -66,5 +91,12 @@ let counter_index = function
   | Retries -> 2
   | Chaos_injections -> 3
   | Journal_flushes -> 4
+  | Sheds -> 5
+  | Deadline_timeouts -> 6
+  | Io_timeouts -> 7
+  | Verify_checks -> 8
+  | Verify_divergences -> 9
+  | Worker_restarts -> 10
+  | Chaos_io_injections -> 11
 
 let counter_count = List.length all_counters

@@ -18,6 +18,11 @@ type category =
   | Daemon_request  (** one daemon request, admission to response *)
   | Cache_lookup  (** a result-cache probe in the daemon *)
   | Sweep_cell  (** one cell of a parameter sweep *)
+  | Pool_restart
+      (** one supervised recovery round after a worker-domain death *)
+  | Daemon_verify
+      (** sampled dual execution of a request before its response is
+          committed (and, on divergence, the authoritative re-run) *)
 
 val all_categories : category list
 (** Every category, in lane order. *)
@@ -37,6 +42,13 @@ type counter =
   | Retries
   | Chaos_injections
   | Journal_flushes
+  | Sheds  (** requests refused by the daemon's bounded admission queue *)
+  | Deadline_timeouts  (** requests answered with [deadline_exceeded] *)
+  | Io_timeouts  (** connections dropped for stalled socket I/O *)
+  | Verify_checks  (** sampled dual executions performed *)
+  | Verify_divergences  (** fingerprint mismatches caught before commit *)
+  | Worker_restarts  (** pool worker domains restarted by the supervisor *)
+  | Chaos_io_injections  (** I/O-layer chaos faults that fired *)
 
 val all_counters : counter list
 (** Every counter, in index order. *)

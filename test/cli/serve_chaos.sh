@@ -1,0 +1,130 @@
+# Chaos soak of `rexspeed serve`: run the daemon under deterministic
+# I/O fault injection (connection drops, torn writes, response-bit
+# corruption, worker-domain kills) with verified re-execution on every
+# computed miss, and demand that every response a client actually
+# receives is byte-identical to the one-shot CLI — chaos may cost
+# availability, never correctness. The stats counters must show the
+# faults fired (divergences detected, workers restarted), and SIGTERM
+# must still drain cleanly with a trace artifact of the whole soak.
+#
+# Usage: sh serve_chaos.sh path/to/rexspeed.exe path/to/serve_client.exe
+set -eu
+
+exe=$1
+client=$2
+case $exe in */*) ;; *) exe="./$exe" ;; esac
+case $client in */*) ;; *) client="./$client" ;; esac
+tmp=$(mktemp -d)
+server_pid=
+cleanup() {
+  [ -z "$server_pid" ] || kill "$server_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "serve_chaos.sh: $*" >&2
+  exit 1
+}
+
+sock="$tmp/serve.sock"
+trace="$tmp/trace.json"
+# One fixed seed: the whole soak (which faults fire for which request
+# ordinal and task index) replays bit-identically.
+chaos='drop=0.12,torn=0.2,corrupt=0.35,kill=0.04,seed=42'
+rhos='2 2.25 2.5 2.75 3 3.25 3.5 3.75'
+
+# References from the unfaulted one-shot CLI (chaos is scoped to the
+# server process only).
+for rho in $rhos; do
+  "$exe" optimize --rho "$rho" >"$tmp/ref.$rho"
+done
+
+env REXSPEED_CHAOS_IO="$chaos" "$exe" serve --socket "$sock" --domains 2 \
+  --verify-sample 1 --trace "$trace" 2>"$tmp/serve.err" &
+server_pid=$!
+
+# Health may be load-shed by a drop fault; keep probing.
+tries=0
+until "$client" "$sock" '{"route":"health"}' status >/dev/null 2>&1; do
+  kill -0 "$server_pid" 2>/dev/null || {
+    cat "$tmp/serve.err" >&2
+    fail "server died during startup"
+  }
+  tries=$((tries + 1))
+  [ "$tries" -lt 200 ] || fail "server never became healthy"
+  sleep 0.05
+done
+
+# A chaos-tolerant query: dropped connections are an availability
+# loss, so retry; a *wrong* answer is a correctness loss, so die.
+ask() { # $1 = rho
+  attempt=0
+  while :; do
+    if "$client" "$sock" \
+      "{\"route\":\"optimize\",\"params\":{\"rho\":$1}}" output \
+      >"$tmp/got.$1" 2>/dev/null; then
+      cmp -s "$tmp/ref.$1" "$tmp/got.$1" ||
+        fail "rho=$1: committed response differs from the one-shot CLI"
+      return 0
+    fi
+    attempt=$((attempt + 1))
+    [ "$attempt" -lt 30 ] || fail "rho=$1: no response after 30 attempts"
+  done
+}
+
+# The soak: several passes over the rho ladder. Later passes mix cache
+# hits with recomputation, so drops, torn writes, corrupted primaries
+# and killed workers all land on both paths.
+pass=0
+while [ "$pass" -lt 5 ]; do
+  for rho in $rhos; do
+    ask "$rho"
+  done
+  pass=$((pass + 1))
+done
+
+# Stats must show the chaos actually fired and was absorbed: verified
+# re-execution caught divergences, and dead pool workers were
+# restarted. (Stats queries can be dropped too; retry.)
+counter() { # $1 = dotted path under result.hardening
+  attempt=0
+  while :; do
+    if v=$("$client" "$sock" '{"route":"stats"}' "result.hardening.$1" \
+      2>/dev/null); then
+      echo "$v"
+      return 0
+    fi
+    attempt=$((attempt + 1))
+    [ "$attempt" -lt 30 ] || fail "stats.$1: no response after 30 attempts"
+  done
+}
+
+checks=$(counter verify.checks)
+[ "$checks" -gt 0 ] || fail "no verification checks ran under --verify-sample 1"
+divergences=$(counter verify.divergences)
+[ "$divergences" -gt 0 ] ||
+  fail "corrupt_p=0.35 soak detected no divergences"
+restarts=$(counter workers.restarts)
+[ "$restarts" -gt 0 ] || fail "kill_p=0.04 soak restarted no workers"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+server_pid=
+[ ! -e "$sock" ] || fail "socket file not removed on drain"
+
+# The trace is the soak's flight recorder: request spans, verification
+# spans, and the chaos/verify counters must all be present. CI can set
+# SERVE_CHAOS_TRACE_OUT to keep it as an artifact.
+[ -s "$trace" ] || fail "trace file missing or empty after drain"
+grep -q '"cat":"daemon.request"' "$trace" || fail "trace lacks request spans"
+grep -q '"cat":"daemon.verify"' "$trace" || fail "trace lacks verify spans"
+grep -q 'verify.divergence' "$trace" ||
+  fail "trace lacks the verify.divergence counter"
+grep -q 'chaos.io_injections' "$trace" ||
+  fail "trace lacks the chaos.io_injections counter"
+if [ -n "${SERVE_CHAOS_TRACE_OUT:-}" ]; then
+  cp "$trace" "$SERVE_CHAOS_TRACE_OUT"
+fi
+
+echo "serve_chaos.sh: $((pass * 8)) verified responses, $divergences divergence(s) caught, $restarts worker restart(s)"

@@ -1,0 +1,5 @@
+(* RX011 fixture: unbounded blocking socket I/O. *)
+let buf = Bytes.create 4096
+let n = Unix.read Unix.stdin buf 0 (Bytes.length buf)
+let _ = Unix.write Unix.stdout buf 0 n
+let _ = Unix.single_write Unix.stdout buf 0 n

@@ -93,6 +93,14 @@ let test_rx010 () =
       ("bad.ml", 4, "RX010");
     ]
 
+let test_rx011 () =
+  check_findings "rx011" (scan_fixture "rx011.ml")
+    [
+      ("rx011.ml", 3, "RX011");
+      ("rx011.ml", 4, "RX011");
+      ("rx011.ml", 5, "RX011");
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -204,7 +212,7 @@ let test_baseline_errors () =
 (* ------------------------------------------------------------------ *)
 
 let test_rule_metadata () =
-  Alcotest.(check int) "ten rules" 10 (List.length Diagnostic.all_rules);
+  Alcotest.(check int) "eleven rules" 11 (List.length Diagnostic.all_rules);
   List.iter
     (fun r ->
       let id = Diagnostic.rule_id r in
@@ -224,7 +232,9 @@ let test_rule_metadata () =
   Alcotest.(check bool) "RX009 is a warning" true
     (Diagnostic.severity_of RX009 = Diagnostic.Warning);
   Alcotest.(check bool) "RX010 is an error" true
-    (Diagnostic.severity_of RX010 = Diagnostic.Error)
+    (Diagnostic.severity_of RX010 = Diagnostic.Error);
+  Alcotest.(check bool) "RX011 is an error" true
+    (Diagnostic.severity_of RX011 = Diagnostic.Error)
 
 let test_rendering () =
   let d = Diagnostic.make RX001 ~file:"f.ml" ~line:2 ~col:4 "msg" in
@@ -264,7 +274,13 @@ let test_allowlist () =
   Alcotest.(check bool) "trace clock is exempt from RX010" true
     (Rules.allowlisted Diagnostic.RX010 "lib/trace/clock.ml");
   Alcotest.(check bool) "the tracer is not exempt" false
-    (Rules.allowlisted Diagnostic.RX010 "lib/trace/tracer.ml")
+    (Rules.allowlisted Diagnostic.RX010 "lib/trace/tracer.ml");
+  Alcotest.(check bool) "daemon I/O layer may call Unix.read" true
+    (Rules.allowlisted Diagnostic.RX011 "lib/server/daemon.ml");
+  Alcotest.(check bool) "the CLI test client may call Unix.read" true
+    (Rules.allowlisted Diagnostic.RX011 "test/cli/serve_client.ml");
+  Alcotest.(check bool) "the pool is not exempt from RX011" false
+    (Rules.allowlisted Diagnostic.RX011 "lib/parallel/pool.ml")
 
 let () =
   Alcotest.run "lint"
@@ -281,6 +297,7 @@ let () =
           Alcotest.test_case "RX008 catch-all handler" `Quick test_rx008;
           Alcotest.test_case "RX009 dead export" `Quick test_rx009;
           Alcotest.test_case "RX010 trace emission purity" `Quick test_rx010;
+          Alcotest.test_case "RX011 blocking socket I/O" `Quick test_rx011;
         ] );
       ( "suppressions",
         [

@@ -167,6 +167,81 @@ let test_attempts_one_disables_retry () =
             (Parallel.Pool.init_array ~attempts:2 pool 5 succ))
         pools)
 
+(* ------------------------------------------------------------------ *)
+(* Worker supervision                                                  *)
+
+let with_domain_injector injector f =
+  Parallel.Pool.set_domain_fault_injector (Some injector);
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.set_domain_fault_injector None)
+    f
+
+let test_supervisor_restart_identity () =
+  (* A worker that dies mid-region abandons the rest of its claimed
+     chunk; the supervisor must restart it and re-execute the
+     abandoned slots so the result is byte-identical to an unfaulted
+     run for 1, 2 and 4 domains. *)
+  let n = 200 in
+  let f i = Float.sin (float_of_int i) *. 1e6 in
+  let reference = Array.init n f in
+  with_domain_injector
+    (fun ~index ~round -> round = 0 && index mod 17 = 0)
+    (fun () ->
+      List.iter
+        (fun pool ->
+          let before = Parallel.Pool.worker_restarts () in
+          let got = Parallel.Pool.init_array pool n f in
+          if not (Array.for_all2 float_eq reference got) then
+            Alcotest.failf "domains=%d: supervised run differs"
+              (Parallel.Pool.domains pool);
+          Alcotest.(check bool)
+            (Printf.sprintf "domains=%d: restart counted"
+               (Parallel.Pool.domains pool))
+            true
+            (Parallel.Pool.worker_restarts () > before))
+        pools)
+
+let test_supervisor_rounds_exhaust () =
+  (* A domain fault that fires on one index in every round can never
+     be recovered; after [max_recovery_rounds] the slot is reported as
+     failed with the round budget in the error, and every other slot
+     still completes. The kill sits on the last index so the abandoned
+     remainder of the dying worker's chunk is empty — the failure set
+     is then identical for every domain count, including the
+     sequential whole-array chunk. *)
+  with_domain_injector
+    (fun ~index ~round:_ -> index = 19)
+    (fun () ->
+      List.iter
+        (fun pool ->
+          match Parallel.Pool.init_array pool 20 succ with
+          | exception Parallel.Pool.Tasks_failed [ f ] ->
+              Alcotest.(check int) "index" 19 f.Parallel.Pool.index;
+              Alcotest.(check bool)
+                "error names the exhausted round budget" true
+                (Astring_contains.contains f.Parallel.Pool.error
+                   (string_of_int Parallel.Pool.max_recovery_rounds))
+          | _ -> Alcotest.fail "expected Tasks_failed with one report")
+        pools)
+
+let test_supervisor_interacts_with_retries () =
+  (* Task-level faults (retried in place) and domain deaths (recovered
+     by the supervisor) compose: the same region survives both and the
+     values are still exact. *)
+  with_injector
+    (fun ~index ~attempt -> index mod 5 = 0 && attempt = 1)
+    (fun () ->
+      with_domain_injector
+        (fun ~index ~round -> round = 0 && index = 13)
+        (fun () ->
+          List.iter
+            (fun pool ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "domains=%d" (Parallel.Pool.domains pool))
+                (Array.init 50 succ)
+                (Parallel.Pool.init_array pool 50 succ))
+            pools))
+
 let test_nested_regions_degrade () =
   (* A pool call from inside a worker must run sequentially (bounded
      domain count) and still produce the right answer. *)
@@ -341,6 +416,15 @@ let () =
           Alcotest.test_case "nested regions degrade" `Quick
             test_nested_regions_degrade;
           Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "restart recovers bit-identically" `Quick
+            test_supervisor_restart_identity;
+          Alcotest.test_case "recovery rounds exhaust" `Quick
+            test_supervisor_rounds_exhaust;
+          Alcotest.test_case "composes with task retries" `Quick
+            test_supervisor_interacts_with_retries;
         ] );
       ( "determinism",
         [

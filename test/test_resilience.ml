@@ -233,6 +233,125 @@ let test_chaos_identity_under_retries () =
   Alcotest.(check bool) "bit-identical under chaos" true
     (reference = under_chaos)
 
+let test_chaos_io_spec () =
+  let ok spec =
+    match Resilience.Chaos.io_of_spec spec with
+    | Ok cfg -> cfg
+    | Error e -> Alcotest.failf "spec %S rejected: %s" spec e
+  in
+  let cfg = ok "drop=0.1,torn=0.2,corrupt=0.3,kill=0.4,seed=77" in
+  Alcotest.(check (float 0.)) "drop" 0.1 cfg.Resilience.Chaos.drop_p;
+  Alcotest.(check (float 0.)) "torn" 0.2 cfg.Resilience.Chaos.torn_p;
+  Alcotest.(check (float 0.)) "corrupt" 0.3 cfg.Resilience.Chaos.corrupt_p;
+  Alcotest.(check (float 0.)) "kill" 0.4 cfg.Resilience.Chaos.kill_p;
+  Alcotest.(check int) "seed" 77 cfg.Resilience.Chaos.io_seed;
+  (* Keys may come in any order and any subset; unmentioned keys keep
+     the all-zero default. *)
+  let cfg = ok "seed=5,drop=0.25" in
+  Alcotest.(check (float 0.)) "subset drop" 0.25 cfg.Resilience.Chaos.drop_p;
+  Alcotest.(check (float 0.)) "subset torn defaults"
+    Resilience.Chaos.default_io_config.Resilience.Chaos.torn_p
+    cfg.Resilience.Chaos.torn_p;
+  Alcotest.(check int) "subset seed" 5 cfg.Resilience.Chaos.io_seed;
+  List.iter
+    (fun spec ->
+      match Resilience.Chaos.io_of_spec spec with
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
+      | Error _ -> ())
+    [ "drop"; "drop=x"; "bogus=0.1"; "drop=0.1,"; "seed=1.5" ]
+
+let test_chaos_io_fires () =
+  let cfg =
+    {
+      Resilience.Chaos.drop_p = 0.3;
+      torn_p = 0.3;
+      corrupt_p = 0.3;
+      kill_p = 0.3;
+      io_seed = 42;
+    }
+  in
+  (* Purity. *)
+  for i = 0 to 50 do
+    Alcotest.(check bool)
+      (Printf.sprintf "pure at %d" i)
+      (Resilience.Chaos.io_fires cfg Drop ~index:i ~attempt:1)
+      (Resilience.Chaos.io_fires cfg Drop ~index:i ~attempt:1)
+  done;
+  (* Each kind draws from its own salted stream: equal probabilities
+     must not mean equal schedules. *)
+  let schedule kind =
+    List.init 128 (fun i ->
+        Resilience.Chaos.io_fires cfg kind ~index:i ~attempt:1)
+  in
+  Alcotest.(check bool) "drop and torn decorrelate" false
+    (schedule Drop = schedule Torn);
+  Alcotest.(check bool) "corrupt and kill decorrelate" false
+    (schedule Corrupt = schedule Kill);
+  (* Zero probability never fires. *)
+  let quiet = Resilience.Chaos.default_io_config in
+  for i = 0 to 100 do
+    Alcotest.(check bool) "all-zero config never fires" false
+      (Resilience.Chaos.io_fires quiet Drop ~index:i ~attempt:1)
+  done
+
+let test_chaos_io_corrupt () =
+  let cfg =
+    { Resilience.Chaos.default_io_config with corrupt_p = 0.5; io_seed = 9 }
+  in
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let c1 = Resilience.Chaos.corrupt_string cfg ~index:3 s in
+  let c2 = Resilience.Chaos.corrupt_string cfg ~index:3 s in
+  Alcotest.(check string) "deterministic" c1 c2;
+  Alcotest.(check bool) "not a no-op" false (String.equal s c1);
+  Alcotest.(check int) "length preserved" (String.length s)
+    (String.length c1);
+  (* Exactly one bit differs. *)
+  let diff_bits = ref 0 in
+  String.iteri
+    (fun i ch ->
+      let x = Char.code ch lxor Char.code c1.[i] in
+      let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+      diff_bits := !diff_bits + pop x)
+    s;
+  Alcotest.(check int) "single bit flip" 1 !diff_bits;
+  Alcotest.(check string) "empty string unchanged" ""
+    (Resilience.Chaos.corrupt_string cfg ~index:0 "")
+
+let test_chaos_io_configure () =
+  Fun.protect ~finally:Resilience.Chaos.disable_io @@ fun () ->
+  (match
+     Resilience.Chaos.configure_io
+       { Resilience.Chaos.default_io_config with drop_p = -0.1 }
+   with
+  | Ok () -> Alcotest.fail "negative drop_p must be rejected"
+  | Error _ -> ());
+  (match
+     Resilience.Chaos.configure_io
+       { Resilience.Chaos.default_io_config with kill_p = 1. }
+   with
+  | Ok () -> Alcotest.fail "kill_p = 1 must be rejected"
+  | Error _ -> ());
+  let cfg =
+    { Resilience.Chaos.default_io_config with torn_p = 0.5; io_seed = 3 }
+  in
+  (match Resilience.Chaos.configure_io cfg with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid configure_io rejected: %s" e);
+  (match Resilience.Chaos.io_active () with
+  | Some active ->
+      Alcotest.(check (float 0.)) "active torn_p" 0.5
+        active.Resilience.Chaos.torn_p
+  | None -> Alcotest.fail "io chaos should be active");
+  (* An all-zero config is equivalent to disable_io. *)
+  (match Resilience.Chaos.configure_io Resilience.Chaos.default_io_config with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "all-zero configure_io rejected: %s" e);
+  Alcotest.(check bool) "all-zero config deactivates" true
+    (Resilience.Chaos.io_active () = None);
+  Resilience.Chaos.disable_io ();
+  Alcotest.(check bool) "disabled" true
+    (Resilience.Chaos.io_active () = None)
+
 (* ------------------------------------------------------------------ *)
 (* Checkpointed                                                        *)
 
@@ -399,6 +518,11 @@ let () =
           Alcotest.test_case "decision function" `Quick
             test_chaos_decision_function;
           Alcotest.test_case "configure" `Quick test_chaos_configure;
+          Alcotest.test_case "io spec parsing" `Quick test_chaos_io_spec;
+          Alcotest.test_case "io decision streams" `Quick
+            test_chaos_io_fires;
+          Alcotest.test_case "io corruption" `Quick test_chaos_io_corrupt;
+          Alcotest.test_case "io configure" `Quick test_chaos_io_configure;
           Alcotest.test_case "identity under retries" `Quick
             test_chaos_identity_under_retries;
         ] );

@@ -596,6 +596,373 @@ let test_daemon_end_to_end () =
   in
   await_error 50
 
+(* ------------------------------------------------------------------ *)
+(* Hardened serving                                                    *)
+
+(* Spawn a daemon on a fresh Unix socket, run [f socket_path] against
+   it, then stop and join. [f] connects (and reconnects) itself. *)
+let with_daemon ?(domains = 1) options f =
+  let dir = Filename.temp_file "rexspeed-hardened" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "serve.sock" in
+  let options =
+    {
+      options with
+      Server.Daemon.socket_path = Some socket_path;
+      handle_signals = false;
+    }
+  in
+  let pool = Parallel.Pool.create ~domains in
+  let daemon = Domain.spawn (fun () -> Server.Daemon.run ~pool options) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop ();
+      (match Domain.join daemon with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "daemon failed: %s" e);
+      (try Sys.remove socket_path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () -> f socket_path
+
+let with_client socket_path f =
+  let fd = connect_retry socket_path 100 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () -> f fd
+
+let error_code response =
+  Option.bind (Server.Json.member "error" response) (fun e ->
+      Option.bind (Server.Json.member "code" e) Server.Json.to_string_opt)
+
+let response_id response =
+  Option.bind (Server.Json.member "id" response) Server.Json.to_int_opt
+
+(* Read [n] responses (possibly out of request order — shed answers
+   are written immediately) and key them by id. *)
+let read_responses fd n =
+  List.init n (fun _ ->
+      let response = expect_ok "response" (Server.Json.decode (read_line_fd fd)) in
+      match response_id response with
+      | Some id -> (id, response)
+      | None -> Alcotest.fail "response lacks an integer id")
+
+let hardening_counter stats path =
+  let rec follow json = function
+    | [] -> Server.Json.to_int_opt json
+    | key :: rest -> (
+        match Server.Json.member key json with
+        | Some v -> follow v rest
+        | None -> None)
+  in
+  match follow stats ("result" :: "hardening" :: path) with
+  | Some n -> n
+  | None ->
+      Alcotest.failf "stats lacks hardening counter %s"
+        (String.concat "." path)
+
+let test_daemon_deadline () =
+  (* With a 1 ms deadline and one inflight slot, a cheap request
+     queued behind a slow Monte-Carlo evaluation must expire before
+     dispatch and answer [deadline_exceeded]. *)
+  let options =
+    {
+      Server.Daemon.default_options with
+      max_inflight = 1;
+      deadline_ms = 1;
+    }
+  in
+  with_daemon options @@ fun socket_path ->
+  with_client socket_path @@ fun fd ->
+  write_all fd
+    ({|{"route":"evaluate","id":1,"params":{"w":2764,"s1":0.4,"s2":1,"replicas":500}}|}
+   ^ "\n"
+   ^ {|{"route":"optimize","id":2,"params":{"rho":3}}|}
+   ^ "\n");
+  let responses = read_responses fd 2 in
+  let second = List.assoc 2 responses in
+  Alcotest.(check (option string))
+    "queued request expired" (Some "deadline_exceeded") (error_code second);
+  (match
+     Option.bind (Server.Json.member "error" second)
+       (Server.Json.member "elapsed_ms")
+   with
+  | Some (Server.Json.Int _) -> ()
+  | _ -> Alcotest.fail "deadline error lacks elapsed_ms")
+
+let test_daemon_shedding () =
+  (* A bounded queue of one with one inflight slot: a pipelined burst
+     must shed everything beyond the first admitted request, each shed
+     carrying a retry hint, and the stats counter must account for
+     them. *)
+  let options =
+    {
+      Server.Daemon.default_options with
+      max_inflight = 1;
+      max_queue = 1;
+    }
+  in
+  with_daemon options @@ fun socket_path ->
+  with_client socket_path @@ fun fd ->
+  let burst = 6 in
+  let lines =
+    List.init burst (fun i ->
+        Printf.sprintf {|{"route":"optimize","id":%d,"params":{"rho":3}}|}
+          (i + 1))
+  in
+  write_all fd (String.concat "\n" lines ^ "\n");
+  let responses = read_responses fd burst in
+  let sheds =
+    List.filter (fun (_, r) -> error_code r = Some "shed") responses
+  in
+  let ok =
+    List.filter
+      (fun (_, r) ->
+        Option.bind (Server.Json.member "status" r) Server.Json.to_string_opt
+        = Some "ok")
+      responses
+  in
+  Alcotest.(check bool) "burst produced sheds" true (sheds <> []);
+  Alcotest.(check bool) "burst produced answers" true (ok <> []);
+  Alcotest.(check int) "every response accounted" burst
+    (List.length sheds + List.length ok);
+  List.iter
+    (fun (id, r) ->
+      match
+        Option.bind (Server.Json.member "error" r)
+          (fun e ->
+            Option.bind (Server.Json.member "retry_after_ms" e)
+              Server.Json.to_int_opt)
+      with
+      | Some ms ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shed %d retry hint positive" id)
+            true (ms >= 50)
+      | None -> Alcotest.failf "shed %d lacks retry_after_ms" id)
+    sheds;
+  let stats = rpc fd {|{"route":"stats","id":99}|} in
+  Alcotest.(check int) "stats shed counter" (List.length sheds)
+    (hardening_counter stats [ "shed" ])
+
+let test_daemon_verify_divergence () =
+  (* Corrupt-bit chaos plus verify-sample 1: every computed miss is
+     re-executed, each injected corruption is detected as a divergence
+     and the committed bytes still match the shared renderer — proof
+     that no corrupted response was ever shipped. *)
+  let io_cfg =
+    {
+      Resilience.Chaos.default_io_config with
+      corrupt_p = 0.75;
+      io_seed = 1302;
+    }
+  in
+  let requests = 8 in
+  (* The injector is pure in (seed, kind, ordinal), so the number of
+     divergences the daemon must detect is computable up front. *)
+  let expected_divergences =
+    List.length
+      (List.filter
+         (fun i ->
+           Resilience.Chaos.io_fires io_cfg Resilience.Chaos.Corrupt ~index:i
+             ~attempt:0)
+         (List.init requests Fun.id))
+  in
+  Alcotest.(check bool) "seed injects at least one corruption" true
+    (expected_divergences > 0);
+  Fun.protect ~finally:Resilience.Chaos.disable_io @@ fun () ->
+  (match Resilience.Chaos.configure_io io_cfg with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure_io: %s" e);
+  let options =
+    { Server.Daemon.default_options with verify_sample = 1 }
+  in
+  with_daemon options @@ fun socket_path ->
+  with_client socket_path @@ fun fd ->
+  let env = Testutil.hera_xscale () in
+  for i = 0 to requests - 1 do
+    let rho = 2. +. (float_of_int i /. 8.) in
+    let response =
+      rpc fd
+        (Printf.sprintf {|{"route":"optimize","id":%d,"params":{"rho":%g}}|} i
+           rho)
+    in
+    let output =
+      match
+        Server.Json.to_string_opt (member_exn "optimize" "output" response)
+      with
+      | Some s -> s
+      | None -> Alcotest.fail "output is not a string"
+    in
+    let reference =
+      Server.Render.optimize ~env ~name:"Hera/XScale" ~rho ()
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "request %d committed clean bytes" i)
+      reference.output output
+  done;
+  let stats = rpc fd {|{"route":"stats","id":99}|} in
+  Alcotest.(check int) "every miss verified" requests
+    (hardening_counter stats [ "verify"; "checks" ]);
+  Alcotest.(check int) "every corruption detected" expected_divergences
+    (hardening_counter stats [ "verify"; "divergences" ])
+
+let test_daemon_io_timeout () =
+  (* A client that stalls mid-request (bytes pending, no newline) past
+     --io-timeout-ms must be disconnected and counted, and the daemon
+     must keep serving other connections. *)
+  let options =
+    { Server.Daemon.default_options with io_timeout_ms = 100 }
+  in
+  with_daemon options @@ fun socket_path ->
+  let stalled = connect_retry socket_path 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close stalled with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  write_all stalled {|{"route":"health"|};
+  (* Wait for the reaper: the stalled peer sees EOF (or a reset) once
+     the daemon gives up on it. The select bounds the wait so a broken
+     reaper fails the test instead of hanging it. *)
+  (match Unix.select [ stalled ] [] [] 5.0 with
+  | [], _, _ -> Alcotest.fail "stalled connection never reaped"
+  | _ :: _, _, _ -> (
+      let buf = Bytes.create 1 in
+      match Unix.read stalled buf 0 1 with
+      | 0 -> ()
+      | _ -> Alcotest.fail "unexpected bytes on a stalled connection"
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ()));
+  with_client socket_path @@ fun fd ->
+  let stats = rpc fd {|{"route":"stats","id":1}|} in
+  Alcotest.(check bool) "io timeout counted" true
+    (hardening_counter stats [ "io_timeouts" ] >= 1)
+
+let test_daemon_drain_burst () =
+  (* Shutdown-vs-inflight race: a burst accepted just before [stop]
+     must be answered in full by the drain, including requests still
+     queued and never dispatched when the stop lands. *)
+  let options =
+    { Server.Daemon.default_options with max_inflight = 2 }
+  in
+  with_daemon options @@ fun socket_path ->
+  with_client socket_path @@ fun fd ->
+  (* A first round trip guarantees the daemon has accepted this
+     connection before the burst races the stop. *)
+  ignore (rpc fd {|{"route":"health","id":0}|} : Server.Json.t);
+  let burst = 10 in
+  let lines =
+    List.init burst (fun i ->
+        Printf.sprintf {|{"route":"optimize","id":%d,"params":{"rho":%g}}|}
+          (i + 1)
+          (2. +. (float_of_int i /. 16.)))
+  in
+  write_all fd (String.concat "\n" lines ^ "\n");
+  Server.Daemon.stop ();
+  let responses = read_responses fd burst in
+  Alcotest.(check int) "drain answered the whole burst" burst
+    (List.length responses);
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d answered ok" (i + 1))
+        true
+        (Option.bind
+           (Server.Json.member "status" (List.assoc (i + 1) responses))
+           Server.Json.to_string_opt
+        = Some "ok"))
+    lines
+
+let test_daemon_stale_socket () =
+  (* A leftover socket file from a crashed daemon must be detected as
+     stale (nothing accepts on it) and replaced; the socket of a live
+     daemon must be refused. *)
+  let dir = Filename.temp_file "rexspeed-stale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "serve.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove socket_path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* Fabricate the crash leftover: bind and listen, then close the
+     listener without unlinking. *)
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX socket_path);
+  Unix.listen stale 1;
+  Unix.close stale;
+  Alcotest.(check bool) "leftover file exists" true (Sys.file_exists socket_path);
+  let options =
+    {
+      Server.Daemon.default_options with
+      socket_path = Some socket_path;
+      handle_signals = false;
+    }
+  in
+  let pool = Parallel.Pool.create ~domains:1 in
+  let daemon = Domain.spawn (fun () -> Server.Daemon.run ~pool options) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop ();
+      match Domain.join daemon with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "daemon failed: %s" e)
+  @@ fun () ->
+  with_client socket_path @@ fun fd ->
+  let health = rpc fd {|{"route":"health","id":1}|} in
+  Alcotest.(check (option string))
+    "stale socket reclaimed, daemon serving" (Some "ok")
+    (Option.bind (Server.Json.member "status" health) Server.Json.to_string_opt);
+  (* The same path now belongs to a live daemon: a second daemon must
+     refuse it instead of stealing the socket. *)
+  let second = Domain.spawn (fun () -> Server.Daemon.run ~pool options) in
+  (match Domain.join second with
+  | Ok () -> Alcotest.fail "second daemon must not bind a live socket"
+  | Error e ->
+      Alcotest.(check bool)
+        "refusal names the live daemon" true
+        (contains ~affix:"live daemon" e));
+  (* The refused daemon must not have unlinked the live socket. *)
+  let again = rpc fd {|{"route":"health","id":2}|} in
+  Alcotest.(check (option string))
+    "first daemon still serving" (Some "ok")
+    (Option.bind (Server.Json.member "status" again) Server.Json.to_string_opt)
+
+let test_daemon_health_hardening () =
+  (* The extended health route: readiness, queue depth and every
+     hardening counter, plus worker liveness. *)
+  let options =
+    { Server.Daemon.default_options with max_queue = 4 }
+  in
+  with_daemon ~domains:2 options @@ fun socket_path ->
+  with_client socket_path @@ fun fd ->
+  let health = rpc fd {|{"route":"health","id":1}|} in
+  let result = member_exn "health" "result" health in
+  Alcotest.(check (option bool))
+    "ready under an empty queue" (Some true)
+    (Option.bind (Server.Json.member "ready" result) Server.Json.to_bool_opt);
+  List.iter
+    (fun key ->
+      match
+        Option.bind (Server.Json.member key result) Server.Json.to_int_opt
+      with
+      | Some n ->
+          Alcotest.(check bool) (key ^ " is a counter") true (n >= 0)
+      | None -> Alcotest.failf "health lacks %s" key)
+    [ "queue_depth"; "shed"; "deadline_exceeded"; "io_timeouts" ];
+  let workers = member_exn "health" "workers" result in
+  Alcotest.(check (option int))
+    "worker domains reported" (Some 2)
+    (Option.bind (Server.Json.member "domains" workers) Server.Json.to_int_opt);
+  (match
+     Option.bind (Server.Json.member "restarts" workers) Server.Json.to_int_opt
+   with
+  | Some n -> Alcotest.(check bool) "restarts non-negative" true (n >= 0)
+  | None -> Alcotest.fail "health lacks workers.restarts");
+  let verify = member_exn "health" "verify" result in
+  Alcotest.(check (option int))
+    "verification off by default" (Some 0)
+    (Option.bind (Server.Json.member "checks" verify) Server.Json.to_int_opt)
+
 let test_metrics_window () =
   let m = Server.Metrics.create () in
   (* An early spike must age out of the bounded p99 window once a full
@@ -642,4 +1009,18 @@ let () =
       ("render", [ Alcotest.test_case "optimize" `Quick test_render ]);
       ( "daemon",
         [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "deadline expiry" `Quick test_daemon_deadline;
+          Alcotest.test_case "load shedding" `Quick test_daemon_shedding;
+          Alcotest.test_case "io timeout reaps stalled client" `Quick
+            test_daemon_io_timeout;
+          Alcotest.test_case "verify divergence" `Quick
+            test_daemon_verify_divergence;
+          Alcotest.test_case "drain answers the burst" `Quick
+            test_daemon_drain_burst;
+          Alcotest.test_case "stale socket" `Quick test_daemon_stale_socket;
+          Alcotest.test_case "health counters" `Quick
+            test_daemon_health_hardening;
+        ] );
     ]
