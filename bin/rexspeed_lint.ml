@@ -2,19 +2,28 @@
 
    Walks every .ml/.mli under the given roots (default: lib bin bench
    test), reports file:line-addressed diagnostics for the project
-   invariants (rules RX001..RX009, see DESIGN.md §11), subtracts the
-   checked-in baseline, and exits non-zero on anything left.
+   invariants (rules RX001..RX014, see DESIGN.md §11 and §14),
+   subtracts the checked-in baseline, and exits non-zero on anything
+   left. Per-module summaries are cached keyed by file digest, so a
+   warm re-run only re-parses the files that changed; the
+   interprocedural pass always runs from summaries, keeping warm and
+   cold output byte-identical.
 
    Exit codes follow the repo convention: 0 clean, 1 findings, 2
    usage/parse error. *)
 
 let usage =
-  "rexspeed_lint [--json] [--baseline FILE] [--update-baseline] [ROOT...]"
+  "rexspeed_lint [--json] [--baseline FILE] [--update-baseline] [--graph \
+   FILE] [--summary-cache FILE] [--no-summary-cache] [ROOT...]"
+
+let default_cache = ".rexspeed-lint-cache"
 
 let () =
   let json = ref false in
   let baseline_path = ref None in
   let update_baseline = ref false in
+  let graph_path = ref None in
+  let cache_path = ref (Some default_cache) in
   let roots = ref [] in
   let spec =
     [
@@ -25,6 +34,18 @@ let () =
       ( "--update-baseline",
         Arg.Set update_baseline,
         " rewrite the --baseline file from the current findings and exit 0" );
+      ( "--graph",
+        Arg.String (fun s -> graph_path := Some s),
+        "FILE write the cross-module call graph to FILE (Graphviz DOT when \
+         FILE ends in .dot, JSON otherwise)" );
+      ( "--summary-cache",
+        Arg.String (fun s -> cache_path := Some s),
+        Printf.sprintf
+          "FILE read/write per-module summaries at FILE (default %s)"
+          default_cache );
+      ( "--no-summary-cache",
+        Arg.Unit (fun () -> cache_path := None),
+        " parse every file from scratch; read and write no cache" );
     ]
   in
   Arg.parse (Arg.align spec) (fun r -> roots := r :: !roots) usage;
@@ -34,6 +55,9 @@ let () =
   let baseline =
     match !baseline_path with
     | None -> Ok []
+    (* --update-baseline overwrites the file, so it need not exist or
+       parse yet — bootstrapping a baseline starts from nothing. *)
+    | Some _ when !update_baseline -> Ok []
     | Some path -> Lint.Baseline.load path
   in
   match baseline with
@@ -41,11 +65,27 @@ let () =
       Printf.eprintf "rexspeed_lint: bad baseline: %s\n" msg;
       exit 2
   | Ok baseline ->
-      let report = Lint.Driver.scan ~roots in
+      let report = Lint.Driver.scan ?cache_file:!cache_path ~roots () in
       List.iter
         (fun e -> Printf.eprintf "rexspeed_lint: %s\n" e)
         report.errors;
       if report.errors <> [] then exit 2;
+      Option.iter
+        (fun path ->
+          let rendered =
+            if Filename.check_suffix path ".dot" then
+              Lint.Callgraph.to_dot report.graph
+            else Lint.Callgraph.to_json report.graph
+          in
+          match
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc rendered)
+          with
+          | () -> ()
+          | exception Sys_error msg ->
+              Printf.eprintf "rexspeed_lint: --graph: %s\n" msg;
+              exit 2)
+        !graph_path;
       if !update_baseline then begin
         match !baseline_path with
         | None ->
@@ -67,8 +107,8 @@ let () =
           kept;
         Printf.printf
           "rexspeed_lint: %d file(s), %d finding(s), %d baselined, %d \
-           suppressed\n"
+           suppressed (summaries: %d cached, %d rebuilt)\n"
           report.files_scanned (List.length kept) (List.length baselined)
-          report.suppressed
+          report.suppressed report.cache_hits report.cache_misses
       end;
       exit (if kept = [] then 0 else 1)

@@ -47,12 +47,17 @@ let save path findings =
     |> List.map (fun (d : Diagnostic.t) ->
            Printf.sprintf "%s:%d:%s" d.file d.line (Diagnostic.rule_id d.rule))
   in
-  Out_channel.with_open_text path (fun oc ->
+  (* Crash-atomic, same tmp + rename pattern as Report.Csv: a reader
+     racing --update-baseline sees either the old baseline or the
+     complete new one, never a torn file. *)
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
       Out_channel.output_string oc
         "# rexspeed lint baseline — file:line:RXnnn per entry.\n\
          # Keep empty on the merged tree; justify any entry in DESIGN.md \
          \xc2\xa711.\n";
-      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) entries)
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) entries);
+  Sys.rename tmp path
 
 let mem t (d : Diagnostic.t) =
   List.exists

@@ -1,0 +1,715 @@
+(* Cross-module call-graph construction.
+
+   Extraction walks one implementation's Parsetree and produces the
+   function-level facts of {!Summary.fn}: direct nondeterminism
+   sinks, outgoing references (with the exception constructors any
+   enclosing handlers mask), escaping raise sites, unprotected writes
+   to names the function does not bind, and [Parallel.Pool]
+   submission sites. The graph then resolves reference paths across
+   every scanned file: [M.f] matches the top-level [f] of the
+   compilation unit [m.ml] (module aliases expanded through
+   {!Paths.resolve}), [Lib.M.f] falls back one component at a time,
+   and [Sub.f] first tries a submodule of the referring file.
+
+   Everything is Parsetree-level — no typing pass — so resolution is
+   deliberately approximate: first-class functions (a task body
+   received as a parameter, like [Checkpointed.init_array]'s [f]) and
+   functor instantiations produce no edges, and a bare name can match
+   a same-named function in two submodules, in which case both edges
+   are kept. Over-approximation only ever adds edges; the soundness
+   gap is the unresolvable first-class side, documented in DESIGN
+   §14. *)
+
+open Parsetree
+
+let loc_of (l : Location.t) : Summary.loc =
+  let p = l.Location.loc_start in
+  { line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol }
+
+(* ------------------------------------------------------------------ *)
+(* Source probes                                                       *)
+
+let ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let word_at source off w =
+  let lw = String.length w in
+  off >= 0
+  && off + lw <= String.length source
+  && String.equal (String.sub source off lw) w
+  && (off + lw = String.length source || not (ident_char source.[off + lw]))
+
+(* Is this expression syntactically a [fun]/[function] abstraction?
+   The 5.1 and 5.2 Parsetrees disagree on the constructors for
+   function abstraction (5.2 merged [Pexp_fun] into an n-ary
+   [Pexp_function]), so instead of matching either shape we probe the
+   source text at the expression's start — stable across both. *)
+let expr_is_fun ~source e =
+  (not e.pexp_loc.Location.loc_ghost)
+  &&
+  (* The parser gives a parenthesized expression a location that
+     includes the parentheses, so skip opening parens and whitespace
+     before probing for the keyword. *)
+  let limit = String.length source in
+  let rec skip off =
+    if off >= limit then off
+    else
+      match source.[off] with
+      | '(' | ' ' | '\t' | '\n' | '\r' -> skip (off + 1)
+      | _ -> off
+  in
+  let off = skip e.pexp_loc.Location.loc_start.Lexing.pos_cnum in
+  word_at source off "fun" || word_at source off "function"
+
+(* [rexspeed-lint: entry] marks the binding on the same line (or, for
+   a directive alone on its line, the next line) as a paper-compute
+   entry point for the interprocedural rules — same scoping as the
+   suppression directives. *)
+let entry_marker = "(* rexspeed" ^ "-lint: entry"
+
+let entry_lines source =
+  let lines = Hashtbl.create 4 in
+  List.iteri
+    (fun idx line ->
+      let lm = String.length entry_marker in
+      let rec find i =
+        if i + lm > String.length line then None
+        else if String.equal (String.sub line i lm) entry_marker then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> ()
+      | Some at ->
+          let lineno = idx + 1 in
+          let target =
+            if String.trim (String.sub line 0 at) = "" then lineno + 1
+            else lineno
+          in
+          Hashtbl.replace lines target ())
+    (String.split_on_char '\n' source);
+  lines
+
+(* ------------------------------------------------------------------ *)
+(* Pattern and expression helpers                                      *)
+
+(* All variable names bound by patterns anywhere inside [e] (function
+   parameters, lets, match cases, …). Used as the bound set for the
+   free-write analysis: a name bound in any branch counts as bound
+   everywhere, which under-reports shared-state writes but never
+   flags a local. *)
+let bound_names e =
+  let bound = Hashtbl.create 16 in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> Hashtbl.replace bound txt ()
+          | Ppat_alias (_, { txt; _ }) -> Hashtbl.replace bound txt ()
+          | _ -> ());
+          super.pat it p);
+    }
+  in
+  it.expr it e;
+  bound
+
+let expr_mentions_raise e =
+  let exception Found in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Paths.last (Paths.flatten_lid txt) with
+              | Some ("raise" | "raise_notrace" | "raise_with_backtrace") ->
+                  raise Found
+              | _ -> ())
+          | _ -> ());
+          super.expr it e);
+    }
+  in
+  try
+    it.expr it e;
+    false
+  with Found -> true
+
+(* What a handler case masks: [(catches_everything, constructors)].
+   A case whose right-hand side re-raises masks nothing — the
+   exception still escapes. *)
+let rec pat_mask p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> (true, [])
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_exception p -> pat_mask p
+  | Ppat_or (a, b) ->
+      let aa, na = pat_mask a and ab, nb = pat_mask b in
+      (aa || ab, na @ nb)
+  | Ppat_construct ({ txt; _ }, _) -> (
+      match Paths.last (Paths.flatten_lid txt) with
+      | Some c -> (false, [ c ])
+      | None -> (false, []))
+  | _ -> (false, [])
+
+let is_exception_case c =
+  match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+
+let mask_of_cases cases =
+  List.fold_left
+    (fun (all, names) c ->
+      if expr_mentions_raise c.pc_rhs then (all, names)
+      else
+        let a, n = pat_mask c.pc_lhs in
+        (all || a, n @ names))
+    (false, []) cases
+
+(* ------------------------------------------------------------------ *)
+(* Per-function extraction                                             *)
+
+let pool_combinators = [ "init_array"; "map_array"; "map_list"; "map_reduce" ]
+
+let pool_combinator path =
+  match List.rev path with
+  | c :: "Pool" :: _ when List.mem c pool_combinators -> Some c
+  | _ -> None
+
+let sink_of_path = function
+  | "Random" :: _ :: _ -> Some Summary.Random_src
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+      Some Summary.Clock
+  | [ "Domain"; "self" ] -> Some Summary.Domain_self
+  | [ "Hashtbl"; ("iter" | "fold") ] -> Some Summary.Hashtbl_order
+  | _ -> None
+
+type acc = {
+  mutable fns : Summary.fn list;  (* reverse order *)
+  mutable sites : Summary.pool_site list;  (* reverse order *)
+  site_seen : (int * int, unit) Hashtbl.t;
+  source : string;
+  aliases : Paths.aliases;
+  entries : (int, unit) Hashtbl.t;
+}
+
+type walk_ctx = {
+  bound : (string, unit) Hashtbl.t;
+  mutable masks : (bool * string list) list;
+  mutable in_protect : int;
+  mutable sinks : (Summary.sink_kind * Summary.loc) list;
+  mutable calls : Summary.call list;
+  mutable raises : Summary.raise_site list;
+  mutable writes : Summary.write_site list;
+  mutable lock : bool;
+}
+
+let masked ctx exn_name =
+  List.exists
+    (fun (all, names) -> all || List.mem exn_name names)
+    ctx.masks
+
+let current_mask ctx =
+  List.fold_left
+    (fun (all, names) (a, n) -> (all || a, n @ names))
+    (false, []) ctx.masks
+
+let ident_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Paths.flatten_lid txt with [] -> None | p -> Some p)
+  | _ -> None
+
+(* The task-body candidates of a pool call: closures become synthetic
+   nodes, identifier references become (to-be-resolved) paths. The
+   pool/value/count arguments are identifiers too, but they resolve
+   to nothing function-like, so keeping them costs only a lookup. *)
+let rec walk_node acc ~encl_name ~name ~floc ~is_closure body =
+  let ctx =
+    {
+      bound = bound_names body;
+      masks = [];
+      in_protect = 0;
+      sinks = [];
+      calls = [];
+      raises = [];
+      writes = [];
+      lock = false;
+    }
+  in
+  let record_write ctx target loc =
+    if ctx.in_protect = 0 then
+      ctx.writes <- { Summary.target; write_loc = loc } :: ctx.writes
+  in
+  let super = Ast_iterator.default_iterator in
+  let resolved path = Paths.resolve ~aliases:acc.aliases path in
+  let it_ref = ref super in
+  let iter_expr e = !it_ref.expr !it_ref e in
+  let iter_cases cases =
+    List.iter
+      (fun c ->
+        Option.iter iter_expr c.pc_guard;
+        iter_expr c.pc_rhs)
+      cases
+  in
+  let handle_apply e f args =
+    let head = Option.map resolved (ident_head f) in
+    (* Escaping raise sites. [raise e] of a caught variable is
+       untracked — the variable's constructor is unknown. *)
+    (match (head, args) with
+    | Some [ ("raise" | "raise_notrace" | "raise_with_backtrace") ],
+      (_, arg) :: _ -> (
+        match arg.pexp_desc with
+        | Pexp_construct ({ txt; _ }, _) ->
+            Option.iter
+              (fun c ->
+                if not (masked ctx c) then
+                  ctx.raises <-
+                    { Summary.exn_name = c; raise_loc = loc_of e.pexp_loc }
+                    :: ctx.raises)
+              (Paths.last (Paths.flatten_lid txt))
+        | _ -> ())
+    | Some [ "failwith" ], _ ->
+        if not (masked ctx "Failure") then
+          ctx.raises <-
+            { Summary.exn_name = "Failure"; raise_loc = loc_of e.pexp_loc }
+            :: ctx.raises
+    | Some [ "invalid_arg" ], _ ->
+        if not (masked ctx "Invalid_argument") then
+          ctx.raises <-
+            {
+              Summary.exn_name = "Invalid_argument";
+              raise_loc = loc_of e.pexp_loc;
+            }
+            :: ctx.raises
+    | _ -> ());
+    (* Unprotected writes to free names: [x := …], [a.(i) <- …]
+       (parsed as [Array.set]), explicit [Array.set]/[Bytes.set]. *)
+    (match (head, args) with
+    | Some [ ":=" ], (_, lhs) :: _ -> (
+        match ident_head lhs with
+        | Some [ x ] when not (Hashtbl.mem ctx.bound x) ->
+            record_write ctx x (loc_of e.pexp_loc)
+        | Some (_ :: _ :: _ as p) ->
+            (* A qualified ref is another module's state: shared by
+               definition. *)
+            record_write ctx (String.concat "." p) (loc_of e.pexp_loc)
+        | _ -> ())
+    | ( Some [ ("Array" | "Bytes"); ("set" | "unsafe_set") ],
+        (_, arr) :: _ ) -> (
+        match ident_head arr with
+        | Some [ x ] when not (Hashtbl.mem ctx.bound x) ->
+            record_write ctx x (loc_of e.pexp_loc)
+        | Some (_ :: _ :: _ as p) ->
+            record_write ctx (String.concat "." p) (loc_of e.pexp_loc)
+        | _ -> ())
+    | _ -> ());
+    (* Pool submission sites. Deduplicated by location: the same site
+       is met again when an enclosing function's walk descends into a
+       closure that another walk already synthesized. *)
+    (match Option.bind head pool_combinator with
+    | None -> ()
+    | Some comb ->
+        let sloc = loc_of e.pexp_loc in
+        if not (Hashtbl.mem acc.site_seen (sloc.line, sloc.col)) then begin
+          Hashtbl.replace acc.site_seen (sloc.line, sloc.col) ();
+          (* The first positional argument of every combinator is the
+             pool handle, never a task body; ~reduce/~init fold on the
+             caller's domain. Everything else — the ~map function, a
+             trailing closure, a named function — is a candidate
+             body. *)
+          let positional = ref 0 in
+          let bodies =
+            List.filter_map
+              (fun (label, arg) ->
+                match label with
+                | Asttypes.Labelled ("reduce" | "init" | "chunk" | "attempts")
+                | Asttypes.Optional _ ->
+                    None
+                | Asttypes.Nolabel
+                  when incr positional;
+                       !positional = 1 ->
+                    None
+                | _ ->
+                    if expr_is_fun ~source:acc.source arg then begin
+                      let cloc = loc_of arg.pexp_loc in
+                      let cname =
+                        Printf.sprintf "<closure@%d:%d>" cloc.line cloc.col
+                      in
+                      walk_node acc ~encl_name:(Some cname) ~name:cname
+                        ~floc:cloc ~is_closure:true arg;
+                      Some [ cname ]
+                    end
+                    else
+                      match ident_head arg with
+                      | Some p -> Some (resolved p)
+                      | None -> None)
+              args
+          in
+          acc.sites <-
+            {
+              Summary.site_loc = sloc;
+              combinator = comb;
+              bodies;
+              encl_fn = encl_name;
+            }
+            :: acc.sites
+        end);
+    (* [Mutex.protect m (fun () -> …)]: writes inside the thunk are
+       lock-protected. *)
+    match head with
+    | Some p when (match List.rev p with
+                  | "protect" :: "Mutex" :: _ -> true
+                  | _ -> false) ->
+        iter_expr f;
+        ctx.in_protect <- ctx.in_protect + 1;
+        List.iter (fun (_, a) -> iter_expr a) args;
+        ctx.in_protect <- ctx.in_protect - 1;
+        true
+    | _ -> false
+  in
+  let it =
+    {
+      super with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Paths.flatten_lid txt with
+              | [] -> ()
+              | raw ->
+                  let path = resolved raw in
+                  (match sink_of_path path with
+                  | Some kind ->
+                      ctx.sinks <- (kind, loc_of e.pexp_loc) :: ctx.sinks
+                  | None -> ());
+                  (match List.rev path with
+                  | ("lock" | "protect" | "try_lock") :: "Mutex" :: _ ->
+                      ctx.lock <- true
+                  | _ -> ());
+                  let all, names = current_mask ctx in
+                  ctx.calls <-
+                    {
+                      Summary.callee = path;
+                      call_loc = loc_of e.pexp_loc;
+                      masked_exns = names;
+                      masks_all = all;
+                    }
+                    :: ctx.calls)
+          | Pexp_setfield (base, _, _) ->
+              (match ident_head base with
+              | Some [ x ] when not (Hashtbl.mem ctx.bound x) ->
+                  record_write ctx x (loc_of e.pexp_loc)
+              | Some (_ :: _ :: _ as p) ->
+                  record_write ctx (String.concat "." p) (loc_of e.pexp_loc)
+              | _ -> ());
+              super.expr it e
+          | Pexp_try (body, cases) ->
+              ctx.masks <- mask_of_cases cases :: ctx.masks;
+              iter_expr body;
+              ctx.masks <- List.tl ctx.masks;
+              iter_cases cases
+          | Pexp_match (scrut, cases)
+            when List.exists is_exception_case cases ->
+              ctx.masks <-
+                mask_of_cases (List.filter is_exception_case cases)
+                :: ctx.masks;
+              iter_expr scrut;
+              ctx.masks <- List.tl ctx.masks;
+              iter_cases cases
+          | Pexp_apply (f, args) ->
+              if not (handle_apply e f args) then super.expr it e
+          | _ -> super.expr it e)
+    }
+  in
+  it_ref := it;
+  iter_expr body;
+  acc.fns <-
+    {
+      Summary.fn_name = name;
+      fn_loc = floc;
+      fn_is_closure = is_closure;
+      fn_entry_marked = Hashtbl.mem acc.entries floc.line;
+      sinks = List.rev ctx.sinks;
+      calls = List.rev ctx.calls;
+      raises = List.rev ctx.raises;
+      free_writes = List.rev ctx.writes;
+      takes_lock = ctx.lock;
+    }
+    :: acc.fns
+
+(* ------------------------------------------------------------------ *)
+(* Structure extraction                                                *)
+
+let binding_name vb =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) | Ppat_alias (p, _) -> go p
+    | _ -> None
+  in
+  go vb.pvb_pat
+
+let extract ~file:_ ~source str =
+  let acc =
+    {
+      fns = [];
+      sites = [];
+      site_seen = Hashtbl.create 8;
+      source;
+      aliases = Paths.aliases_of_structure str;
+      entries = entry_lines source;
+    }
+  in
+  let rec items prefix str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let floc = loc_of vb.pvb_loc in
+                match binding_name vb with
+                | Some n ->
+                    walk_node acc ~encl_name:(Some (prefix ^ n))
+                      ~name:(prefix ^ n) ~floc ~is_closure:false vb.pvb_expr
+                | None ->
+                    (* [let () = …] module initialisation still runs
+                       code (and can submit pool work): give it an
+                       anonymous node so its sites are found. *)
+                    walk_node acc ~encl_name:None
+                      ~name:(Printf.sprintf "<init@%d>" floc.line)
+                      ~floc ~is_closure:false vb.pvb_expr)
+              vbs
+        | Pstr_module mb -> (
+            match (mb.pmb_name.Asttypes.txt, mb.pmb_expr.pmod_desc) with
+            | Some n, Pmod_structure s -> items (prefix ^ n ^ ".") s
+            | _ -> ())
+        | Pstr_recmodule mbs ->
+            List.iter
+              (fun mb ->
+                match (mb.pmb_name.Asttypes.txt, mb.pmb_expr.pmod_desc) with
+                | Some n, Pmod_structure s -> items (prefix ^ n ^ ".") s
+                | _ -> ())
+              mbs
+        | _ -> ())
+      str
+  in
+  items "" str;
+  (List.rev acc.fns, List.rev acc.sites)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+
+type t = {
+  summaries : Summary.file_summary list;  (* scan order *)
+  units : (string, string list) Hashtbl.t;  (* unit name -> .ml paths *)
+  fn_index : (string, Summary.fn list) Hashtbl.t;  (* "path#fn" *)
+  file_fns : (string, Summary.fn list) Hashtbl.t;
+  by_file : (string, Summary.file_summary) Hashtbl.t;
+}
+
+let unit_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let key path fn = path ^ "#" ^ fn
+
+let build summaries =
+  let units = Hashtbl.create 64 in
+  let fn_index = Hashtbl.create 256 in
+  let file_fns = Hashtbl.create 64 in
+  let by_file = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      Hashtbl.replace by_file s.path s;
+      if Filename.check_suffix s.path ".ml" then begin
+        let u = unit_name_of_file s.path in
+        let prev = Option.value (Hashtbl.find_opt units u) ~default:[] in
+        Hashtbl.replace units u (prev @ [ s.path ]);
+        Hashtbl.replace file_fns s.path s.fns;
+        List.iter
+          (fun (f : Summary.fn) ->
+            let k = key s.path f.fn_name in
+            let prev = Option.value (Hashtbl.find_opt fn_index k) ~default:[] in
+            Hashtbl.replace fn_index k (prev @ [ f ]))
+          s.fns
+      end)
+    summaries;
+  { summaries; units; fn_index; file_fns; by_file }
+
+let summaries t = t.summaries
+let summary_of t path = Hashtbl.find_opt t.by_file path
+
+let fns_of_file t path =
+  Option.value (Hashtbl.find_opt t.file_fns path) ~default:[]
+
+let find_fn t ~path ~fn =
+  match Hashtbl.find_opt t.fn_index (key path fn) with
+  | Some (f :: _) -> Some f
+  | _ -> None
+
+(* Functions of [path] whose (possibly submodule-qualified) name ends
+   in [v]: a bare reference to [write] inside module [Csv] must reach
+   [Csv.write]. *)
+let fns_named t path v =
+  List.filter
+    (fun (f : Summary.fn) ->
+      String.equal f.fn_name v
+      || Paths.has_suffix ~suffix:("." ^ v) f.fn_name)
+    (fns_of_file t path)
+  |> List.map (fun (f : Summary.fn) -> (path, f))
+
+let same_dir a b = String.equal (Filename.dirname a) (Filename.dirname b)
+
+let resolve t ~from_file path =
+  match path with
+  | [] -> []
+  | [ v ] -> fns_named t from_file v
+  | _ -> (
+      (* Same-file submodule reference first: [Csv.write] inside
+         report.ml is report.ml's own "Csv.write". *)
+      let joined = String.concat "." path in
+      match
+        List.filter
+          (fun (f : Summary.fn) ->
+            String.equal f.fn_name joined
+            || Paths.has_suffix ~suffix:("." ^ joined) f.fn_name)
+          (fns_of_file t from_file)
+      with
+      | _ :: _ as fs ->
+          List.map (fun (f : Summary.fn) -> (from_file, f)) fs
+      | [] ->
+          (* Split [M1.….Mk.v] at every module component, rightmost
+             first: [Parallel.Pool.map_list] resolves at unit [Pool],
+             [Report.Csv.write] falls back to unit [Report] with
+             function [Csv.write]. Files in the referrer's directory
+             shadow same-named units elsewhere. *)
+          let arr = Array.of_list path in
+          let n = Array.length arr in
+          let rec try_split i =
+            if i < 0 then []
+            else
+              let unit_ = arr.(i) in
+              let fn_name =
+                String.concat "."
+                  (Array.to_list (Array.sub arr (i + 1) (n - i - 1)))
+              in
+              match Hashtbl.find_opt t.units unit_ with
+              | None -> try_split (i - 1)
+              | Some files -> (
+                  let files =
+                    match List.filter (same_dir from_file) files with
+                    | _ :: _ as near -> near
+                    | [] -> files
+                  in
+                  match
+                    List.concat_map
+                      (fun file ->
+                        match find_fn t ~path:file ~fn:fn_name with
+                        | Some f -> [ (file, f) ]
+                        | None -> [])
+                      files
+                  with
+                  | [] -> try_split (i - 1)
+                  | fs -> fs)
+          in
+          try_split (n - 2))
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+type edge = { efrom : string; eto : string; eline : int }
+
+let edges t =
+  List.concat_map
+    (fun (s : Summary.file_summary) ->
+      List.concat_map
+        (fun (f : Summary.fn) ->
+          List.concat_map
+            (fun (c : Summary.call) ->
+              resolve t ~from_file:s.path c.callee
+              |> List.map (fun (file, (g : Summary.fn)) ->
+                     {
+                       efrom = key s.path f.fn_name;
+                       eto = key file g.fn_name;
+                       eline = c.call_loc.line;
+                     }))
+            f.calls
+          |> List.sort_uniq compare)
+        s.fns)
+    t.summaries
+
+let escape_dot s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let to_dot t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          let attrs =
+            (if f.fn_is_closure then [ "style=dashed" ] else [])
+            @ (if f.fn_entry_marked then [ "color=blue" ] else [])
+            @
+            if f.sinks <> [] then [ "color=red" ] else []
+          in
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s\" [label=\"%s\\n%s:%d\"%s];\n"
+               (escape_dot (key s.path f.fn_name))
+               (escape_dot f.fn_name) (escape_dot s.path) f.fn_loc.line
+               (match attrs with
+               | [] -> ""
+               | l -> ", " ^ String.concat ", " l)))
+        s.fns)
+    t.summaries;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (escape_dot e.efrom)
+           (escape_dot e.eto)))
+    (edges t);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b {|{"schema_version":1,"nodes":[|};
+  let first = ref true in
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf
+               {|{"id":"%s","file":"%s","fn":"%s","line":%d,"closure":%b,"entry":%b,"sinks":[%s]}|}
+               (Diagnostic.escape (key s.path f.fn_name))
+               (Diagnostic.escape s.path)
+               (Diagnostic.escape f.fn_name)
+               f.fn_loc.line f.fn_is_closure f.fn_entry_marked
+               (String.concat ","
+                  (List.map
+                     (fun (k, _) ->
+                       Printf.sprintf "%S" (Summary.sink_label k))
+                     f.sinks))))
+        s.fns)
+    t.summaries;
+  Buffer.add_string b {|],"edges":[|};
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf {|{"from":"%s","to":"%s","line":%d}|}
+           (Diagnostic.escape e.efrom) (Diagnostic.escape e.eto) e.eline))
+    (edges t);
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** Cross-module call-graph construction over {!Summary} facts.
+
+    Extraction is Parsetree-level and resolution is name-based:
+    [M.f] matches the top-level [f] of compilation unit [m.ml]
+    (module aliases expanded first), [Lib.M.f] is split one module
+    component at a time from the right, [Sub.f] prefers a submodule
+    of the referring file, and a file in the referrer's directory
+    shadows a same-named unit elsewhere. First-class functions and
+    functors produce no edges — the documented soundness gap (DESIGN
+    §14). *)
+
+val extract :
+  file:string ->
+  source:string ->
+  Parsetree.structure ->
+  Summary.fn list * Summary.pool_site list
+(** One implementation's function nodes (including synthetic
+    [<closure@line:col>] nodes for closures submitted to
+    [Parallel.Pool]) and its pool-submission sites. *)
+
+val entry_marker : string
+(** The ["(* rexspeed-lint: entry"] directive prefix: marks the
+    binding on this line (or, alone on a line, the next line) as a
+    paper-compute entry point for RX012. *)
+
+val unit_name_of_file : string -> string
+(** ["lib/sim/executor.ml"] → ["Executor"] — the capitalized basename,
+    i.e. the compilation-unit name under dune's default mangling. *)
+
+type t
+
+val build : Summary.file_summary list -> t
+
+val summaries : t -> Summary.file_summary list
+(** In scan order, as given to {!build}. *)
+
+val summary_of : t -> string -> Summary.file_summary option
+val fns_of_file : t -> string -> Summary.fn list
+val find_fn : t -> path:string -> fn:string -> Summary.fn option
+
+val resolve :
+  t -> from_file:string -> string list -> (string * Summary.fn) list
+(** All [(file, fn)] a reference path can denote; [[]] for anything
+    the name-based scheme cannot see (stdlib, parameters, functors).
+    Deterministic order. *)
+
+val to_dot : t -> string
+(** Graphviz export: one box per function (dashed = pool closure,
+    red = holds a direct nondeterminism sink, blue = marked entry),
+    one edge per resolved reference. *)
+
+val to_json : t -> string
+(** JSON export with [schema_version], [nodes] and [edges] fields —
+    the CI artifact. *)

@@ -10,6 +10,9 @@ type rule =
   | RX009
   | RX010
   | RX011
+  | RX012
+  | RX013
+  | RX014
 
 type severity = Error | Warning
 
@@ -20,12 +23,16 @@ type t = {
   line : int;
   col : int;
   message : string;
+  chain : (string * int * string) list;
+      (* interprocedural propagation steps, entry-side first; the
+         last step is the sink end, which the driver also accepts
+         suppressions at *)
 }
 
 let all_rules =
   [
     RX001; RX002; RX003; RX004; RX005; RX006; RX007; RX008; RX009; RX010;
-    RX011;
+    RX011; RX012; RX013; RX014;
   ]
 
 let rule_id = function
@@ -40,12 +47,17 @@ let rule_id = function
   | RX009 -> "RX009"
   | RX010 -> "RX010"
   | RX011 -> "RX011"
+  | RX012 -> "RX012"
+  | RX013 -> "RX013"
+  | RX014 -> "RX014"
 
 let rule_of_id s =
   List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
 
 let severity_of = function
-  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 | RX010 | RX011 -> Error
+  | RX001 | RX002 | RX003 | RX004 | RX005 | RX008 | RX010 | RX011 | RX012
+  | RX013 | RX014 ->
+      Error
   | RX006 | RX007 | RX009 -> Warning
 
 let description = function
@@ -60,9 +72,12 @@ let description = function
   | RX009 -> "exported value never referenced outside its module"
   | RX010 -> "wall-clock or Random use inside a tracing emission path"
   | RX011 -> "unbounded blocking Unix.read/Unix.write outside the I/O allowlist"
+  | RX012 -> "nondeterminism sink reachable from a paper-compute entry point"
+  | RX013 -> "unsynchronized shared-state write reachable from a pool task body"
+  | RX014 -> "exception escaping a pool task body against the retry policy"
 
-let make rule ~file ~line ~col message =
-  { rule; severity = severity_of rule; file; line; col; message }
+let make ?(chain = []) rule ~file ~line ~col message =
+  { rule; severity = severity_of rule; file; line; col; message; chain }
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -99,16 +114,30 @@ let escape s =
     s;
   Buffer.contents b
 
+let chain_json chain =
+  let b = Buffer.create 64 in
+  Buffer.add_string b {|,"chain":[|};
+  List.iteri
+    (fun i (file, line, note) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf {|{"file":"%s","line":%d,"note":"%s"}|} (escape file)
+           line (escape note)))
+    chain;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
 let to_json t =
   Printf.sprintf
-    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"%s}|}
     (rule_id t.rule)
     (severity_name t.severity)
     (escape t.file) t.line t.col (escape t.message)
+    (match t.chain with [] -> "" | chain -> chain_json chain)
 
 let report_json findings =
   let b = Buffer.create 1024 in
-  Buffer.add_string b {|{"version":1,"findings":[|};
+  Buffer.add_string b {|{"schema_version":2,"findings":[|};
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char b ',';

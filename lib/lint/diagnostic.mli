@@ -22,6 +22,21 @@ type rule =
           I/O modules — raw socket I/O blocks forever on a slow peer
           unless the fd is non-blocking and the wait is deadline-bounded,
           which only the audited daemon I/O layer guarantees *)
+  | RX012
+      (** interprocedural determinism: a nondeterminism sink
+          ([Random.*], wall clock, [Domain.self], [Hashtbl] iteration)
+          is transitively reachable from a paper-compute entry point
+          — a pool task body, a simulation-kernel function, or a
+          binding marked [rexspeed-lint: entry] *)
+  | RX013
+      (** interprocedural domain-safety: a write to mutable state the
+          writer does not own (a free ref/array/field) is reachable
+          from a [Parallel.Pool] task body without Atomic or Mutex
+          protection — a data race across domains *)
+  | RX014
+      (** interprocedural robustness: an exception can propagate out
+          of a pool task body or the daemon compute path without
+          matching the pool's retry/re-raise policy *)
 
 type severity = Error | Warning
 
@@ -32,20 +47,30 @@ type t = {
   line : int;
   col : int;
   message : string;
+  chain : (string * int * string) list;
+      (** interprocedural propagation steps as [(file, line, note)],
+          entry-side first, sink end last; [[]] for per-file rules *)
 }
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["RX001"] … ["RX011"]. *)
+(** ["RX001"] … ["RX014"]. *)
 
 val rule_of_id : string -> rule option
 val severity_of : rule -> severity
 val description : rule -> string
 
-val make : rule -> file:string -> line:int -> col:int -> string -> t
+val make :
+  ?chain:(string * int * string) list ->
+  rule ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
 (** [make rule ~file ~line ~col message] with the rule's default
-    severity. *)
+    severity; [?chain] carries interprocedural propagation steps. *)
 
 val compare : t -> t -> int
 (** Order by file, line, column, rule ID — the stable report order. *)
@@ -54,10 +79,16 @@ val to_text : t -> string
 (** [file:line:col: severity RXnnn message] — one line, no trailing
     newline. *)
 
+val escape : string -> string
+(** Minimal JSON string escaping (quotes, backslashes, control
+    characters) — shared with the call-graph JSON export. *)
+
 val to_json : t -> string
 (** One JSON object with [rule], [severity], [file], [line], [col],
-    [message] fields, deterministic field order. *)
+    [message] fields (and [chain] when non-empty), deterministic
+    field order. *)
 
 val report_json : t list -> string
-(** The full report: a JSON object with [version], [findings] and
-    [count] fields. *)
+(** The full report: a JSON object with [schema_version], [findings]
+    and [count] fields. The schema version is bumped whenever a field
+    is added or changes meaning. *)

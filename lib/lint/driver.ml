@@ -2,7 +2,10 @@ type report = {
   findings : Diagnostic.t list;
   suppressed : int;
   files_scanned : int;
+  cache_hits : int;
+  cache_misses : int;
   errors : string list;
+  graph : Callgraph.t;
 }
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
@@ -36,26 +39,61 @@ type parsed =
   | Signature of Parsetree.signature
   | Broken of string
 
-let parse_file path kind =
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> (Broken msg, "")
-  | source -> (
-      let lexbuf = Lexing.from_string source in
-      Lexing.set_filename lexbuf path;
-      match
-        match kind with
-        | `Ml -> Structure (Parse.implementation lexbuf)
-        | `Mli -> Signature (Parse.interface lexbuf)
-      with
-      | parsed -> (parsed, source)
-      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-      | exception exn ->
-          ( Broken
-              (Printf.sprintf "%s: syntax error (%s)" path
-                 (Printexc.to_string exn)),
-            source ))
+let parse_file path kind source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match
+    match kind with
+    | `Ml -> Structure (Parse.implementation lexbuf)
+    | `Mli -> Signature (Parse.interface lexbuf)
+  with
+  | parsed -> parsed
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception exn ->
+      Broken
+        (Printf.sprintf "%s: syntax error (%s)" path (Printexc.to_string exn))
 
-let scan ~roots =
+(* A summary is a pure function of one file's bytes: per-file
+   diagnostics, the export/use sides of RX009, the suppression table,
+   and the call-graph facts the interprocedural pass composes. *)
+let summarize path kind source : Summary.file_summary =
+  match parse_file path kind source with
+  | Structure str ->
+      let fns, pool_sites = Callgraph.extract ~file:path ~source str in
+      {
+        path;
+        fns;
+        pool_sites;
+        diags = Rules.check_structure ~file:path str;
+        exports = [];
+        uses = Some (Dead_export.uses_of_structure ~file:path str);
+        suppress = Suppress.of_source source;
+        parse_errors = [];
+      }
+  | Signature sg ->
+      {
+        path;
+        fns = [];
+        pool_sites = [];
+        diags = Rules.check_signature ~file:path sg;
+        exports = Dead_export.exports_of_signature ~file:path sg;
+        uses = None;
+        suppress = Suppress.of_source source;
+        parse_errors = [];
+      }
+  | Broken msg ->
+      {
+        path;
+        fns = [];
+        pool_sites = [];
+        diags = [];
+        exports = [];
+        uses = None;
+        suppress = Suppress.of_source source;
+        parse_errors = [ msg ];
+      }
+
+let scan ?cache_file ~roots () =
   let errors = ref [] in
   let files =
     List.concat_map
@@ -68,55 +106,113 @@ let scan ~roots =
         end)
       roots
   in
-  let suppressed = ref 0 in
-  let exports = ref [] in
-  let uses = ref [] in
-  let suppressions : (string, Suppress.t) Hashtbl.t = Hashtbl.create 64 in
-  let keep_unsuppressed (d : Diagnostic.t) =
-    match Hashtbl.find_opt suppressions d.file with
-    | Some sup when Suppress.active sup ~line:d.line d.rule ->
-        incr suppressed;
-        false
-    | _ -> true
+  let cache =
+    match cache_file with None -> [] | Some path -> Summary.load path
   in
-  (* Pass 1: per-file rules, plus the export/use sides of RX009. *)
-  let per_file =
-    List.concat_map
+  let cache_hits = ref 0 and cache_misses = ref 0 in
+  (* Pass 1: one summary per file, from the digest-keyed cache when
+     the bytes are unchanged. A warm run is byte-identical to a cold
+     one by construction — every later pass reads summaries only. *)
+  let summaries =
+    List.filter_map
       (fun (path, kind) ->
-        let parsed, source = parse_file path kind in
-        let sup = Suppress.of_source source in
-        Hashtbl.replace suppressions path sup;
-        List.iter
-          (fun (line, token) ->
-            errors :=
-              Printf.sprintf "%s:%d: bad suppression directive (%s)" path
-                line token
-              :: !errors)
-          (Suppress.bad_directives sup);
-        match parsed with
-        | Structure str ->
-            uses := Dead_export.uses_of_structure ~file:path str :: !uses;
-            Rules.check_structure ~file:path str
-        | Signature sg ->
-            exports :=
-              Dead_export.exports_of_signature ~file:path sg @ !exports;
-            Rules.check_signature ~file:path sg
-        | Broken msg ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg ->
             errors := msg :: !errors;
-            [])
+            None
+        | source ->
+            let digest = Digest.string source in
+            let summary =
+              match Summary.find cache ~path ~digest with
+              | Some s ->
+                  incr cache_hits;
+                  s
+              | None ->
+                  incr cache_misses;
+                  summarize path kind source
+            in
+            Some (digest, summary))
       files
   in
-  (* Pass 2: dead exports need every implementation's uses. *)
-  let dead = Dead_export.check ~exports:!exports ~uses:!uses in
+  Option.iter
+    (fun path ->
+      Summary.store path
+        (List.map
+           (fun (digest, (s : Summary.file_summary)) ->
+             (s.path, { Summary.digest; summary = s }))
+           summaries))
+    cache_file;
+  let summaries = List.map snd summaries in
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      List.iter (fun msg -> errors := msg :: !errors) s.parse_errors;
+      List.iter
+        (fun (line, token) ->
+          errors :=
+            Printf.sprintf "%s:%d: bad suppression directive (%s)" s.path line
+              token
+            :: !errors)
+        (Suppress.bad_directives s.suppress))
+    summaries;
+  (* Pass 2: whole-program facts — dead exports need every
+     implementation's uses; RX012–RX014 need the cross-module call
+     graph. Only .ml summaries feed the graph, so an interface never
+     shadows its implementation's compilation unit. *)
+  let dead =
+    Dead_export.check
+      ~exports:
+        (List.concat_map (fun (s : Summary.file_summary) -> s.exports)
+           summaries)
+      ~uses:
+        (List.filter_map (fun (s : Summary.file_summary) -> s.uses) summaries)
+  in
+  let graph =
+    Callgraph.build
+      (List.filter
+         (fun (s : Summary.file_summary) ->
+           Filename.check_suffix s.path ".ml")
+         summaries)
+  in
+  let inter = Interproc.run graph in
+  let suppressions : (string, Suppress.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      Hashtbl.replace suppressions s.path s.suppress)
+    summaries;
+  let suppressed = ref 0 in
+  let active ~file ~line rule =
+    match Hashtbl.find_opt suppressions file with
+    | Some sup -> Suppress.active sup ~line rule
+    | None -> false
+  in
+  (* An interprocedural finding is suppressible at either end of its
+     chain: the entry line it is anchored at, or the sink-side line of
+     the last chain step. *)
+  let keep_unsuppressed (d : Diagnostic.t) =
+    let silenced =
+      active ~file:d.file ~line:d.line d.rule
+      ||
+      match List.rev d.chain with
+      | (file, line, _) :: _ -> active ~file ~line d.rule
+      | [] -> false
+    in
+    if silenced then incr suppressed;
+    not silenced
+  in
   let findings =
-    List.filter keep_unsuppressed (per_file @ dead)
+    List.concat_map (fun (s : Summary.file_summary) -> s.diags) summaries
+    @ dead @ inter
+    |> List.filter keep_unsuppressed
     |> List.sort Diagnostic.compare
   in
   {
     findings;
     suppressed = !suppressed;
     files_scanned = List.length files;
+    cache_hits = !cache_hits;
+    cache_misses = !cache_misses;
     errors = List.rev !errors;
+    graph;
   }
 
 let apply_baseline baseline findings =

@@ -1,0 +1,391 @@
+(* The whole-program rules: RX012 nondeterminism taint, RX013
+   domain-safety races, RX014 exception escape.
+
+   All three walk the resolved call graph breadth-first from a set of
+   entry points, so every finding carries the shortest static chain
+   from the entry to the sink — the finding is addressed at the entry
+   end (where the contract is owed) and the chain's last step is the
+   sink end, and the driver accepts a suppression at either. *)
+
+(* Paper-compute entry points for the taint rule, beyond pool task
+   bodies: the executor's phase functions and the Monte-Carlo
+   replica kernels are the code whose bit-identity the paper's
+   guarantee rests on, even though their pool submission goes through
+   [Checkpointed.init_array]'s first-class [f] the resolver cannot
+   see. Additional entry points are marked in-source with the
+   [rexspeed-lint: entry] directive. *)
+let entry_file_suffixes = [ "lib/sim/executor.ml"; "lib/sim/montecarlo.ml" ]
+
+(* Daemon compute is a pool task body only for multi-request batches
+   ([map_list] for 2+ misses); it must hold the same contracts when
+   dispatched inline, so it is an entry point in its own right. *)
+let compute_entries = [ ("lib/server/daemon.ml", "compute") ]
+
+(* The pool's retry loop re-raises these rather than retrying
+   ([Out_of_memory]/[Stack_overflow], PR 4) or handles them as part
+   of the supervision protocol ([Worker_crash]/[Injected_fault]), so
+   their escape from a task body IS the policy. Everything else
+   escaping a task body burns the whole retry budget on an error
+   that will deterministically recur. *)
+let policy_exns =
+  [ "Out_of_memory"; "Stack_overflow"; "Worker_crash"; "Injected_fault" ]
+
+let node_key file fn = file ^ "#" ^ fn
+
+let display file (f : Summary.fn) =
+  Printf.sprintf "%s.%s" (Callgraph.unit_name_of_file file) f.Summary.fn_name
+
+(* ------------------------------------------------------------------ *)
+(* Entry-point discovery                                               *)
+
+type entry = {
+  e_file : string;
+  e_fn : Summary.fn;
+  e_label : string;  (* for messages: what kind of entry this is *)
+  e_site : Summary.loc option;  (* the pool submission site, if any *)
+}
+
+let pool_bodies t =
+  List.concat_map
+    (fun (s : Summary.file_summary) ->
+      List.concat_map
+        (fun (site : Summary.pool_site) ->
+          List.concat_map
+            (fun body ->
+              let resolved =
+                match body with
+                | [ name ]
+                  when String.length name > 0 && name.[0] = '<' -> (
+                    match Callgraph.find_fn t ~path:s.path ~fn:name with
+                    | Some f -> [ (s.path, f) ]
+                    | None -> [])
+                | path -> Callgraph.resolve t ~from_file:s.path path
+              in
+              List.map
+                (fun (file, fn) ->
+                  {
+                    e_file = file;
+                    e_fn = fn;
+                    e_label =
+                      Printf.sprintf "Parallel.Pool.%s task body"
+                        site.combinator;
+                    e_site = Some site.site_loc;
+                  })
+                resolved)
+            site.bodies)
+        s.pool_sites)
+    (Callgraph.summaries t)
+
+let taint_entries t =
+  let named =
+    List.concat_map
+      (fun (s : Summary.file_summary) ->
+        let in_entry_file =
+          List.exists
+            (fun suf -> Paths.has_suffix ~suffix:suf s.path)
+            entry_file_suffixes
+        in
+        List.filter_map
+          (fun (f : Summary.fn) ->
+            if f.fn_is_closure then None
+            else if in_entry_file || f.fn_entry_marked then
+              Some
+                {
+                  e_file = s.path;
+                  e_fn = f;
+                  e_label =
+                    (if f.fn_entry_marked then "marked entry point"
+                     else "paper-compute entry point");
+                  e_site = None;
+                }
+            else None)
+          s.fns)
+      (Callgraph.summaries t)
+  in
+  pool_bodies t @ named
+
+let escape_entries t =
+  let named =
+    List.concat_map
+      (fun (s : Summary.file_summary) ->
+        List.concat_map
+          (fun (suffix, fn_name) ->
+            if Paths.has_suffix ~suffix s.path then
+              match Callgraph.find_fn t ~path:s.path ~fn:fn_name with
+              | Some f ->
+                  [
+                    {
+                      e_file = s.path;
+                      e_fn = f;
+                      e_label = "daemon compute";
+                      e_site = None;
+                    };
+                  ]
+              | None -> []
+            else [])
+          compute_entries)
+      (Callgraph.summaries t)
+  in
+  pool_bodies t @ named
+
+(* ------------------------------------------------------------------ *)
+(* RX012: nondeterminism taint                                         *)
+
+(* A sink seeds taint unless its file is allowlisted for the
+   corresponding direct rule (the metrics clock, the tracing clock,
+   bench wall time): the allowlist says "this nondeterminism is
+   sanctioned", and that sanction extends to callers. A per-line
+   [allow RX001] suppression does NOT stop the seed — it excuses the
+   direct use, not its reachability from compute; silence the taint
+   with [allow RX012] at the entry or the sink. *)
+let seeding_sinks file (f : Summary.fn) =
+  List.filter
+    (fun (kind, _) -> not (Rules.allowlisted (Summary.sink_rule kind) file))
+    f.Summary.sinks
+
+let chain_note file (f : Summary.fn) =
+  Printf.sprintf "calls %s" (display file f)
+
+let rx012 t =
+  let out = ref [] in
+  let reported = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Rules.allowlisted Diagnostic.RX012 e.e_file) then begin
+        (* Breadth-first from the entry; depth 0 is the entry itself,
+           whose direct sinks are RX001–RX004's business. *)
+        let visited = Hashtbl.create 64 in
+        let q = Queue.create () in
+        Queue.add (e.e_file, e.e_fn, []) q;
+        Hashtbl.replace visited (node_key e.e_file e.e_fn.Summary.fn_name) ();
+        while not (Queue.is_empty q) do
+          let file, fn, chain = Queue.pop q in
+          let depth = List.length chain in
+          if depth > 0 then
+            List.iter
+              (fun (kind, (sloc : Summary.loc)) ->
+                let rkey =
+                  ( e.e_file,
+                    e.e_fn.Summary.fn_loc.line,
+                    e.e_fn.Summary.fn_name,
+                    Summary.sink_label kind )
+                in
+                if not (Hashtbl.mem reported rkey) then begin
+                  Hashtbl.replace reported rkey ();
+                  let sink_note =
+                    Printf.sprintf "%s sink (%s) in %s"
+                      (Summary.sink_label kind)
+                      (Diagnostic.rule_id (Summary.sink_rule kind))
+                      (display file fn)
+                  in
+                  let chain =
+                    List.rev chain @ [ (file, sloc.line, sink_note) ]
+                  in
+                  let via =
+                    String.concat "; "
+                      (List.map (fun (_, _, note) -> note) chain)
+                  in
+                  out :=
+                    Diagnostic.make Diagnostic.RX012 ~file:e.e_file
+                      ~line:e.e_fn.Summary.fn_loc.line
+                      ~col:e.e_fn.Summary.fn_loc.col ~chain
+                      (Printf.sprintf
+                         "%s %s transitively reaches a %s sink (%s); \
+                          re-execution at a different speed will not \
+                          reproduce its result — cut the path or justify \
+                          with an RX012 suppression at either end"
+                         e.e_label
+                         (display e.e_file e.e_fn)
+                         (Summary.sink_label kind) via)
+                    :: !out
+                end)
+              (seeding_sinks file fn);
+          List.iter
+            (fun (c : Summary.call) ->
+              List.iter
+                (fun (gfile, (g : Summary.fn)) ->
+                  let k = node_key gfile g.fn_name in
+                  if not (Hashtbl.mem visited k) then begin
+                    Hashtbl.replace visited k ();
+                    Queue.add
+                      ( gfile,
+                        g,
+                        (gfile, c.call_loc.line, chain_note gfile g)
+                        :: chain )
+                      q
+                  end)
+                (Callgraph.resolve t ~from_file:file c.callee))
+            fn.Summary.calls
+        done
+      end)
+    (taint_entries t);
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* RX013: domain-safety races                                          *)
+
+(* A write is a race candidate when the written name is free in its
+   function (defined outside, so shared with the submitting domain or
+   other tasks), the function takes no lock, and the target is not an
+   [Atomic] (atomic updates go through [Atomic.set]/[incr], which are
+   calls, not writes). The pool's bit-identity argument is that
+   scheduling decides who computes a slot, never what — any
+   unsynchronized write shared across task bodies breaks that. *)
+let rx013 t =
+  let out = ref [] in
+  List.iter
+    (fun (s : Summary.file_summary) ->
+      List.iter
+        (fun (site : Summary.pool_site) ->
+          let reported = Hashtbl.create 4 in
+          List.iter
+            (fun body ->
+              let resolved =
+                match body with
+                | [ name ]
+                  when String.length name > 0 && name.[0] = '<' -> (
+                    match Callgraph.find_fn t ~path:s.path ~fn:name with
+                    | Some f -> [ (s.path, f) ]
+                    | None -> [])
+                | path -> Callgraph.resolve t ~from_file:s.path path
+              in
+              List.iter
+                (fun (bfile, (bfn : Summary.fn)) ->
+                  let visited = Hashtbl.create 64 in
+                  let q = Queue.create () in
+                  Queue.add (bfile, bfn, []) q;
+                  Hashtbl.replace visited (node_key bfile bfn.fn_name) ();
+                  while not (Queue.is_empty q) do
+                    let file, fn, chain = Queue.pop q in
+                    if
+                      (not fn.Summary.takes_lock)
+                      && not (Rules.allowlisted Diagnostic.RX013 file)
+                    then
+                      List.iter
+                        (fun (w : Summary.write_site) ->
+                          if not (Hashtbl.mem reported w.target) then begin
+                            Hashtbl.replace reported w.target ();
+                            let wnote =
+                              Printf.sprintf "unsynchronized write to %s in %s"
+                                w.target (display file fn)
+                            in
+                            let chain =
+                              List.rev chain
+                              @ [ (file, w.write_loc.line, wnote) ]
+                            in
+                            out :=
+                              Diagnostic.make Diagnostic.RX013 ~file:s.path
+                                ~line:site.site_loc.line
+                                ~col:site.site_loc.col ~chain
+                                (Printf.sprintf
+                                   "Pool.%s task body %s writes %s, which is \
+                                    defined outside the task, without \
+                                    Atomic/Mutex protection (%s:%d); a \
+                                    domain-count change or retry reorders \
+                                    the writes and breaks bit-identity"
+                                   site.combinator
+                                   (display bfile bfn)
+                                   w.target file w.write_loc.line)
+                              :: !out
+                          end)
+                        fn.Summary.free_writes;
+                    List.iter
+                      (fun (c : Summary.call) ->
+                        List.iter
+                          (fun (gfile, (g : Summary.fn)) ->
+                            let k = node_key gfile g.fn_name in
+                            if not (Hashtbl.mem visited k) then begin
+                              Hashtbl.replace visited k ();
+                              Queue.add
+                                ( gfile,
+                                  g,
+                                  (gfile, c.call_loc.line,
+                                   chain_note gfile g)
+                                  :: chain )
+                                q
+                            end)
+                          (Callgraph.resolve t ~from_file:file c.callee))
+                      fn.Summary.calls
+                  done)
+                resolved)
+            site.bodies)
+        s.pool_sites)
+    (Callgraph.summaries t);
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* RX014: exception escape                                             *)
+
+let rx014 t =
+  let out = ref [] in
+  let reported = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Rules.allowlisted Diagnostic.RX014 e.e_file) then begin
+        let visited = Hashtbl.create 64 in
+        let q = Queue.create () in
+        Queue.add (e.e_file, e.e_fn, [], []) q;
+        Hashtbl.replace visited (node_key e.e_file e.e_fn.Summary.fn_name) ();
+        while not (Queue.is_empty q) do
+          let file, fn, chain, masked = Queue.pop q in
+          List.iter
+            (fun (r : Summary.raise_site) ->
+              if
+                (not (List.mem r.exn_name masked))
+                && not (List.mem r.exn_name policy_exns)
+              then begin
+                let rkey =
+                  ( e.e_file,
+                    e.e_fn.Summary.fn_loc.line,
+                    e.e_fn.Summary.fn_name,
+                    r.exn_name )
+                in
+                if not (Hashtbl.mem reported rkey) then begin
+                  Hashtbl.replace reported rkey ();
+                  let rnote =
+                    Printf.sprintf "raises %s in %s" r.exn_name
+                      (display file fn)
+                  in
+                  let chain =
+                    List.rev chain @ [ (file, r.raise_loc.line, rnote) ]
+                  in
+                  out :=
+                    Diagnostic.make Diagnostic.RX014 ~file:e.e_file
+                      ~line:e.e_fn.Summary.fn_loc.line
+                      ~col:e.e_fn.Summary.fn_loc.col ~chain
+                      (Printf.sprintf
+                         "%s %s can let %s escape (raised at %s:%d); the \
+                          pool will re-raise it deterministically on every \
+                          retry and burn the whole budget — handle it in \
+                          the body, or convert it to a structured error"
+                         e.e_label
+                         (display e.e_file e.e_fn)
+                         r.exn_name file r.raise_loc.line)
+                    :: !out
+                end
+              end)
+            fn.Summary.raises;
+          List.iter
+            (fun (c : Summary.call) ->
+              if not c.masks_all then
+                List.iter
+                  (fun (gfile, (g : Summary.fn)) ->
+                    let k = node_key gfile g.fn_name in
+                    if not (Hashtbl.mem visited k) then begin
+                      Hashtbl.replace visited k ();
+                      Queue.add
+                        ( gfile,
+                          g,
+                          (gfile, c.call_loc.line, chain_note gfile g)
+                          :: chain,
+                          c.masked_exns @ masked )
+                        q
+                    end)
+                  (Callgraph.resolve t ~from_file:file c.callee))
+            fn.Summary.calls
+        done
+      end)
+    (escape_entries t);
+  !out
+
+let run t = rx012 t @ rx013 t @ rx014 t

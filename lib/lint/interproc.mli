@@ -1,0 +1,27 @@
+(** Whole-program analyses over a {!Callgraph.t}: RX012
+    (nondeterminism taint reaching paper-compute entry points), RX013
+    (unsynchronized shared-state writes reachable from pool task
+    bodies) and RX014 (exceptions escaping pool task bodies or the
+    daemon compute path against the retry policy).
+
+    Findings are anchored at the {e entry} end ([file:line] of the
+    entry function) and carry the full propagation [chain]; the driver
+    accepts suppressions at either the entry line or the chain's last
+    (sink-side) line. *)
+
+val entry_file_suffixes : string list
+(** Files whose every top-level function is an RX012 entry point —
+    the simulation kernels. *)
+
+val compute_entries : (string * string) list
+(** [(file suffix, function)] pairs treated as RX014 compute entry
+    points in addition to pool task bodies — the daemon compute
+    path. *)
+
+val policy_exns : string list
+(** Exception constructors the pool's retry policy deliberately lets
+    escape ([Out_of_memory], [Stack_overflow], …) — never RX014. *)
+
+val run : Callgraph.t -> Diagnostic.t list
+(** All interprocedural findings, pre-suppression, in a deterministic
+    order. *)

@@ -1,0 +1,75 @@
+(* Shared identifier-path plumbing for the per-file rules and the
+   call-graph builder: longident flattening and local module-alias
+   resolution. Resolution is purely syntactic — one flat alias
+   environment per file, no scoping — which over-approximates
+   visibility but keeps both the denylist matcher (RX001–RX004,
+   RX011) and the call resolver honest about what a name means after
+   [module U = Unix] or [module Unix = Safe_io]. *)
+
+open Parsetree
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+type aliases = (string * string list) list
+
+(* Every [module X = M.N] binding in the file, at any depth. The map
+   is flat: a locally scoped alias leaks to the whole file, which can
+   only change which module a name resolves to, never invent code. *)
+let aliases_of_structure str =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.Asttypes.txt, mb.pmb_expr.pmod_desc) with
+          | Some alias, Pmod_ident { txt; _ } -> (
+              match flatten_lid txt with
+              | [] -> ()
+              | target -> acc := (alias, target) :: !acc)
+          | _ -> ());
+          super.module_binding it mb);
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_letmodule ({ txt = Some alias; _ }, me, _) -> (
+              match me.pmod_desc with
+              | Pmod_ident { txt; _ } -> (
+                  match flatten_lid txt with
+                  | [] -> ()
+                  | target -> acc := (alias, target) :: !acc)
+              | _ -> ())
+          | _ -> ());
+          super.expr it e);
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+(* Substitute the head module of [path] through the alias map, up to
+   a small depth so alias cycles terminate. [module U = Unix] makes
+   [U.read] resolve to [Unix.read]; [module Unix = Safe_io] makes a
+   literal [Unix.read] resolve to [Safe_io.read] — local renamings
+   win over the global namespace, matching the compiler. *)
+let resolve ~aliases path =
+  let rec go depth path =
+    if depth > 4 then path
+    else
+      match path with
+      | head :: (_ :: _ as rest) -> (
+          match List.assoc_opt head aliases with
+          | Some target -> go (depth + 1) (target @ rest)
+          | None -> path)
+      | _ -> path
+  in
+  go 0 path

@@ -1,0 +1,30 @@
+(** Identifier-path helpers shared by the per-file rules and the
+    call-graph builder.
+
+    A path is a flattened longident, e.g. [["Parallel"; "Pool";
+    "map_list"]]. Local [module X = M.N] bindings are collected into
+    a flat per-file alias environment and substituted at the head of
+    a path before any denylist or call-target matching, so a renamed
+    [Unix] is not mistaken for the real one and an aliased [Unix] is
+    not missed. *)
+
+val flatten_lid : Longident.t -> string list
+(** [[]] for functor applications ([Lapply]), which the linter does
+    not resolve. *)
+
+val last : 'a list -> 'a option
+
+val has_suffix : suffix:string -> string -> bool
+
+type aliases = (string * string list) list
+(** [(alias, target-path)] pairs, in source order. *)
+
+val aliases_of_structure : Parsetree.structure -> aliases
+(** Every [module X = M.N] and [let module X = M.N] binding in the
+    file, at any depth, as one flat environment. *)
+
+val resolve : aliases:aliases -> string list -> string list
+(** Expand the head component of a qualified path through the alias
+    environment (bounded depth, so cycles terminate). Single-component
+    paths are returned unchanged — a bare value name is never a module
+    alias use. *)

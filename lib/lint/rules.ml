@@ -164,8 +164,8 @@ let binop op e =
    must derive from task indices, and timestamps must be confined to
    trace/clock.ml, or two identical runs stop producing identical
    traces. *)
-let check_ident add ~in_trace loc lid =
-  match flatten_lid lid with
+let check_ident add ~in_trace loc path =
+  match path with
   | "Random" :: _ :: _ when in_trace ->
       add Diagnostic.RX010 loc
         "Random inside a tracing emission path makes span identities \
@@ -350,9 +350,16 @@ let check_structure ~file str =
   in
   let super = Ast_iterator.default_iterator in
   let in_trace = in_trace_dir file in
+  (* Resolve local [module U = Unix] / [module Unix = Safe_io]
+     bindings before matching identifier denylists, so a renamed Unix
+     still trips RX011 and a shadowing Unix does not (the RX011
+     alias-shape fix). *)
+  let aliases = Paths.aliases_of_structure str in
   let check_expr e =
     (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> check_ident add ~in_trace e.pexp_loc txt
+    | Pexp_ident { txt; _ } ->
+        check_ident add ~in_trace e.pexp_loc
+          (Paths.resolve ~aliases (flatten_lid txt))
     | _ -> ());
     check_apply add ~guards:!guards e;
     check_catch_all add e

@@ -1,0 +1,73 @@
+(** Per-module analysis summaries and their digest-keyed cache.
+
+    A {!file_summary} is a pure function of one source file's bytes:
+    the per-file diagnostics plus the function-level facts the
+    interprocedural rules (RX012–RX014) compose. Because the
+    interprocedural pass runs from summaries only, a warm (cached)
+    run produces byte-identical diagnostics to a cold one. *)
+
+type sink_kind = Random_src | Clock | Domain_self | Hashtbl_order
+
+val sink_rule : sink_kind -> Diagnostic.rule
+(** The per-file rule that flags a {e direct} use of this sink; its
+    file allowlist also decides whether the sink seeds RX012 taint. *)
+
+val sink_label : sink_kind -> string
+
+type loc = { line : int; col : int }
+
+type call = {
+  callee : string list;
+  call_loc : loc;
+  masked_exns : string list;
+  masks_all : bool;
+}
+
+type raise_site = { exn_name : string; raise_loc : loc }
+type write_site = { target : string; write_loc : loc }
+
+type fn = {
+  fn_name : string;
+  fn_loc : loc;
+  fn_is_closure : bool;
+  fn_entry_marked : bool;
+  sinks : (sink_kind * loc) list;
+  calls : call list;
+  raises : raise_site list;
+  free_writes : write_site list;
+  takes_lock : bool;
+}
+
+type pool_site = {
+  site_loc : loc;
+  combinator : string;
+  bodies : string list list;
+  encl_fn : string option;
+}
+
+type file_summary = {
+  path : string;
+  fns : fn list;
+  pool_sites : pool_site list;
+  diags : Diagnostic.t list;
+  exports : Dead_export.export list;
+  uses : Dead_export.uses option;
+  suppress : Suppress.t;
+  parse_errors : string list;
+}
+
+(** {2 Cache}
+
+    A Marshal blob guarded by a magic line carrying a schema counter
+    and the compiler version; any mismatch or I/O failure degrades to
+    a cold run. Writes are crash-atomic (tmp + rename). *)
+
+type entry = { digest : string; summary : file_summary }
+type cache = (string * entry) list
+
+val load : string -> cache
+val store : string -> cache -> unit
+
+val find : cache -> path:string -> digest:string -> file_summary option
+(** The cached summary for [path], only if its recorded digest
+    matches the current file contents. *)

@@ -1,0 +1,4 @@
+(* A local module named Unix is not the blocking stdlib Unix. *)
+module Unix = Safe_io
+
+let read_some fd buf = Unix.read fd buf 0 1

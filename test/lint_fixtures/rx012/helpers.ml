@@ -1,0 +1,7 @@
+(* Sink helpers: the direct uses are per-file findings themselves. *)
+let draw () = Random.int 10
+let stamp () = Unix.gettimeofday ()
+let order tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let indirection () = draw ()
+let deep () = indirection ()
+let pure x = x + 1

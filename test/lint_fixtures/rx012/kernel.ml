@@ -1,0 +1,22 @@
+(* Entry points: marked kernels and pool task bodies. *)
+(* rexspeed-lint: entry *)
+let kernel_chain () = Helpers.indirection ()
+
+(* rexspeed-lint: entry *)
+let kernel_clock () = Helpers.stamp ()
+
+(* rexspeed-lint: entry *)
+let kernel_order tbl = Helpers.order tbl
+
+(* rexspeed-lint: entry *)
+let kernel_pure x = Helpers.pure x
+
+let tainted_body i = i + Helpers.deep ()
+
+let run_closure pool n =
+  Parallel.Pool.init_array pool n (fun i -> i + Helpers.deep ())
+
+let run_named pool a = Parallel.Pool.map_array pool tainted_body a
+
+(* rexspeed-lint: entry *)
+let kernel_suppressed () = Helpers.indirection () (* rexspeed-lint: allow RX012 *)

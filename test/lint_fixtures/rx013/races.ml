@@ -1,0 +1,40 @@
+(* Unsynchronized shared-state writes in pool task bodies. *)
+let total = ref 0
+let slots = Array.make 8 0
+
+type cell = { mutable v : int }
+
+let shared = { v = 0 }
+let lock = Mutex.create ()
+let bump i = total := !total + i
+
+let direct pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      total := !total + i;
+      slots.(i mod 8) <- i;
+      shared.v <- i;
+      i)
+
+let via_callee pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      bump i;
+      i)
+
+let guarded pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      Mutex.protect lock (fun () -> total := !total + i);
+      i)
+
+let atomic_ok pool counter n =
+  Parallel.Pool.init_array pool n (fun i ->
+      Atomic.incr counter;
+      i)
+
+let local_ok pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      let acc = ref 0 in
+      acc := !acc + i;
+      !acc)
+
+(* A free write outside any pool context is the submitter's own state. *)
+let () = total := 42

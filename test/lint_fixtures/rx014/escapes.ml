@@ -1,0 +1,36 @@
+exception Local_fail
+
+let direct pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      if i = 0 then raise Local_fail;
+      i)
+
+let via_failwith pool n =
+  Parallel.Pool.map_list pool (fun i -> if i > n then failwith "nope" else i)
+
+let cross_module pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      Thrower.boom ();
+      i)
+
+let handled pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      (try raise Local_fail with Local_fail -> ());
+      Thrower.safe ();
+      i)
+
+let policy pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      if i < 0 then raise Out_of_memory;
+      i)
+
+let suppressed pool n =
+  (* rexspeed-lint: allow RX014 *)
+  Parallel.Pool.init_array pool n (fun i ->
+      if i = 1 then invalid_arg "nope";
+      i)
+
+let sink_suppressed pool n =
+  Parallel.Pool.init_array pool n (fun i ->
+      if i = 2 then failwith "meh" (* rexspeed-lint: allow RX014 *)
+      else i)

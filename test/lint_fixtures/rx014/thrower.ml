@@ -1,0 +1,4 @@
+exception Kaboom
+
+let boom () = raise Kaboom
+let safe () = try boom () with Kaboom -> ()

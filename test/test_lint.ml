@@ -15,7 +15,12 @@ let marker = "rexspeed" ^ "-lint: allow"
 let key (d : Diagnostic.t) =
   (Filename.basename d.file, d.line, Diagnostic.rule_id d.rule)
 
-let scan_fixture name = Driver.scan ~roots:[ fixture name ]
+let scan_fixture name = Driver.scan ~roots:[ fixture name ] ()
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
 
 let check_findings what (report : Driver.report) expected =
   Alcotest.(check (list string)) (what ^ ": no errors") [] report.errors;
@@ -102,6 +107,162 @@ let test_rx011 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Interprocedural rules: taint, races, exception escape               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rx012 () =
+  (* helpers.ml holds the raw sinks (flagged per-file by RX001/2/4);
+     kernel.ml reaches them transitively from marked entry points and
+     pool task bodies. kernel_pure stays silent, and the suppressed
+     entry point is counted, not reported. *)
+  let report = scan_fixture "rx012" in
+  check_findings "rx012" report
+    [
+      ("helpers.ml", 2, "RX001");
+      ("helpers.ml", 3, "RX002");
+      ("helpers.ml", 4, "RX004");
+      ("kernel.ml", 3, "RX012");
+      ("kernel.ml", 6, "RX012");
+      ("kernel.ml", 9, "RX012");
+      ("kernel.ml", 14, "RX012");
+      ("kernel.ml", 17, "RX012");
+    ];
+  Alcotest.(check int) "suppressed entry point counted" 1 report.suppressed
+
+let test_rx012_chain () =
+  (* The named-function task body goes through three calls before the
+     sink; the diagnostic must carry that whole path, sink last. *)
+  let report = scan_fixture "rx012" in
+  match
+    List.find_opt
+      (fun (d : Diagnostic.t) ->
+        d.rule = Diagnostic.RX012 && d.line = 14)
+      report.findings
+  with
+  | None -> Alcotest.fail "kernel.ml:14 RX012 finding missing"
+  | Some d ->
+      Alcotest.(check int) "three hops plus the sink" 4 (List.length d.chain);
+      let file, line, note = List.nth d.chain 3 in
+      Alcotest.(check string) "chain ends in the sink file" "helpers.ml"
+        (Filename.basename file);
+      Alcotest.(check int) "at the sink line" 2 line;
+      Alcotest.(check bool) "sink step names the sink" true
+        (contains note "Random sink")
+
+let test_rx013 () =
+  (* One site writes a ref, an array slot and a mutable field directly;
+     a second reaches the ref through a callee. Mutex.protect, Atomic
+     and task-local refs stay silent, as does a module-level write made
+     outside any pool context. *)
+  check_findings "rx013" (scan_fixture "rx013")
+    [
+      ("races.ml", 12, "RX013");
+      ("races.ml", 12, "RX013");
+      ("races.ml", 12, "RX013");
+      ("races.ml", 19, "RX013");
+    ]
+
+let test_rx014 () =
+  (* Direct raise, failwith sugar and a cross-module raise all escape;
+     handled, policy-exempt and suppressed bodies stay silent. One
+     suppression sits at the entry line, one at the sink line — both
+     ends must accept the directive. *)
+  let report = scan_fixture "rx014" in
+  check_findings "rx014" report
+    [
+      ("escapes.ml", 4, "RX014");
+      ("escapes.ml", 9, "RX014");
+      ("escapes.ml", 12, "RX014");
+    ];
+  Alcotest.(check int) "suppressed at entry and at sink" 2 report.suppressed;
+  match
+    List.find_opt (fun (d : Diagnostic.t) -> d.line = 12) report.findings
+  with
+  | None -> Alcotest.fail "cross-module RX014 finding missing"
+  | Some d -> (
+      match List.rev d.chain with
+      | (file, line, note) :: _ ->
+          Alcotest.(check string) "chain crosses into the raising module"
+            "thrower.ml" (Filename.basename file);
+          Alcotest.(check int) "at the raise" 3 line;
+          Alcotest.(check bool) "step names the exception" true
+            (contains note "Kaboom")
+      | [] -> Alcotest.fail "cross-module finding has no chain")
+
+let test_rx011_alias_resolution () =
+  (* [module U = Unix] makes U.read the real blocking read; a local
+     [module Unix = Safe_io] makes Unix.read someone else's. *)
+  let report = scan_fixture "rx011_alias" in
+  Alcotest.(check int) "both fixture files scanned" 2 report.files_scanned;
+  check_findings "rx011_alias" report [ ("alias.ml", 4, "RX011") ]
+
+(* ------------------------------------------------------------------ *)
+(* Summary cache and call-graph export                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_cache_identity () =
+  let cache = Filename.temp_file "rexspeed_lint_cache" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists cache then Sys.remove cache)
+    (fun () ->
+      let roots = [ fixture "rx012" ] in
+      let cold = Driver.scan ~cache_file:cache ~roots () in
+      Alcotest.(check int) "cold run hits nothing" 0 cold.cache_hits;
+      Alcotest.(check int) "cold run summarizes both files" 2 cold.cache_misses;
+      let warm = Driver.scan ~cache_file:cache ~roots () in
+      Alcotest.(check int) "warm run hits both files" 2 warm.cache_hits;
+      Alcotest.(check int) "warm run re-parses nothing" 0 warm.cache_misses;
+      let uncached = Driver.scan ~roots () in
+      let render (r : Driver.report) = Diagnostic.report_json r.findings in
+      Alcotest.(check string) "warm diagnostics byte-identical to cold"
+        (render cold) (render warm);
+      Alcotest.(check string) "uncached diagnostics byte-identical too"
+        (render cold) (render uncached))
+
+let test_graph_export () =
+  let report = scan_fixture "rx012" in
+  let g = report.graph in
+  let kernel = fixture (Filename.concat "rx012" "kernel.ml") in
+  Alcotest.(check bool) "kernel.ml is in the graph" true
+    (Callgraph.summary_of g kernel <> None);
+  Alcotest.(check bool) "kernel.ml has function nodes" true
+    (List.length (Callgraph.fns_of_file g kernel) >= 7);
+  let dot = Callgraph.to_dot g in
+  Alcotest.(check bool) "DOT export is a digraph" true
+    (contains dot "digraph");
+  Alcotest.(check bool) "DOT export names the entry point" true
+    (contains dot "kernel_chain");
+  Alcotest.(check bool) "DOT export marks the entry blue" true
+    (contains dot "color=blue");
+  Alcotest.(check bool) "DOT export marks sink holders red" true
+    (contains dot "color=red");
+  let json = Callgraph.to_json g in
+  Alcotest.(check bool) "JSON export is versioned" true
+    (contains json {|"schema_version"|});
+  Alcotest.(check bool) "JSON export has nodes and edges" true
+    (contains json {|"nodes"|} && contains json {|"edges"|})
+
+let test_interproc_config () =
+  (* Pin the analysis configuration the repo's own clean bill of health
+     depends on: the kernels are entries, the daemon compute path is an
+     RX014 entry, and the pool's policy exceptions are exempt. *)
+  Alcotest.(check bool) "executor is an entry file" true
+    (List.mem "lib/sim/executor.ml" Interproc.entry_file_suffixes);
+  Alcotest.(check bool) "montecarlo is an entry file" true
+    (List.mem "lib/sim/montecarlo.ml" Interproc.entry_file_suffixes);
+  Alcotest.(check bool) "daemon compute is an RX014 entry" true
+    (List.mem ("lib/server/daemon.ml", "compute") Interproc.compute_entries);
+  Alcotest.(check bool) "policy exceptions are exempt" true
+    (List.mem "Out_of_memory" Interproc.policy_exns
+    && List.mem "Worker_crash" Interproc.policy_exns);
+  Alcotest.(check string) "unit names follow dune mangling" "Executor"
+    (Callgraph.unit_name_of_file "lib/sim/executor.ml");
+  (* Split so the linter does not read this test as a directive. *)
+  Alcotest.(check string) "entry marker spelling"
+    ("(* rexspeed" ^ "-lint: entry")
+    Callgraph.entry_marker
+
+(* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -111,19 +272,11 @@ let test_suppressed_fixture () =
   Alcotest.(check int) "one suppression counted" 1 report.suppressed
 
 let test_bad_directive_fixture () =
-  let report = Driver.scan ~roots:[ fixture "bad_directive" ] in
+  let report = Driver.scan ~roots:[ fixture "bad_directive" ] () in
   Alcotest.(check bool) "run has errors" true (report.errors <> []);
   Alcotest.(check bool) "error names the bad token" true
     (List.exists
-       (fun e ->
-         let contains s sub =
-           let n = String.length sub in
-           let rec go i =
-             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
-           in
-           go 0
-         in
-         contains e "bad suppression directive" && contains e "RX0999")
+       (fun e -> contains e "bad suppression directive" && contains e "RX0999")
        report.errors)
 
 let test_suppress_module () =
@@ -196,23 +349,14 @@ let test_baseline_errors () =
       | Ok _ -> Alcotest.fail "malformed baseline must be an error"
       | Error e ->
           Alcotest.(check bool) "error is line-addressed" true
-            (String.length e > 0
-            && List.exists
-                 (fun sub ->
-                   let n = String.length sub in
-                   let rec go i =
-                     i + n <= String.length e
-                     && (String.sub e i n = sub || go (i + 1))
-                   in
-                   go 0)
-                 [ ":2" ]))
+            (String.length e > 0 && contains e ":2"))
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostics: metadata and rendering                                 *)
 (* ------------------------------------------------------------------ *)
 
 let test_rule_metadata () =
-  Alcotest.(check int) "eleven rules" 11 (List.length Diagnostic.all_rules);
+  Alcotest.(check int) "fourteen rules" 14 (List.length Diagnostic.all_rules);
   List.iter
     (fun r ->
       let id = Diagnostic.rule_id r in
@@ -234,7 +378,13 @@ let test_rule_metadata () =
   Alcotest.(check bool) "RX010 is an error" true
     (Diagnostic.severity_of RX010 = Diagnostic.Error);
   Alcotest.(check bool) "RX011 is an error" true
-    (Diagnostic.severity_of RX011 = Diagnostic.Error)
+    (Diagnostic.severity_of RX011 = Diagnostic.Error);
+  Alcotest.(check bool) "RX012 is an error" true
+    (Diagnostic.severity_of RX012 = Diagnostic.Error);
+  Alcotest.(check bool) "RX013 is an error" true
+    (Diagnostic.severity_of RX013 = Diagnostic.Error);
+  Alcotest.(check bool) "RX014 is an error" true
+    (Diagnostic.severity_of RX014 = Diagnostic.Error)
 
 let test_rendering () =
   let d = Diagnostic.make RX001 ~file:"f.ml" ~line:2 ~col:4 "msg" in
@@ -249,12 +399,23 @@ let test_rendering () =
   Alcotest.(check string) "json escaping"
     {|{"rule":"RX009","severity":"warning","file":"a\"b.mli","line":1,"col":0,"message":"back\\slash\nnl"}|}
     (Diagnostic.to_json tricky);
+  let chained =
+    Diagnostic.make
+      ~chain:
+        [ ("a.ml", 3, "calls A.f"); ("b.ml", 7, "Random sink (RX001) in B.g") ]
+      RX012 ~file:"e.ml" ~line:1 ~col:0 "msg"
+  in
+  Alcotest.(check string) "chain renders in order, sink last"
+    ({|{"rule":"RX012","severity":"error","file":"e.ml","line":1,"col":0,|}
+   ^ {|"message":"msg","chain":[{"file":"a.ml","line":3,"note":"calls A.f"},|}
+   ^ {|{"file":"b.ml","line":7,"note":"Random sink (RX001) in B.g"}]}|})
+    (Diagnostic.to_json chained);
   Alcotest.(check string) "empty report"
-    {|{"version":1,"findings":[],"count":0}|}
+    {|{"schema_version":2,"findings":[],"count":0}|}
     (Diagnostic.report_json []);
   let two = Diagnostic.report_json [ d; d ] in
   Alcotest.(check string) "report wraps findings"
-    ({|{"version":1,"findings":[|} ^ Diagnostic.to_json d ^ ","
+    ({|{"schema_version":2,"findings":[|} ^ Diagnostic.to_json d ^ ","
    ^ Diagnostic.to_json d ^ {|],"count":2}|})
     two
 
@@ -298,6 +459,20 @@ let () =
           Alcotest.test_case "RX009 dead export" `Quick test_rx009;
           Alcotest.test_case "RX010 trace emission purity" `Quick test_rx010;
           Alcotest.test_case "RX011 blocking socket I/O" `Quick test_rx011;
+          Alcotest.test_case "RX011 alias resolution" `Quick
+            test_rx011_alias_resolution;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "RX012 nondeterminism taint" `Quick test_rx012;
+          Alcotest.test_case "RX012 propagation chain" `Quick test_rx012_chain;
+          Alcotest.test_case "RX013 shared-state races" `Quick test_rx013;
+          Alcotest.test_case "RX014 exception escape" `Quick test_rx014;
+          Alcotest.test_case "summary cache byte-identity" `Quick
+            test_summary_cache_identity;
+          Alcotest.test_case "call-graph export" `Quick test_graph_export;
+          Alcotest.test_case "analysis configuration" `Quick
+            test_interproc_config;
         ] );
       ( "suppressions",
         [
