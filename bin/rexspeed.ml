@@ -1164,8 +1164,33 @@ let serve_cmd =
              the response; a mismatch counts as a $(i,verify.divergence) and \
              triggers one authoritative re-execution. 0 disables.")
   in
+  let shards =
+    let env = Cmd.Env.info "REXSPEED_SHARDS" in
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N" ~env
+          ~doc:
+            "Shard the daemon across $(docv) worker processes behind a \
+             consistent-hash router: each request is routed by its \
+             fingerprint to one shared-nothing worker (own cache, own \
+             pool), $(i,health)/$(i,stats) aggregate fleet-wide, and a \
+             dead worker is respawned with its in-flight requests \
+             replayed. 1 keeps the single-process daemon.")
+  in
+  let shard_spawn_timeout_ms =
+    Arg.(
+      value & opt int 10_000
+      & info
+          [ "shard-spawn-timeout-ms" ]
+          ~docv:"MS"
+          ~doc:
+            "How long a spawned shard worker may take to accept \
+             connections — at startup and on failover respawn — before \
+             the router gives up on it.")
+  in
   let run port socket cache_entries max_request_bytes max_inflight log_every
-      deadline_ms io_timeout_ms max_queue verify_sample =
+      deadline_ms io_timeout_ms max_queue verify_sample shards
+      shard_spawn_timeout_ms =
     if port = None && socket = None then
       die Cmd.Exit.cli_error "serve needs a listener: pass --port and/or --socket";
     (match port with
@@ -1184,24 +1209,67 @@ let serve_cmd =
     if max_queue < 0 then die Cmd.Exit.cli_error "--max-queue must be >= 0";
     if verify_sample < 0 then
       die Cmd.Exit.cli_error "--verify-sample must be >= 0";
-    let options =
-      {
-        Server.Daemon.port;
-        socket_path = socket;
-        cache_entries;
-        max_request_bytes;
-        max_inflight;
-        log_every;
-        handle_signals = true;
-        deadline_ms;
-        io_timeout_ms;
-        max_queue;
-        verify_sample;
-      }
-    in
-    match Server.Daemon.run options with
-    | Ok () -> 0
-    | Error message -> die exit_config message
+    if shards < 1 || shards > 64 then
+      die Cmd.Exit.cli_error "--shards must be in 1..64";
+    if shard_spawn_timeout_ms < 1 then
+      die Cmd.Exit.cli_error "--shard-spawn-timeout-ms must be >= 1";
+    if shards = 1 then begin
+      let options =
+        {
+          Server.Daemon.port;
+          socket_path = socket;
+          cache_entries;
+          max_request_bytes;
+          max_inflight;
+          log_every;
+          handle_signals = true;
+          deadline_ms;
+          io_timeout_ms;
+          max_queue;
+          verify_sample;
+        }
+      in
+      match Server.Daemon.run options with
+      | Ok () -> 0
+      | Error message -> die exit_config message
+    end
+    else begin
+      (* Every worker is this same binary running a single-process
+         [serve] on a private socket; the router forwards the tuning
+         flags verbatim and pins the resolved domain count so workers
+         do not re-read REXSPEED_DOMAINS differently. REXSPEED_SHARDS
+         itself is stripped from the worker environment by the
+         supervisor, so a worker can never recurse into a router. *)
+      let worker_args =
+        [
+          ("--cache-entries", cache_entries);
+          ("--max-request-bytes", max_request_bytes);
+          ("--max-inflight", max_inflight);
+          ("--log-every", log_every);
+          ("--deadline-ms", deadline_ms);
+          ("--io-timeout-ms", io_timeout_ms);
+          ("--max-queue", max_queue);
+          ("--verify-sample", verify_sample);
+          ("--domains", Parallel.Pool.default_domain_count ());
+        ]
+        |> List.concat_map (fun (flag, v) -> [ flag; string_of_int v ])
+      in
+      let options =
+        {
+          Server.Router.port;
+          socket_path = socket;
+          shards;
+          spawn_timeout_ms = shard_spawn_timeout_ms;
+          max_request_bytes;
+          worker_exe = Sys.executable_name;
+          worker_args;
+          handle_signals = true;
+        }
+      in
+      match Server.Router.run options with
+      | Ok () -> 0
+      | Error message -> die exit_config message
+    end
   in
   Cmd.v
     (cmd_info "serve"
@@ -1213,14 +1281,16 @@ let serve_cmd =
           adversarial conditions: request deadlines ($(b,--deadline-ms)), \
           socket timeouts ($(b,--io-timeout-ms)), load shedding \
           ($(b,--max-queue)), supervised worker restarts, and verified \
-          re-execution of sampled requests ($(b,--verify-sample)). Answers \
-          are byte-identical to the one-shot subcommands for any \
-          $(b,--domains).")
+          re-execution of sampled requests ($(b,--verify-sample)). With \
+          $(b,--shards) N > 1, scales out across N shared-nothing worker \
+          processes behind a consistent-hash router with automatic \
+          failover. Answers are byte-identical to the one-shot \
+          subcommands for any $(b,--domains) and any shard count.")
     (with_domains
        Term.(
          const run $ port $ socket $ cache_entries $ max_request_bytes
          $ max_inflight $ log_every $ deadline_ms $ io_timeout_ms $ max_queue
-         $ verify_sample))
+         $ verify_sample $ shards $ shard_spawn_timeout_ms))
 
 let main =
   let doc =

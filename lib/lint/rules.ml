@@ -31,11 +31,14 @@ let allowlisted (rule : Diagnostic.rule) file =
   | Diagnostic.RX004 -> has_suffix ~suffix:"lib/server/metrics.ml" file
   | Diagnostic.RX010 -> has_suffix ~suffix:"trace/clock.ml" file
   | Diagnostic.RX011 ->
-      (* daemon.ml is the audited I/O layer: every fd is non-blocking
-         and every wait is bounded by --io-timeout-ms; the test clients
-         and the bench talk to a daemon they also control, so a stuck
-         read fails the run rather than hanging a service. *)
+      (* daemon.ml and router.ml are the audited I/O layers: every fd
+         is non-blocking and every wait is bounded (--io-timeout-ms in
+         the daemon, the router's write give-up and probe timeouts);
+         the test clients and the bench talk to a daemon they also
+         control, so a stuck read fails the run rather than hanging a
+         service. *)
       has_suffix ~suffix:"lib/server/daemon.ml" file
+      || has_suffix ~suffix:"lib/server/router.ml" file
       || has_suffix ~suffix:"test/cli/serve_client.ml" file
       || has_suffix ~suffix:"test/test_server.ml" file
       || has_suffix ~suffix:"bench/main.ml" file

@@ -339,86 +339,6 @@ let classify ~ordinal ~cache ~metrics ~hardening ~queue_depth ~max_queue
           Solve { id; request; fingerprint; cached })
 
 (* ------------------------------------------------------------------ *)
-(* Listeners                                                           *)
-
-let bind_listeners options =
-  let tcp port =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    try
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      Unix.listen fd 64;
-      Ok (fd, Printf.sprintf "tcp:127.0.0.1:%d" port)
-    with Unix.Unix_error (err, _, _) ->
-      Unix.close fd;
-      Error
-        (Printf.sprintf "cannot listen on 127.0.0.1:%d: %s" port
-           (Unix.error_message err))
-  in
-  (* A leftover socket file is only removed after a liveness probe
-     proves no daemon owns it: connecting to a live listener succeeds
-     (or blocks on a full backlog), connecting to an abandoned path
-     fails with ECONNREFUSED. Anything other than a provably-dead
-     socket is left untouched. *)
-  let stale_socket_check path =
-    match Unix.stat path with
-    | { Unix.st_kind = Unix.S_SOCK; _ } ->
-        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        let live =
-          Unix.set_nonblock probe;
-          match Unix.connect probe (Unix.ADDR_UNIX path) with
-          | () -> true
-          | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> false
-          | exception Unix.Unix_error (_, _, _) ->
-              (* EINPROGRESS, EAGAIN, EACCES...: assume live; never
-                 steal a path we cannot prove abandoned. *)
-              true
-        in
-        (try Unix.close probe with Unix.Unix_error _ -> ());
-        if live then
-          Error
-            (Printf.sprintf "socket %s is owned by a live daemon" path)
-        else begin
-          (try Unix.unlink path with Unix.Unix_error _ -> ());
-          Ok ()
-        end
-    | _ -> Ok () (* not a socket: leave it alone, bind will fail loudly *)
-    | exception Unix.Unix_error (ENOENT, _, _) -> Ok ()
-  in
-  let unix path =
-    match stale_socket_check path with
-    | Error _ as e -> e
-    | Ok () -> (
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        try
-          Unix.bind fd (Unix.ADDR_UNIX path);
-          Unix.listen fd 64;
-          Ok (fd, "unix:" ^ path)
-        with Unix.Unix_error (err, _, _) ->
-          Unix.close fd;
-          Error
-            (Printf.sprintf "cannot listen on socket %s: %s" path
-               (Unix.error_message err)))
-  in
-  let collect acc = function
-    | None -> acc
-    | Some listener -> (
-        match acc with
-        | Error _ -> acc
-        | Ok listeners -> (
-            match listener with
-            | Ok l -> Ok (l :: listeners)
-            | Error e -> Error e))
-  in
-  match
-    List.fold_left collect (Ok [])
-      [ Option.map tcp options.port; Option.map unix options.socket_path ]
-  with
-  | Error _ as e -> e
-  | Ok [] -> Error "serve needs a listener: pass --port and/or --socket"
-  | Ok listeners -> Ok (List.rev listeners)
-
-(* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
 
 let run ?pool ?on_ready options =
@@ -432,7 +352,9 @@ let run ?pool ?on_ready options =
   else if options.max_queue < 0 then Error "--max-queue must be >= 0"
   else if options.verify_sample < 0 then Error "--verify-sample must be >= 0"
   else
-    match bind_listeners options with
+    match
+      Listener.bind ~port:options.port ~socket_path:options.socket_path
+    with
     | Error _ as e -> e
     | Ok listeners ->
         (* From here on the daemon owns the socket path: unlink it on

@@ -1,0 +1,1009 @@
+(* The consistent-hash shard router. Single-threaded like the daemon's
+   dispatcher: one select loop owns the public listeners, every client
+   connection and one persistent pipelined connection per worker. All
+   socket I/O below goes through the bounded non-blocking helpers;
+   nothing here may block forever on a peer. *)
+
+type options = {
+  port : int option;
+  socket_path : string option;
+  shards : int;
+  spawn_timeout_ms : int;
+  max_request_bytes : int;
+  worker_exe : string;
+  worker_args : string list;
+  handle_signals : bool;
+}
+
+let default_options =
+  {
+    port = None;
+    socket_path = None;
+    shards = 2;
+    spawn_timeout_ms = 10_000;
+    max_request_bytes = 1024 * 1024;
+    worker_exe = "rexspeed";
+    worker_args = [];
+    handle_signals = true;
+  }
+
+let stop_requested = Atomic.make false
+let stop () = Atomic.set stop_requested true
+
+(* How long a write to a stuck peer may stall before the connection is
+   declared dead, how often each worker is probed, and how long an
+   unanswered probe may age before the worker is failed over. *)
+let write_give_up_s = 30.
+let probe_interval_s = 0.5
+let revive_interval_s = 2.0
+let max_respawn_attempts = 3
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+
+type client = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;
+  mutable eof : bool;
+  mutable dead : bool;
+  mutable inflight : int;  (* requests awaiting a response *)
+}
+
+(* Bounded write on a non-blocking fd (same contract as the daemon's):
+   wait for writability when the kernel buffer is full, give up and
+   mark the connection dead after [write_give_up_s]. *)
+let write_client client s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  let give_up_at = Metrics.now_s () +. write_give_up_s in
+  try
+    while !off < len && not client.dead do
+      match Unix.write client.fd bytes !off (len - !off) with
+      | written -> off := !off + written
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          if Metrics.now_s () > give_up_at then client.dead <- true
+          else ignore (Unix.select [] [ client.fd ] [] 0.1)
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+    client.dead <- true
+
+(* ------------------------------------------------------------------ *)
+(* Responses the router answers itself                                 *)
+
+let error_response ?(extra = []) ~id ~code message =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "error");
+      ( "error",
+        Json.Obj
+          ((("code", Json.String code) :: extra)
+          @ [ ("message", Json.String message) ]) );
+    ]
+
+let respond_local (client : client) response =
+  if not client.dead then write_client client (Json.encode response ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Pending entries                                                     *)
+
+(* A fleet-wide fan-out ([health]/[stats]) in progress: one leg per
+   live shard, composed into a single response when the last leg
+   lands. Down shards contribute a [None] part immediately. *)
+type agg = {
+  agg_client : client;
+  agg_id : Json.t;
+  agg_route : string;
+  mutable agg_waiting : int;
+  mutable agg_parts : (int * Json.t option) list;
+}
+
+type entry_kind =
+  | Relay of { client : client; id : Json.t; route : string }
+  | Probe
+  | Fanout of agg
+
+(* One line owed to a worker. [sent] flips on write and back on
+   failover replay; the association list per shard stays in ordinal
+   order, so replay preserves the original send order (no Hashtbl, no
+   iteration-order hazard). *)
+type entry = {
+  ordinal : int;
+  line : string;  (* rewritten request line, no terminator *)
+  kind : entry_kind;
+  mutable sent : bool;
+  mutable sent_at : float;
+}
+
+type shard = {
+  worker : Supervisor.worker;
+  mutable fd : Unix.file_descr option;
+  buf : Buffer.t;  (* partial response line from the worker *)
+  mutable entries : entry list;  (* pending, oldest first *)
+  mutable last_probe_at : float;
+  mutable down : bool;
+}
+
+type counters = {
+  mutable routed : int;
+  mutable failovers : int;
+  mutable replayed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Id rewriting and response splicing                                  *)
+
+(* Forwarded requests get the router ordinal spliced in as a duplicate
+   first member: the daemon's decoder keeps duplicates and
+   [Json.member] returns the first, so the worker echoes the ordinal
+   while the client's own [id] member rides along untouched. Only
+   lines that already parsed as valid requests reach this point, so
+   the object is never empty (it has at least "route"). *)
+let rewrite_request ~ordinal line =
+  match String.index_opt line '{' with
+  | Some i ->
+      Printf.sprintf "{\"id\":%d,%s" ordinal
+        (String.sub line (i + 1) (String.length line - i - 1))
+  | None -> Printf.sprintf "{\"id\":%d}" ordinal (* unreachable *)
+
+(* Every daemon response builder emits [id] as the first member, so a
+   worker line starts with {"id":<ordinal>, — parse just that prefix
+   and remember where the rest begins. Returns the ordinal and [Some
+   offset] of the byte after the digits (the comma), or [None] offset
+   when the fast path missed and the caller must fall back to a full
+   decode. *)
+let response_ordinal line =
+  let prefix = "{\"id\":" in
+  let plen = String.length prefix in
+  let n = String.length line in
+  let fast =
+    if n > plen + 1 && String.equal (String.sub line 0 plen) prefix then begin
+      let i = ref plen in
+      while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+        incr i
+      done;
+      if !i > plen && !i < n && line.[!i] = ',' then
+        Some (int_of_string (String.sub line plen (!i - plen)), Some !i)
+      else None
+    end
+    else None
+  in
+  match fast with
+  | Some _ as found -> found
+  | None -> (
+      match Json.decode line with
+      | Error _ -> None
+      | Ok json -> (
+          match Json.member "id" json with
+          | Some (Json.Int ordinal) -> Some (ordinal, None)
+          | Some _ | None -> None))
+
+(* Restore the client's id: splice bytes on the fast path (the relayed
+   payload — [output] above all — stays exactly the worker's bytes),
+   re-encode only when the prefix shape ever changes. *)
+let restore_id ~id line rest_at =
+  match rest_at with
+  | Some i ->
+      "{\"id\":" ^ Json.encode id ^ String.sub line i (String.length line - i)
+  | None -> (
+      match Json.decode line with
+      | Ok (Json.Obj members) ->
+          Json.encode
+            (Json.Obj
+               (("id", id)
+               :: List.filter (fun (k, _) -> not (String.equal k "id")) members
+               ))
+      | Ok other -> Json.encode other
+      | Error _ ->
+          Json.encode
+            (error_response ~id ~code:"internal" "unparseable shard response"))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-wide aggregation                                              *)
+
+let int_at path json =
+  let rec walk json = function
+    | [] -> Json.to_int_opt json
+    | key :: rest -> (
+        match Json.member key json with
+        | Some child -> walk child rest
+        | None -> None)
+  in
+  Option.value (walk json path) ~default:0
+
+let sum_parts parts path =
+  List.fold_left
+    (fun acc (_, part) ->
+      match part with Some json -> acc + int_at path json | None -> acc)
+    0 parts
+
+let router_json ~counters ~shards =
+  let respawns =
+    Array.fold_left (fun acc s -> acc + s.worker.Supervisor.respawns) 0 shards
+  in
+  let in_flight =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        + List.length
+            (List.filter
+               (fun e ->
+                 match e.kind with Relay _ | Fanout _ -> true | Probe -> false)
+               s.entries))
+      0 shards
+  in
+  Json.Obj
+    [
+      ("routed", Json.Int counters.routed);
+      ("failovers", Json.Int counters.failovers);
+      ("respawns", Json.Int respawns);
+      ("replayed", Json.Int counters.replayed);
+      ("in_flight", Json.Int in_flight);
+    ]
+
+let compose_health ~counters ~shards agg =
+  let parts =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) agg.agg_parts
+  in
+  let missing =
+    List.exists (fun (_, part) -> Option.is_none part) parts
+  in
+  let any_down = Array.exists (fun s -> s.down) shards || missing in
+  let shard_json (i, part) =
+    let s = shards.(i) in
+    Json.Obj
+      [
+        ("index", Json.Int i);
+        ("pid", Json.Int s.worker.Supervisor.pid);
+        ("respawns", Json.Int s.worker.Supervisor.respawns);
+        ("status", Json.String (if s.down then "down" else "serving"));
+        ( "health",
+          match part with
+          | Some json ->
+              Option.value (Json.member "result" json) ~default:Json.Null
+          | None -> Json.Null );
+      ]
+  in
+  Json.Obj
+    [
+      ("id", agg.agg_id);
+      ("status", Json.String "ok");
+      ("route", Json.String "health");
+      ( "result",
+        Json.Obj
+          [
+            ("status", Json.String (if any_down then "degraded" else "serving"));
+            ("version", Json.String Version.current);
+            ("ready", Json.Bool (not any_down));
+            ("shards", Json.Int (Array.length shards));
+            ("router", router_json ~counters ~shards);
+            ("shard", Json.List (List.map shard_json parts));
+          ] );
+    ]
+
+let compose_stats ~counters ~shards agg =
+  let parts =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) agg.agg_parts
+  in
+  let sum path = Json.Int (sum_parts parts ("result" :: path)) in
+  let shard_json (i, part) =
+    Json.Obj
+      [
+        ("index", Json.Int i);
+        ( "stats",
+          match part with
+          | Some json ->
+              Option.value (Json.member "result" json) ~default:Json.Null
+          | None -> Json.Null );
+      ]
+  in
+  Json.Obj
+    [
+      ("id", agg.agg_id);
+      ("status", Json.String "ok");
+      ("route", Json.String "stats");
+      ( "result",
+        Json.Obj
+          [
+            ("version", Json.String Version.current);
+            ("requests", sum [ "requests" ]);
+            ("errors", sum [ "errors" ]);
+            ( "cache",
+              Json.Obj
+                [
+                  ("capacity", sum [ "cache"; "capacity" ]);
+                  ("entries", sum [ "cache"; "entries" ]);
+                  ("hits", sum [ "cache"; "hits" ]);
+                  ("misses", sum [ "cache"; "misses" ]);
+                ] );
+            ( "hardening",
+              Json.Obj
+                [
+                  ("shed", sum [ "hardening"; "shed" ]);
+                  ("deadline_exceeded", sum [ "hardening"; "deadline_exceeded" ]);
+                  ("io_timeouts", sum [ "hardening"; "io_timeouts" ]);
+                  ( "verify",
+                    Json.Obj
+                      [
+                        ("checks", sum [ "hardening"; "verify"; "checks" ]);
+                        ( "divergences",
+                          sum [ "hardening"; "verify"; "divergences" ] );
+                      ] );
+                  ( "workers",
+                    Json.Obj
+                      [
+                        ( "restarts",
+                          sum [ "hardening"; "workers"; "restarts" ] );
+                      ] );
+                ] );
+            ("router", router_json ~counters ~shards);
+            ("shard", Json.List (List.map shard_json parts));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime directory                                                   *)
+
+let make_runtime_dir () =
+  let path = Filename.temp_file "rexspeed-shard" "" in
+  Unix.unlink path;
+  Unix.mkdir path 0o700;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let run ?on_ready options =
+  if options.shards < 1 then Error "--shards must be >= 1"
+  else if options.shards > 64 then Error "--shards must be <= 64"
+  else if options.spawn_timeout_ms < 1 then
+    Error "--shard-spawn-timeout-ms must be >= 1"
+  else if options.max_request_bytes < 2 then
+    Error "--max-request-bytes must be at least 2"
+  else
+    match
+      Listener.bind ~port:options.port ~socket_path:options.socket_path
+    with
+    | Error _ as e -> e
+    | Ok listeners ->
+        Atomic.set stop_requested false;
+        let runtime_dir = make_runtime_dir () in
+        let counters = { routed = 0; failovers = 0; replayed = 0 } in
+        let map = Shard_map.create ~shards:options.shards in
+        let shards =
+          Array.init options.shards (fun i ->
+              {
+                worker =
+                  Supervisor.make ~index:i
+                    ~socket_path:
+                      (Filename.concat runtime_dir
+                         (Printf.sprintf "worker-%d.sock" i));
+                fd = None;
+                buf = Buffer.create 256;
+                entries = [];
+                last_probe_at = 0.;
+                down = false;
+              })
+        in
+        let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+        let probe_timeout_s =
+          Float.max 2. (float_of_int options.spawn_timeout_ms /. 1000.)
+        in
+        let served = ref 0 in
+        let clients = ref [] in
+        let next_ordinal = ref 0 in
+        let fresh_ordinal () =
+          let o = !next_ordinal in
+          incr next_ordinal;
+          o
+        in
+        let worker_args shard =
+          ("serve" :: "--socket" :: shard.worker.Supervisor.socket_path
+         :: options.worker_args)
+        in
+        let close_worker_fd shard =
+          match shard.fd with
+          | Some fd ->
+              close_fd fd;
+              shard.fd <- None;
+              Buffer.clear shard.buf
+          | None -> ()
+        in
+        let connect_worker shard =
+          close_worker_fd shard;
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match
+            Unix.connect fd (Unix.ADDR_UNIX shard.worker.Supervisor.socket_path)
+          with
+          | () ->
+              Unix.set_nonblock fd;
+              shard.fd <- Some fd;
+              Ok ()
+          | exception Unix.Unix_error (err, _, _) ->
+              close_fd fd;
+              Error
+                (Printf.sprintf "shard %d: cannot connect: %s"
+                   shard.worker.Supervisor.index (Unix.error_message err))
+        in
+        let spawn_worker shard =
+          let index = shard.worker.Supervisor.index in
+          Tracing.Tracer.with_span ~id:index
+            ~label:(Printf.sprintf "shard%d" index)
+            Tracing.Span.Shard_spawn
+          @@ fun () ->
+          match
+            Supervisor.spawn ~exe:options.worker_exe ~args:(worker_args shard)
+              shard.worker
+          with
+          | Error _ as e -> e
+          | Ok () -> (
+              match
+                Supervisor.wait_ready shard.worker
+                  ~timeout_ms:options.spawn_timeout_ms
+              with
+              | Error _ as e -> e
+              | Ok () -> connect_worker shard)
+        in
+        (* Bounded write to a worker; a stall means the worker is gone
+           or wedged, and the caller fails the shard over. *)
+        let write_worker fd s =
+          let bytes = Bytes.of_string s in
+          let len = Bytes.length bytes in
+          let off = ref 0 in
+          let give_up_at = Metrics.now_s () +. write_give_up_s in
+          let ok = ref true in
+          (try
+             while !off < len && !ok do
+               match Unix.write fd bytes !off (len - !off) with
+               | written -> off := !off + written
+               | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                   if Metrics.now_s () > give_up_at then ok := false
+                   else ignore (Unix.select [] [ fd ] [] 0.1)
+               | exception Unix.Unix_error (EINTR, _, _) -> ()
+             done
+           with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+             ok := false);
+          !ok
+        in
+        (* Send every unsent pending entry, in ordinal order. *)
+        let send_pending shard =
+          match shard.fd with
+          | None -> Error "no worker connection"
+          | Some fd ->
+              let rec loop = function
+                | [] -> Ok ()
+                | entry :: rest ->
+                    if entry.sent then loop rest
+                    else if write_worker fd (entry.line ^ "\n") then begin
+                      entry.sent <- true;
+                      entry.sent_at <- Metrics.now_s ();
+                      loop rest
+                    end
+                    else Error "write to worker stalled"
+              in
+              loop shard.entries
+        in
+        let finish_fanout agg =
+          agg.agg_client.inflight <- agg.agg_client.inflight - 1;
+          let response =
+            match agg.agg_route with
+            | "health" -> compose_health ~counters ~shards agg
+            | _ -> compose_stats ~counters ~shards agg
+          in
+          respond_local agg.agg_client response;
+          incr served
+        in
+        let record_part agg index part =
+          agg.agg_parts <- (index, part) :: agg.agg_parts;
+          agg.agg_waiting <- agg.agg_waiting - 1;
+          if agg.agg_waiting <= 0 then finish_fanout agg
+        in
+        (* Answer (or account) one pending entry that will never get a
+           worker response — shard declared unusable. *)
+        let abandon_entry shard entry =
+          match entry.kind with
+          | Probe -> ()
+          | Relay { client; id; route = _ } ->
+              client.inflight <- client.inflight - 1;
+              respond_local client
+                (error_response ~id ~code:"shard_unavailable"
+                   ~extra:
+                     [
+                       ( "shard",
+                         Json.Int shard.worker.Supervisor.index );
+                     ]
+                   "shard worker unavailable");
+              incr served
+          | Fanout agg -> record_part agg shard.worker.Supervisor.index None
+        in
+        (* Handle one complete response line from a worker. Unmatched
+           ordinals (e.g. a duplicate surfacing after a replay already
+           answered) are dropped: a client hears exactly one response
+           per request. *)
+        let handle_worker_line shard line =
+          if String.trim line = "" then ()
+          else
+            match response_ordinal line with
+            | None -> ()
+            | Some (ordinal, rest_at) -> (
+                let found =
+                  List.find_opt (fun e -> e.ordinal = ordinal) shard.entries
+                in
+                match found with
+                | None -> ()
+                | Some entry -> (
+                    shard.entries <-
+                      List.filter (fun e -> e.ordinal <> ordinal) shard.entries;
+                    match entry.kind with
+                    | Probe -> ()
+                    | Relay { client; id; route = _ } ->
+                        client.inflight <- client.inflight - 1;
+                        if not client.dead then
+                          write_client client (restore_id ~id line rest_at ^ "\n");
+                        incr served
+                    | Fanout agg ->
+                        let part =
+                          match Json.decode line with
+                          | Ok json -> Some json
+                          | Error _ -> None
+                        in
+                        record_part agg shard.worker.Supervisor.index part))
+        in
+        let extract_worker_lines shard =
+          let data = Buffer.contents shard.buf in
+          Buffer.clear shard.buf;
+          let lines = ref [] in
+          let start = ref 0 in
+          String.iteri
+            (fun i c ->
+              if c = '\n' then begin
+                lines := String.sub data !start (i - !start) :: !lines;
+                start := i + 1
+              end)
+            data;
+          Buffer.add_string shard.buf
+            (String.sub data !start (String.length data - !start));
+          List.rev !lines
+        in
+        (* Read whatever the worker has written; complete lines are
+           handled, a partial tail stays buffered. Returns [false] on
+           EOF or a connection error — the failover trigger. *)
+        let read_worker shard =
+          match shard.fd with
+          | None -> true
+          | Some fd ->
+              let chunk = Bytes.create 4096 in
+              let healthy = ref true in
+              let rec loop () =
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> healthy := false
+                | n ->
+                    Buffer.add_subbytes shard.buf chunk 0 n;
+                    loop ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                    ()
+                | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+                | exception Unix.Unix_error ((ECONNRESET | EBADF | EPIPE), _, _)
+                  ->
+                    healthy := false
+              in
+              loop ();
+              List.iter (handle_worker_line shard) (extract_worker_lines shard);
+              !healthy
+        in
+        (* Failover: salvage already-committed responses, kill and
+           respawn the worker, replay what is still owed. Bounded
+           respawn attempts; a shard that cannot come back is marked
+           down and its pending work answered with a structured error
+           (revival retries continue from the probe tick). *)
+        let failover ~reason shard =
+          let index = shard.worker.Supervisor.index in
+          counters.failovers <- counters.failovers + 1;
+          Tracing.Tracer.count Tracing.Span.Router_failovers;
+          Tracing.Tracer.with_span ~id:counters.failovers
+            ~label:(Printf.sprintf "shard%d" index)
+            Tracing.Span.Router_failover
+          @@ fun () ->
+          Printf.eprintf "rexspeed serve: router: shard %d failover (%s)\n%!"
+            index reason;
+          (* Responses the worker already produced are committed work:
+             relay them instead of recomputing. The partial tail in
+             the buffer is dropped — its entry stays pending and is
+             replayed whole. *)
+          ignore (read_worker shard : bool);
+          close_worker_fd shard;
+          Supervisor.kill shard.worker;
+          let rec attempt k =
+            match spawn_worker shard with
+            | Ok () -> Ok ()
+            | Error e ->
+                Supervisor.kill shard.worker;
+                if k >= max_respawn_attempts then Error e else attempt (k + 1)
+          in
+          match attempt 1 with
+          | Ok () ->
+              shard.down <- false;
+              shard.worker.Supervisor.respawns <-
+                shard.worker.Supervisor.respawns + 1;
+              Tracing.Tracer.count Tracing.Span.Shard_respawns;
+              let replayed = ref 0 in
+              List.iter
+                (fun entry ->
+                  if entry.sent then begin
+                    entry.sent <- false;
+                    incr replayed
+                  end)
+                shard.entries;
+              counters.replayed <- counters.replayed + !replayed;
+              Tracing.Tracer.count ~n:!replayed Tracing.Span.Router_replays;
+              (match send_pending shard with
+              | Ok () -> ()
+              | Error _ ->
+                  (* Freshly spawned yet unwritable: give up on the
+                     shard for now rather than recurse. *)
+                  close_worker_fd shard;
+                  Supervisor.kill shard.worker;
+                  shard.down <- true;
+                  List.iter (abandon_entry shard) shard.entries;
+                  shard.entries <- []);
+              shard.last_probe_at <- Metrics.now_s ()
+          | Error e ->
+              Printf.eprintf
+                "rexspeed serve: router: shard %d down (%s)\n%!" index e;
+              shard.down <- true;
+              List.iter (abandon_entry shard) shard.entries;
+              shard.entries <- [];
+              shard.last_probe_at <- Metrics.now_s ()
+        in
+        let enqueue shard entry =
+          shard.entries <- shard.entries @ [ entry ];
+          if not shard.down then
+            match send_pending shard with
+            | Ok () -> ()
+            | Error reason -> failover ~reason shard
+        in
+        let fanout (client : client) ~id route =
+          client.inflight <- client.inflight + 1;
+          let down_parts =
+            Array.to_list shards
+            |> List.filter (fun s -> s.down)
+            |> List.map (fun s -> (s.worker.Supervisor.index, None))
+          in
+          let live = Array.to_list shards |> List.filter (fun s -> not s.down) in
+          let agg =
+            {
+              agg_client = client;
+              agg_id = id;
+              agg_route = route;
+              agg_waiting = List.length live;
+              agg_parts = down_parts;
+            }
+          in
+          if live = [] then finish_fanout agg
+          else
+            List.iter
+              (fun shard ->
+                let ordinal = fresh_ordinal () in
+                enqueue shard
+                  {
+                    ordinal;
+                    line =
+                      Printf.sprintf "{\"id\":%d,\"route\":%s}" ordinal
+                        (Json.encode (Json.String route));
+                    kind = Fanout agg;
+                    sent = false;
+                    sent_at = 0.;
+                  })
+              live
+        in
+        let route_line (client : client) line =
+          let ordinal = fresh_ordinal () in
+          Tracing.Tracer.with_span ~id:ordinal Tracing.Span.Router_route
+          @@ fun () ->
+          match Json.decode line with
+          | Error e ->
+              respond_local client
+                (error_response ~id:Json.Null ~code:"parse"
+                   ~extra:[ ("position", Json.Int e.position) ]
+                   e.message);
+              incr served
+          | Ok json -> (
+              let id =
+                Option.value (Json.member "id" json) ~default:Json.Null
+              in
+              match Protocol.parse json with
+              | Error reason ->
+                  respond_local client
+                    (error_response ~id ~code:"bad-request" reason);
+                  incr served
+              | Ok Protocol.Health -> fanout client ~id "health"
+              | Ok Protocol.Stats -> fanout client ~id "stats"
+              | Ok request ->
+                  let fingerprint = Protocol.fingerprint request in
+                  let index = Shard_map.lookup map fingerprint in
+                  counters.routed <- counters.routed + 1;
+                  Tracing.Tracer.count Tracing.Span.Router_routed;
+                  let shard = shards.(index) in
+                  if shard.down then begin
+                    respond_local client
+                      (error_response ~id ~code:"shard_unavailable"
+                         ~extra:[ ("shard", Json.Int index) ]
+                         "shard worker unavailable");
+                    incr served
+                  end
+                  else begin
+                    client.inflight <- client.inflight + 1;
+                    enqueue shard
+                      {
+                        ordinal;
+                        line = rewrite_request ~ordinal line;
+                        kind = Relay { client; id; route = Protocol.route request };
+                        sent = false;
+                        sent_at = 0.;
+                      }
+                  end)
+        in
+        (* Client-side line framing, same rules as the daemon. *)
+        let extract_client_lines (client : client) =
+          let data = Buffer.contents client.pending in
+          Buffer.clear client.pending;
+          let lines = ref [] in
+          let start = ref 0 in
+          String.iteri
+            (fun i c ->
+              if c = '\n' then begin
+                lines := String.sub data !start (i - !start) :: !lines;
+                start := i + 1
+              end)
+            data;
+          let remainder =
+            String.sub data !start (String.length data - !start)
+          in
+          if String.length remainder > options.max_request_bytes then begin
+            respond_local client
+              (error_response ~id:Json.Null ~code:"too-large"
+                 (Printf.sprintf "request exceeds %d bytes"
+                    options.max_request_bytes));
+            client.dead <- true
+          end
+          else Buffer.add_string client.pending remainder;
+          List.rev !lines
+        in
+        let handle_client_lines (client : client) =
+          List.iter
+            (fun line ->
+              if String.trim line = "" then ()
+              else if String.length line > options.max_request_bytes then
+                respond_local client
+                  (error_response ~id:Json.Null ~code:"too-large"
+                     (Printf.sprintf "request exceeds %d bytes"
+                        options.max_request_bytes))
+              else route_line client line)
+            (extract_client_lines client)
+        in
+        let read_client (client : client) =
+          let chunk = Bytes.create 4096 in
+          let rec loop () =
+            match Unix.read client.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> client.eof <- true
+            | n ->
+                Buffer.add_subbytes client.pending chunk 0 n;
+                loop ()
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
+                client.eof <- true;
+                client.dead <- true
+          in
+          loop ();
+          handle_client_lines client
+        in
+        let accept listener =
+          match Unix.accept listener with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              clients :=
+                !clients
+                @ [
+                    {
+                      fd;
+                      pending = Buffer.create 256;
+                      eof = false;
+                      dead = false;
+                      inflight = 0;
+                    };
+                  ]
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+              ()
+        in
+        (* Liveness: process exits caught by waitpid, wedged workers by
+           a stalled health probe, down shards periodically revived. *)
+        let probe_tick () =
+          let now = Metrics.now_s () in
+          Array.iter
+            (fun shard ->
+              if shard.down then begin
+                if now -. shard.last_probe_at > revive_interval_s then begin
+                  shard.last_probe_at <- now;
+                  failover ~reason:"revival attempt" shard
+                end
+              end
+              else if not (Supervisor.alive shard.worker) then
+                failover ~reason:"worker process exited" shard
+              else begin
+                let stalled =
+                  List.exists
+                    (fun e ->
+                      (match e.kind with Probe -> true | _ -> false)
+                      && e.sent
+                      && now -. e.sent_at > probe_timeout_s)
+                    shard.entries
+                in
+                if stalled then failover ~reason:"health probe stalled" shard
+                else if
+                  now -. shard.last_probe_at > probe_interval_s
+                  && not
+                       (List.exists
+                          (fun e ->
+                            match e.kind with Probe -> true | _ -> false)
+                          shard.entries)
+                then begin
+                  shard.last_probe_at <- now;
+                  let ordinal = fresh_ordinal () in
+                  enqueue shard
+                    {
+                      ordinal;
+                      line =
+                        Printf.sprintf "{\"id\":%d,\"route\":\"health\"}"
+                          ordinal;
+                      kind = Probe;
+                      sent = false;
+                      sent_at = 0.;
+                    }
+                end
+              end)
+            shards
+        in
+        let sweep ~accepting ~timeout =
+          let listener_fds = if accepting then List.map fst listeners else [] in
+          let client_fds =
+            List.filter_map
+              (fun (c : client) -> if c.dead || c.eof then None else Some c.fd)
+              !clients
+          in
+          let worker_fds =
+            Array.to_list shards |> List.filter_map (fun s -> s.fd)
+          in
+          (match
+             Unix.select (listener_fds @ client_fds @ worker_fds) [] [] timeout
+           with
+          | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  if List.mem fd listener_fds then accept fd
+                  else
+                    match
+                      Array.to_list shards
+                      |> List.find_opt (fun s -> s.fd = Some fd)
+                    with
+                    | Some shard ->
+                        if not (read_worker shard) then
+                          failover ~reason:"worker connection closed" shard
+                    | None -> (
+                        match
+                          List.find_opt (fun (c : client) -> c.fd = fd) !clients
+                        with
+                        | Some client -> read_client client
+                        | None -> ()))
+                readable
+          | exception Unix.Unix_error (EINTR, _, _) -> ());
+          probe_tick ();
+          (* Reap clients: EOF only after their answers are out. *)
+          let live, gone =
+            List.partition
+              (fun (c : client) ->
+                (not c.dead)
+                && not
+                     (c.eof
+                     && Buffer.length c.pending = 0
+                     && c.inflight <= 0))
+              !clients
+          in
+          List.iter
+            (fun (c : client) ->
+              (* Entries owed to a dropped client still complete on
+                 their worker; their responses are discarded on
+                 relay because [dead] is checked before writing. *)
+              close_fd c.fd)
+            gone;
+          clients := live
+        in
+        let pending_work () =
+          Array.fold_left
+            (fun acc s ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun e ->
+                       match e.kind with
+                       | Relay _ | Fanout _ -> true
+                       | Probe -> false)
+                     s.entries))
+            0 shards
+        in
+        (* Startup: spawn the whole fleet before accepting traffic. *)
+        let previous_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        let cleanup () =
+          Array.iter
+            (fun shard ->
+              close_worker_fd shard;
+              Supervisor.terminate shard.worker ~grace_ms:5_000)
+            shards;
+          (try Unix.rmdir runtime_dir with Unix.Unix_error _ -> ());
+          (match options.socket_path with
+          | Some path -> (
+              try Unix.unlink path with Unix.Unix_error _ -> ())
+          | None -> ());
+          ignore (Sys.signal Sys.sigpipe previous_sigpipe)
+        in
+        Fun.protect ~finally:cleanup @@ fun () ->
+        let startup =
+          Array.fold_left
+            (fun acc shard ->
+              match acc with
+              | Error _ as e -> e
+              | Ok () -> spawn_worker shard)
+            (Ok ()) shards
+        in
+        match startup with
+        | Error e ->
+            List.iter (fun (fd, _) -> close_fd fd) listeners;
+            Error e
+        | Ok () ->
+            if options.handle_signals then begin
+              Sys.set_signal Sys.sigterm
+                (Sys.Signal_handle (fun _ -> stop ()));
+              Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop ()))
+            end;
+            List.iter
+              (fun (_, name) ->
+                Printf.eprintf
+                  "rexspeed serve: router listening on %s (%d shards)\n%!"
+                  name options.shards)
+              listeners;
+            Option.iter (fun f -> f ()) on_ready;
+            while not (Atomic.get stop_requested) do
+              sweep ~accepting:true ~timeout:0.2
+            done;
+            (* Drain: stop accepting, answer everything in flight plus
+               any fully-received request still in a socket buffer,
+               then stop the fleet. Time-bounded so a wedged worker
+               cannot hang shutdown: leftovers get a structured
+               error. *)
+            List.iter (fun (fd, _) -> close_fd fd) listeners;
+            let give_up_at = Metrics.now_s () +. 30. in
+            let quiet = ref 0 in
+            while
+              (pending_work () > 0 || !quiet < 2)
+              && Metrics.now_s () < give_up_at
+            do
+              let before = !served in
+              sweep ~accepting:false ~timeout:0.05;
+              if pending_work () = 0 && !served = before then incr quiet
+              else quiet := 0
+            done;
+            Array.iter
+              (fun shard ->
+                List.iter (abandon_entry shard) shard.entries;
+                shard.entries <- [])
+              shards;
+            List.iter (fun (c : client) -> close_fd c.fd) !clients;
+            clients := [];
+            Printf.eprintf
+              "rexspeed serve: router drained, %d response(s) relayed\n%!"
+              !served;
+            Ok ()

@@ -1,0 +1,65 @@
+type t = { shards : int; points : (int64 * int) array }
+
+(* 64 virtual points per shard keeps the max/mean per-shard load ratio
+   around 1.3 for small fleets while the ring stays tiny (a few KiB);
+   the whole structure is built once at startup. *)
+let vnodes_per_shard = 64
+
+(* SplitMix64 finalizer. FNV-1a over short, near-identical strings
+   ("shard:0:vnode:1" vs "shard:0:vnode:2") leaves the high bits under-
+   mixed, and the ring is ordered by the full unsigned 64-bit value —
+   without this scramble the vnode points cluster and one shard can own
+   several times its fair share of the ring. Applied to both the vnode
+   points and the looked-up keys so they live in the same space. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let create ~shards =
+  if shards < 1 then
+    invalid_arg "Shard_map.create: shard count must be >= 1";
+  let points =
+    Array.init (shards * vnodes_per_shard) (fun i ->
+        let shard = i / vnodes_per_shard and vnode = i mod vnodes_per_shard in
+        ( mix
+            (Resilience.Checksum.string
+               (Printf.sprintf "shard:%d:vnode:%d" shard vnode)),
+          shard ))
+  in
+  (* Unsigned order: Int64 hashes use the full 64-bit range and a
+     signed sort would split the ring at 2^63. Ties (hash collisions
+     between vnodes) are broken by shard index so the ring is a
+     deterministic function of the shard count alone. *)
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      match Int64.unsigned_compare a b with
+      | 0 -> Int.compare sa sb
+      | c -> c)
+    points;
+  { shards; points }
+
+let shards t = t.shards
+
+let lookup t fingerprint =
+  let h = mix (Resilience.Checksum.string fingerprint) in
+  let n = Array.length t.points in
+  (* First point with hash >= h; past the last point wraps to 0. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  snd t.points.(if !lo = n then 0 else !lo)
+
+let spread t fingerprints =
+  let counts = Array.make t.shards 0 in
+  List.iter
+    (fun fp ->
+      let s = lookup t fp in
+      counts.(s) <- counts.(s) + 1)
+    fingerprints;
+  counts

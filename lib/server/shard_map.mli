@@ -1,0 +1,30 @@
+(** Consistent-hash shard map for the multi-process router.
+
+    Each shard owns 64 virtual points on a 64-bit ring; a request's
+    fingerprint (the FNV-1a hex from {!Protocol.fingerprint}, already
+    the LRU cache key) lands on the first point at or after its own
+    hash, wrapping at the top of the ring. Virtual points smooth the
+    per-shard load, and consistent hashing keeps assignments stable
+    when the fleet grows: adding shard [n] only steals keys for the
+    new shard — every key that does not move to [n] keeps its old
+    owner, so warm per-shard caches survive a resize. *)
+
+type t
+
+val create : shards:int -> t
+(** Build the ring for [shards] >= 1 workers. Deterministic: the ring
+    depends only on the shard count.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+(** Number of shards the ring was built for. *)
+
+val lookup : t -> string -> int
+(** Shard index in [0, shards) owning the given request fingerprint.
+    Pure and deterministic: equal fingerprints always route to the
+    same shard, so a cacheable request always lands on the one warm
+    cache that has seen it before. *)
+
+val spread : t -> string list -> int array
+(** Per-shard key counts for a fingerprint list; exercised by the
+    distribution and resize-stability unit tests. *)

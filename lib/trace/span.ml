@@ -12,12 +12,15 @@ type category =
   | Sweep_cell
   | Pool_restart
   | Daemon_verify
+  | Router_route
+  | Router_failover
+  | Shard_spawn
 
 let all_categories =
   [
     Work; Verify; Checkpoint; Recover; Reexec; Pool_task; Pool_retry;
     Journal_flush; Daemon_request; Cache_lookup; Sweep_cell; Pool_restart;
-    Daemon_verify;
+    Daemon_verify; Router_route; Router_failover; Shard_spawn;
   ]
 
 let category_name = function
@@ -34,6 +37,9 @@ let category_name = function
   | Sweep_cell -> "sweep.cell"
   | Pool_restart -> "pool.restart"
   | Daemon_verify -> "daemon.verify"
+  | Router_route -> "router.route"
+  | Router_failover -> "router.failover"
+  | Shard_spawn -> "shard.spawn"
 
 let lane = function
   | Work -> 0
@@ -49,6 +55,9 @@ let lane = function
   | Sweep_cell -> 10
   | Pool_restart -> 11
   | Daemon_verify -> 12
+  | Router_route -> 13
+  | Router_failover -> 14
+  | Shard_spawn -> 15
 
 type counter =
   | Cache_hits
@@ -63,12 +72,17 @@ type counter =
   | Verify_divergences
   | Worker_restarts
   | Chaos_io_injections
+  | Router_routed
+  | Router_failovers
+  | Shard_respawns
+  | Router_replays
 
 let all_counters =
   [
     Cache_hits; Cache_misses; Retries; Chaos_injections; Journal_flushes;
     Sheds; Deadline_timeouts; Io_timeouts; Verify_checks; Verify_divergences;
-    Worker_restarts; Chaos_io_injections;
+    Worker_restarts; Chaos_io_injections; Router_routed; Router_failovers;
+    Shard_respawns; Router_replays;
   ]
 
 let counter_name = function
@@ -84,6 +98,10 @@ let counter_name = function
   | Verify_divergences -> "verify.divergence"
   | Worker_restarts -> "pool.worker_restarts"
   | Chaos_io_injections -> "chaos.io_injections"
+  | Router_routed -> "router.routed"
+  | Router_failovers -> "router.failovers"
+  | Shard_respawns -> "shard.respawns"
+  | Router_replays -> "router.replays"
 
 let counter_index = function
   | Cache_hits -> 0
@@ -98,5 +116,9 @@ let counter_index = function
   | Verify_divergences -> 9
   | Worker_restarts -> 10
   | Chaos_io_injections -> 11
+  | Router_routed -> 12
+  | Router_failovers -> 13
+  | Shard_respawns -> 14
+  | Router_replays -> 15
 
 let counter_count = List.length all_counters

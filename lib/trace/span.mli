@@ -23,6 +23,13 @@ type category =
   | Daemon_verify
       (** sampled dual execution of a request before its response is
           committed (and, on divergence, the authoritative re-run) *)
+  | Router_route
+      (** admission and shard selection of one request in the
+          consistent-hash router *)
+  | Router_failover
+      (** a dead or unresponsive shard worker being failed over:
+          kill, respawn, replay of its pending requests *)
+  | Shard_spawn  (** one shard worker process spawn until it accepts *)
 
 val all_categories : category list
 (** Every category, in lane order. *)
@@ -49,6 +56,10 @@ type counter =
   | Verify_divergences  (** fingerprint mismatches caught before commit *)
   | Worker_restarts  (** pool worker domains restarted by the supervisor *)
   | Chaos_io_injections  (** I/O-layer chaos faults that fired *)
+  | Router_routed  (** requests routed to a shard worker *)
+  | Router_failovers  (** shard failovers triggered by the router *)
+  | Shard_respawns  (** shard worker processes respawned *)
+  | Router_replays  (** pending requests replayed after a failover *)
 
 val all_counters : counter list
 (** Every counter, in index order. *)

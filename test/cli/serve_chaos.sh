@@ -14,7 +14,8 @@ exe=$1
 client=$2
 case $exe in */*) ;; *) exe="./$exe" ;; esac
 case $client in */*) ;; *) client="./$client" ;; esac
-tmp=$(mktemp -d)
+. "$(dirname "$0")/net.sh"
+tmp=$(net_tmpdir)
 server_pid=
 cleanup() {
   [ -z "$server_pid" ] || kill "$server_pid" 2>/dev/null || true

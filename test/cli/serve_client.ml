@@ -1,8 +1,11 @@
-(* One-shot client for the serve smoke test: send one request line to
-   a daemon on a Unix-domain socket, read one response line, and print
-   either the raw response or a single member extracted by dotted path
-   — string members print raw, so a served "output" can be
-   byte-compared (cmp) against one-shot CLI stdout. *)
+(* One-shot client for the serve smoke tests: send one request line to
+   a daemon on a Unix-domain socket (or 127.0.0.1 TCP via a "tcp:PORT"
+   target), read one response line, and print either the raw response
+   or a single member extracted by dotted path — string members print
+   raw, so a served "output" can be byte-compared (cmp) against
+   one-shot CLI stdout. Numeric path components index into arrays, so
+   the shard tests can pull e.g. result.shard.0.pid out of a
+   fleet-wide health response. *)
 
 let die fmt =
   Printf.ksprintf
@@ -36,16 +39,25 @@ let read_line_fd fd =
   Buffer.contents buffer
 
 let () =
-  let socket_path, request, field =
+  let target, request, field =
     match Array.to_list Sys.argv with
-    | [ _; socket; request ] -> (socket, request, None)
-    | [ _; socket; request; field ] -> (socket, request, Some field)
-    | _ -> die "usage: serve_client SOCKET REQUEST [FIELD.PATH]"
+    | [ _; target; request ] -> (target, request, None)
+    | [ _; target; request; field ] -> (target, request, Some field)
+    | _ -> die "usage: serve_client SOCKET|tcp:PORT REQUEST [FIELD.PATH]"
   in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+  let domain, addr =
+    match String.split_on_char ':' target with
+    | [ "tcp"; port ] -> (
+        match int_of_string_opt port with
+        | Some p when p >= 1 && p <= 65535 ->
+            (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+        | Some _ | None -> die "bad tcp port in target %s" target)
+    | _ -> (Unix.PF_UNIX, Unix.ADDR_UNIX target)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
    with Unix.Unix_error (err, _, _) ->
-     die "cannot connect to %s: %s" socket_path (Unix.error_message err));
+     die "cannot connect to %s: %s" target (Unix.error_message err));
   write_all fd (request ^ "\n");
   let response = read_line_fd fd in
   Unix.close fd;
@@ -55,9 +67,14 @@ let () =
       match Server.Json.decode response with
       | Error e -> die "bad response JSON: %s" (Server.Json.error_to_string e)
       | Ok json -> (
+          let step json key =
+            match (int_of_string_opt key, json) with
+            | Some i, Server.Json.List items -> List.nth_opt items i
+            | _ -> Server.Json.member key json
+          in
           let v =
             List.fold_left
-              (fun acc key -> Option.bind acc (Server.Json.member key))
+              (fun acc key -> Option.bind acc (fun json -> step json key))
               (Some json)
               (String.split_on_char '.' path)
           in

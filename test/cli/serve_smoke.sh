@@ -3,7 +3,9 @@
 # and 4 domains, with the result cache on and off; repeated identical
 # queries must register cache hits in `stats`; malformed requests get
 # a structured error without killing the daemon; SIGTERM drains with
-# exit code 0 and removes the socket file.
+# exit code 0 and removes the socket file. A TCP round on an ephemeral
+# port (EADDRINUSE-retrying, so concurrent runs cannot collide) checks
+# the same identity over the other listener family.
 #
 # Usage: sh serve_smoke.sh path/to/rexspeed.exe path/to/serve_client.exe
 set -eu
@@ -14,7 +16,8 @@ client=$2
 # rule's working directory; qualify them so sh does not do a PATH lookup.
 case $exe in */*) ;; *) exe="./$exe" ;; esac
 case $client in */*) ;; *) client="./$client" ;; esac
-tmp=$(mktemp -d)
+. "$(dirname "$0")/net.sh"
+tmp=$(net_tmpdir)
 server_pid=
 cleanup() {
   [ -z "$server_pid" ] || kill "$server_pid" 2>/dev/null || true
@@ -104,6 +107,20 @@ cmp -s "$tmp/optimize.d2" "$tmp/served.nocache.2" ||
 hits=$("$client" "$sock" '{"route":"stats"}' result.cache.hits)
 [ "$hits" -eq 0 ] || fail "cache off: stats reports $hits hits"
 stop_server
+
+# TCP listener: same bytes over 127.0.0.1 on an ephemeral port,
+# allocated with retry on EADDRINUSE so parallel test runs coexist.
+net_start_tcp_serve "$exe" "$tmp/serve.tcp.err" --domains 2 ||
+  fail "could not start a TCP server on any ephemeral port"
+server_pid=$NET_PID
+"$client" "tcp:$NET_PORT" "$opt_req" output >"$tmp/served.tcp"
+cmp -s "$tmp/optimize.d2" "$tmp/served.tcp" ||
+  fail "tcp: served optimize differs from CLI"
+health=$("$client" "tcp:$NET_PORT" '{"route":"health"}' result.status)
+[ "$health" = "serving" ] || fail "tcp: health not serving"
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "tcp server exited non-zero on SIGTERM"
+server_pid=
 
 # Tracing: a traced round must serve the same bytes and, on drain,
 # leave a Chrome trace_event file with daemon.request spans. CI can

@@ -1,0 +1,130 @@
+# Cross-shard byte-identity e2e for `rexspeed serve --shards N`: any
+# request routed through the consistent-hash router must return bytes
+# identical to the one-shot CLI render, at 1/2/4 worker domains, on
+# the miss path and the (per-shard) cache-hit path — and again after a
+# forced failover, where every worker is SIGKILLed and the router must
+# respawn the fleet and keep answering without a lost or divergent
+# response. SIGTERM must drain the router, remove its socket and leave
+# no orphaned worker processes.
+#
+# Usage: sh shard_smoke.sh path/to/rexspeed.exe path/to/serve_client.exe
+set -eu
+
+exe=$1
+client=$2
+case $exe in */*) ;; *) exe="./$exe" ;; esac
+case $client in */*) ;; *) client="./$client" ;; esac
+. "$(dirname "$0")/net.sh"
+tmp=$(net_tmpdir)
+router_pid=
+cleanup() {
+  [ -z "$router_pid" ] || kill "$router_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "shard_smoke.sh: $*" >&2
+  exit 1
+}
+
+sock="$tmp/router.sock"
+opt_req='{"route":"optimize","params":{"rho":3}}'
+fr_req='{"route":"frontier","params":{"config":"hera/xscale"}}'
+ev_req='{"route":"evaluate","params":{"w":2764,"s1":0.4,"s2":1}}'
+
+start_router() { # $1 = shards, $2 = domains
+  "$exe" serve --shards "$1" --socket "$sock" --domains "$2" \
+    2>"$tmp/router.err" &
+  router_pid=$!
+  tries=0
+  until "$client" "$sock" '{"route":"health"}' status >/dev/null 2>&1; do
+    kill -0 "$router_pid" 2>/dev/null || {
+      cat "$tmp/router.err" >&2
+      fail "router died during startup"
+    }
+    tries=$((tries + 1))
+    [ "$tries" -lt 200 ] || fail "router never became healthy"
+    sleep 0.05
+  done
+}
+
+stop_router() {
+  kill -TERM "$router_pid"
+  wait "$router_pid" || fail "router exited non-zero on SIGTERM"
+  router_pid=
+  [ ! -e "$sock" ] || fail "router socket not removed on drain"
+}
+
+check_identity() { # $1 = domains, $2 = label
+  "$client" "$sock" "$opt_req" output >"$tmp/served.opt"
+  "$client" "$sock" "$fr_req" output >"$tmp/served.fr"
+  "$client" "$sock" "$ev_req" output >"$tmp/served.ev"
+  cmp -s "$tmp/optimize.d$1" "$tmp/served.opt" ||
+    fail "$2: served optimize differs from CLI"
+  cmp -s "$tmp/frontier.d$1" "$tmp/served.fr" ||
+    fail "$2: served frontier differs from CLI"
+  cmp -s "$tmp/evaluate.d$1" "$tmp/served.ev" ||
+    fail "$2: served evaluate differs from CLI"
+}
+
+worker_pids() { # $1 = shards
+  i=0
+  while [ "$i" -lt "$1" ]; do
+    "$client" "$sock" '{"route":"health"}' "result.shard.$i.pid"
+    printf ' '
+    i=$((i + 1))
+  done
+}
+
+# References: one-shot CLI output per domain count.
+for d in 1 2 4; do
+  "$exe" optimize --domains "$d" >"$tmp/optimize.d$d"
+  "$exe" frontier -c hera/xscale --domains "$d" >"$tmp/frontier.d$d"
+  "$exe" evaluate -w 2764 --s1 0.4 --s2 1 --domains "$d" >"$tmp/evaluate.d$d"
+done
+
+# Identity across shard counts and worker domain counts; the repeat
+# exercises each shard's warm cache (consistent hashing sends the
+# repeated request to the same worker).
+for shards in 2 3; do
+  for d in 1 2 4; do
+    # Bound the matrix: 3 shards only at 1 domain.
+    [ "$shards" -eq 2 ] || [ "$d" -eq 1 ] || continue
+    start_router "$shards" "$d"
+    got=$("$client" "$sock" '{"route":"health"}' result.shards)
+    [ "$got" = "$shards" ] || fail "health reports $got shards, want $shards"
+    check_identity "$d" "shards=$shards d=$d miss"
+    check_identity "$d" "shards=$shards d=$d hit"
+    routed=$("$client" "$sock" '{"route":"health"}' result.router.routed)
+    [ "$routed" -ge 6 ] || fail "router.routed=$routed after 6 requests"
+    stop_router
+  done
+done
+
+# Forced failover: SIGKILL the whole fleet, then demand the same bytes
+# again — the router must detect the deaths, respawn every worker and
+# serve without a lost or divergent response.
+start_router 2 2
+check_identity 2 "pre-kill"
+pids=$(worker_pids 2)
+for p in $pids; do
+  kill -9 "$p" 2>/dev/null || fail "cannot SIGKILL worker $p"
+done
+check_identity 2 "post-kill"
+respawns=$("$client" "$sock" '{"route":"health"}' result.router.respawns)
+[ "$respawns" -ge 2 ] || fail "router.respawns=$respawns after killing 2 workers"
+status=$("$client" "$sock" '{"route":"health"}' result.status)
+[ "$status" = "serving" ] || fail "fleet not serving after failover: $status"
+
+# Drain: the router and all (respawned) workers must be gone.
+pids=$(worker_pids 2)
+stop_router
+sleep 0.2
+for p in $pids; do
+  if kill -0 "$p" 2>/dev/null; then
+    fail "worker $p survived the router drain"
+  fi
+done
+
+echo "shard_smoke.sh: all shard router checks passed"

@@ -963,6 +963,161 @@ let test_daemon_health_hardening () =
     "verification off by default" (Some 0)
     (Option.bind (Server.Json.member "checks" verify) Server.Json.to_int_opt)
 
+(* ------------------------------------------------------------------ *)
+(* Shard map                                                           *)
+
+(* Realistic ring keys: FNV-1a fingerprints of optimize-style
+   canonical request forms, exactly what the router hands to
+   [Shard_map.lookup]. *)
+let fingerprints n =
+  List.init n (fun i ->
+      Resilience.Checksum.hex_of_string
+        (Printf.sprintf "optimize config=Hera/XScale rho=%d mode=two-speeds" i))
+
+let test_shard_map_lookup () =
+  Testutil.check_raises_invalid "zero shards rejected" (fun () ->
+      ignore (Server.Shard_map.create ~shards:0));
+  let keys = fingerprints 100 in
+  List.iter
+    (fun shards ->
+      let map = Server.Shard_map.create ~shards in
+      Alcotest.(check int) "shard count kept" shards
+        (Server.Shard_map.shards map);
+      (* A ring rebuilt from the same count must route identically:
+         routing depends on nothing but the shard count. *)
+      let rebuilt = Server.Shard_map.create ~shards in
+      List.iter
+        (fun key ->
+          let owner = Server.Shard_map.lookup map key in
+          Alcotest.(check bool) "owner in range" true
+            (owner >= 0 && owner < shards);
+          Alcotest.(check int) "deterministic across rings" owner
+            (Server.Shard_map.lookup rebuilt key))
+        keys)
+    [ 1; 2; 3; 4; 8 ]
+
+let test_shard_map_spread () =
+  (* 64 virtual points per shard must keep the load roughly even: with
+     10k distinct keys over 4 shards, no shard may starve below 5% of
+     the keys (a plain modulo ring would pass too — the point is to
+     catch a broken binary search or an unsigned-compare regression
+     that funnels everything into one arc). *)
+  let shards = 4 in
+  let total = 10_000 in
+  let map = Server.Shard_map.create ~shards in
+  let counts = Server.Shard_map.spread map (fingerprints total) in
+  Alcotest.(check int) "one bucket per shard" shards (Array.length counts);
+  Alcotest.(check int) "every key counted" total
+    (Array.fold_left ( + ) 0 counts);
+  Array.iteri
+    (fun i count ->
+      if count < total * 5 / 100 then
+        Alcotest.failf "shard %d starves: %d of %d keys" i count total)
+    counts
+
+let test_shard_map_resize_stability () =
+  (* The consistent-hashing contract the router's warm caches rely on:
+     growing the fleet from n to n+1 shards only moves keys onto the
+     new shard — every key the new shard does not steal keeps its old
+     owner, because the existing shards' ring points are unchanged. *)
+  let keys = fingerprints 2_000 in
+  List.iter
+    (fun shards ->
+      let before = Server.Shard_map.create ~shards in
+      let after = Server.Shard_map.create ~shards:(shards + 1) in
+      let moved = ref 0 in
+      List.iter
+        (fun key ->
+          let owner = Server.Shard_map.lookup after key in
+          if owner = shards then incr moved
+          else
+            Alcotest.(check int)
+              "key not stolen by the new shard keeps its owner"
+              (Server.Shard_map.lookup before key)
+              owner)
+        keys;
+      Alcotest.(check bool)
+        (Printf.sprintf "growing %d->%d moves some keys but not all" shards
+           (shards + 1))
+        true
+        (!moved > 0 && !moved < List.length keys))
+    [ 1; 2; 3; 4; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec fuzzing driven by the project PRNG                       *)
+
+(* A second generator for the codec properties, independent of QCheck:
+   values and mutations drawn from lib/prng's deterministic streams,
+   so a failure replays bit-identically from the fixed seed. *)
+let gen_json_string rng =
+  String.init (Prng.Rng.int rng ~bound:13) (fun _ ->
+      match Prng.Rng.int rng ~bound:10 with
+      | 0 -> '"'
+      | 1 -> '\\'
+      | 2 -> Char.chr (Prng.Rng.int rng ~bound:32)
+      | 3 -> Char.chr (128 + Prng.Rng.int rng ~bound:128)
+      | _ -> Char.chr (32 + Prng.Rng.int rng ~bound:95))
+
+let rec gen_json_value rng depth =
+  if depth = 0 || Prng.Rng.bernoulli rng ~p:0.6 then
+    match Prng.Rng.int rng ~bound:5 with
+    | 0 -> Server.Json.Null
+    | 1 -> Server.Json.Bool (Prng.Rng.bernoulli rng ~p:0.5)
+    | 2 -> Server.Json.Int (Prng.Rng.int rng ~bound:2_000_001 - 1_000_000)
+    | 3 -> Server.Json.Float (Prng.Rng.uniform rng ~lo:(-1e9) ~hi:1e9)
+    | _ -> Server.Json.String (gen_json_string rng)
+  else if Prng.Rng.bernoulli rng ~p:0.5 then
+    Server.Json.List
+      (List.init (Prng.Rng.int rng ~bound:5) (fun _ ->
+           gen_json_value rng (depth - 1)))
+  else
+    Server.Json.Obj
+      (List.init (Prng.Rng.int rng ~bound:5) (fun _ ->
+           (gen_json_string rng, gen_json_value rng (depth - 1))))
+
+let test_json_prng_roundtrip () =
+  let rng = Prng.Rng.create ~seed:20160813 in
+  for i = 1 to 500 do
+    let v = gen_json_value rng 3 in
+    let encoded = Server.Json.encode v in
+    match Server.Json.decode encoded with
+    | Ok v' ->
+        if not (json_equal v v') then
+          Alcotest.failf "iteration %d: decode(encode v) <> v on %s" i encoded
+    | Error e ->
+        Alcotest.failf "iteration %d: decode failed on %s: %s" i encoded
+          (Server.Json.error_to_string e)
+  done
+
+let test_json_mutation_total () =
+  (* Totality under corruption: flipping any single byte of a valid
+     encoding must yield either a successful parse (the mutation kept
+     the document well-formed) or a structured error whose position
+     lies inside the input — never an exception. This is the adversary
+     the daemon's request path actually faces: line noise, not
+     well-formed JSON. *)
+  let rng = Prng.Rng.create ~seed:1302 in
+  for i = 1 to 300 do
+    let v = gen_json_value rng 3 in
+    let encoded = Server.Json.encode v in
+    for _ = 1 to 8 do
+      let pos = Prng.Rng.int rng ~bound:(String.length encoded) in
+      let mutated = Bytes.of_string encoded in
+      Bytes.set mutated pos (Char.chr (Prng.Rng.int rng ~bound:256));
+      let mutated = Bytes.to_string mutated in
+      match Server.Json.decode mutated with
+      | Ok _ -> ()
+      | Error e ->
+          if e.position < 0 || e.position > String.length mutated then
+            Alcotest.failf "iteration %d: error position %d outside %S" i
+              e.position mutated
+      | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+      | exception exn ->
+          Alcotest.failf "iteration %d: decode raised %s on %S" i
+            (Printexc.to_string exn) mutated
+    done
+  done
+
 let test_metrics_window () =
   let m = Server.Metrics.create () in
   (* An early spike must age out of the bounded p99 window once a full
@@ -1001,10 +1156,24 @@ let () =
           Alcotest.test_case "NaN latency" `Quick test_metrics_nan_poison;
           Alcotest.test_case "bounded window" `Quick test_metrics_window;
         ] );
+      ( "json-prng",
+        [
+          Alcotest.test_case "roundtrip via lib/prng" `Quick
+            test_json_prng_roundtrip;
+          Alcotest.test_case "single-byte mutations are total" `Quick
+            test_json_mutation_total;
+        ] );
       ( "protocol",
         [
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "fingerprint" `Quick test_protocol_fingerprint;
+        ] );
+      ( "shard-map",
+        [
+          Alcotest.test_case "lookup" `Quick test_shard_map_lookup;
+          Alcotest.test_case "spread" `Quick test_shard_map_spread;
+          Alcotest.test_case "resize stability" `Quick
+            test_shard_map_resize_stability;
         ] );
       ("render", [ Alcotest.test_case "optimize" `Quick test_render ]);
       ( "daemon",
